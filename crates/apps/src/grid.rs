@@ -1,0 +1,158 @@
+//! 2D grid helpers and the golden sequential Jacobi solver.
+//!
+//! The parallel kernels are validated bit-for-bit against
+//! [`jacobi_reference`]: every variant performs the stencil with the same
+//! operation order (`(N + S) + (W + E)` then `× 0.25`), so IEEE semantics
+//! make the comparison exact.
+
+/// Dirichlet boundary value at grid coordinate `(row, col)`.
+///
+/// A smooth, non-symmetric function so indexing bugs cannot cancel out.
+pub fn boundary_value(row: usize, col: usize) -> f64 {
+    row as f64 * 0.5 + col as f64 * 0.25 + 1.0
+}
+
+/// The initial `n × n` grid: boundary values on the border, zero interior.
+pub fn initial_grid(n: usize) -> Vec<f64> {
+    assert!(n >= 3, "grid must have an interior");
+    let mut g = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
+                g[i * n + j] = boundary_value(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// One Jacobi sweep: `new = stencil(old)`, boundary copied unchanged.
+/// Operation order matches the simulated kernels exactly.
+pub fn jacobi_sweep(n: usize, old: &[f64], new: &mut [f64]) {
+    new.copy_from_slice(old);
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let nn = old[(i - 1) * n + j];
+            let ss = old[(i + 1) * n + j];
+            let ww = old[i * n + j - 1];
+            let ee = old[i * n + j + 1];
+            let sum = (nn + ss) + (ww + ee);
+            new[i * n + j] = sum * 0.25;
+        }
+    }
+}
+
+/// Run `iters` Jacobi sweeps on the standard initial grid.
+pub fn jacobi_reference(n: usize, iters: usize) -> Vec<f64> {
+    let mut a = initial_grid(n);
+    let mut b = a.clone();
+    for _ in 0..iters {
+        jacobi_sweep(n, &a, &mut b);
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+/// Contiguous row partition: the owned global interior rows
+/// `[start, end)` of `rank` among `ranks` workers over an `n × n` grid.
+///
+/// # Panics
+///
+/// Panics if `ranks` exceeds the `n - 2` interior rows (a rank would own
+/// nothing) or `rank >= ranks`.
+pub fn partition_rows(n: usize, ranks: usize, rank: usize) -> (usize, usize) {
+    let interior = n - 2;
+    assert!(ranks >= 1 && ranks <= interior, "{ranks} ranks for {interior} interior rows");
+    assert!(rank < ranks);
+    let base = interior / ranks;
+    let rem = interior % ranks;
+    let start = 1 + rank * base + rank.min(rem);
+    let rows = base + usize::from(rank < rem);
+    (start, start + rows)
+}
+
+/// Largest PE count a grid of side `n` supports (one interior row each).
+pub fn max_ranks(n: usize) -> usize {
+    (n - 2).min(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_grid_shape() {
+        let g = initial_grid(4);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g[0], boundary_value(0, 0));
+        assert_eq!(g[5], 0.0, "interior starts at zero");
+        assert_eq!(g[15], boundary_value(3, 3));
+    }
+
+    #[test]
+    fn sweep_keeps_boundary() {
+        let n = 5;
+        let a = initial_grid(n);
+        let mut b = vec![0.0; n * n];
+        jacobi_sweep(n, &a, &mut b);
+        for i in 0..n {
+            assert_eq!(b[i], a[i], "top row");
+            assert_eq!(b[(n - 1) * n + i], a[(n - 1) * n + i], "bottom row");
+            assert_eq!(b[i * n], a[i * n], "left column");
+            assert_eq!(b[i * n + n - 1], a[i * n + n - 1], "right column");
+        }
+    }
+
+    #[test]
+    fn reference_converges_toward_harmonic() {
+        // The solution of Laplace with these linear boundary values is the
+        // linear function itself; many iterations should approach it.
+        let n = 8;
+        let g = jacobi_reference(n, 500);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let exact = boundary_value(i, j);
+                assert!(
+                    (g[i * n + j] - exact).abs() < 1e-6,
+                    "({i},{j}): {} vs {exact}",
+                    g[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_interior_exactly() {
+        for n in [8usize, 16, 30, 60] {
+            for ranks in 1..=max_ranks(n) {
+                let mut covered = vec![false; n];
+                for rank in 0..ranks {
+                    let (s, e) = partition_rows(n, ranks, rank);
+                    assert!(s >= 1 && e <= n - 1 && s < e);
+                    for row in s..e {
+                        assert!(!covered[row], "row {row} double-owned");
+                        covered[row] = true;
+                    }
+                }
+                for row in 1..n - 1 {
+                    assert!(covered[row], "row {row} unowned (n={n}, ranks={ranks})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balanced() {
+        let sizes: Vec<usize> =
+            (0..5).map(|r| { let (s, e) = partition_rows(16, 5, r); e - s }).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks for")]
+    fn too_many_ranks_panics() {
+        partition_rows(8, 7, 0);
+    }
+}

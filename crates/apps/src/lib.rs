@@ -1,0 +1,21 @@
+//! Workloads for the MEDEA reproduction.
+//!
+//! * [`grid`] — 2D grid helpers and the golden sequential Jacobi solver;
+//! * [`jacobi`] — the paper's benchmark (§III): a parallel Jacobi iterative
+//!   solver in the three programming-model variants the paper compares
+//!   (hybrid full message passing, hybrid sync-only, pure shared memory);
+//! * [`sm`] — shared-memory synchronization primitives (the lock-based
+//!   barrier the pure-SM variant uses);
+//! * [`pingpong`] — a two-rank synchronization-latency microbenchmark
+//!   (message-passing round trip vs. a shared-memory mailbox), quantifying
+//!   the paper's core motivation;
+//! * [`matmul`] — a block-row matrix multiply, the first of the "standard
+//!   parallel benchmarks" the paper lists as future work;
+//! * [`reduce`] — an all-reduce kernel in MP and SM flavours.
+
+pub mod grid;
+pub mod jacobi;
+pub mod matmul;
+pub mod pingpong;
+pub mod reduce;
+pub mod sm;

@@ -1,0 +1,138 @@
+//! Synchronization-latency microbenchmark: one-word round trips between
+//! two ranks, message-passing versus shared-memory mailbox.
+//!
+//! Quantifies the paper's core motivation (§I): "an explicit exchange of
+//! synchronization tokens among the processing elements through dedicated
+//! on-chip links would be beneficial" compared to synchronizing through
+//! the memory hierarchy.
+
+use crate::sm::SmMailbox;
+use medea_core::api::PeApi;
+use medea_core::system::{Kernel, RunError, System};
+use medea_core::SystemConfig;
+use medea_sim::ids::Rank;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transport used for the round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PingPongTransport {
+    /// Raw TIE messages.
+    MessagePassing,
+    /// Shared-memory mailboxes (uncached flag + data words).
+    SharedMemory,
+}
+
+/// Result: average round-trip latency.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongReport {
+    /// Round trips performed.
+    pub rounds: u64,
+    /// Mean cycles per round trip.
+    pub cycles_per_round: f64,
+}
+
+/// Run `rounds` one-word round trips between ranks 0 and 1 of `sys`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if `sys` has fewer than two PEs or `rounds` is zero.
+pub fn run(
+    sys: &SystemConfig,
+    transport: PingPongTransport,
+    rounds: u64,
+) -> Result<PingPongReport, RunError> {
+    assert!(sys.compute_pes() >= 2, "ping-pong needs two ranks");
+    assert!(rounds > 0);
+    let window = Arc::new(AtomicU64::new(0));
+    let cell = Arc::clone(&window);
+    // Two mailboxes on distinct lines in the shared segment.
+    let ping_box = SmMailbox { flag: 0x40, data: 0x50 };
+    let pong_box = SmMailbox { flag: 0x80, data: 0x90 };
+
+    let ping: Kernel = Box::new(move |api: PeApi| {
+        let t0 = api.now();
+        for i in 1..=rounds {
+            match transport {
+                PingPongTransport::MessagePassing => {
+                    api.send_to_rank(Rank::new(1), &[i as u32]);
+                    let back = api.recv_from_rank(Rank::new(1));
+                    debug_assert_eq!(back[0], i as u32);
+                }
+                PingPongTransport::SharedMemory => {
+                    ping_box.post(&api, i as u32, i as u32);
+                    let back = pong_box.take(&api, i as u32);
+                    debug_assert_eq!(back, i as u32);
+                }
+            }
+        }
+        let t1 = api.now();
+        cell.store(t1 - t0, Ordering::SeqCst);
+    });
+    let pong: Kernel = Box::new(move |api: PeApi| {
+        for i in 1..=rounds {
+            match transport {
+                PingPongTransport::MessagePassing => {
+                    let v = api.recv_from_rank(Rank::new(0));
+                    api.send_to_rank(Rank::new(0), &v);
+                }
+                PingPongTransport::SharedMemory => {
+                    let v = ping_box.take(&api, i as u32);
+                    pong_box.post(&api, i as u32, v);
+                }
+            }
+        }
+    });
+    let mut kernels = vec![ping, pong];
+    // Idle kernels for any extra configured PEs.
+    for _ in 2..sys.compute_pes() {
+        kernels.push(Box::new(|_api: PeApi| {}));
+    }
+    System::run(sys, &[], kernels)?;
+    Ok(PingPongReport {
+        rounds,
+        cycles_per_round: window.load(Ordering::SeqCst) as f64 / rounds as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::builder().compute_pes(2).cycle_limit(50_000_000).build().unwrap()
+    }
+
+    #[test]
+    fn mp_roundtrip_completes() {
+        let rep = run(&sys(), PingPongTransport::MessagePassing, 50).unwrap();
+        assert!(rep.cycles_per_round > 0.0);
+        // One-word packets over a couple of hops: tens of cycles, not
+        // hundreds.
+        assert!(rep.cycles_per_round < 100.0, "{}", rep.cycles_per_round);
+    }
+
+    #[test]
+    fn sm_roundtrip_completes() {
+        let rep = run(&sys(), PingPongTransport::SharedMemory, 50).unwrap();
+        assert!(rep.cycles_per_round > 0.0);
+    }
+
+    #[test]
+    fn message_passing_beats_shared_memory() {
+        // The paper's motivating claim, as a test.
+        let mp = run(&sys(), PingPongTransport::MessagePassing, 100).unwrap();
+        let sm = run(&sys(), PingPongTransport::SharedMemory, 100).unwrap();
+        assert!(
+            mp.cycles_per_round < sm.cycles_per_round,
+            "MP {} !< SM {}",
+            mp.cycles_per_round,
+            sm.cycles_per_round
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared-memory synchronization built on the MPMMU lock/unlock protocol
+//! (§II-C) — what the paper's "pure shared memory" Jacobi variant uses
+//! instead of eMPI tokens.
+
+use medea_cache::Addr;
+use medea_core::api::PeApi;
+use medea_sim::Cycle;
+
+/// Cycles a spinning PE waits between polls of the barrier generation
+/// word. Each poll is an uncached single-read transaction at the MPMMU —
+/// exactly the serialized traffic the paper blames for shared-memory
+/// synchronization cost.
+pub const SPIN_BACKOFF_CYCLES: Cycle = 8;
+
+/// Addresses of one shared-memory barrier's state (three words, placed on
+/// separate cache lines in the shared segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmBarrier {
+    /// The MPMMU lock word guarding the counter.
+    pub lock: Addr,
+    /// Arrival counter.
+    pub count: Addr,
+    /// Generation (epoch) word spun on by waiters.
+    pub generation: Addr,
+}
+
+impl SmBarrier {
+    /// Lay the three words out at the top of the shared segment.
+    pub fn at_top_of_shared(shared_bytes: u32) -> Self {
+        assert!(shared_bytes >= 64, "shared segment too small for a barrier");
+        SmBarrier {
+            lock: shared_bytes - 16,
+            count: shared_bytes - 32,
+            generation: shared_bytes - 48,
+        }
+    }
+
+    /// Enter the barrier and block until all `ranks` have arrived.
+    ///
+    /// Classic centralized sense-reversing barrier: arrival is counted
+    /// under the MPMMU lock; the last arrival resets the counter and bumps
+    /// the generation; everyone else spins on uncached reads of the
+    /// generation word.
+    pub fn wait(&self, api: &PeApi, ranks: usize) {
+        if ranks <= 1 {
+            return;
+        }
+        api.lock(self.lock);
+        let gen = api.uncached_load_u32(self.generation);
+        let arrived = api.uncached_load_u32(self.count) + 1;
+        if arrived as usize == ranks {
+            api.uncached_store_u32(self.count, 0);
+            api.uncached_store_u32(self.generation, gen.wrapping_add(1));
+            api.unlock(self.lock);
+        } else {
+            api.uncached_store_u32(self.count, arrived);
+            api.unlock(self.lock);
+            while api.uncached_load_u32(self.generation) == gen {
+                api.compute(SPIN_BACKOFF_CYCLES);
+            }
+        }
+    }
+}
+
+/// A single-producer single-consumer mailbox in shared memory: the
+/// shared-memory counterpart of a one-word eMPI message, used by the
+/// ping-pong microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmMailbox {
+    /// Flag word (0 = empty, otherwise sequence number).
+    pub flag: Addr,
+    /// Payload word.
+    pub data: Addr,
+}
+
+impl SmMailbox {
+    /// Post `value` with sequence number `seq` (nonzero).
+    pub fn post(&self, api: &PeApi, seq: u32, value: u32) {
+        debug_assert_ne!(seq, 0);
+        api.uncached_store_u32(self.data, value);
+        api.uncached_store_u32(self.flag, seq);
+    }
+
+    /// Spin until sequence number `seq` is posted, then read the payload.
+    pub fn take(&self, api: &PeApi, seq: u32) -> u32 {
+        while api.uncached_load_u32(self.flag) != seq {
+            api.compute(SPIN_BACKOFF_CYCLES);
+        }
+        api.uncached_load_u32(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_core::api::PeApi;
+    use medea_core::system::{Kernel, System};
+    use medea_core::SystemConfig;
+
+    fn cfg(pes: usize) -> SystemConfig {
+        SystemConfig::builder().compute_pes(pes).cycle_limit(20_000_000).build().unwrap()
+    }
+
+    #[test]
+    fn sm_barrier_synchronizes() {
+        let sys = cfg(3);
+        let bar = SmBarrier::at_top_of_shared(sys.layout().shared_bytes());
+        let slow = 30_000u64;
+        let kernels: Vec<Kernel> = (0..3)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    if r == 0 {
+                        api.compute(slow);
+                    }
+                    bar.wait(&api, 3);
+                    assert!(api.now() >= slow, "rank {r} left the barrier early");
+                }) as Kernel
+            })
+            .collect();
+        System::run(&sys, &[], kernels).unwrap();
+    }
+
+    #[test]
+    fn sm_barrier_reusable_across_iterations() {
+        let sys = cfg(2);
+        let bar = SmBarrier::at_top_of_shared(sys.layout().shared_bytes());
+        let kernels: Vec<Kernel> = (0..2)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    for it in 0..5u64 {
+                        api.compute(1 + r as u64 * 50 + it);
+                        bar.wait(&api, 2);
+                    }
+                }) as Kernel
+            })
+            .collect();
+        let result = System::run(&sys, &[], kernels).unwrap();
+        // 5 barriers × 2 ranks: 10 lock acquisitions at least.
+        assert!(result.mpmmu.locks_granted.get() >= 10);
+    }
+
+    #[test]
+    fn mailbox_roundtrip() {
+        let sys = cfg(2);
+        let mbox = SmMailbox { flag: 0x40, data: 0x50 };
+        let kernels: Vec<Kernel> = vec![
+            Box::new(move |api: PeApi| {
+                mbox.post(&api, 1, 99);
+                assert_eq!(mbox.take(&api, 2), 100);
+            }),
+            Box::new(move |api: PeApi| {
+                assert_eq!(mbox.take(&api, 1), 99);
+                mbox.post(&api, 2, 100);
+            }),
+        ];
+        System::run(&sys, &[], kernels).unwrap();
+    }
+
+    #[test]
+    fn single_rank_barrier_is_noop() {
+        let sys = cfg(1);
+        let bar = SmBarrier::at_top_of_shared(sys.layout().shared_bytes());
+        let result = System::run(
+            &sys,
+            &[],
+            vec![Box::new(move |api: PeApi| {
+                bar.wait(&api, 1);
+            })],
+        )
+        .unwrap();
+        assert_eq!(result.mpmmu.locks_granted.get(), 0);
+    }
+}

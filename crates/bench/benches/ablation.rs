@@ -1,0 +1,63 @@
+//! Experiments A1/A2: arbiter build options and fabric ablation, on a
+//! small hybrid Jacobi. The paper-scale tables come from
+//! `figures ablation-arbiter` / `figures ablation-noc`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_bench::base_builder;
+use medea_core::explore::Workload as _;
+use medea_core::system::System;
+use medea_core::{ArbiterConfig, FabricKind, PriorityAssignment};
+
+fn run_once(cfg: &medea_core::SystemConfig) -> u64 {
+    let workload =
+        JacobiWorkload { jcfg: JacobiConfig::new(12, JacobiVariant::HybridFullMp) };
+    let prepared = workload.prepare(cfg);
+    System::run(cfg, &prepared.preload, prepared.kernels).expect("run").cycles
+}
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_arbiter");
+    group.sample_size(10);
+    for (name, arbiter) in [
+        ("mux", ArbiterConfig::Mux),
+        ("single_fifo8", ArbiterConfig::SingleFifo { depth: 8 }),
+        (
+            "dual_msg_high",
+            ArbiterConfig::DualPriority { depth: 8, priority: PriorityAssignment::MessageHigh },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &arbiter, |b, &arbiter| {
+            let cfg = base_builder()
+                .compute_pes(4)
+                .cache_bytes(8 * 1024)
+                .arbiter(arbiter)
+                .build()
+                .expect("config");
+            b.iter(|| run_once(&cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_fabric");
+    group.sample_size(10);
+    for (name, fabric) in
+        [("deflection", FabricKind::Deflection), ("ideal", FabricKind::Ideal)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &fabric, |b, &fabric| {
+            let cfg = base_builder()
+                .compute_pes(4)
+                .cache_bytes(4 * 1024)
+                .fabric(fabric)
+                .build()
+                .expect("config");
+            b.iter(|| run_once(&cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion wrapper for experiments E1/E3/E7 (Figs. 6/8 + the 16×16
+//! case): one representative sweep point per figure, small enough to
+//! iterate. The full tables come from `cargo run --bin figures`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_apps::jacobi::JacobiVariant;
+use medea_bench::jacobi_sweep;
+use medea_core::explore::SweepPoint;
+use medea_core::CachePolicy;
+
+fn bench_exec_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_8_exec_time");
+    group.sample_size(10);
+    for (name, n, cache_kb, policy) in [
+        ("fig6_60x60_proxy_16x16_wb16k", 16usize, 16usize, CachePolicy::WriteBack),
+        ("fig8_30x30_proxy_16x16_wb4k", 16, 4, CachePolicy::WriteBack),
+        ("fig6_wt_traffic_16x16_wt4k", 16, 4, CachePolicy::WriteThrough),
+        ("e7_small_16x16_wb16k", 16, 16, CachePolicy::WriteBack),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let points = [SweepPoint { pes: 4, cache_bytes: cache_kb * 1024, policy }];
+            b.iter(|| {
+                let outcomes = jacobi_sweep(n, JacobiVariant::HybridFullMp, &points, 1);
+                assert!(outcomes[0].measured().unwrap() > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_time);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion wrapper for experiments E2/E4 (Figs. 7/9): the speedup-vs-
+//! area pipeline (sweep → Pareto → kill rule) on a reduced point set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medea_apps::jacobi::JacobiVariant;
+use medea_bench::{jacobi_sweep, speedup_vs_area};
+use medea_core::explore::SweepPoint;
+use medea_core::CachePolicy;
+
+fn bench_speedup_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_9_speedup_area");
+    group.sample_size(10);
+    let points: Vec<SweepPoint> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&pes| {
+            [4 * 1024usize, 16 * 1024].map(|cache_bytes| SweepPoint {
+                pes,
+                cache_bytes,
+                policy: CachePolicy::WriteBack,
+            })
+        })
+        .collect();
+    group.bench_function("pipeline_16x16_6pts", |b| {
+        b.iter(|| {
+            let outcomes = jacobi_sweep(16, JacobiVariant::HybridFullMp, &points, 1);
+            let sva = speedup_vs_area(&outcomes);
+            assert!(!sva.optimal.is_empty());
+            sva.optimal.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_area);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion wrapper for experiments E5/E6: the three programming models
+//! on one configuration each. The paper-scale comparison table comes from
+//! `figures hybrid-vs-sm` / `figures sync-only`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_bench::base_builder;
+use medea_core::explore::Workload as _;
+use medea_core::system::System;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_e6_programming_models");
+    group.sample_size(10);
+    for variant in [
+        JacobiVariant::HybridFullMp,
+        JacobiVariant::HybridSyncOnly,
+        JacobiVariant::PureSharedMemory,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                let cfg = base_builder()
+                    .compute_pes(4)
+                    .cache_bytes(16 * 1024)
+                    .build()
+                    .expect("config");
+                let workload = JacobiWorkload { jcfg: JacobiConfig::new(12, variant) };
+                b.iter(|| {
+                    let prepared = workload.prepare(&cfg);
+                    System::run(&cfg, &prepared.preload, prepared.kernels).expect("run").cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment A3: standalone NoC characterization — simulator throughput
+//! of the deflection-routed torus under synthetic load, real vs ideal
+//! fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_noc::coord::Topology;
+use medea_noc::ideal::IdealNetwork;
+use medea_noc::network::Network;
+use medea_noc::traffic::{run_open_loop, Pattern, TrafficConfig};
+
+fn bench_traffic(c: &mut Criterion) {
+    let topo = Topology::paper_4x4();
+    let mut group = c.benchmark_group("a3_noc_traffic");
+    group.sample_size(20);
+    for load in [0.1f64, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("deflection_uniform", load),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let mut net = Network::new(topo);
+                    let cfg = TrafficConfig {
+                        pattern: Pattern::UniformRandom,
+                        offered_load: load,
+                        warmup: 200,
+                        measure: 1000,
+                        seed: 7,
+                    };
+                    run_open_loop(&mut net, topo, &cfg).accepted_throughput
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ideal_uniform", load), &load, |b, &load| {
+            b.iter(|| {
+                let mut net = IdealNetwork::new(topo);
+                let cfg = TrafficConfig {
+                    pattern: Pattern::UniformRandom,
+                    offered_load: load,
+                    warmup: 200,
+                    measure: 1000,
+                    seed: 7,
+                };
+                run_open_loop(&mut net, topo, &cfg).accepted_throughput
+            });
+        });
+    }
+    group.bench_function("deflection_hotspot_mpmmu", |b| {
+        b.iter(|| {
+            let mut net = Network::new(topo);
+            let cfg = TrafficConfig {
+                pattern: Pattern::HotSpot(medea_sim::ids::NodeId::new(0)),
+                offered_load: 0.3,
+                warmup: 200,
+                measure: 1000,
+                seed: 7,
+            };
+            run_open_loop(&mut net, topo, &cfg).mean_latency
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Experiment E8: simulator speed. The paper reports its SystemC model is
+//! 15× faster than HDL-ISS co-simulation, enabling 168 configurations per
+//! day; we cannot rerun their HDL, so the reproducible quantity is our
+//! absolute simulation rate (cycles per wall-clock second) on a standard
+//! full-system run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use medea_apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_bench::base_builder;
+use medea_core::explore::Workload as _;
+use medea_core::system::System;
+
+fn bench_sim_speed(c: &mut Criterion) {
+    // Measure the simulated-cycles throughput of a representative run.
+    let cfg = base_builder().compute_pes(4).cache_bytes(16 * 1024).build().expect("config");
+    let workload =
+        JacobiWorkload { jcfg: JacobiConfig::new(16, JacobiVariant::HybridFullMp) };
+    // Discover the per-run cycle count once so Criterion can report
+    // cycles/second as throughput.
+    let probe = workload.prepare(&cfg);
+    let cycles = System::run(&cfg, &probe.preload, probe.kernels).expect("probe run").cycles;
+
+    let mut group = c.benchmark_group("e8_sim_speed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("jacobi_16x16_4pe_cycles_per_sec", |b| {
+        b.iter(|| {
+            let prepared = workload.prepare(&cfg);
+            System::run(&cfg, &prepared.preload, prepared.kernels).expect("run").cycles
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_speed);
+criterion_main!(benches);

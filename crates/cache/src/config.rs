@@ -1,0 +1,152 @@
+//! Cache geometry and policy configuration.
+
+use crate::LINE_BYTES;
+use std::fmt;
+
+/// Write policy of the L1 cache (one axis of the paper's 168-point design
+/// space exploration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Dirty lines written back on eviction/flush. Write-allocate.
+    WriteBack,
+    /// Every store also writes the word through to memory; lines are never
+    /// dirty. No-write-allocate (store misses bypass the cache), the common
+    /// pairing and the one that produces the paper's "excessive amount of
+    /// traffic" behaviour.
+    WriteThrough,
+}
+
+impl fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CachePolicy::WriteBack => write!(f, "WB"),
+            CachePolicy::WriteThrough => write!(f, "WT"),
+        }
+    }
+}
+
+/// Error constructing a [`CacheConfig`] with unusable geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCacheConfigError {
+    total_bytes: usize,
+    ways: usize,
+    reason: &'static str,
+}
+
+impl fmt::Display for InvalidCacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid cache geometry ({} bytes, {} ways): {}",
+            self.total_bytes, self.ways, self.reason
+        )
+    }
+}
+
+impl std::error::Error for InvalidCacheConfigError {}
+
+/// L1 cache geometry: total size, associativity and write policy.
+/// Line size is fixed at 16 bytes per the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    total_bytes: usize,
+    ways: usize,
+    policy: CachePolicy,
+}
+
+impl CacheConfig {
+    /// Default associativity used throughout the reproduction.
+    pub const DEFAULT_WAYS: usize = 2;
+
+    /// The cache sizes swept by the paper's exploration (2 kB..64 kB).
+    pub const PAPER_SIZES: [usize; 6] =
+        [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
+
+    /// Create a 2-way cache of `total_bytes` with the given policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheConfig::with_ways`].
+    pub fn new(total_bytes: usize, policy: CachePolicy) -> Result<Self, InvalidCacheConfigError> {
+        Self::with_ways(total_bytes, Self::DEFAULT_WAYS, policy)
+    }
+
+    /// Create a cache with explicit associativity.
+    ///
+    /// # Errors
+    ///
+    /// The total size must be a power of two, at least `ways` lines big,
+    /// and `ways` must be a positive power of two (a hardware indexable
+    /// geometry).
+    pub fn with_ways(
+        total_bytes: usize,
+        ways: usize,
+        policy: CachePolicy,
+    ) -> Result<Self, InvalidCacheConfigError> {
+        let err = |reason| InvalidCacheConfigError { total_bytes, ways, reason };
+        if ways == 0 || !ways.is_power_of_two() {
+            return Err(err("ways must be a positive power of two"));
+        }
+        if total_bytes == 0 || !total_bytes.is_power_of_two() {
+            return Err(err("total size must be a positive power of two"));
+        }
+        if total_bytes < ways * LINE_BYTES {
+            return Err(err("size smaller than one line per way"));
+        }
+        Ok(CacheConfig { total_bytes, ways, policy })
+    }
+
+    /// Total capacity in bytes.
+    pub const fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Associativity.
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> usize {
+        self.total_bytes / LINE_BYTES / self.ways
+    }
+
+    /// Write policy.
+    pub const fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paper_sizes() {
+        for size in CacheConfig::PAPER_SIZES {
+            let cfg = CacheConfig::new(size, CachePolicy::WriteBack).unwrap();
+            assert_eq!(cfg.total_bytes(), size);
+            assert_eq!(cfg.sets() * cfg.ways() * LINE_BYTES, size);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(CacheConfig::new(0, CachePolicy::WriteBack).is_err());
+        assert!(CacheConfig::new(3000, CachePolicy::WriteBack).is_err());
+        assert!(CacheConfig::with_ways(1024, 3, CachePolicy::WriteBack).is_err());
+        assert!(CacheConfig::with_ways(16, 2, CachePolicy::WriteBack).is_err());
+    }
+
+    #[test]
+    fn fully_associative_allowed() {
+        let cfg = CacheConfig::with_ways(256, 16, CachePolicy::WriteThrough).unwrap();
+        assert_eq!(cfg.sets(), 1);
+        assert_eq!(cfg.policy().to_string(), "WT");
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(CachePolicy::WriteBack.to_string(), "WB");
+    }
+}

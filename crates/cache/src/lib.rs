@@ -1,0 +1,95 @@
+//! L1 cache models for the MEDEA reproduction.
+//!
+//! §II-B/§II-E of the paper: each PE has an L1 cache with a 16-byte line
+//! (so a miss triggers a block read of four 32-bit words), configurable
+//! size (the exploration sweeps 2 kB–64 kB in powers of two) and a
+//! **write-back** or **write-through** policy. There is no hardware
+//! coherence: software keeps shared data coherent with explicit *flush*
+//! (write dirty line to memory) and *DII invalidate* (drop the line so the
+//! next access refetches) operations, which this crate models faithfully —
+//! including the stale-read hazard when software forgets them.
+//!
+//! The cache stores real data. Misses and evictions are *described* to the
+//! caller as [`MemSideOp`]s rather than performed, because in MEDEA every
+//! memory-side operation is a NoC transaction with its own latency; the
+//! pif2NoC bridge (in `medea-pe`) turns them into flits.
+//!
+//! # Example
+//!
+//! ```
+//! use medea_cache::{CacheConfig, CachePolicy, SetAssocCache};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = CacheConfig::new(2048, CachePolicy::WriteBack)?;
+//! let mut cache = SetAssocCache::new(cfg);
+//! assert_eq!(cache.load_word(0x100), None); // cold miss
+//! cache.fill_line(0x100, [1, 2, 3, 4]);
+//! assert_eq!(cache.load_word(0x104), Some(2)); // same line now hits
+//! # Ok(())
+//! # }
+//! ```
+
+mod cache;
+mod config;
+
+pub use cache::{CacheStats, FlushOutcome, SetAssocCache, StoreOutcome, Victim};
+pub use config::{CacheConfig, CachePolicy, InvalidCacheConfigError};
+
+/// Byte address in the global (MPMMU-backed) address space.
+pub type Addr = u32;
+
+/// Cache line size in bytes (§II-B: "the current processor configuration
+/// supports a cache line of 16 bytes").
+pub const LINE_BYTES: usize = 16;
+
+/// 32-bit words per cache line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / 4;
+
+/// The line-aligned base address of the line containing `addr`.
+pub const fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_BYTES as Addr - 1)
+}
+
+/// Word index (0..4) of `addr` within its line.
+pub const fn word_in_line(addr: Addr) -> usize {
+    ((addr as usize) % LINE_BYTES) / 4
+}
+
+/// A memory-side operation the cache needs the bridge to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSideOp {
+    /// Fetch a full line (cache-miss fill); becomes a NoC block-read.
+    BlockRead {
+        /// Line-aligned address to fetch.
+        line: Addr,
+    },
+    /// Write a full (dirty) line back; becomes a NoC block-write.
+    BlockWrite {
+        /// Line-aligned address to write.
+        line: Addr,
+        /// The four words of the line.
+        data: [u32; WORDS_PER_LINE],
+    },
+    /// Write a single word through to memory (write-through stores).
+    SingleWrite {
+        /// Word-aligned address.
+        addr: Addr,
+        /// The word value.
+        data: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0x0), 0x0);
+        assert_eq!(line_of(0x13), 0x10);
+        assert_eq!(line_of(0x1F), 0x10);
+        assert_eq!(word_in_line(0x10), 0);
+        assert_eq!(word_in_line(0x14), 1);
+        assert_eq!(word_in_line(0x1C), 3);
+    }
+}

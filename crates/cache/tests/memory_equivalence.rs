@@ -1,0 +1,191 @@
+//! Property test: an L1 cache in front of a flat backing store must be
+//! observationally equivalent to the flat store alone, for any sequence of
+//! word loads and stores, under both write policies — provided the bridge
+//! contract (evict → fill → retry) is honoured and dirty lines are flushed
+//! before the final comparison.
+
+use medea_cache::{
+    CacheConfig, CachePolicy, FlushOutcome, MemSideOp, SetAssocCache, StoreOutcome, Victim,
+    LINE_BYTES, WORDS_PER_LINE,
+};
+use proptest::prelude::*;
+
+const MEM_WORDS: usize = 256; // 1 KiB of modeled memory
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load(u32),
+    Store(u32, u32),
+    Flush(u32),
+    Invalidate(u32),
+}
+
+fn word_addr() -> impl Strategy<Value = u32> {
+    (0..MEM_WORDS as u32).prop_map(|w| w * 4)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        word_addr().prop_map(Op::Load),
+        (word_addr(), any::<u32>()).prop_map(|(a, v)| Op::Store(a, v)),
+        word_addr().prop_map(Op::Flush),
+        word_addr().prop_map(Op::Invalidate),
+    ]
+}
+
+/// The "bridge" of this harness: services cache misses against `mem`.
+struct Harness {
+    cache: SetAssocCache,
+    mem: Vec<u32>,
+}
+
+impl Harness {
+    fn new(cfg: CacheConfig) -> Self {
+        Harness { cache: SetAssocCache::new(cfg), mem: vec![0; MEM_WORDS] }
+    }
+
+    fn apply_mem_op(&mut self, op: MemSideOp) {
+        match op {
+            MemSideOp::BlockRead { .. } => unreachable!("reads handled inline"),
+            MemSideOp::BlockWrite { line, data } => {
+                for (i, w) in data.iter().enumerate() {
+                    self.mem[line as usize / 4 + i] = *w;
+                }
+            }
+            MemSideOp::SingleWrite { addr, data } => {
+                self.mem[addr as usize / 4] = data;
+            }
+        }
+    }
+
+    fn writeback(&mut self, v: Victim) {
+        self.apply_mem_op(MemSideOp::BlockWrite { line: v.line, data: v.data });
+    }
+
+    fn read_line(&self, line: u32) -> [u32; WORDS_PER_LINE] {
+        let base = line as usize / 4;
+        [self.mem[base], self.mem[base + 1], self.mem[base + 2], self.mem[base + 3]]
+    }
+
+    fn allocate(&mut self, addr: u32) {
+        let line = addr & !(LINE_BYTES as u32 - 1);
+        if let Some(victim) = self.cache.evict_for(line) {
+            self.writeback(victim);
+        }
+        let data = self.read_line(line);
+        self.cache.fill_line(line, data);
+    }
+
+    fn load(&mut self, addr: u32) -> u32 {
+        if let Some(v) = self.cache.load_word(addr) {
+            return v;
+        }
+        self.allocate(addr);
+        self.cache.load_word(addr).expect("line just filled")
+    }
+
+    fn store(&mut self, addr: u32, value: u32) {
+        match self.cache.store_word(addr, value) {
+            StoreOutcome::Absorbed => {}
+            StoreOutcome::WriteThrough => {
+                self.apply_mem_op(MemSideOp::SingleWrite { addr, data: value });
+            }
+            StoreOutcome::NeedsAllocate => {
+                self.allocate(addr);
+                match self.cache.store_word(addr, value) {
+                    StoreOutcome::Absorbed => {}
+                    other => panic!("retry after allocate returned {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, addr: u32) {
+        if let FlushOutcome::Writeback(v) = self.cache.flush_line(addr) {
+            self.writeback(v);
+        }
+    }
+
+    /// Flush everything so `mem` holds the architectural state.
+    fn drain(&mut self) {
+        let dirty: Vec<Victim> = self.cache.dirty_lines().collect();
+        for v in dirty {
+            self.flush(v.line);
+        }
+    }
+}
+
+fn run_equivalence(policy: CachePolicy, cache_bytes: usize, ops: Vec<Op>) {
+    let cfg = CacheConfig::new(cache_bytes, policy).unwrap();
+    let mut harness = Harness::new(cfg);
+    let mut reference = vec![0u32; MEM_WORDS];
+    for op in ops {
+        match op {
+            Op::Load(a) => {
+                let got = harness.load(a);
+                assert_eq!(got, reference[a as usize / 4], "load {a:#x} under {policy}");
+            }
+            Op::Store(a, v) => {
+                harness.store(a, v);
+                reference[a as usize / 4] = v;
+            }
+            Op::Flush(a) => harness.flush(a),
+            Op::Invalidate(a) => {
+                // Invalidating a dirty line discards the update — the
+                // documented DII hazard — so the single-actor model first
+                // flushes to stay architecturally equivalent.
+                harness.flush(a);
+                harness.cache.invalidate_line(a);
+            }
+        }
+    }
+    harness.drain();
+    assert_eq!(harness.mem, reference, "post-drain memory image under {policy}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_back_equivalent(ops in proptest::collection::vec(op(), 1..400)) {
+        run_equivalence(CachePolicy::WriteBack, 64, ops.clone());
+        run_equivalence(CachePolicy::WriteBack, 256, ops);
+    }
+
+    #[test]
+    fn write_through_equivalent(ops in proptest::collection::vec(op(), 1..400)) {
+        run_equivalence(CachePolicy::WriteThrough, 64, ops.clone());
+        run_equivalence(CachePolicy::WriteThrough, 256, ops);
+    }
+
+    #[test]
+    fn capacity_never_exceeded(ops in proptest::collection::vec(op(), 1..300)) {
+        let cfg = CacheConfig::new(64, CachePolicy::WriteBack).unwrap();
+        let mut h = Harness::new(cfg);
+        let max_lines = 64 / LINE_BYTES;
+        for op in ops {
+            match op {
+                Op::Load(a) => { h.load(a); }
+                Op::Store(a, v) => h.store(a, v),
+                Op::Flush(a) => h.flush(a),
+                Op::Invalidate(a) => { h.cache.invalidate_line(a); }
+            }
+            prop_assert!(h.cache.resident_lines() <= max_lines);
+        }
+    }
+
+    #[test]
+    fn write_through_has_no_dirty_lines(ops in proptest::collection::vec(op(), 1..300)) {
+        let cfg = CacheConfig::new(128, CachePolicy::WriteThrough).unwrap();
+        let mut h = Harness::new(cfg);
+        for op in ops {
+            match op {
+                Op::Load(a) => { h.load(a); }
+                Op::Store(a, v) => h.store(a, v),
+                Op::Flush(a) => h.flush(a),
+                Op::Invalidate(a) => { h.cache.invalidate_line(a); }
+            }
+            prop_assert_eq!(h.cache.dirty_lines().count(), 0);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Chip-area model, Pareto pruning and the "kill rule" (Figs. 7 and 9).
+//!
+//! §III: area "was estimated from core/cache data given by the processor
+//! vendor for a TSMC 65nm CMOS technology and including an overhead for NoC
+//! switches, bridges and routing area of about 100% of the total core area
+//! (excluding caches)". The kill rule (ref.\[19\]): grow a resource only if every
+//! 1% of core area buys at least 1% of performance; we prune
+//! Pareto-dominated points and then walk the frontier applying the rule.
+
+use crate::calib::{CACHE_AREA_MM2_PER_KB, CORE_AREA_MM2, NOC_AREA_OVERHEAD};
+use crate::config::SystemConfig;
+
+/// Chip area of a configuration in mm².
+///
+/// Every node (compute PEs + the MPMMU) contributes one core plus its
+/// cache; the NoC overhead doubles the core logic, not the SRAM.
+pub fn chip_area_mm2(cfg: &SystemConfig) -> f64 {
+    let core = CORE_AREA_MM2 * (1.0 + NOC_AREA_OVERHEAD);
+    let l1_kb = cfg.cache().total_bytes() as f64 / 1024.0;
+    let pe_area = core + l1_kb * CACHE_AREA_MM2_PER_KB;
+    // The MPMMU is modeled as one more core with its own (16 kB) cache.
+    let mpmmu_area = core + 16.0 * CACHE_AREA_MM2_PER_KB;
+    cfg.compute_pes() as f64 * pe_area + mpmmu_area
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Figure-style label, e.g. `11P_16k$_WB`.
+    pub label: String,
+    /// Chip area in mm².
+    pub area_mm2: f64,
+    /// Speedup relative to the sweep's reference configuration.
+    pub speedup: f64,
+}
+
+/// Keep only Pareto-optimal points (no other point has both smaller-or-
+/// equal area and strictly greater speedup), sorted by area.
+pub fn pareto_frontier(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+    points.sort_by(|a, b| {
+        a.area_mm2.total_cmp(&b.area_mm2).then(b.speedup.total_cmp(&a.speedup))
+    });
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for p in points {
+        if p.speedup > best {
+            best = p.speedup;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// Walk a Pareto frontier (sorted by area) and apply the kill rule: keep a
+/// step only if the relative speedup gain from the last *kept* point is at
+/// least `threshold` times the relative area increase (the paper's rule
+/// has `threshold = 1.0`).
+///
+/// The first frontier point is always kept as the baseline. Points whose
+/// step does not pay are skipped, but the walk continues — a later, larger
+/// step may still satisfy the rule; the curve naturally ends at "the limit
+/// beyond which increasing area any further does not produce a
+/// proportional performance increase" (the paper's upper knee).
+pub fn apply_kill_rule(frontier: &[DesignPoint], threshold: f64) -> Vec<DesignPoint> {
+    let mut kept: Vec<DesignPoint> = Vec::new();
+    for p in frontier {
+        match kept.last() {
+            None => kept.push(p.clone()),
+            Some(prev) => {
+                let d_area = (p.area_mm2 - prev.area_mm2) / prev.area_mm2;
+                let d_perf = (p.speedup - prev.speedup) / prev.speedup;
+                if d_area <= 0.0 || d_perf >= threshold * d_area {
+                    kept.push(p.clone());
+                }
+            }
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CachePolicy;
+
+    fn cfg(pes: usize, cache_kb: usize) -> SystemConfig {
+        SystemConfig::builder()
+            .compute_pes(pes)
+            .cache_bytes(cache_kb * 1024)
+            .cache_policy(CachePolicy::WriteBack)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn area_scales_with_cores_and_cache() {
+        let small = chip_area_mm2(&cfg(2, 2));
+        let more_cores = chip_area_mm2(&cfg(4, 2));
+        let more_cache = chip_area_mm2(&cfg(2, 64));
+        assert!(more_cores > small);
+        assert!(more_cache > small);
+    }
+
+    #[test]
+    fn area_calibration_matches_fig7_knee() {
+        // 11 PEs with 16 kB each should land near the paper's ~10 mm² knee.
+        let knee = chip_area_mm2(&cfg(11, 16));
+        assert!((8.0..14.0).contains(&knee), "knee area {knee:.1} mm²");
+    }
+
+    fn dp(label: &str, area: f64, speedup: f64) -> DesignPoint {
+        DesignPoint { label: label.into(), area_mm2: area, speedup }
+    }
+
+    #[test]
+    fn pareto_removes_dominated() {
+        let points = vec![
+            dp("a", 1.0, 1.0),
+            dp("dominated", 2.0, 0.9),
+            dp("b", 2.0, 2.0),
+            dp("c", 3.0, 1.5), // dominated by b
+            dp("d", 4.0, 3.0),
+        ];
+        let f = pareto_frontier(points);
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b", "d"]);
+        assert!(f.windows(2).all(|w| w[0].area_mm2 <= w[1].area_mm2));
+        assert!(f.windows(2).all(|w| w[0].speedup < w[1].speedup));
+    }
+
+    #[test]
+    fn kill_rule_cuts_sublinear_tail() {
+        // +100% area for +200% speedup: keep. Then +50% area for +1%: kill.
+        let frontier =
+            vec![dp("base", 1.0, 1.0), dp("good", 2.0, 3.0), dp("waste", 3.0, 3.03)];
+        let kept = apply_kill_rule(&frontier, 1.0);
+        let labels: Vec<&str> = kept.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["base", "good"]);
+    }
+
+    #[test]
+    fn kill_rule_skips_but_keeps_walking() {
+        // The middle point does not pay from "base", but the last one does:
+        // it must survive (the walk is not truncated at the first miss).
+        let frontier =
+            vec![dp("base", 1.0, 1.0), dp("meh", 1.5, 1.2), dp("payoff", 2.0, 2.5)];
+        let kept = apply_kill_rule(&frontier, 1.0);
+        let labels: Vec<&str> = kept.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["base", "payoff"]);
+    }
+
+    #[test]
+    fn kill_rule_keeps_linear_chain() {
+        let frontier = vec![dp("a", 1.0, 1.0), dp("b", 2.0, 2.5), dp("c", 4.0, 6.0)];
+        assert_eq!(apply_kill_rule(&frontier, 1.0).len(), 3);
+    }
+
+    #[test]
+    fn kill_rule_empty_frontier() {
+        assert!(apply_kill_rule(&[], 1.0).is_empty());
+    }
+}

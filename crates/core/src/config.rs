@@ -1,0 +1,376 @@
+//! System configuration: the design-space knobs of the paper's exploration.
+
+use crate::calib;
+use crate::layout::MemoryMap;
+use crate::FabricKind;
+use medea_cache::{CacheConfig, CachePolicy};
+use medea_mem::{DdrModel, MpmmuConfig};
+use medea_noc::coord::Topology;
+use medea_pe::arbiter::ArbiterConfig;
+use medea_pe::bridge::BridgeConfig;
+use medea_pe::fpu::{FpModel, MulOption};
+use medea_pe::pe::PeConfig;
+use medea_sim::ids::{NodeId, Rank};
+use medea_sim::Cycle;
+use std::fmt;
+
+/// Error from [`SystemConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildConfigError(String);
+
+impl fmt::Display for BuildConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid system configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildConfigError {}
+
+/// A fully validated MEDEA system configuration.
+///
+/// The topology is the paper's 4×4 folded torus: the MPMMU occupies node 0
+/// and compute PEs occupy nodes 1..=N (so N ≤ 15, matching the paper's
+/// "number of processor cores between 3 and 16, 1 of which is the MPMMU").
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    compute_pes: usize,
+    cache: CacheConfig,
+    arbiter: ArbiterConfig,
+    mul: MulOption,
+    fabric: FabricKind,
+    layout: MemoryMap,
+    mpmmu_cache: CacheConfig,
+    ddr: DdrModel,
+    lock_retry_backoff: Cycle,
+    cycle_limit: Cycle,
+}
+
+impl SystemConfig {
+    /// Start building a configuration.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Number of compute PEs (excluding the MPMMU).
+    pub const fn compute_pes(&self) -> usize {
+        self.compute_pes
+    }
+
+    /// L1 cache geometry and policy.
+    pub const fn cache(&self) -> CacheConfig {
+        self.cache
+    }
+
+    /// Arbiter build option.
+    pub const fn arbiter(&self) -> ArbiterConfig {
+        self.arbiter
+    }
+
+    /// Multiplier option of the FP-emulation model.
+    pub const fn mul_option(&self) -> MulOption {
+        self.mul
+    }
+
+    /// Fabric implementation (deflection torus or ideal ablation).
+    pub const fn fabric(&self) -> FabricKind {
+        self.fabric
+    }
+
+    /// The memory map.
+    pub const fn layout(&self) -> MemoryMap {
+        self.layout
+    }
+
+    /// Maximum simulated cycles before a run is declared stuck.
+    pub const fn cycle_limit(&self) -> Cycle {
+        self.cycle_limit
+    }
+
+    /// The 4×4 folded torus all configurations use.
+    pub fn topology(&self) -> Topology {
+        Topology::paper_4x4()
+    }
+
+    /// The MPMMU's node.
+    pub fn mpmmu_node(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The node hosting `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the configured PE count.
+    pub fn node_of_rank(&self, rank: Rank) -> NodeId {
+        assert!(rank.index() < self.compute_pes, "{rank} outside {}-PE system", self.compute_pes);
+        NodeId::new(rank.index() as u16 + 1)
+    }
+
+    /// The rank hosted on `node`, if it is a PE node.
+    pub fn rank_of_node(&self, node: NodeId) -> Option<Rank> {
+        let idx = node.index();
+        (1..=self.compute_pes).contains(&idx).then(|| Rank::new((idx - 1) as u8))
+    }
+
+    /// The per-PE hardware configuration for `rank`.
+    pub fn pe_config(&self, rank: Rank) -> PeConfig {
+        PeConfig {
+            node: self.node_of_rank(rank),
+            cache: self.cache,
+            fp: FpModel::new(self.mul),
+            arbiter: self.arbiter,
+            bridge: BridgeConfig { lock_retry_backoff: self.lock_retry_backoff },
+        }
+    }
+
+    /// The MPMMU configuration.
+    pub fn mpmmu_config(&self) -> MpmmuConfig {
+        MpmmuConfig {
+            num_procs: self.compute_pes,
+            data_fifo_depth: 16,
+            out_fifo_depth: 16,
+            service_overhead: calib::MPMMU_SERVICE_OVERHEAD,
+            cache_hit_latency: calib::MPMMU_CACHE_HIT,
+            cache: self.mpmmu_cache,
+            mem_bytes: self.layout.total_bytes(),
+            ddr: self.ddr,
+        }
+    }
+
+    /// Short label in the paper's figure style, e.g. `11P_16k$_WB`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}P_{}k$_{}",
+            self.compute_pes,
+            self.cache.total_bytes() / 1024,
+            self.cache.policy()
+        )
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} arbiter, {}, {:?} fabric)",
+            self.label(),
+            self.arbiter,
+            self.mul,
+            self.fabric
+        )
+    }
+}
+
+/// Builder for [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    compute_pes: usize,
+    cache_bytes: usize,
+    cache_ways: usize,
+    cache_policy: CachePolicy,
+    arbiter: ArbiterConfig,
+    mul: MulOption,
+    fabric: FabricKind,
+    shared_bytes: u32,
+    private_bytes: u32,
+    mpmmu_cache_bytes: usize,
+    ddr: DdrModel,
+    lock_retry_backoff: Cycle,
+    cycle_limit: Cycle,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfigBuilder {
+            compute_pes: 4,
+            cache_bytes: 16 * 1024,
+            cache_ways: CacheConfig::DEFAULT_WAYS,
+            cache_policy: CachePolicy::WriteBack,
+            arbiter: ArbiterConfig::default(),
+            mul: MulOption::MulHigh,
+            fabric: FabricKind::Deflection,
+            shared_bytes: 256 * 1024,
+            private_bytes: 128 * 1024,
+            mpmmu_cache_bytes: 16 * 1024,
+            ddr: DdrModel::new(calib::DDR_FIRST_WORD, calib::DDR_PER_WORD),
+            lock_retry_backoff: calib::LOCK_RETRY_BACKOFF,
+            cycle_limit: 2_000_000_000,
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Number of compute PEs (1..=15).
+    pub fn compute_pes(mut self, n: usize) -> Self {
+        self.compute_pes = n;
+        self
+    }
+
+    /// L1 cache size in bytes (the paper sweeps 2 kB..64 kB).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// L1 associativity (default 2).
+    pub fn cache_ways(mut self, ways: usize) -> Self {
+        self.cache_ways = ways;
+        self
+    }
+
+    /// L1 write policy.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Arbiter build option (§II-B).
+    pub fn arbiter(mut self, arbiter: ArbiterConfig) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// FP multiplier option.
+    pub fn mul_option(mut self, mul: MulOption) -> Self {
+        self.mul = mul;
+        self
+    }
+
+    /// Fabric kind (A2 ablation).
+    pub fn fabric(mut self, fabric: FabricKind) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Shared-segment size in bytes.
+    pub fn shared_bytes(mut self, bytes: u32) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Per-rank private-segment size in bytes.
+    pub fn private_bytes(mut self, bytes: u32) -> Self {
+        self.private_bytes = bytes;
+        self
+    }
+
+    /// MPMMU local cache size in bytes.
+    pub fn mpmmu_cache_bytes(mut self, bytes: usize) -> Self {
+        self.mpmmu_cache_bytes = bytes;
+        self
+    }
+
+    /// DDR timing model.
+    pub fn ddr(mut self, ddr: DdrModel) -> Self {
+        self.ddr = ddr;
+        self
+    }
+
+    /// Lock retry backoff in cycles.
+    pub fn lock_retry_backoff(mut self, cycles: Cycle) -> Self {
+        self.lock_retry_backoff = cycles;
+        self
+    }
+
+    /// Abort threshold in simulated cycles.
+    pub fn cycle_limit(mut self, cycles: Cycle) -> Self {
+        self.cycle_limit = cycles;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildConfigError`] when the PE count exceeds the torus
+    /// (15 + MPMMU), when cache geometry is invalid, or when the memory
+    /// layout is malformed.
+    pub fn build(self) -> Result<SystemConfig, BuildConfigError> {
+        if !(1..=15).contains(&self.compute_pes) {
+            return Err(BuildConfigError(format!(
+                "compute_pes must be 1..=15 on the 4x4 torus, got {}",
+                self.compute_pes
+            )));
+        }
+        let cache = CacheConfig::with_ways(self.cache_bytes, self.cache_ways, self.cache_policy)
+            .map_err(|e| BuildConfigError(e.to_string()))?;
+        let mpmmu_cache =
+            CacheConfig::new(self.mpmmu_cache_bytes, CachePolicy::WriteBack)
+                .map_err(|e| BuildConfigError(format!("mpmmu cache: {e}")))?;
+        let layout = MemoryMap::new(self.compute_pes, self.shared_bytes, self.private_bytes)
+            .map_err(|e| BuildConfigError(e.to_string()))?;
+        if self.cycle_limit == 0 {
+            return Err(BuildConfigError("cycle limit must be positive".into()));
+        }
+        Ok(SystemConfig {
+            compute_pes: self.compute_pes,
+            cache,
+            arbiter: self.arbiter,
+            mul: self.mul,
+            fabric: self.fabric,
+            layout,
+            mpmmu_cache,
+            ddr: self.ddr,
+            lock_retry_backoff: self.lock_retry_backoff,
+            cycle_limit: self.cycle_limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert_eq!(cfg.compute_pes(), 4);
+        assert_eq!(cfg.cache().total_bytes(), 16 * 1024);
+        assert_eq!(cfg.label(), "4P_16k$_WB");
+        assert_eq!(cfg.topology().nodes(), 16);
+    }
+
+    #[test]
+    fn rank_node_mapping() {
+        let cfg = SystemConfig::builder().compute_pes(3).build().unwrap();
+        assert_eq!(cfg.node_of_rank(Rank::new(0)), NodeId::new(1));
+        assert_eq!(cfg.node_of_rank(Rank::new(2)), NodeId::new(3));
+        assert_eq!(cfg.rank_of_node(NodeId::new(1)), Some(Rank::new(0)));
+        assert_eq!(cfg.rank_of_node(NodeId::new(0)), None, "MPMMU node");
+        assert_eq!(cfg.rank_of_node(NodeId::new(4)), None, "beyond PE count");
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(SystemConfig::builder().compute_pes(0).build().is_err());
+        assert!(SystemConfig::builder().compute_pes(16).build().is_err());
+        assert!(SystemConfig::builder().cache_bytes(3000).build().is_err());
+        assert!(SystemConfig::builder().cycle_limit(0).build().is_err());
+    }
+
+    #[test]
+    fn mpmmu_config_derivation() {
+        let cfg = SystemConfig::builder().compute_pes(7).build().unwrap();
+        let m = cfg.mpmmu_config();
+        assert_eq!(m.num_procs, 7);
+        assert_eq!(m.mem_bytes, cfg.layout().total_bytes());
+    }
+
+    #[test]
+    fn paper_label_format() {
+        let cfg = SystemConfig::builder()
+            .compute_pes(11)
+            .cache_bytes(16 * 1024)
+            .cache_policy(CachePolicy::WriteBack)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.label(), "11P_16k$_WB");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn node_of_bad_rank_panics() {
+        let cfg = SystemConfig::builder().compute_pes(2).build().unwrap();
+        cfg.node_of_rank(Rank::new(5));
+    }
+}

@@ -1,0 +1,234 @@
+//! The embedded-MPI layer (§II-E).
+//!
+//! "For the message-passing model, we implemented a sub-set of MPI APIs
+//! called embedded-MPI (eMPI). With just three basic primitives,
+//! MPI_send(), MPI_receive() and MPI_barrier() for synchronization, a
+//! direct communication between cores is possible totally avoiding in some
+//! cases the access to the global-memory."
+//!
+//! # Framing
+//!
+//! The hardware delivers *logical packets* of at most 16 words, padded to
+//! the burst-code granularity `{1, 2, 4, 16}` (the 2-bit burst-size field
+//! of Fig. 5); eMPI adds a one-word frame header so arbitrary-length
+//! messages survive padding and packet-completion reordering:
+//!
+//! ```text
+//! header = (kind << 28) | (message_len_words << 8) | chunk_index
+//! packet = [header, up to 15 data words]
+//! ```
+//!
+//! # Flow control
+//!
+//! The TIE receiver reassembles at most two packets per source at a time
+//! (the paper's double buffer, Fig. 2-b). Messages of up to two chunks are
+//! therefore sent *eagerly*. Longer messages use a credit protocol that
+//! keeps at most two data packets in flight: the receiver returns one
+//! credit packet per two data chunks consumed, and the sender blocks on a
+//! credit before every even-indexed chunk from the third onward. This is
+//! our software reading of the request/data distinction the paper gives
+//! the message-passing subtype field (§II-D).
+//!
+//! Consequence (as in unbuffered MPI): two ranks must not run
+//! credit-window `send`s *to each other* concurrently — order the exchange
+//! (even/odd phases) as the Jacobi workloads do. A protocol violation
+//! panics with a diagnostic rather than deadlocking.
+
+use crate::api::PeApi;
+use crate::calib::CALL_OVERHEAD_CYCLES;
+use medea_pe::kernel_if::{f64_to_words, words_to_f64};
+use medea_sim::ids::Rank;
+
+/// Data words per chunk (16-word packet minus the frame header).
+pub const CHUNK_DATA_WORDS: usize = 15;
+
+/// Chunks that may be in flight without credits (the TIE double buffer).
+pub const EAGER_CHUNKS: usize = 2;
+
+/// Maximum message length representable in the 20-bit frame length field.
+pub const MAX_MESSAGE_WORDS: usize = (1 << 20) - 1;
+
+const KIND_DATA: u32 = 0;
+const KIND_CREDIT: u32 = 1;
+
+fn header(kind: u32, len: usize, chunk: usize) -> u32 {
+    debug_assert!(len <= MAX_MESSAGE_WORDS);
+    debug_assert!(chunk <= 0xFF);
+    (kind << 28) | ((len as u32) << 8) | chunk as u32
+}
+
+fn parse_header(word: u32) -> (u32, usize, usize) {
+    (word >> 28, ((word >> 8) & 0xF_FFFF) as usize, (word & 0xFF) as usize)
+}
+
+/// MPI_send: transmit `words` to `to`, blocking until the last flit enters
+/// the sender's arbiter (eager) or until the receiver has granted credits
+/// for every chunk (windowed).
+///
+/// # Panics
+///
+/// Panics if the message exceeds [`MAX_MESSAGE_WORDS`], needs more than
+/// 256 chunks, or if a non-credit packet arrives while awaiting a credit
+/// (overlapping opposite-direction sends — order the exchange).
+pub fn send(api: &PeApi, to: Rank, words: &[u32]) {
+    api.compute(CALL_OVERHEAD_CYCLES);
+    assert!(words.len() <= MAX_MESSAGE_WORDS, "message too long");
+    if words.is_empty() {
+        api.send_to_rank(to, &[header(KIND_DATA, 0, 0)]);
+        return;
+    }
+    let chunks: Vec<&[u32]> = words.chunks(CHUNK_DATA_WORDS).collect();
+    assert!(chunks.len() <= 256, "message needs more than 256 chunks");
+    for (idx, chunk) in chunks.iter().enumerate() {
+        if idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0 {
+            let credit = api.recv_from_rank(to);
+            let (kind, _, _) = parse_header(credit[0]);
+            assert_eq!(
+                kind, KIND_CREDIT,
+                "expected a credit from {to} but got a data packet: overlapping \
+                 opposite-direction sends — order the exchange (even/odd ranks)"
+            );
+        }
+        let mut packet = Vec::with_capacity(1 + chunk.len());
+        packet.push(header(KIND_DATA, words.len(), idx));
+        packet.extend_from_slice(chunk);
+        api.send_to_rank(to, &packet);
+    }
+}
+
+/// MPI_receive: block until the complete message from `from` has arrived.
+///
+/// # Panics
+///
+/// Panics on interleaved messages from the same source (two `send`s to the
+/// same destination without an intervening `recv` pairing).
+pub fn recv(api: &PeApi, from: Rank) -> Vec<u32> {
+    api.compute(CALL_OVERHEAD_CYCLES);
+    let first = recv_data_packet(api, from);
+    let (_, len, first_idx) = parse_header(first[0]);
+    let total_chunks = if len == 0 { 1 } else { len.div_ceil(CHUNK_DATA_WORDS) };
+    let mut data = vec![0u32; len];
+    let mut received = vec![false; total_chunks];
+    place_chunk(len, first_idx, &first, &mut data);
+    received[first_idx] = true;
+    let mut count = 1usize;
+    grant_credit_if_due(api, from, count, total_chunks);
+    while count < total_chunks {
+        let packet = recv_data_packet(api, from);
+        let (_, plen, idx) = parse_header(packet[0]);
+        assert_eq!(plen, len, "interleaved eMPI messages from {from}");
+        assert!(!received[idx], "duplicate chunk {idx} from {from}");
+        place_chunk(len, idx, &packet, &mut data);
+        received[idx] = true;
+        count += 1;
+        grant_credit_if_due(api, from, count, total_chunks);
+    }
+    data
+}
+
+fn recv_data_packet(api: &PeApi, from: Rank) -> Vec<u32> {
+    let packet = api.recv_from_rank(from);
+    let (kind, _, _) = parse_header(packet[0]);
+    assert_eq!(kind, KIND_DATA, "unexpected credit packet from {from} while receiving");
+    packet
+}
+
+fn place_chunk(len: usize, idx: usize, packet: &[u32], data: &mut [u32]) {
+    if len == 0 {
+        return;
+    }
+    let base = idx * CHUNK_DATA_WORDS;
+    let n = (len - base).min(CHUNK_DATA_WORDS);
+    data[base..base + n].copy_from_slice(&packet[1..1 + n]);
+}
+
+fn grant_credit_if_due(api: &PeApi, from: Rank, received: usize, total: usize) {
+    if total > EAGER_CHUNKS && received.is_multiple_of(EAGER_CHUNKS) && received < total {
+        api.send_to_rank(from, &[header(KIND_CREDIT, 0, 0)]);
+    }
+}
+
+/// Send a slice of doubles (two words each).
+pub fn send_f64(api: &PeApi, to: Rank, values: &[f64]) {
+    let mut words = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        let (lo, hi) = f64_to_words(*v);
+        words.push(lo);
+        words.push(hi);
+    }
+    send(api, to, &words);
+}
+
+/// Receive a slice of doubles.
+///
+/// # Panics
+///
+/// Panics if the incoming message has an odd word count.
+pub fn recv_f64(api: &PeApi, from: Rank) -> Vec<f64> {
+    let words = recv(api, from);
+    assert_eq!(words.len() % 2, 0, "f64 message with odd word count");
+    words.chunks_exact(2).map(|c| words_to_f64(c[0], c[1])).collect()
+}
+
+/// MPI_barrier: synchronization-token exchange over the NoC — the hybrid
+/// model's key primitive, no shared memory touched.
+///
+/// Implementation: every rank sends a token to rank 0; rank 0 collects all
+/// of them and broadcasts a release token.
+pub fn barrier(api: &PeApi) {
+    api.compute(CALL_OVERHEAD_CYCLES);
+    let ranks = api.ranks();
+    if ranks == 1 {
+        return;
+    }
+    if api.rank().is_master() {
+        for r in 1..ranks {
+            let _ = recv(api, Rank::new(r as u8));
+        }
+        for r in 1..ranks {
+            send(api, Rank::new(r as u8), &[]);
+        }
+    } else {
+        send(api, Rank::new(0), &[]);
+        let _ = recv(api, Rank::new(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        for (kind, len, chunk) in
+            [(KIND_DATA, 0usize, 0usize), (KIND_DATA, 1, 0), (KIND_CREDIT, 0, 0), (KIND_DATA, 3825, 255)]
+        {
+            let (k, l, c) = parse_header(header(kind, len, chunk));
+            assert_eq!((k, l, c), (kind, len, chunk));
+        }
+    }
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(CHUNK_DATA_WORDS, 15);
+        // A 60-double Jacobi row = 120 words = 8 chunks.
+        assert_eq!(120usize.div_ceil(CHUNK_DATA_WORDS), 8);
+    }
+
+    #[test]
+    fn credit_schedule_balances() {
+        // For every chunk count, the credits a receiver issues must equal
+        // the credits the sender awaits.
+        for total in 1..=40usize {
+            let sender_waits = (0..total)
+                .filter(|idx| *idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0)
+                .count();
+            let receiver_grants = (1..=total)
+                .filter(|received| {
+                    total > EAGER_CHUNKS && received % EAGER_CHUNKS == 0 && *received < total
+                })
+                .count();
+            assert_eq!(sender_waits, receiver_grants, "imbalance at {total} chunks");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Design-space exploration driver.
+//!
+//! §III: "We have been able to run a parallel implementation of the Jacobi
+//! algorithm for three different sizes of input data on 168 different
+//! architectures in about 1 day using 5 servers" — the 168 points being
+//! 14 core counts × 6 cache sizes × 2 write policies. This module runs the
+//! same sweep on host threads.
+
+use crate::api::PeApi;
+use crate::config::SystemConfig;
+use crate::system::{Kernel, RunError, RunResult, System};
+use medea_cache::{Addr, CacheConfig, CachePolicy};
+use medea_sim::Cycle;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One coordinate of the exploration grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepPoint {
+    /// Compute PEs (1..=15).
+    pub pes: usize,
+    /// L1 size in bytes.
+    pub cache_bytes: usize,
+    /// L1 write policy.
+    pub policy: CachePolicy,
+}
+
+impl SweepPoint {
+    /// Materialize the point into a full system configuration, starting
+    /// from `base` (which carries workload-independent settings such as
+    /// segment sizes and the cycle limit).
+    pub fn apply(&self, base: crate::config::SystemConfigBuilder) -> SystemConfig {
+        base.compute_pes(self.pes)
+            .cache_bytes(self.cache_bytes)
+            .cache_policy(self.policy)
+            .build()
+            .expect("sweep points are pre-validated")
+    }
+}
+
+/// The paper's full grid: PEs 2..=15, cache 2..=64 kB, WB + WT
+/// (14 × 6 × 2 = 168 points).
+pub fn paper_grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for policy in [CachePolicy::WriteBack, CachePolicy::WriteThrough] {
+        for &cache_bytes in &CacheConfig::PAPER_SIZES {
+            for pes in 2..=15 {
+                points.push(SweepPoint { pes, cache_bytes, policy });
+            }
+        }
+    }
+    points
+}
+
+/// A reduced grid for quick runs (callers pick their own subsets too).
+pub fn quick_grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &cache_bytes in &[4 * 1024, 16 * 1024] {
+        for pes in [2usize, 4, 8] {
+            points.push(SweepPoint { pes, cache_bytes, policy: CachePolicy::WriteBack });
+        }
+    }
+    points
+}
+
+/// Everything a workload hands the engine for one run.
+pub struct PreparedWorkload {
+    /// Words preloaded into DDR before the first cycle.
+    pub preload: Vec<(Addr, u32)>,
+    /// One kernel per rank.
+    pub kernels: Vec<Kernel>,
+    /// Rank 0 stores the measured-window length (cycles) here before
+    /// returning; [`SweepOutcome::measured_cycles`] reads it.
+    pub measured: Arc<AtomicU64>,
+}
+
+impl PreparedWorkload {
+    /// Convenience constructor wiring the measurement cell.
+    pub fn new(preload: Vec<(Addr, u32)>, kernels: Vec<Kernel>, measured: Arc<AtomicU64>) -> Self {
+        PreparedWorkload { preload, kernels, measured }
+    }
+}
+
+/// A benchmark that can run on any sweep configuration.
+pub trait Workload: Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Build the kernels for `cfg`.
+    fn prepare(&self, cfg: &SystemConfig) -> PreparedWorkload;
+}
+
+/// Result of one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The grid coordinate.
+    pub point: SweepPoint,
+    /// Figure-style label.
+    pub label: String,
+    /// Engine-level result.
+    pub result: Result<RunResult, RunError>,
+    /// The workload's measured window (e.g. one Jacobi iteration after
+    /// warm-up), in cycles. Zero if the run failed.
+    pub measured_cycles: Cycle,
+}
+
+impl SweepOutcome {
+    /// The measured window, if the run succeeded.
+    pub fn measured(&self) -> Option<Cycle> {
+        self.result.as_ref().ok().map(|_| self.measured_cycles)
+    }
+}
+
+/// Run `workload` on every `point`, using up to `threads` host threads.
+///
+/// `base` carries the sweep-invariant configuration; each point overrides
+/// PE count, cache size and policy. Outcomes are returned in `points`
+/// order regardless of scheduling.
+pub fn run_sweep<W: Workload>(
+    workload: &W,
+    points: &[SweepPoint],
+    base: &crate::config::SystemConfigBuilder,
+    threads: usize,
+) -> Vec<SweepOutcome> {
+    let threads = threads.max(1).min(points.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
+    slots.resize_with(points.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= points.len() {
+                    break;
+                }
+                let point = points[idx];
+                let cfg = point.apply(base.clone());
+                let prepared = workload.prepare(&cfg);
+                let measured_cell = Arc::clone(&prepared.measured);
+                let result = System::run(&cfg, &prepared.preload, prepared.kernels);
+                let outcome = SweepOutcome {
+                    point,
+                    label: cfg.label(),
+                    measured_cycles: if result.is_ok() {
+                        measured_cell.load(Ordering::SeqCst)
+                    } else {
+                        0
+                    },
+                    result,
+                };
+                slots.lock().expect("sweep mutex").insert_outcome(idx, outcome);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("sweep mutex")
+        .into_iter()
+        .map(|o| o.expect("every index visited"))
+        .collect()
+}
+
+trait InsertOutcome {
+    fn insert_outcome(&mut self, idx: usize, outcome: SweepOutcome);
+}
+
+impl InsertOutcome for Vec<Option<SweepOutcome>> {
+    fn insert_outcome(&mut self, idx: usize, outcome: SweepOutcome) {
+        self[idx] = Some(outcome);
+    }
+}
+
+/// Compute speedups relative to the slowest successful point of the sweep
+/// (our documented reading of the paper's "optimal Speedup" normalization;
+/// EXPERIMENTS.md discusses the choice).
+pub fn speedups_vs_slowest(outcomes: &[SweepOutcome]) -> Vec<(String, f64)> {
+    let reference = outcomes
+        .iter()
+        .filter_map(SweepOutcome::measured)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    outcomes
+        .iter()
+        .filter_map(|o| {
+            o.measured().filter(|&m| m > 0).map(|m| (o.label.clone(), reference / m as f64))
+        })
+        .collect()
+}
+
+/// A trivial workload used by tests and the quickstart: every rank charges
+/// `cycles_per_rank` compute cycles, rank 0 measures the window.
+pub struct ComputeOnlyWorkload {
+    /// Cycles each rank charges.
+    pub cycles_per_rank: Cycle,
+}
+
+impl Workload for ComputeOnlyWorkload {
+    fn name(&self) -> &str {
+        "compute-only"
+    }
+
+    fn prepare(&self, cfg: &SystemConfig) -> PreparedWorkload {
+        let measured = Arc::new(AtomicU64::new(0));
+        let kernels: Vec<Kernel> = (0..cfg.compute_pes())
+            .map(|rank| {
+                let cell = Arc::clone(&measured);
+                let cycles = self.cycles_per_rank;
+                Box::new(move |api: PeApi| {
+                    let t0 = api.now();
+                    api.compute(cycles);
+                    let t1 = api.now();
+                    if rank == 0 {
+                        cell.store(t1 - t0, Ordering::SeqCst);
+                    }
+                }) as Kernel
+            })
+            .collect();
+        PreparedWorkload::new(Vec::new(), kernels, measured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_168_points() {
+        assert_eq!(paper_grid().len(), 168);
+    }
+
+    #[test]
+    fn sweep_runs_all_points_in_order() {
+        let workload = ComputeOnlyWorkload { cycles_per_rank: 100 };
+        let points = quick_grid();
+        let base = SystemConfig::builder().cycle_limit(1_000_000);
+        let outcomes = run_sweep(&workload, &points, &base, 4);
+        assert_eq!(outcomes.len(), points.len());
+        for (o, p) in outcomes.iter().zip(&points) {
+            assert_eq!(o.point, *p, "order preserved");
+            let measured = o.measured().expect("run succeeded");
+            assert!((100..=120).contains(&measured), "measured {measured}");
+        }
+    }
+
+    #[test]
+    fn speedups_reference_is_slowest() {
+        let workload = ComputeOnlyWorkload { cycles_per_rank: 500 };
+        let points = vec![
+            SweepPoint { pes: 1, cache_bytes: 2048, policy: CachePolicy::WriteBack },
+            SweepPoint { pes: 2, cache_bytes: 2048, policy: CachePolicy::WriteBack },
+        ];
+        let base = SystemConfig::builder().cycle_limit(1_000_000);
+        let outcomes = run_sweep(&workload, &points, &base, 2);
+        let speedups = speedups_vs_slowest(&outcomes);
+        assert_eq!(speedups.len(), 2);
+        // Both do the same compute; speedups are all ~1.
+        for (_, s) in &speedups {
+            assert!((0.9..=1.1).contains(s), "speedup {s}");
+        }
+    }
+
+    #[test]
+    fn sweep_deterministic_across_thread_counts() {
+        let workload = ComputeOnlyWorkload { cycles_per_rank: 321 };
+        let points = quick_grid();
+        let base = SystemConfig::builder().cycle_limit(1_000_000);
+        let seq = run_sweep(&workload, &points, &base, 1);
+        let par = run_sweep(&workload, &points, &base, 8);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.measured_cycles, b.measured_cycles);
+            assert_eq!(
+                a.result.as_ref().unwrap().cycles,
+                b.result.as_ref().unwrap().cycles
+            );
+        }
+    }
+}

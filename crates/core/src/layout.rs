@@ -1,0 +1,158 @@
+//! Global memory map: private and shared segments (§II-C/§II-E).
+//!
+//! "The global shared-memory is divided into two logic segments, shared and
+//! private area. A system with N cores will thus have N private segments
+//! and one shared segment. Since the private area can be accessed only by
+//! one processor, no coherency is required" — so private segments are
+//! freely cacheable while shared data needs the flush/invalidate protocol.
+//!
+//! Layout (byte addresses, all line-aligned):
+//!
+//! ```text
+//! 0 .. shared_bytes                      shared segment
+//! shared_bytes .. +private_bytes         private segment of rank 0
+//! ...                                    private segment of rank r
+//! ```
+
+use medea_cache::{Addr, LINE_BYTES};
+use medea_sim::ids::Rank;
+use std::fmt;
+
+/// Error constructing a [`MemoryMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLayoutError(&'static str);
+
+impl fmt::Display for InvalidLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid memory layout: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLayoutError {}
+
+/// The system memory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    ranks: usize,
+    shared_bytes: u32,
+    private_bytes: u32,
+}
+
+impl MemoryMap {
+    /// Create a map for `ranks` processors with the given segment sizes.
+    ///
+    /// # Errors
+    ///
+    /// Segment sizes must be positive multiples of the cache line size and
+    /// the total must fit the 32-bit address space.
+    pub fn new(
+        ranks: usize,
+        shared_bytes: u32,
+        private_bytes: u32,
+    ) -> Result<Self, InvalidLayoutError> {
+        if ranks == 0 {
+            return Err(InvalidLayoutError("at least one rank required"));
+        }
+        let line = LINE_BYTES as u32;
+        if shared_bytes == 0 || !shared_bytes.is_multiple_of(line) {
+            return Err(InvalidLayoutError("shared segment must be a positive line multiple"));
+        }
+        if private_bytes == 0 || !private_bytes.is_multiple_of(line) {
+            return Err(InvalidLayoutError("private segment must be a positive line multiple"));
+        }
+        let total = shared_bytes as u64 + ranks as u64 * private_bytes as u64;
+        if total > u32::MAX as u64 {
+            return Err(InvalidLayoutError("layout exceeds 32-bit address space"));
+        }
+        Ok(MemoryMap { ranks, shared_bytes, private_bytes })
+    }
+
+    /// Number of private segments.
+    pub const fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Base address of the shared segment (always zero).
+    pub const fn shared_base(&self) -> Addr {
+        0
+    }
+
+    /// Size of the shared segment in bytes.
+    pub const fn shared_bytes(&self) -> u32 {
+        self.shared_bytes
+    }
+
+    /// Size of each private segment in bytes.
+    pub const fn private_bytes(&self) -> u32 {
+        self.private_bytes
+    }
+
+    /// Base address of `rank`'s private segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the map.
+    pub fn private_base(&self, rank: Rank) -> Addr {
+        assert!(rank.index() < self.ranks, "rank {rank} outside {}-rank map", self.ranks);
+        self.shared_bytes + rank.index() as u32 * self.private_bytes
+    }
+
+    /// Total DDR bytes needed to back this map.
+    pub fn total_bytes(&self) -> usize {
+        self.shared_bytes as usize + self.ranks * self.private_bytes as usize
+    }
+
+    /// Whether `addr` falls in the shared segment.
+    pub fn is_shared(&self, addr: Addr) -> bool {
+        addr < self.shared_bytes
+    }
+
+    /// The rank whose private segment contains `addr`, if any.
+    pub fn owner_of(&self, addr: Addr) -> Option<Rank> {
+        if self.is_shared(addr) {
+            return None;
+        }
+        let off = (addr - self.shared_bytes) / self.private_bytes;
+        (off < self.ranks as u32).then(|| Rank::new(off as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_math() {
+        let m = MemoryMap::new(3, 1024, 2048).unwrap();
+        assert_eq!(m.shared_base(), 0);
+        assert_eq!(m.private_base(Rank::new(0)), 1024);
+        assert_eq!(m.private_base(Rank::new(2)), 1024 + 2 * 2048);
+        assert_eq!(m.total_bytes(), 1024 + 3 * 2048);
+    }
+
+    #[test]
+    fn ownership() {
+        let m = MemoryMap::new(2, 1024, 2048).unwrap();
+        assert!(m.is_shared(0));
+        assert!(m.is_shared(1023));
+        assert!(!m.is_shared(1024));
+        assert_eq!(m.owner_of(512), None);
+        assert_eq!(m.owner_of(1024), Some(Rank::new(0)));
+        assert_eq!(m.owner_of(1024 + 2048), Some(Rank::new(1)));
+        assert_eq!(m.owner_of(1024 + 2 * 2048), None, "beyond the map");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MemoryMap::new(0, 1024, 1024).is_err());
+        assert!(MemoryMap::new(1, 0, 1024).is_err());
+        assert!(MemoryMap::new(1, 1024, 8).is_err(), "not line-aligned");
+        assert!(MemoryMap::new(16, u32::MAX & !0xF, 1 << 30).is_err(), "overflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_rank_panics() {
+        MemoryMap::new(2, 1024, 1024).unwrap().private_base(Rank::new(5));
+    }
+}

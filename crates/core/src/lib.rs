@@ -1,0 +1,72 @@
+//! System assembly and programming model of the MEDEA reproduction.
+//!
+//! This crate is the paper's primary contribution: the configurable hybrid
+//! shared-memory/message-passing framework. It wires the substrates —
+//! deflection-routed NoC (`medea-noc`), L1 caches (`medea-cache`), MPMMU +
+//! DDR (`medea-mem`) and processing elements (`medea-pe`) — into a
+//! cycle-accurate full-system simulator, and provides:
+//!
+//! * [`SystemConfig`] — the design-space knobs the paper sweeps (number of
+//!   cores, cache size/policy, arbiter option, FP option);
+//! * [`System`](system::System) — the cycle engine with idle fast-forward;
+//! * [`PeApi`](api::PeApi) — the architectural-operation interface kernels
+//!   program against (loads/stores through the cache, §II-E coherence
+//!   operations, lock/unlock, raw TIE messages);
+//! * [`empi`] — the embedded-MPI layer (§II-E): `send`, `recv`, `barrier`;
+//! * [`area`] — the TSMC-65nm area model with kill-rule Pareto pruning
+//!   used for Figs. 7 and 9;
+//! * [`explore`] — the multi-configuration design-space exploration driver
+//!   (the paper's 168-point sweep).
+//!
+//! # Example
+//!
+//! ```
+//! use medea_core::{SystemConfig, CachePolicy};
+//! use medea_core::system::System;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SystemConfig::builder()
+//!     .compute_pes(2)
+//!     .cache_bytes(4 * 1024)
+//!     .cache_policy(CachePolicy::WriteBack)
+//!     .build()?;
+//! // Two kernels: rank 1 sends a token, rank 0 waits for it.
+//! let result = System::run(&cfg, &[], vec![
+//!     Box::new(|api: medea_core::api::PeApi| {
+//!         let packet = api.recv_from_rank(medea_sim::ids::Rank::new(1));
+//!         assert_eq!(packet, vec![42]);
+//!     }),
+//!     Box::new(|api: medea_core::api::PeApi| {
+//!         api.send_to_rank(medea_sim::ids::Rank::new(0), &[42]);
+//!     }),
+//! ])?;
+//! assert!(result.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod api;
+pub mod area;
+pub mod calib;
+pub mod config;
+pub mod empi;
+pub mod explore;
+pub mod layout;
+pub mod report;
+pub mod system;
+
+pub use config::{BuildConfigError, SystemConfig, SystemConfigBuilder};
+pub use medea_cache::CachePolicy;
+pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};
+pub use medea_pe::fpu::MulOption;
+pub use system::{RunError, RunResult};
+
+/// Which fabric carries the traffic (A2 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FabricKind {
+    /// The paper's deflection-routed folded torus.
+    #[default]
+    Deflection,
+    /// Contention-free ideal network (ablation baseline).
+    Ideal,
+}

@@ -1,0 +1,96 @@
+//! Plain-text table and series formatting for the figure harness.
+
+/// Render a fixed-width table. `headers.len()` must match every row.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    fn push_row(widths: &[usize], cells: &[&str], out: &mut String) {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    }
+    let mut out = String::new();
+    push_row(&widths, headers, &mut out);
+    let rules: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let rule_refs: Vec<&str> = rules.iter().map(String::as_str).collect();
+    push_row(&widths, &rule_refs, &mut out);
+    for row in rows {
+        let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+        push_row(&widths, &cells, &mut out);
+    }
+    out
+}
+
+/// Render a named (x, y) series as gnuplot-pasteable columns.
+pub fn format_series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x} {y}\n"));
+    }
+    out
+}
+
+/// Render a labeled (x, y) series (Fig. 7/9 style, labels on points).
+pub fn format_labeled_series(name: &str, points: &[(String, f64, f64)]) -> String {
+    let mut out = format!("# {name}\n");
+    for (label, x, y) in points {
+        out.push_str(&format!("{x:.3} {y:.3}  # {label}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["cores", "cycles"],
+            &[
+                vec!["2".into(), "123456".into()],
+                vec!["15".into(), "99".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("cores"));
+        assert!(lines[2].trim_start().starts_with('2'));
+        // Right-aligned numbers share the last column edge.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn ragged_rows_panic() {
+        format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_format() {
+        let s = format_series("fig6", &[(2.0, 100.0), (4.0, 50.0)]);
+        assert!(s.starts_with("# fig6\n"));
+        assert!(s.contains("2 100\n"));
+    }
+
+    #[test]
+    fn labeled_series_format() {
+        let s = format_labeled_series("fig7", &[("2P_8k$".into(), 1.5, 2.0)]);
+        assert!(s.contains("# 2P_8k$"));
+        assert!(s.contains("1.500 2.000"));
+    }
+}

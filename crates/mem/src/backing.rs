@@ -1,0 +1,116 @@
+//! Flat word-addressed backing store: the architectural content of the
+//! external DDR memory.
+
+use medea_cache::{Addr, WORDS_PER_LINE};
+
+/// The DDR's architectural state: a flat array of 32-bit words.
+///
+/// All accesses are word- or line-aligned; the MEDEA data path is 32 bits
+/// wide end to end (one word per flit).
+#[derive(Debug, Clone)]
+pub struct BackingStore {
+    words: Vec<u32>,
+}
+
+impl BackingStore {
+    /// Allocate `bytes` of zeroed memory (rounded up to a whole line).
+    pub fn new(bytes: usize) -> Self {
+        let lines = bytes.div_ceil(WORDS_PER_LINE * 4);
+        BackingStore { words: vec![0; lines * WORDS_PER_LINE] }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    fn word_index(&self, addr: Addr) -> usize {
+        assert_eq!(addr % 4, 0, "unaligned word access at {addr:#x}");
+        let idx = addr as usize / 4;
+        assert!(idx < self.words.len(), "address {addr:#x} beyond {} bytes of DDR", self.bytes());
+        idx
+    }
+
+    /// Read the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses — those are simulator
+    /// bugs, not recoverable conditions.
+    pub fn read_word(&self, addr: Addr) -> u32 {
+        self.words[self.word_index(addr)]
+    }
+
+    /// Write the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    pub fn write_word(&mut self, addr: Addr, value: u32) {
+        let idx = self.word_index(addr);
+        self.words[idx] = value;
+    }
+
+    /// Read the full line at line-aligned `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not line-aligned or out of range.
+    pub fn read_line(&self, line: Addr) -> [u32; WORDS_PER_LINE] {
+        assert_eq!(line as usize % (WORDS_PER_LINE * 4), 0, "unaligned line {line:#x}");
+        let base = self.word_index(line);
+        let mut out = [0u32; WORDS_PER_LINE];
+        out.copy_from_slice(&self.words[base..base + WORDS_PER_LINE]);
+        out
+    }
+
+    /// Write the full line at line-aligned `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not line-aligned or out of range.
+    pub fn write_line(&mut self, line: Addr, data: [u32; WORDS_PER_LINE]) {
+        assert_eq!(line as usize % (WORDS_PER_LINE * 4), 0, "unaligned line {line:#x}");
+        let base = self.word_index(line);
+        self.words[base..base + WORDS_PER_LINE].copy_from_slice(&data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_to_lines() {
+        let s = BackingStore::new(17);
+        assert_eq!(s.bytes(), 32);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut s = BackingStore::new(64);
+        s.write_word(0x3C, 0xABCD);
+        assert_eq!(s.read_word(0x3C), 0xABCD);
+        assert_eq!(s.read_word(0x38), 0);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut s = BackingStore::new(64);
+        s.write_line(0x10, [1, 2, 3, 4]);
+        assert_eq!(s.read_line(0x10), [1, 2, 3, 4]);
+        assert_eq!(s.read_word(0x18), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn out_of_range_panics() {
+        BackingStore::new(16).read_word(0x20);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_line_panics() {
+        BackingStore::new(64).read_line(0x4);
+    }
+}

@@ -1,0 +1,72 @@
+//! DDR controller timing model.
+//!
+//! The paper attaches the MPMMU to "a PIF bus connected to a DDR
+//! controller" without publishing its timing; we use a classic
+//! first-word-latency + streaming model with DDR2-era constants
+//! (DESIGN.md §6) — what matters for the reproduction is that a DDR access
+//! is an order of magnitude slower than an MPMMU cache hit.
+
+use medea_sim::Cycle;
+
+/// Fixed-latency, streaming-bandwidth DDR timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrModel {
+    first_word: Cycle,
+    per_extra_word: Cycle,
+}
+
+impl DdrModel {
+    /// Create a model: `first_word` cycles to the first word of a burst,
+    /// `per_extra_word` for each subsequent word.
+    pub const fn new(first_word: Cycle, per_extra_word: Cycle) -> Self {
+        DdrModel { first_word, per_extra_word }
+    }
+
+    /// Cycles to read a burst of `words` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn read_latency(&self, words: usize) -> Cycle {
+        assert!(words > 0, "zero-length burst");
+        self.first_word + (words as Cycle - 1) * self.per_extra_word
+    }
+
+    /// Cycles to write a burst of `words` (≥ 1). Writes post into the
+    /// controller's buffer, so they are charged the same as reads — a
+    /// common simplification for closed-page controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn write_latency(&self, words: usize) -> Cycle {
+        self.read_latency(words)
+    }
+}
+
+impl Default for DdrModel {
+    /// DESIGN.md calibration: 24-cycle first word, 2 cycles per streamed
+    /// word.
+    fn default() -> Self {
+        DdrModel::new(24, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_scaling() {
+        let d = DdrModel::new(24, 2);
+        assert_eq!(d.read_latency(1), 24);
+        assert_eq!(d.read_latency(4), 30);
+        assert_eq!(d.write_latency(4), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_burst_panics() {
+        DdrModel::default().read_latency(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Memory subsystem of the MEDEA reproduction: backing store, DDR timing,
+//! lock table and the **Multiprocessor Memory Management Unit** (MPMMU).
+//!
+//! §II-C of the paper: the MPMMU is "a special processor which handles
+//! shared-memory transactions (reads/writes) using a protocol defined by
+//! the authors". It is a pure slave on the NoC with
+//!
+//! * two incoming FIFOs — **Pif-Request/Control** (depth = number of
+//!   processors) and **Pif-Data** — plus one outgoing FIFO;
+//! * a 4-phase write protocol (request → grant → data → final ack) and a
+//!   2-phase read protocol (request → data), Fig. 4;
+//! * a word-granularity **lock/unlock** mechanism for critical sections;
+//! * a local cache for instructions and data in front of a DDR controller
+//!   ("the latency of read operations strongly depends on the availability
+//!   of the given word inside the cache").
+//!
+//! # Example
+//!
+//! ```
+//! use medea_mem::{BackingStore, DdrModel};
+//!
+//! let mut store = BackingStore::new(1024);
+//! store.write_word(0x10, 42);
+//! assert_eq!(store.read_word(0x10), 42);
+//! let ddr = DdrModel::default();
+//! assert!(ddr.read_latency(4) > ddr.read_latency(1));
+//! ```
+
+mod backing;
+mod ddr;
+mod lock;
+mod mpmmu;
+
+pub use backing::BackingStore;
+pub use ddr::DdrModel;
+pub use lock::{LockTable, UnlockError};
+pub use mpmmu::{Mpmmu, MpmmuConfig, MpmmuStats};

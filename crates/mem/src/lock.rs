@@ -1,0 +1,144 @@
+//! Word-granularity lock table for atomic operations.
+//!
+//! §II-C: "In order to support atomic operations like critical sections, a
+//! lock/unlock mechanism of a given word in shared-memory has been
+//! implemented. Every processor which aims to access the shared memory
+//! segment for read/write operations must first request lock."
+//!
+//! The paper does not specify what happens when a lock is busy; this
+//! reproduction answers busy lock requests with a Nack and lets the
+//! requesting bridge retry after a backoff (DESIGN.md §3.3).
+
+use medea_cache::Addr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when unlocking a word the requester does not hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnlockError {
+    /// The word address involved.
+    pub addr: Addr,
+    /// The requester.
+    pub requester: u8,
+    /// Current owner, if any.
+    pub owner: Option<u8>,
+}
+
+impl fmt::Display for UnlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.owner {
+            Some(owner) => write!(
+                f,
+                "source {} tried to unlock {:#x} held by source {}",
+                self.requester, self.addr, owner
+            ),
+            None => write!(f, "source {} tried to unlock free word {:#x}", self.requester, self.addr),
+        }
+    }
+}
+
+impl std::error::Error for UnlockError {}
+
+/// Table of locked shared-memory words, keyed by word address.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    owners: HashMap<Addr, u8>,
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Try to lock `addr` for `requester`. Granted when the word is free or
+    /// already held by the same requester (idempotent re-lock); denied
+    /// otherwise.
+    pub fn try_lock(&mut self, addr: Addr, requester: u8) -> bool {
+        match self.owners.get(&addr) {
+            Some(&owner) => owner == requester,
+            None => {
+                self.owners.insert(addr, requester);
+                true
+            }
+        }
+    }
+
+    /// Release `addr`, verifying ownership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnlockError`] if `requester` does not hold the lock —
+    /// a software protocol violation the MPMMU answers with a Nack.
+    pub fn unlock(&mut self, addr: Addr, requester: u8) -> Result<(), UnlockError> {
+        match self.owners.get(&addr) {
+            Some(&owner) if owner == requester => {
+                self.owners.remove(&addr);
+                Ok(())
+            }
+            owner => Err(UnlockError { addr, requester, owner: owner.copied() }),
+        }
+    }
+
+    /// Current owner of `addr`, if locked.
+    pub fn owner(&self, addr: Addr) -> Option<u8> {
+        self.owners.get(&addr).copied()
+    }
+
+    /// Number of currently locked words.
+    pub fn locked_count(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_grant_and_deny() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(0x100, 1));
+        assert!(!t.try_lock(0x100, 2));
+        assert_eq!(t.owner(0x100), Some(1));
+        assert_eq!(t.locked_count(), 1);
+    }
+
+    #[test]
+    fn relock_by_owner_is_idempotent() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(0x100, 1));
+        assert!(t.try_lock(0x100, 1));
+        assert_eq!(t.locked_count(), 1);
+    }
+
+    #[test]
+    fn unlock_by_owner() {
+        let mut t = LockTable::new();
+        t.try_lock(0x100, 1);
+        t.unlock(0x100, 1).unwrap();
+        assert_eq!(t.owner(0x100), None);
+        assert!(t.try_lock(0x100, 2));
+    }
+
+    #[test]
+    fn unlock_violations() {
+        let mut t = LockTable::new();
+        t.try_lock(0x100, 1);
+        let err = t.unlock(0x100, 2).unwrap_err();
+        assert_eq!(err.owner, Some(1));
+        assert!(err.to_string().contains("held by source 1"));
+        let err = t.unlock(0x200, 2).unwrap_err();
+        assert_eq!(err.owner, None);
+        // Violation must not disturb the table.
+        assert_eq!(t.owner(0x100), Some(1));
+    }
+
+    #[test]
+    fn independent_words() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(0x100, 1));
+        assert!(t.try_lock(0x104, 2));
+        assert_eq!(t.locked_count(), 2);
+    }
+}

@@ -1,0 +1,712 @@
+//! The Multiprocessor Memory Management Unit (§II-C, Fig. 4).
+//!
+//! A pure NoC slave serializing all shared-memory transactions:
+//!
+//! * **Read** (single/block): request token → MPMMU looks the data up in
+//!   its local cache (DDR on miss) → data flit(s) through the outgoing
+//!   FIFO. Block-read responses carry sequence numbers 0..3 so the
+//!   requester's reorder buffer can handle out-of-order delivery.
+//! * **Write** (single/block): request token → **grant** ack → requester
+//!   streams data flits into the Pif-Data FIFO → MPMMU commits to memory →
+//!   **final** ack. The two-step handshake is the paper's implicit
+//!   flow-control scheme that keeps MPMMU buffering minimal.
+//! * **Lock/Unlock**: word-granularity lock table; busy locks are Nack'd
+//!   and the requesting bridge retries (documented design choice).
+//!
+//! Source identification: the application-level `src-id` field equals the
+//! linear node index of the requester (possible because a MEDEA instance
+//! has at most 16 nodes), which is how responses find their way back.
+
+use crate::backing::BackingStore;
+use crate::ddr::DdrModel;
+use crate::lock::LockTable;
+use medea_cache::{
+    line_of, Addr, CacheConfig, CachePolicy, SetAssocCache, StoreOutcome, WORDS_PER_LINE,
+};
+use medea_noc::coord::Topology;
+use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
+use medea_sim::fifo::Fifo;
+use medea_sim::ids::NodeId;
+use medea_sim::stats::Counter;
+use medea_sim::Cycle;
+use std::collections::VecDeque;
+
+/// MPMMU configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MpmmuConfig {
+    /// Number of processors in the system: the depth of the
+    /// Pif-Request/Control queue ("the depth of this queue is as large as
+    /// the number of processors", §II-C).
+    pub num_procs: usize,
+    /// Depth of the Pif-Data queue.
+    pub data_fifo_depth: usize,
+    /// Depth of the outgoing FIFO.
+    pub out_fifo_depth: usize,
+    /// Fixed per-transaction processing cost of the "special processor".
+    pub service_overhead: Cycle,
+    /// Latency of an MPMMU-cache hit.
+    pub cache_hit_latency: Cycle,
+    /// Geometry of the MPMMU-local cache.
+    pub cache: CacheConfig,
+    /// Size of the DDR backing store in bytes.
+    pub mem_bytes: usize,
+    /// DDR timing.
+    pub ddr: DdrModel,
+}
+
+impl MpmmuConfig {
+    /// Paper-flavoured defaults for a system with `num_procs` processors
+    /// and `mem_bytes` of DDR.
+    pub fn new(num_procs: usize, mem_bytes: usize) -> Self {
+        MpmmuConfig {
+            num_procs: num_procs.max(1),
+            data_fifo_depth: 16,
+            out_fifo_depth: 16,
+            service_overhead: 4,
+            cache_hit_latency: 2,
+            cache: CacheConfig::new(16 * 1024, CachePolicy::WriteBack)
+                .expect("16 kB WB is a valid geometry"),
+            mem_bytes,
+            ddr: DdrModel::default(),
+        }
+    }
+}
+
+/// Transaction counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpmmuStats {
+    /// Single-read transactions served.
+    pub single_reads: Counter,
+    /// Block-read transactions served.
+    pub block_reads: Counter,
+    /// Single-write transactions committed.
+    pub single_writes: Counter,
+    /// Block-write transactions committed.
+    pub block_writes: Counter,
+    /// Lock requests granted.
+    pub locks_granted: Counter,
+    /// Lock requests Nack'd (busy).
+    pub lock_nacks: Counter,
+    /// Unlocks performed.
+    pub unlocks: Counter,
+    /// Unlock protocol violations (Nack'd).
+    pub unlock_errors: Counter,
+    /// Cycles spent busy (serving or awaiting write data).
+    pub busy_cycles: Counter,
+    /// Flits dropped because they were not valid MPMMU traffic.
+    pub protocol_drops: Counter,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Idle,
+    /// Serving: responses emitted when `until` is reached.
+    Busy { until: Cycle, then: Completion },
+    /// Write in flight: grant sent, awaiting `expect` data flits from
+    /// `src`.
+    AwaitData { src: u8, kind: PacketKind, addr: Addr, words: Vec<Option<u32>>, expect: usize },
+}
+
+#[derive(Debug, Clone)]
+enum Completion {
+    /// Emit these flits, then go idle.
+    Respond(Vec<Flit>),
+    /// Emit a grant for a write and start collecting data.
+    Grant { src: u8, kind: PacketKind, addr: Addr, expect: usize },
+}
+
+/// The MPMMU node model.
+#[derive(Debug, Clone)]
+pub struct Mpmmu {
+    topo: Topology,
+    node: NodeId,
+    cfg: MpmmuConfig,
+    req_fifo: Fifo<Flit>,
+    data_fifo: Fifo<Flit>,
+    staging: VecDeque<Flit>,
+    out_fifo: Fifo<Flit>,
+    cache: SetAssocCache,
+    store: BackingStore,
+    locks: LockTable,
+    state: State,
+    stats: MpmmuStats,
+}
+
+impl Mpmmu {
+    /// Build the MPMMU at `node` of `topo`.
+    pub fn new(topo: Topology, node: NodeId, cfg: MpmmuConfig) -> Self {
+        Mpmmu {
+            topo,
+            node,
+            req_fifo: Fifo::new("mpmmu-req", cfg.num_procs),
+            data_fifo: Fifo::new("mpmmu-data", cfg.data_fifo_depth),
+            staging: VecDeque::new(),
+            out_fifo: Fifo::new("mpmmu-out", cfg.out_fifo_depth),
+            cache: SetAssocCache::new(cfg.cache),
+            store: BackingStore::new(cfg.mem_bytes),
+            locks: LockTable::new(),
+            state: State::Idle,
+            cfg,
+            stats: MpmmuStats::default(),
+        }
+    }
+
+    /// The node this MPMMU occupies.
+    pub const fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transaction statistics.
+    pub const fn stats(&self) -> &MpmmuStats {
+        &self.stats
+    }
+
+    /// MPMMU-local cache statistics.
+    pub fn cache_stats(&self) -> &medea_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Direct (zero-time) access to the architectural memory content.
+    /// Used for program loading before reset and for result checking after
+    /// the run — never during simulation.
+    pub fn debug_store(&mut self) -> &mut BackingStore {
+        &mut self.store
+    }
+
+    /// Read a word's architecturally current value, looking through the
+    /// MPMMU cache first (the cache may hold lines newer than DDR).
+    pub fn debug_read_word(&mut self, addr: Addr) -> u32 {
+        if self.cache.probe(addr) {
+            self.cache.load_word(addr).expect("probed resident")
+        } else {
+            self.store.read_word(addr)
+        }
+    }
+
+    /// Deliver a flit ejected from the NoC at the MPMMU node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flit back if its target FIFO is full; the caller should
+    /// retry next cycle (the node interface holds it).
+    pub fn handle_incoming(&mut self, flit: Flit) -> Result<(), Flit> {
+        if !flit.kind().is_shared_memory() {
+            // Message traffic addressed at the MPMMU is a software bug;
+            // drop it loudly in stats.
+            self.stats.protocol_drops.inc();
+            return Ok(());
+        }
+        match flit.sub() {
+            SubKind::Request => self.req_fifo.push(flit).map_err(|e| e.0),
+            SubKind::Data => self.data_fifo.push(flit).map_err(|e| e.0),
+            SubKind::Ack | SubKind::Nack => {
+                self.stats.protocol_drops.inc();
+                Ok(())
+            }
+        }
+    }
+
+    /// Pop the next response flit to inject into the NoC.
+    pub fn pop_outgoing(&mut self) -> Option<Flit> {
+        self.out_fifo.pop()
+    }
+
+    /// Put back a response flit the router refused this cycle.
+    pub fn return_outgoing(&mut self, flit: Flit) {
+        // Front of the queue: ordering must be preserved.
+        let mut rest: Vec<Flit> = std::iter::once(flit).chain(self.drain_out()).collect();
+        for f in rest.drain(..) {
+            self.out_fifo.push(f).expect("refill cannot exceed prior occupancy + 1");
+        }
+    }
+
+    fn drain_out(&mut self) -> Vec<Flit> {
+        let mut v = Vec::with_capacity(self.out_fifo.len());
+        while let Some(f) = self.out_fifo.pop() {
+            v.push(f);
+        }
+        v
+    }
+
+    /// Whether the MPMMU has no work at all (fast-forward predicate).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::Idle)
+            && self.req_fifo.is_empty()
+            && self.data_fifo.is_empty()
+            && self.staging.is_empty()
+            && self.out_fifo.is_empty()
+    }
+
+    /// The cycle at which the current service completes, if busy.
+    pub fn busy_until(&self) -> Option<Cycle> {
+        match &self.state {
+            State::Busy { until, .. } => Some(*until),
+            _ => None,
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // Move staged responses into the bounded outgoing FIFO.
+        while let Some(&f) = self.staging.front() {
+            match self.out_fifo.push(f) {
+                Ok(()) => {
+                    self.staging.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+
+        if !matches!(self.state, State::Idle) {
+            self.stats.busy_cycles.inc();
+        }
+
+        match std::mem::replace(&mut self.state, State::Idle) {
+            State::Idle => self.dispatch(now),
+            State::Busy { until, then } => {
+                if now >= until {
+                    self.complete(then);
+                } else {
+                    self.state = State::Busy { until, then };
+                }
+            }
+            State::AwaitData { src, kind, addr, mut words, expect } => {
+                while let Some(flit) = self.data_fifo.pop() {
+                    debug_assert_eq!(flit.src_id(), src, "interleaved write data");
+                    let seq = flit.seq() as usize;
+                    if seq < words.len() {
+                        words[seq] = Some(flit.payload());
+                    } else {
+                        self.stats.protocol_drops.inc();
+                    }
+                }
+                if words.iter().take(expect).all(Option::is_some) {
+                    let latency = self.commit_write(kind, addr, &words, expect);
+                    let ack = self.response(src, kind, SubKind::Ack, 1, addr);
+                    self.state = State::Busy {
+                        until: now + latency,
+                        then: Completion::Respond(vec![ack]),
+                    };
+                } else {
+                    self.state = State::AwaitData { src, kind, addr, words, expect };
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle) {
+        let Some(req) = self.req_fifo.pop() else {
+            return;
+        };
+        debug_assert_eq!(req.sub(), SubKind::Request);
+        let src = req.src_id();
+        let addr = req.payload();
+        let overhead = self.cfg.service_overhead;
+        match req.kind() {
+            PacketKind::SingleRead => {
+                let (value, lat) = self.mem_read_word(addr);
+                self.stats.single_reads.inc();
+                let data = self.response(src, PacketKind::SingleRead, SubKind::Data, 0, value);
+                self.state =
+                    State::Busy { until: now + overhead + lat, then: Completion::Respond(vec![data]) };
+            }
+            PacketKind::BlockRead => {
+                let line = line_of(addr);
+                let (data, lat) = self.mem_read_line(line);
+                self.stats.block_reads.inc();
+                let flits = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        let mut f =
+                            self.response(src, PacketKind::BlockRead, SubKind::Data, i as u8, *w);
+                        f = Flit::new(
+                            f.dest(),
+                            f.kind(),
+                            f.sub(),
+                            i as u8,
+                            burst_code(WORDS_PER_LINE),
+                            f.src_id(),
+                            f.payload(),
+                        );
+                        f
+                    })
+                    .collect();
+                self.state =
+                    State::Busy { until: now + overhead + lat, then: Completion::Respond(flits) };
+            }
+            PacketKind::SingleWrite | PacketKind::BlockWrite => {
+                let expect = if req.kind() == PacketKind::SingleWrite { 1 } else { WORDS_PER_LINE };
+                self.state = State::Busy {
+                    until: now + overhead,
+                    then: Completion::Grant { src, kind: req.kind(), addr, expect },
+                };
+            }
+            PacketKind::Lock => {
+                let granted = self.locks.try_lock(addr, src);
+                let sub = if granted {
+                    self.stats.locks_granted.inc();
+                    SubKind::Ack
+                } else {
+                    self.stats.lock_nacks.inc();
+                    SubKind::Nack
+                };
+                let resp = self.response(src, PacketKind::Lock, sub, 0, addr);
+                self.state =
+                    State::Busy { until: now + overhead, then: Completion::Respond(vec![resp]) };
+            }
+            PacketKind::Unlock => {
+                let sub = match self.locks.unlock(addr, src) {
+                    Ok(()) => {
+                        self.stats.unlocks.inc();
+                        SubKind::Ack
+                    }
+                    Err(_) => {
+                        self.stats.unlock_errors.inc();
+                        SubKind::Nack
+                    }
+                };
+                let resp = self.response(src, PacketKind::Unlock, sub, 0, addr);
+                self.state =
+                    State::Busy { until: now + overhead, then: Completion::Respond(vec![resp]) };
+            }
+            PacketKind::Message => unreachable!("filtered in handle_incoming"),
+        }
+    }
+
+    fn complete(&mut self, completion: Completion) {
+        match completion {
+            Completion::Respond(flits) => {
+                self.staging.extend(flits);
+                self.state = State::Idle;
+            }
+            Completion::Grant { src, kind, addr, expect } => {
+                let grant = self.response(src, kind, SubKind::Ack, 0, addr);
+                self.staging.push_back(grant);
+                self.state = State::AwaitData {
+                    src,
+                    kind,
+                    addr,
+                    words: vec![None; WORDS_PER_LINE],
+                    expect,
+                };
+            }
+        }
+    }
+
+    fn commit_write(
+        &mut self,
+        kind: PacketKind,
+        addr: Addr,
+        words: &[Option<u32>],
+        expect: usize,
+    ) -> Cycle {
+        match kind {
+            PacketKind::SingleWrite => {
+                self.stats.single_writes.inc();
+                let value = words[0].expect("collected");
+                self.mem_write_word(addr, value)
+            }
+            PacketKind::BlockWrite => {
+                self.stats.block_writes.inc();
+                let line = line_of(addr);
+                let mut data = [0u32; WORDS_PER_LINE];
+                for (i, slot) in words.iter().take(expect).enumerate() {
+                    data[i] = slot.expect("collected");
+                }
+                self.mem_write_line(line, data)
+            }
+            _ => unreachable!("only writes reach commit_write"),
+        }
+    }
+
+    fn response(&self, src: u8, kind: PacketKind, sub: SubKind, seq: u8, data: u32) -> Flit {
+        let dest = self.topo.coord_of(NodeId::new(src as u16));
+        Flit::new(dest, kind, sub, seq, 0, (self.node.index() % 16) as u8, data)
+    }
+
+    // ---- memory hierarchy (MPMMU cache in front of DDR) ----
+
+    fn allocate(&mut self, line: Addr) -> Cycle {
+        let mut lat = self.cfg.ddr.read_latency(WORDS_PER_LINE);
+        if let Some(victim) = self.cache.evict_for(line) {
+            self.store.write_line(victim.line, victim.data);
+            lat += self.cfg.ddr.write_latency(WORDS_PER_LINE);
+        }
+        let data = self.store.read_line(line);
+        self.cache.fill_line(line, data);
+        lat
+    }
+
+    fn mem_read_line(&mut self, line: Addr) -> ([u32; WORDS_PER_LINE], Cycle) {
+        let mut lat = self.cfg.cache_hit_latency;
+        if !self.cache.probe(line) {
+            lat += self.allocate(line);
+        }
+        let mut data = [0u32; WORDS_PER_LINE];
+        for (i, word) in data.iter_mut().enumerate() {
+            *word = self
+                .cache
+                .load_word(line + (i as Addr) * 4)
+                .expect("line resident after allocate");
+        }
+        (data, lat)
+    }
+
+    fn mem_read_word(&mut self, addr: Addr) -> (u32, Cycle) {
+        let mut lat = self.cfg.cache_hit_latency;
+        if !self.cache.probe(addr) {
+            lat += self.allocate(line_of(addr));
+        }
+        let value = self.cache.load_word(addr).expect("resident after allocate");
+        (value, lat)
+    }
+
+    fn mem_write_word(&mut self, addr: Addr, value: u32) -> Cycle {
+        let mut lat = self.cfg.cache_hit_latency;
+        match self.cache.store_word(addr, value) {
+            StoreOutcome::Absorbed => {}
+            StoreOutcome::WriteThrough => {
+                self.store.write_word(addr, value);
+                lat += self.cfg.ddr.write_latency(1);
+            }
+            StoreOutcome::NeedsAllocate => {
+                lat += self.allocate(line_of(addr));
+                match self.cache.store_word(addr, value) {
+                    StoreOutcome::Absorbed => {}
+                    other => unreachable!("retry after allocate: {other:?}"),
+                }
+            }
+        }
+        lat
+    }
+
+    fn mem_write_line(&mut self, line: Addr, data: [u32; WORDS_PER_LINE]) -> Cycle {
+        let mut lat = self.cfg.cache_hit_latency;
+        if !self.cache.probe(line) {
+            lat += self.allocate(line);
+        }
+        for (i, word) in data.iter().enumerate() {
+            match self.cache.store_word(line + (i as Addr) * 4, *word) {
+                StoreOutcome::Absorbed => {}
+                StoreOutcome::WriteThrough => {
+                    self.store.write_word(line + (i as Addr) * 4, *word);
+                }
+                StoreOutcome::NeedsAllocate => unreachable!("line resident"),
+            }
+        }
+        lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(num_procs: usize) -> Mpmmu {
+        let topo = Topology::paper_4x4();
+        Mpmmu::new(topo, NodeId::new(0), MpmmuConfig::new(num_procs, 64 * 1024))
+    }
+
+    fn req(kind: PacketKind, src: u8, addr: u32) -> Flit {
+        // Requests travel toward the MPMMU at (0,0).
+        Flit::request(medea_noc::coord::Coord::new(0, 0), kind, src, addr)
+    }
+
+    fn data_flit(src: u8, seq: u8, value: u32) -> Flit {
+        Flit::new(
+            medea_noc::coord::Coord::new(0, 0),
+            PacketKind::BlockWrite,
+            SubKind::Data,
+            seq,
+            burst_code(4),
+            src,
+            value,
+        )
+    }
+
+    fn run_until_response(m: &mut Mpmmu, start: Cycle, limit: Cycle) -> (Flit, Cycle) {
+        for now in start..start + limit {
+            m.tick(now);
+            if let Some(f) = m.pop_outgoing() {
+                return (f, now);
+            }
+        }
+        panic!("no response within {limit} cycles");
+    }
+
+    #[test]
+    fn single_read_roundtrip() {
+        let mut m = mk(4);
+        m.debug_store().write_word(0x100, 77);
+        m.handle_incoming(req(PacketKind::SingleRead, 5, 0x100)).unwrap();
+        let (resp, when) = run_until_response(&mut m, 0, 100);
+        assert_eq!(resp.kind(), PacketKind::SingleRead);
+        assert_eq!(resp.sub(), SubKind::Data);
+        assert_eq!(resp.payload(), 77);
+        // Response goes back to node 5 = (1,1).
+        assert_eq!(resp.dest(), medea_noc::coord::Coord::new(1, 1));
+        // Cold miss: must include DDR latency.
+        assert!(when >= 24, "response at {when} ignored DDR latency");
+        assert_eq!(m.stats().single_reads.get(), 1);
+    }
+
+    #[test]
+    fn cached_read_is_faster() {
+        let mut m = mk(4);
+        m.debug_store().write_word(0x100, 1);
+        m.handle_incoming(req(PacketKind::SingleRead, 5, 0x100)).unwrap();
+        let (_, cold) = run_until_response(&mut m, 0, 200);
+        let start = cold + 1;
+        m.handle_incoming(req(PacketKind::SingleRead, 5, 0x100)).unwrap();
+        let (_, warm_abs) = run_until_response(&mut m, start, 200);
+        let warm = warm_abs - start;
+        assert!(warm < cold, "warm {warm} !< cold {cold}");
+    }
+
+    #[test]
+    fn block_read_returns_four_sequenced_flits() {
+        let mut m = mk(4);
+        m.debug_store().write_line(0x40, [10, 20, 30, 40]);
+        m.handle_incoming(req(PacketKind::BlockRead, 3, 0x44)).unwrap();
+        let mut flits = Vec::new();
+        for now in 0..200 {
+            m.tick(now);
+            while let Some(f) = m.pop_outgoing() {
+                flits.push(f);
+            }
+            if flits.len() == 4 {
+                break;
+            }
+        }
+        assert_eq!(flits.len(), 4);
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq() as usize, i);
+            assert_eq!(f.payload(), (10 * (i + 1)) as u32);
+            assert_eq!(f.burst_flits(), 4);
+        }
+    }
+
+    #[test]
+    fn write_protocol_grant_data_ack() {
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::SingleWrite, 2, 0x200)).unwrap();
+        let (grant, when) = run_until_response(&mut m, 0, 100);
+        assert_eq!(grant.sub(), SubKind::Ack);
+        assert_eq!(grant.seq(), 0, "grant carries seq 0");
+        // Send the data flit.
+        let mut d = data_flit(2, 0, 4242);
+        d = Flit::new(d.dest(), PacketKind::SingleWrite, SubKind::Data, 0, 0, 2, 4242);
+        m.handle_incoming(d).unwrap();
+        let (ack, _) = run_until_response(&mut m, when + 1, 200);
+        assert_eq!(ack.sub(), SubKind::Ack);
+        assert_eq!(ack.seq(), 1, "final ack carries seq 1");
+        assert_eq!(m.debug_read_word(0x200), 4242);
+        assert_eq!(m.stats().single_writes.get(), 1);
+    }
+
+    #[test]
+    fn block_write_out_of_order_data() {
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::BlockWrite, 2, 0x80)).unwrap();
+        let (_grant, when) = run_until_response(&mut m, 0, 100);
+        // Data arrives out of order — sequence numbers sort it out.
+        for seq in [2u8, 0, 3, 1] {
+            m.handle_incoming(data_flit(2, seq, 100 + seq as u32)).unwrap();
+        }
+        let (ack, _) = run_until_response(&mut m, when + 1, 300);
+        assert_eq!(ack.sub(), SubKind::Ack);
+        assert_eq!(m.debug_read_word(0x80), 100);
+        assert_eq!(m.debug_read_word(0x84), 101);
+        assert_eq!(m.debug_read_word(0x88), 102);
+        assert_eq!(m.debug_read_word(0x8C), 103);
+    }
+
+    #[test]
+    fn lock_grant_nack_unlock() {
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::Lock, 1, 0x300)).unwrap();
+        let (r1, t1) = run_until_response(&mut m, 0, 50);
+        assert_eq!(r1.sub(), SubKind::Ack);
+        m.handle_incoming(req(PacketKind::Lock, 2, 0x300)).unwrap();
+        let (r2, t2) = run_until_response(&mut m, t1 + 1, 50);
+        assert_eq!(r2.sub(), SubKind::Nack);
+        m.handle_incoming(req(PacketKind::Unlock, 1, 0x300)).unwrap();
+        let (r3, t3) = run_until_response(&mut m, t2 + 1, 50);
+        assert_eq!(r3.sub(), SubKind::Ack);
+        m.handle_incoming(req(PacketKind::Lock, 2, 0x300)).unwrap();
+        let (r4, _) = run_until_response(&mut m, t3 + 1, 50);
+        assert_eq!(r4.sub(), SubKind::Ack);
+        assert_eq!(m.stats().lock_nacks.get(), 1);
+        assert_eq!(m.stats().locks_granted.get(), 2);
+    }
+
+    #[test]
+    fn unlock_violation_nacked() {
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::Unlock, 1, 0x300)).unwrap();
+        let (r, _) = run_until_response(&mut m, 0, 50);
+        assert_eq!(r.sub(), SubKind::Nack);
+        assert_eq!(m.stats().unlock_errors.get(), 1);
+    }
+
+    #[test]
+    fn requests_serialized_in_order() {
+        let mut m = mk(4);
+        m.debug_store().write_word(0x10, 1);
+        m.debug_store().write_word(0x20, 2);
+        m.handle_incoming(req(PacketKind::SingleRead, 1, 0x10)).unwrap();
+        m.handle_incoming(req(PacketKind::SingleRead, 2, 0x20)).unwrap();
+        let (first, t1) = run_until_response(&mut m, 0, 200);
+        let (second, _) = run_until_response(&mut m, t1 + 1, 200);
+        assert_eq!(first.payload(), 1);
+        assert_eq!(second.payload(), 2);
+    }
+
+    #[test]
+    fn req_fifo_backpressure() {
+        let mut m = mk(2); // request queue depth 2
+        assert!(m.handle_incoming(req(PacketKind::SingleRead, 1, 0x0)).is_ok());
+        assert!(m.handle_incoming(req(PacketKind::SingleRead, 2, 0x0)).is_ok());
+        assert!(m.handle_incoming(req(PacketKind::SingleRead, 3, 0x0)).is_err());
+    }
+
+    #[test]
+    fn message_flit_dropped() {
+        let mut m = mk(4);
+        let msg = Flit::message(medea_noc::coord::Coord::new(0, 0), 1, 0, 0, 5);
+        assert!(m.handle_incoming(msg).is_ok());
+        assert_eq!(m.stats().protocol_drops.get(), 1);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut m = mk(4);
+        assert!(m.is_idle());
+        m.handle_incoming(req(PacketKind::SingleRead, 1, 0x0)).unwrap();
+        assert!(!m.is_idle());
+        let _ = run_until_response(&mut m, 0, 200);
+        m.tick(1000);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn return_outgoing_preserves_order() {
+        let mut m = mk(4);
+        m.debug_store().write_line(0x40, [9, 8, 7, 6]);
+        m.handle_incoming(req(PacketKind::BlockRead, 3, 0x40)).unwrap();
+        let mut first = None;
+        for now in 0..200 {
+            m.tick(now);
+            if let Some(f) = m.pop_outgoing() {
+                first = Some(f);
+                break;
+            }
+        }
+        let f = first.unwrap();
+        m.return_outgoing(f);
+        let again = m.pop_outgoing().unwrap();
+        assert_eq!(again, f, "returned flit must come out first again");
+    }
+}

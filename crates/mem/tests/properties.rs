@@ -1,0 +1,181 @@
+//! Property-based tests for the memory subsystem: the MPMMU must be
+//! observationally equivalent to a flat memory under any interleaving of
+//! single/block reads and writes, and the lock table must behave like a
+//! map of owners.
+
+use medea_mem::{LockTable, Mpmmu, MpmmuConfig};
+use medea_noc::coord::{Coord, Topology};
+use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
+use medea_sim::ids::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Txn {
+    SingleRead(u32),
+    SingleWrite(u32, u32),
+    BlockRead(u32),
+    BlockWrite(u32, [u32; 4]),
+}
+
+fn word_addr() -> impl Strategy<Value = u32> {
+    (0u32..256).prop_map(|w| w * 4)
+}
+
+fn line_addr() -> impl Strategy<Value = u32> {
+    (0u32..64).prop_map(|l| l * 16)
+}
+
+fn txn() -> impl Strategy<Value = Txn> {
+    prop_oneof![
+        word_addr().prop_map(Txn::SingleRead),
+        (word_addr(), any::<u32>()).prop_map(|(a, v)| Txn::SingleWrite(a, v)),
+        line_addr().prop_map(Txn::BlockRead),
+        (line_addr(), any::<[u32; 4]>()).prop_map(|(a, v)| Txn::BlockWrite(a, v)),
+    ]
+}
+
+/// Drive one transaction through the MPMMU protocol from `src`, returning
+/// the data flits observed.
+fn drive(m: &mut Mpmmu, now: &mut u64, src: u8, t: Txn) -> Vec<Flit> {
+    let mpmmu_at = Coord::new(0, 0);
+    let req = |kind, addr| Flit::request(mpmmu_at, kind, src, addr);
+    let mut collected = Vec::new();
+    let mut submit = |m: &mut Mpmmu, flit| {
+        m.handle_incoming(flit).expect("fifo space");
+    };
+    match t {
+        Txn::SingleRead(a) => submit(m, req(PacketKind::SingleRead, a)),
+        Txn::BlockRead(a) => submit(m, req(PacketKind::BlockRead, a)),
+        Txn::SingleWrite(a, _) => submit(m, req(PacketKind::SingleWrite, a)),
+        Txn::BlockWrite(a, _) => submit(m, req(PacketKind::BlockWrite, a)),
+    }
+    let expect_data = match t {
+        Txn::SingleRead(_) => 1,
+        Txn::BlockRead(_) => 4,
+        _ => 0,
+    };
+    let mut sent_payload = false;
+    for _ in 0..4000 {
+        m.tick(*now);
+        *now += 1;
+        while let Some(f) = m.pop_outgoing() {
+            match f.sub() {
+                SubKind::Data => collected.push(f),
+                SubKind::Ack => {
+                    if f.seq() == 0 && !sent_payload {
+                        // Grant: stream the payload.
+                        sent_payload = true;
+                        match t {
+                            Txn::SingleWrite(_, v) => {
+                                let d = Flit::new(
+                                    Coord::new(0, 0),
+                                    PacketKind::SingleWrite,
+                                    SubKind::Data,
+                                    0,
+                                    0,
+                                    src,
+                                    v,
+                                );
+                                m.handle_incoming(d).expect("data fifo");
+                            }
+                            Txn::BlockWrite(_, vs) => {
+                                for (i, v) in vs.iter().enumerate() {
+                                    let d = Flit::new(
+                                        Coord::new(0, 0),
+                                        PacketKind::BlockWrite,
+                                        SubKind::Data,
+                                        i as u8,
+                                        burst_code(4),
+                                        src,
+                                        *v,
+                                    );
+                                    m.handle_incoming(d).expect("data fifo");
+                                }
+                            }
+                            _ => panic!("grant for a read"),
+                        }
+                    } else {
+                        // Final ack: write complete.
+                        return collected;
+                    }
+                }
+                other => panic!("unexpected response subtype {other}"),
+            }
+            if collected.len() == expect_data && expect_data > 0 {
+                return collected;
+            }
+        }
+    }
+    panic!("transaction did not complete: {t:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The MPMMU (including its local cache and DDR) is observationally a
+    /// flat word-addressed memory.
+    #[test]
+    fn mpmmu_is_a_flat_memory(txns in proptest::collection::vec(txn(), 1..60)) {
+        let topo = Topology::paper_4x4();
+        let mut m = Mpmmu::new(topo, NodeId::new(0), MpmmuConfig::new(4, 4096));
+        let mut reference = vec![0u32; 256];
+        let mut now = 0u64;
+        for (i, t) in txns.into_iter().enumerate() {
+            let src = (1 + (i % 3)) as u8;
+            let data = drive(&mut m, &mut now, src, t);
+            match t {
+                Txn::SingleRead(a) => {
+                    prop_assert_eq!(data.len(), 1);
+                    prop_assert_eq!(data[0].payload(), reference[a as usize / 4]);
+                }
+                Txn::BlockRead(a) => {
+                    prop_assert_eq!(data.len(), 4);
+                    let mut words = [0u32; 4];
+                    for f in &data {
+                        words[f.seq() as usize] = f.payload();
+                    }
+                    for (k, w) in words.iter().enumerate() {
+                        prop_assert_eq!(*w, reference[a as usize / 4 + k]);
+                    }
+                }
+                Txn::SingleWrite(a, v) => {
+                    reference[a as usize / 4] = v;
+                }
+                Txn::BlockWrite(a, vs) => {
+                    for (k, v) in vs.iter().enumerate() {
+                        reference[a as usize / 4 + k] = *v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lock table: at most one owner per word; unlock only by the owner;
+    /// count is exact.
+    #[test]
+    fn lock_table_owner_map(ops in proptest::collection::vec((0u32..16, 0u8..4, any::<bool>()), 1..200)) {
+        let mut table = LockTable::new();
+        let mut model: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+        for (word, who, is_lock) in ops {
+            let addr = word * 4;
+            if is_lock {
+                let granted = table.try_lock(addr, who);
+                let expect = match model.get(&addr) {
+                    None => { model.insert(addr, who); true }
+                    Some(&owner) => owner == who,
+                };
+                prop_assert_eq!(granted, expect);
+            } else {
+                let result = table.unlock(addr, who);
+                match model.get(&addr) {
+                    Some(&owner) if owner == who => {
+                        model.remove(&addr);
+                        prop_assert!(result.is_ok());
+                    }
+                    _ => prop_assert!(result.is_err()),
+                }
+            }
+            prop_assert_eq!(table.locked_count(), model.len());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Torus geometry: coordinates, distances and productive directions.
+//!
+//! The paper uses a 4×4 folded torus (§II-D: "for a 4x4 folded-torus
+//! topology two bits are required for each coordinate"). Folding changes
+//! only the physical wire layout — every link still costs one cycle — so we
+//! model the logical torus directly.
+
+use medea_sim::ids::NodeId;
+use std::fmt;
+
+/// The four router link directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Toward decreasing Y.
+    North,
+    /// Toward increasing X.
+    East,
+    /// Toward increasing Y.
+    South,
+    /// Toward decreasing X.
+    West,
+}
+
+impl Dir {
+    /// All directions, in the fixed port order used by the router.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// Port index (0..4) of this direction.
+    pub const fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::East => 1,
+            Dir::South => 2,
+            Dir::West => 3,
+        }
+    }
+
+    /// The direction a flit leaving through `self` arrives from.
+    pub const fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::North => "N",
+            Dir::East => "E",
+            Dir::South => "S",
+            Dir::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// X-Y coordinate of a node on the torus (the transport-level address of
+/// the packet format, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column, `0..width`.
+    pub x: u8,
+    /// Row, `0..height`.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Error constructing a [`Topology`] with unusable dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTopologyError {
+    width: u8,
+    height: u8,
+}
+
+impl fmt::Display for InvalidTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "torus dimensions {}x{} unsupported: each side must be in 2..=16",
+            self.width, self.height
+        )
+    }
+}
+
+impl std::error::Error for InvalidTopologyError {}
+
+/// A `width × height` torus. Copyable value object shared by routers,
+/// bridges (for the address LUT) and the codec (for field widths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    width: u8,
+    height: u8,
+}
+
+impl Topology {
+    /// Create a torus of the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Each side must be between 2 and 16: below 2 a torus degenerates
+    /// (self-links), above 16 the coordinate no longer fits the 4-bit field
+    /// budget of the 64-bit flit format.
+    pub fn new(width: u8, height: u8) -> Result<Self, InvalidTopologyError> {
+        if !(2..=16).contains(&width) || !(2..=16).contains(&height) {
+            return Err(InvalidTopologyError { width, height });
+        }
+        Ok(Topology { width, height })
+    }
+
+    /// The paper's 4×4 folded torus.
+    pub fn paper_4x4() -> Self {
+        Topology { width: 4, height: 4 }
+    }
+
+    /// Columns.
+    pub const fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Rows.
+    pub const fn height(self) -> u8 {
+        self.height
+    }
+
+    /// Total node count.
+    pub const fn nodes(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Bits needed to encode an X coordinate (2 for the 4×4 paper torus).
+    pub const fn x_bits(self) -> u32 {
+        bits_for(self.width)
+    }
+
+    /// Bits needed to encode a Y coordinate.
+    pub const fn y_bits(self) -> u32 {
+        bits_for(self.height)
+    }
+
+    /// Coordinate of a linear node id (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this topology.
+    pub fn coord_of(self, node: NodeId) -> Coord {
+        let idx = node.index();
+        assert!(idx < self.nodes(), "node {node} outside {}x{} torus", self.width, self.height);
+        Coord::new((idx % self.width as usize) as u8, (idx / self.width as usize) as u8)
+    }
+
+    /// Linear node id of a coordinate (row-major).
+    pub fn node_of(self, coord: Coord) -> NodeId {
+        debug_assert!(coord.x < self.width && coord.y < self.height);
+        NodeId::new(coord.y as u16 * self.width as u16 + coord.x as u16)
+    }
+
+    /// Coordinate of the neighbor of `from` through direction `dir`
+    /// (wrapping torus links).
+    pub fn neighbor(self, from: Coord, dir: Dir) -> Coord {
+        let (w, h) = (self.width, self.height);
+        match dir {
+            Dir::North => Coord::new(from.x, (from.y + h - 1) % h),
+            Dir::South => Coord::new(from.x, (from.y + 1) % h),
+            Dir::East => Coord::new((from.x + 1) % w, from.y),
+            Dir::West => Coord::new((from.x + w - 1) % w, from.y),
+        }
+    }
+
+    /// Minimal hop count between two nodes on the torus.
+    pub fn distance(self, a: Coord, b: Coord) -> u32 {
+        wrap_dist(a.x, b.x, self.width) + wrap_dist(a.y, b.y, self.height)
+    }
+
+    /// Productive directions from `at` toward `dest`: the (at most two)
+    /// directions that reduce the torus distance, X preferred first. Empty
+    /// when `at == dest`.
+    pub fn productive_dirs(self, at: Coord, dest: Coord) -> ProductiveDirs {
+        let mut dirs = [None, None];
+        let mut n = 0;
+        if let Some(d) = axis_dir(at.x, dest.x, self.width, Dir::East, Dir::West) {
+            dirs[n] = Some(d);
+            n += 1;
+        }
+        if let Some(d) = axis_dir(at.y, dest.y, self.height, Dir::South, Dir::North) {
+            dirs[n] = Some(d);
+        }
+        ProductiveDirs { dirs, next: 0 }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::paper_4x4()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} torus", self.width, self.height)
+    }
+}
+
+/// Iterator over the productive directions returned by
+/// [`Topology::productive_dirs`].
+#[derive(Debug, Clone)]
+pub struct ProductiveDirs {
+    dirs: [Option<Dir>; 2],
+    next: usize,
+}
+
+impl Iterator for ProductiveDirs {
+    type Item = Dir;
+
+    fn next(&mut self) -> Option<Dir> {
+        while self.next < 2 {
+            let d = self.dirs[self.next];
+            self.next += 1;
+            if d.is_some() {
+                return d;
+            }
+        }
+        None
+    }
+}
+
+const fn bits_for(side: u8) -> u32 {
+    // Smallest b with 2^b >= side; side is in 2..=16 so b is in 1..=4.
+    (side as u32 - 1).ilog2() + 1
+}
+
+fn wrap_dist(a: u8, b: u8, side: u8) -> u32 {
+    let fwd = (b as i32 - a as i32).rem_euclid(side as i32) as u32;
+    fwd.min(side as u32 - fwd)
+}
+
+fn axis_dir(a: u8, b: u8, side: u8, inc: Dir, dec: Dir) -> Option<Dir> {
+    if a == b {
+        return None;
+    }
+    let fwd = (b as i32 - a as i32).rem_euclid(side as i32) as u32;
+    let bwd = side as u32 - fwd;
+    // Ties (exactly half-way around an even ring) go to the incrementing
+    // direction; deterministic and matches a hardwired RTL comparator.
+    Some(if fwd <= bwd { inc } else { dec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_validated() {
+        assert!(Topology::new(1, 4).is_err());
+        assert!(Topology::new(4, 17).is_err());
+        let t = Topology::new(4, 4).unwrap();
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.to_string(), "4x4 torus");
+    }
+
+    #[test]
+    fn paper_topology_field_widths() {
+        let t = Topology::paper_4x4();
+        // §II-D: "For a 4x4 folded-torus topology two bits are required for
+        // each coordinate".
+        assert_eq!(t.x_bits(), 2);
+        assert_eq!(t.y_bits(), 2);
+    }
+
+    #[test]
+    fn coord_node_roundtrip() {
+        let t = Topology::new(4, 3).unwrap();
+        for i in 0..t.nodes() {
+            let node = NodeId::new(i as u16);
+            assert_eq!(t.node_of(t.coord_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let t = Topology::paper_4x4();
+        let c = Coord::new(0, 0);
+        assert_eq!(t.neighbor(c, Dir::West), Coord::new(3, 0));
+        assert_eq!(t.neighbor(c, Dir::North), Coord::new(0, 3));
+        assert_eq!(t.neighbor(c, Dir::East), Coord::new(1, 0));
+        assert_eq!(t.neighbor(c, Dir::South), Coord::new(0, 1));
+    }
+
+    #[test]
+    fn neighbor_opposite_is_identity() {
+        let t = Topology::new(5, 7).unwrap();
+        for y in 0..7 {
+            for x in 0..5 {
+                let c = Coord::new(x, y);
+                for d in Dir::ALL {
+                    assert_eq!(t.neighbor(t.neighbor(c, d), d.opposite()), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_symmetric_and_wrapping() {
+        let t = Topology::paper_4x4();
+        let a = Coord::new(0, 0);
+        let b = Coord::new(3, 3);
+        // One wrap hop on each axis.
+        assert_eq!(t.distance(a, b), 2);
+        assert_eq!(t.distance(b, a), 2);
+        assert_eq!(t.distance(a, a), 0);
+        assert_eq!(t.distance(a, Coord::new(2, 0)), 2);
+    }
+
+    #[test]
+    fn productive_dirs_reduce_distance() {
+        let t = Topology::paper_4x4();
+        for sy in 0..4 {
+            for sx in 0..4 {
+                for dy in 0..4 {
+                    for dx in 0..4 {
+                        let s = Coord::new(sx, sy);
+                        let d = Coord::new(dx, dy);
+                        for dir in t.productive_dirs(s, d) {
+                            let n = t.neighbor(s, dir);
+                            assert!(
+                                t.distance(n, d) < t.distance(s, d),
+                                "{dir} from {s} to {d} is not productive"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn productive_dirs_empty_at_dest() {
+        let t = Topology::paper_4x4();
+        let c = Coord::new(1, 2);
+        assert_eq!(t.productive_dirs(c, c).count(), 0);
+    }
+
+    #[test]
+    fn dir_opposites() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Flit model: the unit of transfer on the MEDEA NoC.
+//!
+//! §II-D defines a three-level protocol carried in a single 64-bit flit
+//! (Fig. 5):
+//!
+//! * **transport level** — validity bit + X-Y destination, used by switches;
+//! * **bridge level** — `TYPE` (3 bits, seven packet types), `SUBTYPE`
+//!   (2 bits) and `SEQ-NUM` (4 bits) used by the pif2NoC bridge and TIE
+//!   interface;
+//! * **application level** — `BURST-SIZE` (2 bits), `SRC-ID` (4 bits) and a
+//!   32-bit data word, written and consumed by software.
+//!
+//! The struct here is the *semantic* view; the bit-exact wire form lives in
+//! [`crate::codec`].
+
+use crate::coord::Coord;
+use medea_sim::Cycle;
+use std::fmt;
+
+/// The seven packet types of the 3-bit `TYPE` field (§II-D): six for
+/// shared-memory transactions plus one for generic message passing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Single-word shared-memory read.
+    SingleRead,
+    /// Single-word shared-memory write.
+    SingleWrite,
+    /// Cache-line (4-word) shared-memory read.
+    BlockRead,
+    /// Cache-line (4-word) shared-memory write.
+    BlockWrite,
+    /// Lock a shared-memory word (atomic-section entry).
+    Lock,
+    /// Unlock a shared-memory word.
+    Unlock,
+    /// Generic message-passing flit (TIE interface traffic).
+    Message,
+}
+
+impl PacketKind {
+    /// All kinds in `TYPE`-field encoding order.
+    pub const ALL: [PacketKind; 7] = [
+        PacketKind::SingleRead,
+        PacketKind::SingleWrite,
+        PacketKind::BlockRead,
+        PacketKind::BlockWrite,
+        PacketKind::Lock,
+        PacketKind::Unlock,
+        PacketKind::Message,
+    ];
+
+    /// 3-bit wire encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            PacketKind::SingleRead => 0,
+            PacketKind::SingleWrite => 1,
+            PacketKind::BlockRead => 2,
+            PacketKind::BlockWrite => 3,
+            PacketKind::Lock => 4,
+            PacketKind::Unlock => 5,
+            PacketKind::Message => 6,
+        }
+    }
+
+    /// Decode the 3-bit `TYPE` field.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(PacketKind::SingleRead),
+            1 => Some(PacketKind::SingleWrite),
+            2 => Some(PacketKind::BlockRead),
+            3 => Some(PacketKind::BlockWrite),
+            4 => Some(PacketKind::Lock),
+            5 => Some(PacketKind::Unlock),
+            6 => Some(PacketKind::Message),
+            _ => None,
+        }
+    }
+
+    /// Whether this kind belongs to the shared-memory protocol (i.e. it is
+    /// handled by the pif2NoC bridge and the MPMMU rather than the TIE
+    /// message interface).
+    pub const fn is_shared_memory(self) -> bool {
+        !matches!(self, PacketKind::Message)
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketKind::SingleRead => "single-read",
+            PacketKind::SingleWrite => "single-write",
+            PacketKind::BlockRead => "block-read",
+            PacketKind::BlockWrite => "block-write",
+            PacketKind::Lock => "lock",
+            PacketKind::Unlock => "unlock",
+            PacketKind::Message => "message",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 2-bit `SUBTYPE` field (§II-D): for shared-memory packets it
+/// distinguishes Ack/Nack from Address/Data payloads; for message-passing
+/// flits it distinguishes requests from generic data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubKind {
+    /// Carries an address / is a request-for-transaction token.
+    Request,
+    /// Carries a data word.
+    Data,
+    /// Positive acknowledge (grant / completion).
+    Ack,
+    /// Negative acknowledge (lock busy, resource unavailable).
+    Nack,
+}
+
+impl SubKind {
+    /// 2-bit wire encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            SubKind::Request => 0,
+            SubKind::Data => 1,
+            SubKind::Ack => 2,
+            SubKind::Nack => 3,
+        }
+    }
+
+    /// Decode the 2-bit `SUBTYPE` field.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SubKind::Request),
+            1 => Some(SubKind::Data),
+            2 => Some(SubKind::Ack),
+            3 => Some(SubKind::Nack),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SubKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubKind::Request => "req",
+            SubKind::Data => "data",
+            SubKind::Ack => "ack",
+            SubKind::Nack => "nack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Width of the sequence-number field; bounds a logical packet to 16 flits
+/// (§II-D: "sequence-number is a four bits field").
+pub const SEQ_BITS: u32 = 4;
+/// Maximum flits per logical packet given [`SEQ_BITS`].
+pub const MAX_LOGICAL_PACKET: usize = 1 << SEQ_BITS;
+
+/// Width of the burst-size field (§II-D: 2 bits).
+pub const BURST_BITS: u32 = 2;
+
+/// Decode the 2-bit burst code into a flit count.
+///
+/// The paper gives the field width (2 bits) but not its encoding; since the
+/// sequence number allows 16-flit logical packets, we use a geometric code
+/// `{1, 2, 4, 16}` so that both a single-word transaction, a 4-word cache
+/// line and a maximal message packet are representable. Documented design
+/// choice (DESIGN.md §3.1).
+pub const fn burst_len(code: u8) -> usize {
+    match code & 0b11 {
+        0 => 1,
+        1 => 2,
+        2 => 4,
+        _ => 16,
+    }
+}
+
+/// Encode a flit count into the smallest burst code covering it.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or exceeds [`MAX_LOGICAL_PACKET`].
+pub const fn burst_code(len: usize) -> u8 {
+    assert!(len >= 1 && len <= MAX_LOGICAL_PACKET);
+    match len {
+        1 => 0,
+        2 => 1,
+        3 | 4 => 2,
+        _ => 3,
+    }
+}
+
+/// Simulation-only bookkeeping attached to a flit (not part of the wire
+/// format): identity, timing and routing history for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlitMeta {
+    /// Unique id assigned at injection (0 until injected).
+    pub uid: u64,
+    /// Cycle at which the flit entered the fabric.
+    pub injected_at: Cycle,
+    /// Routers traversed so far.
+    pub hops: u16,
+    /// Times this flit was deflected to a non-productive port.
+    pub deflections: u16,
+}
+
+/// A single NoC flit: 64-bit wire payload plus simulation metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    dest: Coord,
+    kind: PacketKind,
+    sub: SubKind,
+    seq: u8,
+    burst: u8,
+    src_id: u8,
+    data: u32,
+    /// Simulation bookkeeping; mutated by the fabric.
+    pub meta: FlitMeta,
+}
+
+impl Flit {
+    /// Construct a flit with every wire field explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq`, `burst` or `src_id` exceed their field widths
+    /// (4, 2 and 4 bits respectively).
+    pub fn new(
+        dest: Coord,
+        kind: PacketKind,
+        sub: SubKind,
+        seq: u8,
+        burst: u8,
+        src_id: u8,
+        data: u32,
+    ) -> Self {
+        assert!(seq < (1 << SEQ_BITS), "seq {seq} exceeds 4-bit field");
+        assert!(burst < (1 << BURST_BITS), "burst {burst} exceeds 2-bit field");
+        assert!(src_id < 16, "src-id {src_id} exceeds 4-bit field");
+        Flit { dest, kind, sub, seq, burst, src_id, data, meta: FlitMeta::default() }
+    }
+
+    /// Convenience constructor for a message-passing data flit.
+    pub fn message(dest: Coord, src_id: u8, seq: u8, burst: u8, data: u32) -> Self {
+        Flit::new(dest, PacketKind::Message, SubKind::Data, seq, burst, src_id, data)
+    }
+
+    /// Convenience constructor for a shared-memory request token
+    /// (`data` carries the word address).
+    pub fn request(dest: Coord, kind: PacketKind, src_id: u8, addr: u32) -> Self {
+        Flit::new(dest, kind, SubKind::Request, 0, 0, src_id, addr)
+    }
+
+    /// Transport-level destination.
+    pub const fn dest(&self) -> Coord {
+        self.dest
+    }
+
+    /// Bridge-level packet type.
+    pub const fn kind(&self) -> PacketKind {
+        self.kind
+    }
+
+    /// Bridge-level subtype.
+    pub const fn sub(&self) -> SubKind {
+        self.sub
+    }
+
+    /// Sequence number within the logical packet (receiver-side reorder
+    /// offset).
+    pub const fn seq(&self) -> u8 {
+        self.seq
+    }
+
+    /// Raw 2-bit burst code; see [`burst_len`].
+    pub const fn burst(&self) -> u8 {
+        self.burst
+    }
+
+    /// Number of flits in this flit's logical packet.
+    pub const fn burst_flits(&self) -> usize {
+        burst_len(self.burst)
+    }
+
+    /// Application-level source id (rank or node index, 4 bits).
+    pub const fn src_id(&self) -> u8 {
+        self.src_id
+    }
+
+    /// 32-bit payload word (address for requests, data otherwise).
+    pub const fn payload(&self) -> u32 {
+        self.data
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ->{} seq={} burst={} src={} data={:#010x}",
+            self.kind, self.sub, self.dest, self.seq, self.burst, self.src_id, self.data
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in PacketKind::ALL {
+            assert_eq!(PacketKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(PacketKind::from_code(7), None);
+    }
+
+    #[test]
+    fn sub_codes_roundtrip() {
+        for code in 0..4 {
+            let sub = SubKind::from_code(code).unwrap();
+            assert_eq!(sub.code(), code);
+        }
+        assert_eq!(SubKind::from_code(4), None);
+    }
+
+    #[test]
+    fn message_is_not_shared_memory() {
+        assert!(!PacketKind::Message.is_shared_memory());
+        assert!(PacketKind::BlockRead.is_shared_memory());
+        assert!(PacketKind::Lock.is_shared_memory());
+    }
+
+    #[test]
+    fn burst_code_covers_lengths() {
+        for len in 1..=MAX_LOGICAL_PACKET {
+            let code = burst_code(len);
+            assert!(burst_len(code) >= len, "code {code} too small for {len}");
+        }
+        assert_eq!(burst_len(burst_code(4)), 4);
+        assert_eq!(burst_len(burst_code(1)), 1);
+    }
+
+    #[test]
+    fn field_width_asserts() {
+        let d = Coord::new(0, 0);
+        assert!(std::panic::catch_unwind(|| {
+            Flit::new(d, PacketKind::Message, SubKind::Data, 16, 0, 0, 0)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Flit::new(d, PacketKind::Message, SubKind::Data, 0, 4, 0, 0)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            Flit::new(d, PacketKind::Message, SubKind::Data, 0, 0, 16, 0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let f = Flit::request(Coord::new(1, 2), PacketKind::BlockRead, 3, 0x40);
+        assert_eq!(f.dest(), Coord::new(1, 2));
+        assert_eq!(f.kind(), PacketKind::BlockRead);
+        assert_eq!(f.sub(), SubKind::Request);
+        assert_eq!(f.src_id(), 3);
+        assert_eq!(f.payload(), 0x40);
+        assert_eq!(f.burst_flits(), 1);
+        assert!(f.to_string().contains("block-read/req"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Contention-free reference fabric for ablation studies.
+//!
+//! Delivers every flit after exactly `minimal_hops` cycles — the
+//! zero-contention minimum of the real fabric — with unlimited bandwidth.
+//! Comparing a run on [`IdealNetwork`] against [`crate::network::Network`]
+//! isolates how much of the execution time is caused by deflection-routing
+//! contention — the A2 ablation in DESIGN.md.
+
+use crate::coord::Topology;
+use crate::flit::Flit;
+use crate::{Fabric, FabricStats};
+use medea_sim::{ids::NodeId, Cycle};
+use std::collections::VecDeque;
+
+/// An idealized fabric with zero contention and infinite link bandwidth.
+#[derive(Debug, Clone)]
+pub struct IdealNetwork {
+    topo: Topology,
+    /// Flits in flight: `(deliver_at, destination, flit)`, kept sorted by
+    /// insertion (delivery times are monotone per source but not globally,
+    /// so tick scans; in-flight counts are small).
+    in_transit: Vec<(Cycle, NodeId, Flit)>,
+    eject_queues: Vec<VecDeque<Flit>>,
+    stats: FabricStats,
+    next_uid: u64,
+}
+
+impl IdealNetwork {
+    /// Extra cycles charged on top of the minimal hop count. Zero: the
+    /// ideal fabric is exactly the contention-free lower bound of the real
+    /// one, whose per-hop cost is one cycle.
+    pub const OVERHEAD_CYCLES: Cycle = 0;
+
+    /// Build an ideal fabric with the same addressing as a real one.
+    pub fn new(topo: Topology) -> Self {
+        IdealNetwork {
+            topo,
+            in_transit: Vec::new(),
+            eject_queues: (0..topo.nodes()).map(|_| VecDeque::new()).collect(),
+            stats: FabricStats::default(),
+            next_uid: 1,
+        }
+    }
+
+    /// The topology this fabric was built for.
+    pub const fn topology(&self) -> Topology {
+        self.topo
+    }
+}
+
+impl Fabric for IdealNetwork {
+    fn try_inject(&mut self, node: NodeId, mut flit: Flit, now: Cycle) -> Result<(), Flit> {
+        let src = self.topo.coord_of(node);
+        let dest_node = self.topo.node_of(flit.dest());
+        let hops = self.topo.distance(src, flit.dest()) as Cycle;
+        flit.meta.injected_at = now;
+        flit.meta.uid = self.next_uid;
+        flit.meta.hops = hops as u16;
+        self.next_uid += 1;
+        self.stats.injected += 1;
+        self.in_transit.push((now + hops + Self::OVERHEAD_CYCLES, dest_node, flit));
+        Ok(())
+    }
+
+    fn eject(&mut self, node: NodeId) -> Option<Flit> {
+        self.eject_queues[node.index()].pop_front()
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.in_transit.len() {
+            if self.in_transit[i].0 <= now {
+                let (_, dest, flit) = self.in_transit.swap_remove(i);
+                self.stats.delivered += 1;
+                self.stats.latency.record(now.saturating_sub(flit.meta.injected_at));
+                self.eject_queues[dest.index()].push_back(flit);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_transit.len() + self.eject_queues.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    fn node_count(&self) -> usize {
+        self.topo.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Coord;
+
+    #[test]
+    fn delivery_after_minimal_distance() {
+        let topo = Topology::paper_4x4();
+        let mut net = IdealNetwork::new(topo);
+        let dest = NodeId::new(5); // (1,1): 2 hops from (0,0)
+        let flit = Flit::message(Coord::new(1, 1), 0, 0, 0, 3);
+        net.try_inject(NodeId::new(0), flit, 10).unwrap();
+        for now in 10..12 {
+            net.tick(now);
+            assert!(net.eject(dest).is_none(), "too early at {now}");
+        }
+        net.tick(12);
+        let f = net.eject(dest).expect("due at 12");
+        assert_eq!(f.payload(), 3);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn injection_never_refused() {
+        let topo = Topology::paper_4x4();
+        let mut net = IdealNetwork::new(topo);
+        for i in 0..100 {
+            let f = Flit::message(Coord::new(3, 3), 0, 0, 0, i);
+            assert!(net.try_inject(NodeId::new(0), f, 0).is_ok());
+        }
+        assert_eq!(net.stats().injected, 100);
+        assert_eq!(net.stats().inject_refusals, 0);
+    }
+
+    #[test]
+    fn zero_distance_delivered_same_cycle() {
+        let topo = Topology::paper_4x4();
+        let mut net = IdealNetwork::new(topo);
+        let f = Flit::message(Coord::new(0, 0), 0, 0, 0, 1);
+        net.try_inject(NodeId::new(0), f, 0).unwrap();
+        net.tick(0);
+        assert!(net.eject(NodeId::new(0)).is_some());
+    }
+}

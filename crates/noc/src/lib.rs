@@ -1,0 +1,101 @@
+//! Folded-torus network-on-chip with deflection ("hot-potato") routing.
+//!
+//! Implements §II-A and §II-D of the MEDEA paper:
+//!
+//! * a two-dimensional **folded torus** topology ([`coord`]) — folding is a
+//!   physical-layout device that equalizes link lengths, so at the
+//!   cycle-accurate level every link costs one cycle and the logical
+//!   connectivity is an ordinary torus;
+//! * **deflection routing** ([`router`]): a switch never stores more than
+//!   one flit per input channel, each incoming flit is routed independently
+//!   every cycle (full packet switching at flit granularity), there is no
+//!   back-pressure, and contention losers are deflected to free ports;
+//! * the **three-level packet format** of Fig. 5 ([`flit`], [`codec`]) with
+//!   its seven packet types and 4-bit sequence numbers for out-of-order
+//!   reassembly at the receiver;
+//! * a whole-fabric model ([`network`]) and a contention-free reference
+//!   fabric ([`ideal`]) used by the ablation benchmarks;
+//! * synthetic traffic generators and a standalone measurement loop
+//!   ([`traffic`]) for NoC-only characterization.
+//!
+//! # Example
+//!
+//! ```
+//! use medea_noc::{coord::Topology, flit::{Flit, PacketKind}, network::Network, Fabric};
+//! use medea_sim::ids::NodeId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = Topology::new(4, 4)?;
+//! let mut net = Network::new(topo);
+//! let flit = Flit::message(topo.coord_of(NodeId::new(5)), 0, 0, 0, 0xDEAD);
+//! net.try_inject(NodeId::new(0), flit, 0).map_err(|_| "injection refused")?;
+//! for now in 0..32 {
+//!     net.tick(now);
+//!     if let Some(arrived) = net.eject(NodeId::new(5)) {
+//!         assert_eq!(arrived.payload(), 0xDEAD);
+//!         assert_eq!(arrived.kind(), PacketKind::Message);
+//!         return Ok(());
+//!     }
+//! }
+//! panic!("flit never arrived");
+//! # }
+//! ```
+
+pub mod codec;
+pub mod coord;
+pub mod flit;
+pub mod ideal;
+pub mod network;
+pub mod router;
+pub mod traffic;
+
+use flit::Flit;
+use medea_sim::{ids::NodeId, Cycle};
+
+/// Aggregate fabric statistics exposed by every [`Fabric`] implementation.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Per-flit in-network latency (inject→eject), cycles.
+    pub latency: medea_sim::stats::Log2Histogram,
+    /// Total flits delivered.
+    pub delivered: u64,
+    /// Total flits injected.
+    pub injected: u64,
+    /// Total deflection events (flit granted a non-productive port).
+    pub deflections: u64,
+    /// Injection attempts refused because no output slot was free.
+    pub inject_refusals: u64,
+}
+
+/// A network fabric: anything that can carry MEDEA flits between nodes.
+///
+/// Two implementations exist: the paper's deflection-routed folded torus
+/// ([`network::Network`]) and a contention-free ideal fabric
+/// ([`ideal::IdealNetwork`]) used as an ablation baseline.
+pub trait Fabric {
+    /// Attempt to inject `flit` at `node` during cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flit back if the router cannot accept it this cycle
+    /// (hot-potato switches accept an injection only when an output slot
+    /// remains after routing through-traffic).
+    fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit>;
+
+    /// Remove the oldest flit waiting in `node`'s ejection queue, if any.
+    fn eject(&mut self, node: NodeId) -> Option<Flit>;
+
+    /// Advance the fabric by one cycle ending at `now`.
+    fn tick(&mut self, now: Cycle);
+
+    /// Number of flits currently inside the fabric (in links, latches or
+    /// ejection queues). Zero means the fabric is drained — the full-system
+    /// simulator uses this for idle fast-forwarding.
+    fn in_flight(&self) -> usize;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> &FabricStats;
+
+    /// Number of nodes addressable on this fabric.
+    fn node_count(&self) -> usize;
+}

@@ -1,0 +1,281 @@
+//! Synthetic traffic generation and open-loop NoC characterization.
+//!
+//! The paper validates the NoC substrate separately (its ref.\[15\] is a
+//! trace-driven NoC analysis); this module provides the equivalent
+//! standalone measurement: latency and accepted throughput versus offered
+//! load for classic synthetic patterns. Used by the `noc_traffic` bench
+//! (experiment A3 in DESIGN.md) and by property tests as a stress source.
+
+use crate::coord::Topology;
+use crate::flit::Flit;
+use crate::Fabric;
+use medea_sim::{ids::NodeId, rng::SplitMix64, Cycle};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Classic synthetic destination patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniformly random destination (excluding self).
+    UniformRandom,
+    /// Matrix-transpose: `(x, y) → (y, x)`; diagonal nodes stay silent.
+    Transpose,
+    /// All nodes target a single hot node (models the MPMMU bottleneck).
+    HotSpot(NodeId),
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::UniformRandom => write!(f, "uniform"),
+            Pattern::Transpose => write!(f, "transpose"),
+            Pattern::HotSpot(n) => write!(f, "hotspot({n})"),
+        }
+    }
+}
+
+/// Open-loop traffic experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Offered load in flits per node per cycle (`0.0..=1.0`).
+    pub offered_load: f64,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: Cycle,
+    /// Measured cycles.
+    pub measure: Cycle,
+    /// PRNG seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            pattern: Pattern::UniformRandom,
+            offered_load: 0.1,
+            warmup: 500,
+            measure: 2000,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Results of an open-loop traffic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficReport {
+    /// Flits generated per node per cycle (the demand).
+    pub offered_load: f64,
+    /// Flits delivered per node per cycle during the measured window.
+    pub accepted_throughput: f64,
+    /// Mean in-network latency of delivered flits, cycles.
+    pub mean_latency: f64,
+    /// Maximum observed latency (the hot-potato tail the paper mentions).
+    pub max_latency: u64,
+    /// Fraction of injection attempts initially refused (source queueing).
+    pub refusal_fraction: f64,
+    /// Mean deflections per delivered flit.
+    pub deflections_per_flit: f64,
+}
+
+/// Run an open-loop traffic experiment on `fabric`.
+///
+/// Each node owns an unbounded source queue: generated flits wait there
+/// until the router accepts them, so offered load beyond saturation shows
+/// up as rising latency and a throughput plateau — the standard NoC
+/// methodology.
+pub fn run_open_loop<F: Fabric>(fabric: &mut F, topo: Topology, cfg: &TrafficConfig) -> TrafficReport {
+    assert!(
+        (0.0..=1.0).contains(&cfg.offered_load),
+        "offered load must be within one flit per node per cycle"
+    );
+    let nodes = topo.nodes();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut source_queues: Vec<VecDeque<Flit>> = (0..nodes).map(|_| VecDeque::new()).collect();
+
+    let start_inject = fabric.stats().injected;
+    let mut measured_delivered = 0u64;
+    let mut measured_latency_sum = 0u64;
+    let mut measured_latency_max = 0u64;
+    let mut generated = 0u64;
+    let mut refused = 0u64;
+    let mut attempts = 0u64;
+    let defl_start = fabric.stats().deflections;
+
+    let total = cfg.warmup + cfg.measure;
+    for now in 0..total {
+        // Generate.
+        for src in 0..nodes {
+            if !rng.chance(cfg.offered_load) {
+                continue;
+            }
+            let dest = match destination(cfg.pattern, topo, src, &mut rng) {
+                Some(d) => d,
+                None => continue,
+            };
+            let flit =
+                Flit::message(topo.coord_of(dest), (src % 16) as u8, 0, 0, now as u32);
+            generated += 1;
+            source_queues[src].push_back(flit);
+        }
+        // Inject from source queues.
+        for (src, queue) in source_queues.iter_mut().enumerate() {
+            if let Some(flit) = queue.pop_front() {
+                attempts += 1;
+                if let Err(back) = fabric.try_inject(NodeId::new(src as u16), flit, now) {
+                    refused += 1;
+                    queue.push_front(back);
+                }
+            }
+        }
+        fabric.tick(now);
+        // Drain ejection queues.
+        for node in 0..nodes {
+            while let Some(flit) = fabric.eject(NodeId::new(node as u16)) {
+                if now >= cfg.warmup {
+                    let lat = now.saturating_sub(flit.meta.injected_at);
+                    measured_delivered += 1;
+                    measured_latency_sum += lat;
+                    measured_latency_max = measured_latency_max.max(lat);
+                }
+            }
+        }
+    }
+
+    let delivered_flits = measured_delivered;
+    let injected = fabric.stats().injected - start_inject;
+    let _ = generated;
+    TrafficReport {
+        offered_load: cfg.offered_load,
+        accepted_throughput: delivered_flits as f64 / (cfg.measure as f64 * nodes as f64),
+        mean_latency: if delivered_flits > 0 {
+            measured_latency_sum as f64 / delivered_flits as f64
+        } else {
+            0.0
+        },
+        max_latency: measured_latency_max,
+        refusal_fraction: if attempts > 0 { refused as f64 / attempts as f64 } else { 0.0 },
+        deflections_per_flit: if injected > 0 {
+            (fabric.stats().deflections - defl_start) as f64 / injected as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn destination(
+    pattern: Pattern,
+    topo: Topology,
+    src: usize,
+    rng: &mut SplitMix64,
+) -> Option<NodeId> {
+    match pattern {
+        Pattern::UniformRandom => {
+            let nodes = topo.nodes();
+            if nodes < 2 {
+                return None;
+            }
+            let mut d = rng.next_below(nodes as u64 - 1) as usize;
+            if d >= src {
+                d += 1;
+            }
+            Some(NodeId::new(d as u16))
+        }
+        Pattern::Transpose => {
+            let c = topo.coord_of(NodeId::new(src as u16));
+            if c.x == c.y || c.x >= topo.height() || c.y >= topo.width() {
+                return None;
+            }
+            Some(topo.node_of(crate::coord::Coord::new(c.y, c.x)))
+        }
+        Pattern::HotSpot(hot) => (src != hot.index()).then_some(hot),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealNetwork;
+    use crate::network::Network;
+
+    #[test]
+    fn low_load_low_latency() {
+        let topo = Topology::paper_4x4();
+        let mut net = Network::new(topo);
+        let cfg = TrafficConfig { offered_load: 0.02, ..TrafficConfig::default() };
+        let rep = run_open_loop(&mut net, topo, &cfg);
+        assert!(rep.accepted_throughput > 0.0);
+        // At 2% load a 4x4 torus is nearly contention-free; the average
+        // minimal distance is 2 so latency should be a handful of cycles.
+        assert!(rep.mean_latency < 8.0, "mean latency {}", rep.mean_latency);
+    }
+
+    #[test]
+    fn throughput_saturates_under_heavy_load() {
+        let topo = Topology::paper_4x4();
+        let mk = |load| {
+            let mut net = Network::new(topo);
+            let cfg = TrafficConfig { offered_load: load, ..TrafficConfig::default() };
+            run_open_loop(&mut net, topo, &cfg)
+        };
+        let light = mk(0.05);
+        let heavy = mk(0.9);
+        assert!(heavy.mean_latency > light.mean_latency);
+        assert!(heavy.accepted_throughput < 0.9, "cannot accept all offered load");
+        assert!(heavy.deflections_per_flit > light.deflections_per_flit);
+    }
+
+    #[test]
+    fn hotspot_is_ejection_limited() {
+        let topo = Topology::paper_4x4();
+        let mut net = Network::new(topo);
+        let cfg = TrafficConfig {
+            pattern: Pattern::HotSpot(NodeId::new(0)),
+            offered_load: 0.5,
+            ..TrafficConfig::default()
+        };
+        let rep = run_open_loop(&mut net, topo, &cfg);
+        // One ejection channel: at most 1 flit/cycle total reaches the hot
+        // node, i.e. 1/16 per node per cycle.
+        assert!(rep.accepted_throughput <= 1.0 / 15.0 + 0.01);
+    }
+
+    #[test]
+    fn ideal_network_beats_real_under_load() {
+        let topo = Topology::paper_4x4();
+        let cfg = TrafficConfig { offered_load: 0.4, ..TrafficConfig::default() };
+        let mut real = Network::new(topo);
+        let real_rep = run_open_loop(&mut real, topo, &cfg);
+        let mut ideal = IdealNetwork::new(topo);
+        let ideal_rep = run_open_loop(&mut ideal, topo, &cfg);
+        assert!(ideal_rep.mean_latency <= real_rep.mean_latency);
+        // Throughput matches up to measurement-window boundary effects
+        // (flits still in flight when the window closes).
+        assert!(ideal_rep.accepted_throughput >= real_rep.accepted_throughput - 0.01);
+        assert_eq!(ideal_rep.max_latency, 4, "ideal max latency is the torus diameter");
+    }
+
+    #[test]
+    fn transpose_diagonal_silent() {
+        let topo = Topology::paper_4x4();
+        let mut rng = SplitMix64::new(1);
+        // Node 0 is (0,0): on the diagonal.
+        assert_eq!(destination(Pattern::Transpose, topo, 0, &mut rng), None);
+        // Node 1 is (1,0) -> (0,1) = node 4.
+        assert_eq!(
+            destination(Pattern::Transpose, topo, 1, &mut rng),
+            Some(NodeId::new(4))
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Topology::paper_4x4();
+        let cfg = TrafficConfig { offered_load: 0.3, ..TrafficConfig::default() };
+        let mut a = Network::new(topo);
+        let mut b = Network::new(topo);
+        let ra = run_open_loop(&mut a, topo, &cfg);
+        let rb = run_open_loop(&mut b, topo, &cfg);
+        assert_eq!(ra, rb);
+    }
+}

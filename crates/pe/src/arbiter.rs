@@ -1,0 +1,418 @@
+//! NoC-access arbiter between the TIE message interface and the pif2NoC
+//! bridge.
+//!
+//! §II-B describes three build options, "depending on required system
+//! performance and area availability":
+//!
+//! 1. **Mux** — no buffers: each interface has a single output latch; in
+//!    case of contention one is granted and the other waits;
+//! 2. **SingleFifo** — one shared queue, so both interfaces can keep
+//!    posting packets even when the local switch is congested;
+//! 3. **DualPriority** — a High-Priority and a Best-Effort queue; the
+//!    best-effort queue is read "only if the high-priority one is empty".
+//!
+//! The paper does not fix which traffic class is high priority; the default
+//! here makes message-passing traffic (synchronization tokens) high
+//! priority, with the opposite assignment available for the A1 ablation.
+
+use medea_noc::flit::Flit;
+use medea_sim::fifo::Fifo;
+use medea_sim::stats::Counter;
+use std::fmt;
+
+/// Which traffic class uses the high-priority queue in
+/// [`ArbiterConfig::DualPriority`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriorityAssignment {
+    /// Message-passing flits are high priority (default — sync tokens are
+    /// latency critical).
+    MessageHigh,
+    /// Shared-memory (bridge) flits are high priority.
+    BridgeHigh,
+}
+
+/// Arbiter build option (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterConfig {
+    /// Plain multiplexer: one latch per interface, no queueing.
+    Mux,
+    /// One shared FIFO of the given depth.
+    SingleFifo {
+        /// Queue depth in flits.
+        depth: usize,
+    },
+    /// High-priority + best-effort FIFOs of the given depth each.
+    DualPriority {
+        /// Depth of each queue in flits.
+        depth: usize,
+        /// Which class is high priority.
+        priority: PriorityAssignment,
+    },
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig::SingleFifo { depth: 8 }
+    }
+}
+
+impl fmt::Display for ArbiterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbiterConfig::Mux => write!(f, "mux"),
+            ArbiterConfig::SingleFifo { depth } => write!(f, "fifo{depth}"),
+            ArbiterConfig::DualPriority { depth, .. } => write!(f, "2xfifo{depth}"),
+        }
+    }
+}
+
+/// Arbiter occupancy/traffic statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArbiterStats {
+    /// Message flits accepted.
+    pub message_flits: Counter,
+    /// Bridge flits accepted.
+    pub bridge_flits: Counter,
+    /// Grants to the message interface.
+    pub message_grants: Counter,
+    /// Grants to the bridge interface.
+    pub bridge_grants: Counter,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Mux { message: Option<Flit>, bridge: Option<Flit> },
+    Single { queue: Fifo<(Source, Flit)> },
+    Dual { high: Fifo<Flit>, best: Fifo<Flit>, priority: PriorityAssignment },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Message,
+    Bridge,
+}
+
+/// The arbiter between the PE's two NoC interfaces and its router.
+#[derive(Debug, Clone)]
+pub struct NocArbiter {
+    storage: Storage,
+    /// Flit returned by a failed injection; re-offered before anything
+    /// else so ordering is preserved.
+    restore_slot: Option<(Source, Flit)>,
+    /// Round-robin state for the Mux configuration.
+    last_granted_message: bool,
+    stats: ArbiterStats,
+}
+
+impl NocArbiter {
+    /// Build an arbiter for the given configuration.
+    pub fn new(config: ArbiterConfig) -> Self {
+        let storage = match config {
+            ArbiterConfig::Mux => Storage::Mux { message: None, bridge: None },
+            ArbiterConfig::SingleFifo { depth } => {
+                Storage::Single { queue: Fifo::new("arbiter", depth.max(1)) }
+            }
+            ArbiterConfig::DualPriority { depth, priority } => Storage::Dual {
+                high: Fifo::new("arbiter-hp", depth.max(1)),
+                best: Fifo::new("arbiter-be", depth.max(1)),
+                priority,
+            },
+        };
+        NocArbiter {
+            storage,
+            restore_slot: None,
+            last_granted_message: false,
+            stats: ArbiterStats::default(),
+        }
+    }
+
+    /// Statistics.
+    pub const fn stats(&self) -> &ArbiterStats {
+        &self.stats
+    }
+
+    fn class_is_high(&self, src: Source) -> bool {
+        match &self.storage {
+            Storage::Dual { priority, .. } => match priority {
+                PriorityAssignment::MessageHigh => src == Source::Message,
+                PriorityAssignment::BridgeHigh => src == Source::Bridge,
+            },
+            _ => false,
+        }
+    }
+
+    /// Whether a message flit can be accepted this cycle.
+    pub fn can_accept_message(&self) -> bool {
+        self.can_accept(Source::Message)
+    }
+
+    /// Whether a bridge flit can be accepted this cycle.
+    pub fn can_accept_bridge(&self) -> bool {
+        self.can_accept(Source::Bridge)
+    }
+
+    fn can_accept(&self, src: Source) -> bool {
+        match &self.storage {
+            Storage::Mux { message, bridge } => match src {
+                Source::Message => message.is_none(),
+                Source::Bridge => bridge.is_none(),
+            },
+            Storage::Single { queue } => !queue.is_full(),
+            Storage::Dual { high, best, .. } => {
+                if self.class_is_high(src) {
+                    !high.is_full()
+                } else {
+                    !best.is_full()
+                }
+            }
+        }
+    }
+
+    /// Accept a message flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NocArbiter::can_accept_message`] is false — interfaces
+    /// must check before offering, as the hardware handshake does.
+    pub fn accept_message(&mut self, flit: Flit) {
+        assert!(self.can_accept_message(), "message interface offered without a free slot");
+        self.stats.message_flits.inc();
+        self.accept(Source::Message, flit);
+    }
+
+    /// Accept a bridge flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NocArbiter::can_accept_bridge`] is false.
+    pub fn accept_bridge(&mut self, flit: Flit) {
+        assert!(self.can_accept_bridge(), "bridge offered without a free slot");
+        self.stats.bridge_flits.inc();
+        self.accept(Source::Bridge, flit);
+    }
+
+    fn accept(&mut self, src: Source, flit: Flit) {
+        let high = self.class_is_high(src);
+        match &mut self.storage {
+            Storage::Mux { message, bridge } => match src {
+                Source::Message => *message = Some(flit),
+                Source::Bridge => *bridge = Some(flit),
+            },
+            Storage::Single { queue } => {
+                queue.push((src, flit)).expect("checked can_accept");
+            }
+            Storage::Dual { high: hq, best, .. } => {
+                let q = if high { hq } else { best };
+                q.push(flit).expect("checked can_accept");
+            }
+        }
+    }
+
+    /// Pick the flit to inject this cycle, if any.
+    pub fn select(&mut self) -> Option<Flit> {
+        if let Some((src, flit)) = self.restore_slot.take() {
+            self.count_grant(src);
+            return Some(flit);
+        }
+        let (src, flit) = match &mut self.storage {
+            Storage::Mux { message, bridge } => {
+                // Round-robin between occupied latches.
+                let pick_message = match (message.is_some(), bridge.is_some()) {
+                    (false, false) => return None,
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => !self.last_granted_message,
+                };
+                if pick_message {
+                    self.last_granted_message = true;
+                    (Source::Message, message.take().expect("occupied"))
+                } else {
+                    self.last_granted_message = false;
+                    (Source::Bridge, bridge.take().expect("occupied"))
+                }
+            }
+            Storage::Single { queue } => queue.pop()?,
+            Storage::Dual { high, best, priority } => {
+                // Best-effort served only when high-priority is empty.
+                let hp_src = match priority {
+                    PriorityAssignment::MessageHigh => Source::Message,
+                    PriorityAssignment::BridgeHigh => Source::Bridge,
+                };
+                if let Some(f) = high.pop() {
+                    (hp_src, f)
+                } else if let Some(f) = best.pop() {
+                    let be_src = match hp_src {
+                        Source::Message => Source::Bridge,
+                        Source::Bridge => Source::Message,
+                    };
+                    (be_src, f)
+                } else {
+                    return None;
+                }
+            }
+        };
+        self.count_grant(src);
+        Some(flit)
+    }
+
+    fn count_grant(&mut self, src: Source) {
+        match src {
+            Source::Message => self.stats.message_grants.inc(),
+            Source::Bridge => self.stats.bridge_grants.inc(),
+        }
+    }
+
+    /// Put back a flit whose injection the router refused; it will be
+    /// offered first next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flit is already waiting in the restore slot (only one
+    /// injection attempt per cycle is possible).
+    pub fn restore(&mut self, flit: Flit) {
+        assert!(self.restore_slot.is_none(), "double restore in one cycle");
+        // Source attribution is only used for grant statistics; reconstruct
+        // from the flit class and undo the premature grant count.
+        let src =
+            if flit.kind().is_shared_memory() { Source::Bridge } else { Source::Message };
+        match src {
+            Source::Message => {
+                self.stats.message_grants = decrement(self.stats.message_grants);
+            }
+            Source::Bridge => {
+                self.stats.bridge_grants = decrement(self.stats.bridge_grants);
+            }
+        }
+        self.restore_slot = Some((src, flit));
+    }
+
+    /// Flits currently queued (including the restore slot).
+    pub fn occupancy(&self) -> usize {
+        let stored = match &self.storage {
+            Storage::Mux { message, bridge } => {
+                usize::from(message.is_some()) + usize::from(bridge.is_some())
+            }
+            Storage::Single { queue } => queue.len(),
+            Storage::Dual { high, best, .. } => high.len() + best.len(),
+        };
+        stored + usize::from(self.restore_slot.is_some())
+    }
+}
+
+fn decrement(c: Counter) -> Counter {
+    let mut fresh = Counter::new();
+    fresh.add(c.get().saturating_sub(1));
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_noc::coord::Coord;
+    use medea_noc::flit::{Flit, PacketKind};
+
+    fn msg(n: u32) -> Flit {
+        Flit::message(Coord::new(1, 0), 1, 0, 0, n)
+    }
+
+    fn brd(n: u32) -> Flit {
+        Flit::request(Coord::new(0, 0), PacketKind::SingleRead, 1, n)
+    }
+
+    #[test]
+    fn mux_round_robin() {
+        let mut a = NocArbiter::new(ArbiterConfig::Mux);
+        a.accept_message(msg(1));
+        a.accept_bridge(brd(2));
+        assert!(!a.can_accept_message());
+        let first = a.select().unwrap();
+        let second = a.select().unwrap();
+        assert_ne!(first.kind() == PacketKind::Message, second.kind() == PacketKind::Message);
+        assert_eq!(a.select(), None);
+        // Alternation under sustained contention.
+        a.accept_message(msg(3));
+        a.accept_bridge(brd(4));
+        let third = a.select().unwrap();
+        assert_ne!(third.kind(), second.kind());
+    }
+
+    #[test]
+    fn single_fifo_preserves_order() {
+        let mut a = NocArbiter::new(ArbiterConfig::SingleFifo { depth: 4 });
+        a.accept_message(msg(1));
+        a.accept_bridge(brd(2));
+        a.accept_message(msg(3));
+        assert_eq!(a.select().unwrap().payload(), 1);
+        assert_eq!(a.select().unwrap().payload(), 2);
+        assert_eq!(a.select().unwrap().payload(), 3);
+    }
+
+    #[test]
+    fn single_fifo_backpressure() {
+        let mut a = NocArbiter::new(ArbiterConfig::SingleFifo { depth: 2 });
+        a.accept_message(msg(1));
+        a.accept_bridge(brd(2));
+        assert!(!a.can_accept_message());
+        assert!(!a.can_accept_bridge());
+    }
+
+    #[test]
+    fn dual_priority_hp_first() {
+        let cfg = ArbiterConfig::DualPriority {
+            depth: 4,
+            priority: PriorityAssignment::MessageHigh,
+        };
+        let mut a = NocArbiter::new(cfg);
+        a.accept_bridge(brd(1));
+        a.accept_bridge(brd(2));
+        a.accept_message(msg(3));
+        // Message (HP) preempts queued bridge traffic.
+        assert_eq!(a.select().unwrap().payload(), 3);
+        assert_eq!(a.select().unwrap().payload(), 1);
+        assert_eq!(a.select().unwrap().payload(), 2);
+    }
+
+    #[test]
+    fn dual_priority_bridge_high_ablation() {
+        let cfg =
+            ArbiterConfig::DualPriority { depth: 4, priority: PriorityAssignment::BridgeHigh };
+        let mut a = NocArbiter::new(cfg);
+        a.accept_message(msg(1));
+        a.accept_bridge(brd(2));
+        assert_eq!(a.select().unwrap().payload(), 2);
+        assert_eq!(a.select().unwrap().payload(), 1);
+    }
+
+    #[test]
+    fn restore_comes_out_first() {
+        let mut a = NocArbiter::new(ArbiterConfig::SingleFifo { depth: 4 });
+        a.accept_message(msg(1));
+        a.accept_message(msg(2));
+        let f = a.select().unwrap();
+        a.restore(f);
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(a.select().unwrap().payload(), 1);
+        assert_eq!(a.select().unwrap().payload(), 2);
+    }
+
+    #[test]
+    fn grant_stats_track_classes() {
+        let mut a = NocArbiter::new(ArbiterConfig::SingleFifo { depth: 4 });
+        a.accept_message(msg(1));
+        a.accept_bridge(brd(2));
+        a.select();
+        a.select();
+        assert_eq!(a.stats().message_grants.get(), 1);
+        assert_eq!(a.stats().bridge_grants.get(), 1);
+        assert_eq!(a.stats().message_flits.get(), 1);
+        assert_eq!(a.stats().bridge_flits.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a free slot")]
+    fn overfull_accept_panics() {
+        let mut a = NocArbiter::new(ArbiterConfig::Mux);
+        a.accept_message(msg(1));
+        a.accept_message(msg(2));
+    }
+}

@@ -1,0 +1,469 @@
+//! The pif2NoC bridge (§II-B): translates PIF bus transactions into NoC
+//! flit sequences and back.
+//!
+//! "The bridge is capable of single read/write operations as well as block
+//! transfers. The translation of a specific shared-memory address into a
+//! NoC address depends on a configuration memory inside the bridge [...]
+//! In the simplest Medea implementation, all the memory mapped address
+//! space is located at the unique MPMMU of the system, thus the
+//! corresponding NoC address is hardwired." We model exactly that simplest
+//! implementation: one MPMMU, hardwired coordinate.
+//!
+//! Block-read responses "may arrive out-of-order", so the bridge contains a
+//! reorder buffer "which currently has a depth of four words" — one cache
+//! line.
+//!
+//! Lock transactions answered with a Nack (lock busy) are retried
+//! automatically after a configurable backoff; the PE stays blocked, which
+//! is precisely the serialization cost of shared-memory synchronization the
+//! paper measures against message passing.
+
+use medea_cache::{Addr, WORDS_PER_LINE};
+use medea_noc::coord::Coord;
+use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
+use medea_sim::stats::Counter;
+use medea_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A PIF transaction submitted to the bridge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BridgeOp {
+    /// Read one word.
+    SingleRead {
+        /// Word address.
+        addr: Addr,
+    },
+    /// Write one word.
+    SingleWrite {
+        /// Word address.
+        addr: Addr,
+        /// Value to write.
+        value: u32,
+    },
+    /// Read one cache line.
+    BlockRead {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// Write one cache line.
+    BlockWrite {
+        /// Line-aligned address.
+        line: Addr,
+        /// Line data.
+        data: [u32; WORDS_PER_LINE],
+    },
+    /// Acquire the lock on a shared-memory word (retries until granted).
+    Lock {
+        /// Word address.
+        addr: Addr,
+    },
+    /// Release the lock on a shared-memory word.
+    Unlock {
+        /// Word address.
+        addr: Addr,
+    },
+}
+
+/// Completion value of a bridge transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeResult {
+    /// Single-read data.
+    Word(u32),
+    /// Block-read data, in address order.
+    Line([u32; WORDS_PER_LINE]),
+    /// Write committed (final ack received).
+    WriteDone,
+    /// Lock acquired.
+    LockGranted,
+    /// Unlock acknowledged.
+    UnlockDone,
+    /// Unlock refused by the MPMMU (ownership violation — a software bug).
+    UnlockRejected,
+}
+
+/// Bridge configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeConfig {
+    /// Cycles to wait after a lock Nack before retrying.
+    pub lock_retry_backoff: Cycle,
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig { lock_retry_backoff: 16 }
+    }
+}
+
+/// Bridge statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BridgeStats {
+    /// Transactions completed.
+    pub transactions: Counter,
+    /// Lock retries caused by Nacks.
+    pub lock_retries: Counter,
+    /// Block-read data flits that arrived out of address order.
+    pub out_of_order_flits: Counter,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Idle,
+    AwaitSingleData,
+    AwaitBlockData { reorder: [Option<u32>; WORDS_PER_LINE], got: usize, next_expected: u8 },
+    AwaitGrant { kind: PacketKind, data: VecDeque<Flit> },
+    Streaming { data: VecDeque<Flit> },
+    AwaitFinalAck,
+    AwaitLockAck { addr: Addr },
+    LockBackoff { until: Cycle, addr: Addr },
+    AwaitUnlockAck,
+}
+
+/// The pif2NoC bridge of one processing element.
+#[derive(Debug, Clone)]
+pub struct Pif2NocBridge {
+    mpmmu: Coord,
+    src_id: u8,
+    cfg: BridgeConfig,
+    state: State,
+    out_slot: Option<Flit>,
+    result: Option<BridgeResult>,
+    stats: BridgeStats,
+}
+
+impl Pif2NocBridge {
+    /// Build a bridge for the PE with application-level id `src_id`
+    /// (its node index), talking to the MPMMU at `mpmmu`.
+    pub fn new(mpmmu: Coord, src_id: u8, cfg: BridgeConfig) -> Self {
+        Pif2NocBridge {
+            mpmmu,
+            src_id,
+            cfg,
+            state: State::Idle,
+            out_slot: None,
+            result: None,
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// Statistics.
+    pub const fn stats(&self) -> &BridgeStats {
+        &self.stats
+    }
+
+    /// Whether a transaction is in flight.
+    pub fn is_busy(&self) -> bool {
+        !matches!(self.state, State::Idle) || self.out_slot.is_some()
+    }
+
+    /// If the bridge is only waiting for a lock backoff to expire, the
+    /// expiry cycle (fast-forward hint).
+    pub fn backoff_until(&self) -> Option<Cycle> {
+        match self.state {
+            State::LockBackoff { until, .. } if self.out_slot.is_none() => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Start a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already in flight — the PE blocks on the
+    /// bridge, so overlap is an engine bug.
+    pub fn start(&mut self, op: BridgeOp) {
+        assert!(!self.is_busy(), "bridge transaction overlap");
+        let req = |kind: PacketKind, addr: Addr| Flit::request(self.mpmmu, kind, self.src_id, addr);
+        match op {
+            BridgeOp::SingleRead { addr } => {
+                self.out_slot = Some(req(PacketKind::SingleRead, addr));
+                self.state = State::AwaitSingleData;
+            }
+            BridgeOp::BlockRead { line } => {
+                self.out_slot = Some(req(PacketKind::BlockRead, line));
+                self.state = State::AwaitBlockData {
+                    reorder: [None; WORDS_PER_LINE],
+                    got: 0,
+                    next_expected: 0,
+                };
+            }
+            BridgeOp::SingleWrite { addr, value } => {
+                self.out_slot = Some(req(PacketKind::SingleWrite, addr));
+                let data = VecDeque::from(vec![self.data_flit(PacketKind::SingleWrite, 0, 1, value)]);
+                self.state = State::AwaitGrant { kind: PacketKind::SingleWrite, data };
+            }
+            BridgeOp::BlockWrite { line, data } => {
+                self.out_slot = Some(req(PacketKind::BlockWrite, line));
+                let flits = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        self.data_flit(PacketKind::BlockWrite, i as u8, WORDS_PER_LINE, *w)
+                    })
+                    .collect();
+                self.state = State::AwaitGrant { kind: PacketKind::BlockWrite, data: flits };
+            }
+            BridgeOp::Lock { addr } => {
+                self.out_slot = Some(req(PacketKind::Lock, addr));
+                self.state = State::AwaitLockAck { addr };
+            }
+            BridgeOp::Unlock { addr } => {
+                self.out_slot = Some(req(PacketKind::Unlock, addr));
+                self.state = State::AwaitUnlockAck;
+            }
+        }
+    }
+
+    fn data_flit(&self, kind: PacketKind, seq: u8, total: usize, value: u32) -> Flit {
+        Flit::new(self.mpmmu, kind, SubKind::Data, seq, burst_code(total), self.src_id, value)
+    }
+
+    /// Take the flit waiting at the arbiter-facing output latch, if any.
+    /// Call only when the arbiter has accepted to take it.
+    pub fn take_output(&mut self) -> Option<Flit> {
+        let flit = self.out_slot.take();
+        // If that was the last streamed data flit, the transaction is now
+        // awaiting the final ack — which may race back before our next
+        // tick, so transition immediately.
+        if flit.is_some() {
+            if let State::Streaming { data } = &self.state {
+                if data.is_empty() {
+                    self.state = State::AwaitFinalAck;
+                }
+            }
+        }
+        flit
+    }
+
+    /// Whether a flit waits at the output latch.
+    pub fn has_output(&self) -> bool {
+        self.out_slot.is_some()
+    }
+
+    /// Take the completed transaction's result, if ready.
+    pub fn take_result(&mut self) -> Option<BridgeResult> {
+        self.result.take()
+    }
+
+    /// Advance internal timers and streaming: call once per cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        match &mut self.state {
+            State::LockBackoff { until, addr } if now >= *until && self.out_slot.is_none() => {
+                let addr = *addr;
+                self.out_slot =
+                    Some(Flit::request(self.mpmmu, PacketKind::Lock, self.src_id, addr));
+                self.state = State::AwaitLockAck { addr };
+            }
+            State::Streaming { data } if self.out_slot.is_none() => match data.pop_front() {
+                Some(flit) => self.out_slot = Some(flit),
+                None => self.state = State::AwaitFinalAck,
+            },
+            _ => {}
+        }
+    }
+
+    /// Deliver a shared-memory response flit ejected at this node.
+    pub fn handle_response(&mut self, flit: Flit, now: Cycle) {
+        debug_assert!(flit.kind().is_shared_memory(), "bridge receives SM flits only");
+        match std::mem::replace(&mut self.state, State::Idle) {
+            State::AwaitSingleData => {
+                debug_assert_eq!(flit.kind(), PacketKind::SingleRead);
+                debug_assert_eq!(flit.sub(), SubKind::Data);
+                self.finish(BridgeResult::Word(flit.payload()));
+            }
+            State::AwaitBlockData { mut reorder, mut got, mut next_expected } => {
+                debug_assert_eq!(flit.kind(), PacketKind::BlockRead);
+                let seq = flit.seq() as usize;
+                assert!(seq < WORDS_PER_LINE, "block-read seq {seq} beyond line");
+                assert!(reorder[seq].is_none(), "duplicate block-read word {seq}");
+                if flit.seq() != next_expected {
+                    self.stats.out_of_order_flits.inc();
+                }
+                next_expected = next_expected.saturating_add(1);
+                reorder[seq] = Some(flit.payload());
+                got += 1;
+                if got == WORDS_PER_LINE {
+                    let mut line = [0u32; WORDS_PER_LINE];
+                    for (i, w) in reorder.iter().enumerate() {
+                        line[i] = w.expect("all words collected");
+                    }
+                    self.finish(BridgeResult::Line(line));
+                } else {
+                    self.state = State::AwaitBlockData { reorder, got, next_expected };
+                }
+            }
+            State::AwaitGrant { kind, data } => {
+                debug_assert_eq!(flit.kind(), kind);
+                debug_assert_eq!(flit.sub(), SubKind::Ack, "grant expected");
+                self.state = State::Streaming { data };
+            }
+            State::AwaitFinalAck => {
+                debug_assert_eq!(flit.sub(), SubKind::Ack, "final ack expected");
+                self.finish(BridgeResult::WriteDone);
+            }
+            State::AwaitLockAck { addr } => match flit.sub() {
+                SubKind::Ack => self.finish(BridgeResult::LockGranted),
+                SubKind::Nack => {
+                    self.stats.lock_retries.inc();
+                    self.state =
+                        State::LockBackoff { until: now + self.cfg.lock_retry_backoff, addr };
+                }
+                other => panic!("lock response with subtype {other}"),
+            },
+            State::AwaitUnlockAck => match flit.sub() {
+                SubKind::Ack => self.finish(BridgeResult::UnlockDone),
+                SubKind::Nack => self.finish(BridgeResult::UnlockRejected),
+                other => panic!("unlock response with subtype {other}"),
+            },
+            State::Idle | State::Streaming { .. } | State::LockBackoff { .. } => {
+                panic!("unexpected shared-memory response {flit} while not awaiting one")
+            }
+        }
+    }
+
+    fn finish(&mut self, result: BridgeResult) {
+        self.stats.transactions.inc();
+        self.result = Some(result);
+        self.state = State::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_noc::coord::Coord;
+
+    fn mpmmu() -> Coord {
+        Coord::new(0, 0)
+    }
+
+    fn bridge() -> Pif2NocBridge {
+        Pif2NocBridge::new(mpmmu(), 5, BridgeConfig::default())
+    }
+
+    fn resp(kind: PacketKind, sub: SubKind, seq: u8, data: u32) -> Flit {
+        // Responses arrive *at* the PE; dest is the PE itself but the
+        // bridge does not check it.
+        Flit::new(Coord::new(1, 1), kind, sub, seq, 0, 0, data)
+    }
+
+    /// Drain the output latch like the PE/arbiter would.
+    fn drain(b: &mut Pif2NocBridge) -> Vec<Flit> {
+        let mut v = Vec::new();
+        while let Some(f) = b.take_output() {
+            v.push(f);
+            b.tick(0);
+        }
+        v
+    }
+
+    #[test]
+    fn single_read_flow() {
+        let mut b = bridge();
+        b.start(BridgeOp::SingleRead { addr: 0x40 });
+        let sent = drain(&mut b);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].kind(), PacketKind::SingleRead);
+        assert_eq!(sent[0].payload(), 0x40);
+        assert_eq!(sent[0].src_id(), 5);
+        assert!(b.is_busy());
+        b.handle_response(resp(PacketKind::SingleRead, SubKind::Data, 0, 99), 10);
+        assert_eq!(b.take_result(), Some(BridgeResult::Word(99)));
+        assert!(!b.is_busy());
+    }
+
+    #[test]
+    fn block_read_reorders() {
+        let mut b = bridge();
+        b.start(BridgeOp::BlockRead { line: 0x80 });
+        drain(&mut b);
+        for seq in [2u8, 0, 3, 1] {
+            b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, seq, seq as u32 * 10), 0);
+        }
+        assert_eq!(b.take_result(), Some(BridgeResult::Line([0, 10, 20, 30])));
+        assert!(b.stats().out_of_order_flits.get() > 0);
+    }
+
+    #[test]
+    fn block_write_flow() {
+        let mut b = bridge();
+        b.start(BridgeOp::BlockWrite { line: 0x100, data: [1, 2, 3, 4] });
+        // Request goes out first.
+        let req = b.take_output().unwrap();
+        assert_eq!(req.kind(), PacketKind::BlockWrite);
+        assert_eq!(req.sub(), SubKind::Request);
+        b.tick(1);
+        assert!(!b.has_output(), "no data before grant");
+        // Grant arrives.
+        b.handle_response(resp(PacketKind::BlockWrite, SubKind::Ack, 0, 0), 2);
+        // Four data flits stream out one per cycle.
+        let mut data = Vec::new();
+        for now in 3..12 {
+            b.tick(now);
+            if let Some(f) = b.take_output() {
+                data.push(f);
+            }
+        }
+        assert_eq!(data.len(), 4);
+        for (i, f) in data.iter().enumerate() {
+            assert_eq!(f.sub(), SubKind::Data);
+            assert_eq!(f.seq() as usize, i);
+            assert_eq!(f.payload(), (i + 1) as u32);
+        }
+        assert!(b.take_result().is_none(), "still awaiting final ack");
+        b.handle_response(resp(PacketKind::BlockWrite, SubKind::Ack, 1, 0), 12);
+        assert_eq!(b.take_result(), Some(BridgeResult::WriteDone));
+    }
+
+    #[test]
+    fn lock_nack_retries_after_backoff() {
+        let mut b = bridge();
+        b.start(BridgeOp::Lock { addr: 0x200 });
+        let first = b.take_output().unwrap();
+        assert_eq!(first.kind(), PacketKind::Lock);
+        b.handle_response(resp(PacketKind::Lock, SubKind::Nack, 0, 0), 10);
+        assert_eq!(b.backoff_until(), Some(26)); // 10 + default 16
+        for now in 11..26 {
+            b.tick(now);
+            assert!(!b.has_output(), "must wait out the backoff");
+        }
+        b.tick(26);
+        let retry = b.take_output().expect("retry sent");
+        assert_eq!(retry.kind(), PacketKind::Lock);
+        assert_eq!(retry.payload(), 0x200);
+        b.handle_response(resp(PacketKind::Lock, SubKind::Ack, 0, 0), 30);
+        assert_eq!(b.take_result(), Some(BridgeResult::LockGranted));
+        assert_eq!(b.stats().lock_retries.get(), 1);
+    }
+
+    #[test]
+    fn unlock_flows() {
+        let mut b = bridge();
+        b.start(BridgeOp::Unlock { addr: 0x200 });
+        drain(&mut b);
+        b.handle_response(resp(PacketKind::Unlock, SubKind::Ack, 0, 0), 0);
+        assert_eq!(b.take_result(), Some(BridgeResult::UnlockDone));
+
+        b.start(BridgeOp::Unlock { addr: 0x204 });
+        drain(&mut b);
+        b.handle_response(resp(PacketKind::Unlock, SubKind::Nack, 0, 0), 0);
+        assert_eq!(b.take_result(), Some(BridgeResult::UnlockRejected));
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction overlap")]
+    fn overlapping_transactions_panic() {
+        let mut b = bridge();
+        b.start(BridgeOp::SingleRead { addr: 0 });
+        b.start(BridgeOp::SingleRead { addr: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block-read word")]
+    fn duplicate_block_word_panics() {
+        let mut b = bridge();
+        b.start(BridgeOp::BlockRead { line: 0 });
+        drain(&mut b);
+        b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, 1, 1), 0);
+        b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, 1, 1), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Double-precision floating-point cost model.
+//!
+//! §II-B: "With just 4k-7k more gates, an Xtensa processor can perform
+//! double precision adds and subtracts in an average of 19 cycles while
+//! multiplies take an average of 60 cycles using 16 or 32 bit multipliers
+//! and only 26 cycles for a processor configuration that includes the
+//! 'Multiply High' option." Division is not quoted; we model it at 4× the
+//! multiply cost (typical for iterative software division).
+
+use medea_sim::Cycle;
+use std::fmt;
+
+/// Hardware multiplier option of the Xtensa configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOption {
+    /// "Multiply High" present: 26-cycle double-precision multiplies.
+    MulHigh,
+    /// Only 16/32-bit multipliers: 60-cycle multiplies.
+    Mul16or32,
+}
+
+impl fmt::Display for MulOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MulOption::MulHigh => write!(f, "mulhigh"),
+            MulOption::Mul16or32 => write!(f, "mul16/32"),
+        }
+    }
+}
+
+/// Cycle costs of emulated double-precision operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpModel {
+    add_cycles: Cycle,
+    mul_cycles: Cycle,
+}
+
+impl FpModel {
+    /// Build the paper's cost model for the given multiplier option.
+    pub const fn new(mul: MulOption) -> Self {
+        FpModel {
+            add_cycles: 19,
+            mul_cycles: match mul {
+                MulOption::MulHigh => 26,
+                MulOption::Mul16or32 => 60,
+            },
+        }
+    }
+
+    /// Cycles for an add or subtract.
+    pub const fn add_cycles(&self) -> Cycle {
+        self.add_cycles
+    }
+
+    /// Cycles for a multiply.
+    pub const fn mul_cycles(&self) -> Cycle {
+        self.mul_cycles
+    }
+
+    /// Cycles for a divide (4× multiply; see module docs).
+    pub const fn div_cycles(&self) -> Cycle {
+        4 * self.mul_cycles
+    }
+}
+
+impl Default for FpModel {
+    /// The configuration the scientific-kernel results assume: Multiply
+    /// High present.
+    fn default() -> Self {
+        FpModel::new(MulOption::MulHigh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs() {
+        let hi = FpModel::new(MulOption::MulHigh);
+        assert_eq!(hi.add_cycles(), 19);
+        assert_eq!(hi.mul_cycles(), 26);
+        let lo = FpModel::new(MulOption::Mul16or32);
+        assert_eq!(lo.mul_cycles(), 60);
+        assert_eq!(lo.add_cycles(), 19);
+    }
+
+    #[test]
+    fn div_scales_with_mul() {
+        assert_eq!(FpModel::new(MulOption::MulHigh).div_cycles(), 104);
+        assert_eq!(FpModel::new(MulOption::Mul16or32).div_cycles(), 240);
+    }
+
+    #[test]
+    fn default_is_mulhigh() {
+        assert_eq!(FpModel::default(), FpModel::new(MulOption::MulHigh));
+        assert_eq!(MulOption::MulHigh.to_string(), "mulhigh");
+    }
+}

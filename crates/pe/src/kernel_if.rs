@@ -1,0 +1,183 @@
+//! The request/response protocol between application kernels and the PE
+//! execution engine.
+//!
+//! Every architectural action a kernel takes is one [`PeRequest`]; the
+//! engine simulates its cycle cost and hardware side effects and answers
+//! with a [`PeResponse`]. This is the boundary that replaces the Xtensa
+//! instruction stream (DESIGN.md §2): compute *between* requests is free
+//! (it stands for work already charged via [`PeRequest::Compute`] or the
+//! FP requests), everything observable costs simulated time.
+
+use crate::tie::Packet;
+use medea_cache::Addr;
+use medea_sim::{ids::NodeId, Cycle};
+
+/// One architectural operation issued by a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeRequest {
+    /// Charge `cycles` of local computation (integer ops, loop control,
+    /// local-memory accesses — anything not modeled individually).
+    Compute {
+        /// Cycles to charge (minimum 1 is enforced).
+        cycles: Cycle,
+    },
+    /// Double-precision add: returns `a + b` after the FP-emulation delay.
+    FpAdd {
+        /// Left operand.
+        a: f64,
+        /// Right operand.
+        b: f64,
+    },
+    /// Double-precision subtract: returns `a - b`.
+    FpSub {
+        /// Left operand.
+        a: f64,
+        /// Right operand.
+        b: f64,
+    },
+    /// Double-precision multiply: returns `a * b`.
+    FpMul {
+        /// Left operand.
+        a: f64,
+        /// Right operand.
+        b: f64,
+    },
+    /// Double-precision divide: returns `a / b`.
+    FpDiv {
+        /// Dividend.
+        a: f64,
+        /// Divisor.
+        b: f64,
+    },
+    /// Load a word through the L1 cache.
+    LoadWord {
+        /// Word-aligned global address.
+        addr: Addr,
+    },
+    /// Store a word through the L1 cache.
+    StoreWord {
+        /// Word-aligned global address.
+        addr: Addr,
+        /// Value to store.
+        value: u32,
+    },
+    /// Load a double (two words) through the L1 cache.
+    LoadF64 {
+        /// Word-aligned global address of the low word.
+        addr: Addr,
+    },
+    /// Store a double (two words) through the L1 cache.
+    StoreF64 {
+        /// Word-aligned global address of the low word.
+        addr: Addr,
+        /// Value to store.
+        value: f64,
+    },
+    /// Flush the L1 line containing `addr` (write back if dirty; the
+    /// producer-side coherence action of §II-E).
+    FlushLine {
+        /// Any address within the line.
+        addr: Addr,
+    },
+    /// DII-invalidate the L1 line containing `addr` (the consumer-side
+    /// coherence action of §II-E).
+    InvalidateLine {
+        /// Any address within the line.
+        addr: Addr,
+    },
+    /// Read a word bypassing the cache (uncacheable shared access).
+    UncachedLoad {
+        /// Word-aligned global address.
+        addr: Addr,
+    },
+    /// Write a word bypassing the cache.
+    UncachedStore {
+        /// Word-aligned global address.
+        addr: Addr,
+        /// Value to store.
+        value: u32,
+    },
+    /// Acquire the MPMMU lock on a shared-memory word (blocks, with
+    /// automatic Nack-retry, until granted).
+    Lock {
+        /// Word address to lock.
+        addr: Addr,
+    },
+    /// Release the MPMMU lock on a shared-memory word.
+    Unlock {
+        /// Word address to unlock.
+        addr: Addr,
+    },
+    /// Send one logical message packet (≤ 16 words) to another node's TIE
+    /// interface. Completes when the last flit enters the arbiter
+    /// (1 flit/cycle — the TIE port's peak throughput).
+    Send {
+        /// Destination node.
+        dest: NodeId,
+        /// Payload words (1..=16).
+        payload: Vec<u32>,
+    },
+    /// Block until a message packet arrives (from `from` if given), then
+    /// return it. Charges one cycle per payload word for the
+    /// register-to-local-memory copy (Fig. 2-b).
+    Recv {
+        /// Optional source filter (node index).
+        from: Option<u8>,
+    },
+    /// Non-blocking receive.
+    TryRecv {
+        /// Optional source filter (node index).
+        from: Option<u8>,
+    },
+    /// Read the current cycle counter (the CCOUNT register equivalent).
+    Now,
+}
+
+/// Engine answer to a [`PeRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeResponse {
+    /// Operation completed with no data.
+    Unit,
+    /// A loaded word.
+    Word(u32),
+    /// An FP result or loaded double.
+    F64(f64),
+    /// A received message packet.
+    Packet(Packet),
+    /// Result of a non-blocking receive.
+    MaybePacket(Option<Packet>),
+    /// Current cycle count.
+    Time(Cycle),
+}
+
+/// Split a double into its (low, high) 32-bit words — the order the two
+/// word transactions use on the 32-bit data path.
+pub fn f64_to_words(v: f64) -> (u32, u32) {
+    let bits = v.to_bits();
+    (bits as u32, (bits >> 32) as u32)
+}
+
+/// Reassemble a double from its (low, high) words.
+pub fn words_to_f64(lo: u32, hi: u32) -> f64 {
+    f64::from_bits((hi as u64) << 32 | lo as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_word_roundtrip() {
+        for v in [0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE, -0.0] {
+            let (lo, hi) = f64_to_words(v);
+            assert_eq!(words_to_f64(lo, hi).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_preserved_bitwise() {
+        let v = f64::NAN;
+        let (lo, hi) = f64_to_words(v);
+        assert!(words_to_f64(lo, hi).is_nan());
+    }
+}

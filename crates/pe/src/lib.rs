@@ -1,0 +1,32 @@
+//! Processing-element model for the MEDEA reproduction (§II-B).
+//!
+//! The original PE is a Tensilica Xtensa-LX with three custom attachments,
+//! all reproduced here:
+//!
+//! * [`fpu`] — the double-precision floating-point *emulation acceleration*
+//!   cost model (adds/subs average 19 cycles; multiplies 26 cycles with the
+//!   "Multiply High" option, 60 without);
+//! * [`tie`] — the TIE message-passing interface: a FIFO port straight into
+//!   the register file on the send side, and a sequence-number-indexed
+//!   double-buffer reassembly unit on the receive side;
+//! * [`bridge`] — the pif2NoC bridge translating PIF bus transactions
+//!   (single/block read/write, lock/unlock) into NoC flits, with the 4-deep
+//!   reorder buffer for out-of-order block-read data;
+//! * [`arbiter`] — the NoC-access arbiter between the two interfaces, in
+//!   the paper's three build options (plain mux, single FIFO, dual
+//!   priority);
+//! * [`pe`] — the PE proper: an L1 cache plus an execution engine that
+//!   serves the application kernel's architectural operations
+//!   ([`kernel_if::PeRequest`]) cycle by cycle.
+//!
+//! The instruction stream itself is not simulated; kernels are Rust code
+//! whose architectural actions (memory, FP, messaging) rendezvous with the
+//! engine — see `medea-sim::coroutine` and DESIGN.md §2 for why this
+//! preserves the paper's measured quantities.
+
+pub mod arbiter;
+pub mod bridge;
+pub mod fpu;
+pub mod kernel_if;
+pub mod pe;
+pub mod tie;

@@ -1,0 +1,205 @@
+//! Bounded hardware FIFO model.
+//!
+//! Every queue in the MEDEA architecture is small and bounded: the TIE
+//! output queue, the MPMMU's Pif-Request/Control and Pif-Data queues, the
+//! arbiter's single or dual (high-priority / best-effort) queues, and router
+//! ejection queues. Overflow must be visible to the model (it becomes
+//! back-pressure or deflection), so `push` is fallible.
+
+use crate::stats::{Counter, Summary};
+use std::collections::VecDeque;
+
+/// Error returned when pushing into a full [`Fifo`]; carries the rejected
+/// item back to the caller so hardware models can hold it in a latch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError<T>(pub T);
+
+impl<T> std::fmt::Display for FifoFullError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for FifoFullError<T> {}
+
+/// A bounded first-in first-out queue with occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    name: &'static str,
+    capacity: usize,
+    items: VecDeque<T>,
+    pushes: Counter,
+    rejects: Counter,
+    occupancy: Summary,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO with the given debug `name` and `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`; a zero-capacity queue is a wire, not a
+    /// FIFO, and modeling it as one hides handshake bugs.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Fifo {
+            name,
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            pushes: Counter::new(),
+            rejects: Counter::new(),
+            occupancy: Summary::new(),
+        }
+    }
+
+    /// Debug name given at construction.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Maximum number of entries.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Append an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] carrying the item back if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError<T>> {
+        if self.is_full() {
+            self.rejects.inc();
+            return Err(FifoFullError(item));
+        }
+        self.pushes.inc();
+        self.items.push_back(item);
+        self.occupancy.record(self.items.len() as u64);
+        Ok(())
+    }
+
+    /// Remove and return the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Borrow the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Iterate the queued items oldest-first without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Total successful pushes since construction.
+    pub fn pushes(&self) -> u64 {
+        self.pushes.get()
+    }
+
+    /// Total rejected pushes (back-pressure events) since construction.
+    pub fn rejects(&self) -> u64 {
+        self.rejects.get()
+    }
+
+    /// Post-push occupancy summary (a proxy for average queue depth).
+    pub const fn occupancy(&self) -> &Summary {
+        &self.occupancy
+    }
+
+    /// Discard all queued items (used at reset).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_fifo() {
+        let mut q = Fifo::new("t", 3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_push_returns_item() {
+        let mut q = Fifo::new("t", 1);
+        q.push("a").unwrap();
+        let err = q.push("b").unwrap_err();
+        assert_eq!(err.0, "b");
+        assert_eq!(q.rejects(), 1);
+        assert_eq!(q.pushes(), 1);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = Fifo::new("t", 4);
+        assert!(q.is_empty());
+        q.push(9).unwrap();
+        assert_eq!(q.peek(), Some(&9));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.free(), 3);
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    fn occupancy_tracked() {
+        let mut q = Fifo::new("t", 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.occupancy().max(), Some(2));
+        assert_eq!(q.occupancy().count(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = Fifo::new("t", 2);
+        q.push(1).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new("t", 0);
+    }
+
+    #[test]
+    fn iter_oldest_first() {
+        let mut q = Fifo::new("t", 3);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        let v: Vec<_> = q.iter().copied().collect();
+        assert_eq!(v, vec![10, 20]);
+    }
+}

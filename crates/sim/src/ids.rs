@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers used across the MEDEA model.
+//!
+//! The paper addresses nodes by X-Y coordinates at the transport level and by
+//! a 4-bit `source-id` at the application level (§II-D). We keep both: a
+//! linear [`NodeId`] for fabric indexing and a [`Rank`] for the eMPI layer.
+
+use std::fmt;
+
+/// Linear index of a node (router + attached component) in the fabric.
+///
+/// Node 0 is conventionally the MPMMU in the simplest MEDEA configuration
+/// ("all the memory mapped address space is located at the unique MPMMU",
+/// §II-B); the remaining nodes host processing elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Create a node id from a raw index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw linear index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// eMPI rank of a processing element (0-based, excludes the MPMMU).
+///
+/// The application-level `source-id` field of the packet format (Fig. 5) is
+/// four bits wide, which bounds a single MEDEA instance to 16 ranks — the
+/// same bound the paper's 3..16-core exploration respects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub u8);
+
+impl Rank {
+    /// Maximum number of ranks representable in the 4-bit source-id field.
+    pub const MAX_RANKS: usize = 16;
+
+    /// Create a rank from a raw index.
+    pub const fn new(index: u8) -> Self {
+        Rank(index)
+    }
+
+    /// Raw 0-based rank index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the conventional master rank used by collective
+    /// operations such as the eMPI barrier.
+    pub const fn is_master(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Rank {
+    fn from(v: u8) -> Self {
+        Rank(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(NodeId::from(7u16), n);
+    }
+
+    #[test]
+    fn rank_master() {
+        assert!(Rank::new(0).is_master());
+        assert!(!Rank::new(3).is_master());
+        assert_eq!(Rank::from(3u8).index(), 3);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(Rank::new(1) < Rank::new(2));
+    }
+
+    #[test]
+    fn rank_bound_matches_source_id_field() {
+        // 4-bit src field => 16 ranks.
+        assert_eq!(Rank::MAX_RANKS, 1 << 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Counters and streaming statistics used by every architectural block.
+//!
+//! The paper's simulator "can present to the user" execution times, traffic
+//! and cache behaviour (§III); these types are the plumbing behind that.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming summary of a sequence of integer samples (e.g. flit latencies):
+/// count, min, max, sum, and an exact mean. Constant memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Summary {
+    /// New empty summary.
+    pub const fn new() -> Self {
+        Summary { count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.2} min={} max={}",
+                self.count, mean, self.min, self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// Fixed-bucket histogram with power-of-two bucket boundaries; used for
+/// latency distributions where the paper reports "sporadic cases of single
+/// flits delivered with high latency" (§II-A) — the tail is what matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl Log2Histogram {
+    /// Histogram with buckets `[0,1), [1,2), [2,4), [4,8) ...` up to
+    /// `2^(levels-1)`; larger samples land in the last bucket.
+    pub fn new(levels: usize) -> Self {
+        Log2Histogram { buckets: vec![0; levels.max(2)], summary: Summary::new() }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, sample: u64) {
+        self.summary.record(sample);
+        let idx = if sample == 0 {
+            0
+        } else {
+            ((64 - sample.leading_zeros()) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts (bucket `i` covers `[2^(i-1), 2^i)` except bucket 0
+    /// which covers exactly `{0}` and the final bucket which is open-ended).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Streaming summary over all recorded samples.
+    pub const fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Fraction of samples at or above `threshold` approximated from bucket
+    /// granularity (exact if `threshold` is a power of two).
+    pub fn tail_fraction(&self, threshold: u64) -> f64 {
+        if self.summary.count() == 0 {
+            return 0.0;
+        }
+        let first = if threshold == 0 {
+            0
+        } else {
+            (64 - threshold.leading_zeros()) as usize
+        };
+        let tail: u64 = self.buckets.iter().skip(first.min(self.buckets.len())).sum();
+        tail as f64 / self.summary.count() as f64
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new(20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn summary_records() {
+        let mut s = Summary::new();
+        for v in [3u64, 1, 8] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(8));
+        assert!((s.mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(2);
+        let mut b = Summary::new();
+        b.record(10);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(10));
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Log2Histogram::new(6);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(3); // bucket 2
+        h.record(1000); // clamped to last bucket
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.summary().count(), 4);
+    }
+
+    #[test]
+    fn histogram_tail() {
+        let mut h = Log2Histogram::new(10);
+        for _ in 0..9 {
+            h.record(1);
+        }
+        h.record(256);
+        let tail = h.tail_fraction(256);
+        assert!((tail - 0.1).abs() < 1e-12, "tail={tail}");
+        assert_eq!(Log2Histogram::default().tail_fraction(4), 0.0);
+    }
+}

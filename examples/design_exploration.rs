@@ -1,0 +1,65 @@
+//! Design-space exploration in miniature: sweep core count and cache size
+//! for a Jacobi workload, then apply the paper's area model, Pareto
+//! pruning and kill rule to find the "optimal" configurations (the
+//! Fig. 7/9 methodology).
+//!
+//! ```text
+//! cargo run --release --example design_exploration
+//! ```
+
+use medea::apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea::core::area::{apply_kill_rule, chip_area_mm2, pareto_frontier, DesignPoint};
+use medea::core::explore::{run_sweep, SweepOutcome, SweepPoint};
+use medea::core::{CachePolicy, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24; // grid side; the paper's 60x60 works too, just slower
+    let mut points = Vec::new();
+    for pes in [2usize, 4, 6, 8, 10, 12] {
+        for cache_kb in [2usize, 8, 16, 32] {
+            points.push(SweepPoint {
+                pes,
+                cache_bytes: cache_kb * 1024,
+                policy: CachePolicy::WriteBack,
+            });
+        }
+    }
+    let workload =
+        JacobiWorkload { jcfg: JacobiConfig::new(n, JacobiVariant::HybridFullMp) };
+    let base = SystemConfig::builder().cycle_limit(400_000_000);
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    println!("sweeping {} configurations on {threads} threads...", points.len());
+    let outcomes = run_sweep(&workload, &points, &base, threads);
+
+    // Speedup relative to the slowest configuration, area from the
+    // TSMC-65nm model.
+    let reference =
+        outcomes.iter().filter_map(SweepOutcome::measured).max().unwrap_or(1) as f64;
+    let design_points: Vec<DesignPoint> = outcomes
+        .iter()
+        .filter_map(|o| {
+            let measured = o.measured()?;
+            let cfg = o.point.apply(SystemConfig::builder());
+            Some(DesignPoint {
+                label: o.label.clone(),
+                area_mm2: chip_area_mm2(&cfg),
+                speedup: reference / measured as f64,
+            })
+        })
+        .collect();
+
+    let frontier = pareto_frontier(design_points);
+    let optimal = apply_kill_rule(&frontier, 1.0);
+
+    println!("\nPareto frontier (area mm², speedup):");
+    for p in &frontier {
+        println!("  {:>12}  {:6.2} mm²  {:6.2}x", p.label, p.area_mm2, p.speedup);
+    }
+    println!("\nAfter the kill rule (keep only ≥1% perf per 1% area):");
+    for p in &optimal {
+        println!("  {:>12}  {:6.2} mm²  {:6.2}x", p.label, p.area_mm2, p.speedup);
+    }
+    let best = optimal.last().ok_or("no optimal point")?;
+    println!("\n'optimal' design for this workload: {}", best.label);
+    Ok(())
+}

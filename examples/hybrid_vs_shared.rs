@@ -1,0 +1,55 @@
+//! The paper's headline comparison: how much does the hybrid
+//! shared-memory/message-passing model gain over pure shared memory?
+//!
+//! Runs the same Jacobi problem under all three programming models and the
+//! one-word synchronization ping-pong, printing the gains the paper
+//! reports in §III (≈2× below the cache knee, growing past 5× above it,
+//! most of it attributable to synchronization).
+//!
+//! ```text
+//! cargo run --release --example hybrid_vs_shared
+//! ```
+
+use medea::apps::jacobi::{self, JacobiConfig, JacobiVariant};
+use medea::apps::pingpong::{self, PingPongTransport};
+use medea::core::{CachePolicy, SystemConfig};
+
+fn measure(pes: usize, n: usize, variant: JacobiVariant) -> u64 {
+    let system = SystemConfig::builder()
+        .compute_pes(pes)
+        .cache_bytes(16 * 1024)
+        .cache_policy(CachePolicy::WriteBack)
+        .build()
+        .expect("valid configuration");
+    let jcfg = JacobiConfig::new(n, variant);
+    jacobi::run(&system, &jcfg).expect("run").cycles_per_iter
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24;
+    println!("Jacobi {n}x{n}, 16 kB WB caches — cycles per iteration:\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "cores", "full-MP", "sync-only", "pure-SM", "gain", "sync share"
+    );
+    for pes in [2usize, 4, 6, 8] {
+        let full = measure(pes, n, JacobiVariant::HybridFullMp);
+        let sync_only = measure(pes, n, JacobiVariant::HybridSyncOnly);
+        let pure = measure(pes, n, JacobiVariant::PureSharedMemory);
+        let gain = pure as f64 / full as f64;
+        let sync_gain = pure as f64 / sync_only as f64;
+        println!(
+            "{pes:>6} {full:>12} {sync_only:>12} {pure:>12} {gain:>9.2}x {:>11.0}%",
+            sync_gain / gain * 100.0
+        );
+    }
+
+    println!("\nOne-word synchronization round trip (2 ranks):");
+    let sys = SystemConfig::builder().compute_pes(2).build()?;
+    let mp = pingpong::run(&sys, PingPongTransport::MessagePassing, 200)?;
+    let sm = pingpong::run(&sys, PingPongTransport::SharedMemory, 200)?;
+    println!("  message passing : {:>7.1} cycles", mp.cycles_per_round);
+    println!("  shared memory   : {:>7.1} cycles", sm.cycles_per_round);
+    println!("  MP advantage    : {:>7.2}x", sm.cycles_per_round / mp.cycles_per_round);
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a MEDEA system, run the hybrid Jacobi benchmark,
+//! validate it against the sequential reference and print what the
+//! simulator measured.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use medea::apps::jacobi::{self, JacobiConfig, JacobiVariant};
+use medea::core::{CachePolicy, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-core MEDEA instance: 5 compute PEs + the MPMMU on the 4x4
+    // folded torus, 16 kB write-back L1 caches.
+    let system = SystemConfig::builder()
+        .compute_pes(5)
+        .cache_bytes(16 * 1024)
+        .cache_policy(CachePolicy::WriteBack)
+        .build()?;
+
+    // The paper's benchmark: parallel Jacobi, hybrid programming model
+    // (message passing for halo exchange and synchronization).
+    let jcfg = JacobiConfig::new(30, JacobiVariant::HybridFullMp)
+        .with_warmup_iters(1)
+        .with_measured_iters(2)
+        .with_validation();
+
+    let outcome = jacobi::run(&system, &jcfg)?;
+    jacobi::validate_against_reference(&jcfg, &outcome)
+        .map_err(|e| format!("validation failed: {e}"))?;
+
+    println!("configuration       : {}", system.label());
+    println!("cycles / iteration  : {}", outcome.cycles_per_iter);
+    println!("total cycles        : {}", outcome.run.cycles);
+    println!(
+        "L1 miss rate        : {:.2}%",
+        outcome.run.l1_miss_rate().unwrap_or(0.0) * 100.0
+    );
+    println!("flits delivered     : {}", outcome.run.fabric_delivered);
+    println!("flit deflections    : {}", outcome.run.fabric_deflections);
+    println!(
+        "mean flit latency   : {:.1} cycles",
+        outcome.run.fabric_mean_latency.unwrap_or(0.0)
+    );
+    println!(
+        "MPMMU transactions  : {} block reads, {} block writes, {} locks",
+        outcome.run.mpmmu.block_reads.get(),
+        outcome.run.mpmmu.block_writes.get(),
+        outcome.run.mpmmu.locks_granted.get()
+    );
+    println!(
+        "simulation rate     : {:.2} Mcycles/s",
+        outcome.run.sim_rate() / 1e6
+    );
+    println!("result validated against the sequential reference — OK");
+    Ok(())
+}
