@@ -20,7 +20,7 @@
 //! A kernel that returns closes its channel; `fetch` then reports
 //! [`Fetched::Finished`] and the engine retires the PE.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 /// Error observed by a kernel when the simulation is torn down while the
@@ -40,7 +40,7 @@ impl std::error::Error for SimAbortedError {}
 /// answers.
 #[derive(Debug)]
 pub struct KernelPort<Req, Resp> {
-    req_tx: Sender<Req>,
+    req_tx: SyncSender<Req>,
     resp_rx: Receiver<Resp>,
 }
 
@@ -70,7 +70,7 @@ pub enum Fetched<Req> {
 #[derive(Debug)]
 pub struct KernelHost<Req, Resp> {
     req_rx: Receiver<Req>,
-    resp_tx: Sender<Resp>,
+    resp_tx: SyncSender<Resp>,
     join: Option<JoinHandle<()>>,
     finished: bool,
 }
@@ -81,7 +81,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> KernelHost<Req, Resp> {
     /// The kernel receives a [`KernelPort`] for issuing requests. Any panic
     /// inside the kernel is confined to its thread and surfaces as
     /// [`Fetched::Finished`] plus a `true` return from
-    /// a `true` return from [`KernelHost::join`].
+    /// [`KernelHost::join`].
     pub fn spawn<F>(name: &str, kernel: F) -> Self
     where
         F: FnOnce(KernelPort<Req, Resp>) + Send + 'static,
@@ -89,8 +89,8 @@ impl<Req: Send + 'static, Resp: Send + 'static> KernelHost<Req, Resp> {
         // Capacity 1 each way: the protocol is strictly half-duplex, so a
         // single slot is enough and keeps misuse loud (a second unanswered
         // request would deadlock the offending kernel, not corrupt state).
-        let (req_tx, req_rx) = bounded(1);
-        let (resp_tx, resp_rx) = bounded(1);
+        let (req_tx, req_rx) = sync_channel(1);
+        let (resp_tx, resp_rx) = sync_channel(1);
         let port = KernelPort { req_tx, resp_rx };
         let join = std::thread::Builder::new()
             .name(format!("medea-kernel-{name}"))
@@ -146,9 +146,9 @@ impl<Req, Resp> Drop for KernelHost<Req, Resp> {
     fn drop(&mut self) {
         // Wake any kernel blocked in `call` by dropping our channel ends
         // first, then reap the thread so tests never leak.
-        let (dead_tx, _) = bounded::<Resp>(1);
+        let (dead_tx, _) = sync_channel::<Resp>(1);
         self.resp_tx = dead_tx;
-        let (_, dead_rx) = bounded::<Req>(1);
+        let (_, dead_rx) = sync_channel::<Req>(1);
         self.req_rx = dead_rx;
         if let Some(handle) = self.join.take() {
             let _ = handle.join();
@@ -191,11 +191,8 @@ mod tests {
                 assert_eq!(port.call(i).unwrap(), i + 1);
             }
         });
-        loop {
-            match host.fetch() {
-                Fetched::Request(v) => host.reply(v + 1),
-                Fetched::Finished => break,
-            }
+        while let Fetched::Request(v) = host.fetch() {
+            host.reply(v + 1);
         }
         assert!(!host.join());
     }

@@ -1,0 +1,27 @@
+//! Uniform selection out of a fixed option list.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+/// Pick uniformly from `options`.
+///
+/// # Panics
+///
+/// Panics when `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty option list");
+    Select(options)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.next_below(self.0.len() as u64) as usize;
+        self.0[idx].clone()
+    }
+}

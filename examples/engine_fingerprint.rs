@@ -1,0 +1,89 @@
+//! Print the golden-determinism fingerprints of a few fixed workloads —
+//! a quick manual probe for engine-rewrite verification (see
+//! tests/golden_determinism.rs for the enforced version).
+
+use medea::core::api::PeApi;
+use medea::core::system::{Kernel, System};
+use medea::core::{empi, SystemConfig};
+use medea::sim::ids::Rank;
+
+fn cfg(pes: usize) -> SystemConfig {
+    SystemConfig::builder().compute_pes(pes).cycle_limit(50_000_000).build().unwrap()
+}
+
+fn pingpong_kernels() -> Vec<Kernel> {
+    let ping: Kernel = Box::new(|api: PeApi| {
+        for i in 1..=40u32 {
+            api.send_to_rank(Rank::new(1), &[i]);
+            let back = api.recv_from_rank(Rank::new(1));
+            assert_eq!(back[0], i);
+        }
+    });
+    let pong: Kernel = Box::new(|api: PeApi| {
+        for _ in 1..=40u32 {
+            let v = api.recv_from_rank(Rank::new(0));
+            api.send_to_rank(Rank::new(0), &v);
+        }
+    });
+    vec![ping, pong]
+}
+
+fn reduce_kernels(ranks: usize) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                api.compute(50 + 137 * r as u64);
+                empi::barrier(&api);
+                let mine = r as f64 + 0.5;
+                if api.rank().is_master() {
+                    let mut acc = mine;
+                    for src in 1..api.ranks() {
+                        acc = api.fadd(acc, empi::recv_f64(&api, Rank::new(src as u8))[0]);
+                    }
+                    for dst in 1..api.ranks() {
+                        empi::send_f64(&api, Rank::new(dst as u8), &[acc]);
+                    }
+                } else {
+                    empi::send_f64(&api, Rank::new(0), &[mine]);
+                    empi::recv_f64(&api, Rank::new(0));
+                }
+            }) as Kernel
+        })
+        .collect()
+}
+
+fn gather_kernels(ranks: usize) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                if r == 0 {
+                    for src in 1..api.ranks() {
+                        let got = empi::recv(&api, Rank::new(src as u8));
+                        assert_eq!(got.len(), 40);
+                    }
+                } else {
+                    let payload: Vec<u32> = (0..40).map(|i| (r * 1000 + i) as u32).collect();
+                    empi::send(&api, Rank::new(0), &payload);
+                }
+            }) as Kernel
+        })
+        .collect()
+}
+
+fn main() {
+    let p = System::run(&cfg(2), &[], pingpong_kernels()).unwrap();
+    println!(
+        "pingpong: cycles={} delivered={} deflections={} max_lat={:?}",
+        p.cycles, p.fabric_delivered, p.fabric_deflections, p.fabric_max_latency
+    );
+    let r = System::run(&cfg(6), &[], reduce_kernels(6)).unwrap();
+    println!(
+        "reduce6:  cycles={} delivered={} deflections={} max_lat={:?}",
+        r.cycles, r.fabric_delivered, r.fabric_deflections, r.fabric_max_latency
+    );
+    let g = System::run(&cfg(8), &[], gather_kernels(8)).unwrap();
+    println!(
+        "gather8:  cycles={} delivered={} deflections={} max_lat={:?}",
+        g.cycles, g.fabric_delivered, g.fabric_deflections, g.fabric_max_latency
+    );
+}
