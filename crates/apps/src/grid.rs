@@ -128,14 +128,14 @@ mod tests {
                 let mut covered = vec![false; n];
                 for rank in 0..ranks {
                     let (s, e) = partition_rows(n, ranks, rank);
-                    assert!(s >= 1 && e <= n - 1 && s < e);
-                    for row in s..e {
-                        assert!(!covered[row], "row {row} double-owned");
-                        covered[row] = true;
+                    assert!(s >= 1 && e < n && s < e);
+                    for (row, owned) in covered.iter_mut().enumerate().take(e).skip(s) {
+                        assert!(!*owned, "row {row} double-owned");
+                        *owned = true;
                     }
                 }
-                for row in 1..n - 1 {
-                    assert!(covered[row], "row {row} unowned (n={n}, ranks={ranks})");
+                for (row, owned) in covered.iter().enumerate().take(n - 1).skip(1) {
+                    assert!(owned, "row {row} unowned (n={n}, ranks={ranks})");
                 }
             }
         }
@@ -143,8 +143,12 @@ mod tests {
 
     #[test]
     fn partition_balanced() {
-        let sizes: Vec<usize> =
-            (0..5).map(|r| { let (s, e) = partition_rows(16, 5, r); e - s }).collect();
+        let sizes: Vec<usize> = (0..5)
+            .map(|r| {
+                let (s, e) = partition_rows(16, 5, r);
+                e - s
+            })
+            .collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         assert!(max - min <= 1, "{sizes:?}");

@@ -161,7 +161,7 @@ fn pub_slot(n: usize, rank: usize, which: usize, parity: usize) -> Addr {
 struct KernelCtx {
     jcfg: JacobiConfig,
     measured: Arc<AtomicU64>,
-    collect: Option<Arc<Mutex<Vec<(usize, Vec<f64>)>>>>,
+    collect: Option<crate::RowSink>,
     sm_barrier: SmBarrier,
 }
 
@@ -509,12 +509,8 @@ impl Workload for JacobiWorkload {
         let sm_barrier = SmBarrier::at_top_of_shared(cfg.layout().shared_bytes());
         let kernels: Vec<Kernel> = (0..cfg.compute_pes())
             .map(|_| {
-                let ctx = KernelCtx {
-                    jcfg,
-                    measured: Arc::clone(&measured),
-                    collect: None,
-                    sm_barrier,
-                };
+                let ctx =
+                    KernelCtx { jcfg, measured: Arc::clone(&measured), collect: None, sm_barrier };
                 Box::new(move |api: PeApi| jacobi_kernel(api, ctx)) as Kernel
             })
             .collect();
@@ -585,9 +581,7 @@ mod tests {
     #[test]
     fn variants_agree_bitwise() {
         let mk = |variant| {
-            let jcfg = JacobiConfig::new(10, variant)
-                .with_measured_iters(2)
-                .with_validation();
+            let jcfg = JacobiConfig::new(10, variant).with_measured_iters(2).with_validation();
             let outcome = run(&sys(4, 16, CachePolicy::WriteBack), &jcfg).unwrap();
             outcome.interior.unwrap()
         };
@@ -603,8 +597,7 @@ mod tests {
         // The paper's headline: the hybrid approach wins on synchronization
         // cost. Even at small scale the pure-SM variant must be slower.
         let mk = |variant| {
-            let jcfg =
-                JacobiConfig::new(12, variant).with_warmup_iters(1).with_measured_iters(1);
+            let jcfg = JacobiConfig::new(12, variant).with_warmup_iters(1).with_measured_iters(1);
             run(&sys(4, 16, CachePolicy::WriteBack), &jcfg).unwrap().cycles_per_iter
         };
         let hybrid = mk(JacobiVariant::HybridFullMp);

@@ -19,3 +19,9 @@ pub mod matmul;
 pub mod pingpong;
 pub mod reduce;
 pub mod sm;
+
+use std::sync::{Arc, Mutex};
+
+/// Shared sink collecting `(rank, values)` rows from kernel threads —
+/// the host-side result channel of the matrix workloads.
+pub type RowSink = Arc<Mutex<Vec<(usize, Vec<f64>)>>>;

@@ -7,6 +7,7 @@
 //! strategy that keeps all traffic private/cacheable); each rank computes
 //! its row band and the results are collected for validation.
 
+use crate::RowSink;
 use medea_cache::Addr;
 use medea_core::api::PeApi;
 use medea_core::calib::LOOP_OVERHEAD_CYCLES;
@@ -113,8 +114,8 @@ pub fn run(sys: &SystemConfig, mcfg: &MatmulConfig) -> Result<MatmulOutcome, Run
                 preload.push((addr + 4, hi));
             }
         }
-        for k in 0..n * n {
-            let (lo, hi) = f64_to_words(b[k]);
+        for (k, &bv) in b.iter().enumerate() {
+            let (lo, hi) = f64_to_words(bv);
             let addr = base + b_off(r) + (k * 8) as u32;
             preload.push((addr, lo));
             preload.push((addr + 4, hi));
@@ -122,7 +123,7 @@ pub fn run(sys: &SystemConfig, mcfg: &MatmulConfig) -> Result<MatmulOutcome, Run
     }
 
     let window = Arc::new(AtomicU64::new(0));
-    let sink: Arc<Mutex<Vec<(usize, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink: RowSink = Arc::new(Mutex::new(Vec::new()));
     let kernels: Vec<Kernel> = (0..ranks)
         .map(|r| {
             let cell = Arc::clone(&window);

@@ -10,8 +10,7 @@ use medea_core::system::System;
 use medea_core::{ArbiterConfig, FabricKind, PriorityAssignment};
 
 fn run_once(cfg: &medea_core::SystemConfig) -> u64 {
-    let workload =
-        JacobiWorkload { jcfg: JacobiConfig::new(12, JacobiVariant::HybridFullMp) };
+    let workload = JacobiWorkload { jcfg: JacobiConfig::new(12, JacobiVariant::HybridFullMp) };
     let prepared = workload.prepare(cfg);
     System::run(cfg, &prepared.preload, prepared.kernels).expect("run").cycles
 }
@@ -43,9 +42,7 @@ fn bench_arbiter(c: &mut Criterion) {
 fn bench_fabric(c: &mut Criterion) {
     let mut group = c.benchmark_group("a2_fabric");
     group.sample_size(10);
-    for (name, fabric) in
-        [("deflection", FabricKind::Deflection), ("ideal", FabricKind::Ideal)]
-    {
+    for (name, fabric) in [("deflection", FabricKind::Deflection), ("ideal", FabricKind::Ideal)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &fabric, |b, &fabric| {
             let cfg = base_builder()
                 .compute_pes(4)

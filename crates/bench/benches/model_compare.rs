@@ -16,22 +16,14 @@ fn bench_models(c: &mut Criterion) {
         JacobiVariant::HybridSyncOnly,
         JacobiVariant::PureSharedMemory,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant),
-            &variant,
-            |b, &variant| {
-                let cfg = base_builder()
-                    .compute_pes(4)
-                    .cache_bytes(16 * 1024)
-                    .build()
-                    .expect("config");
-                let workload = JacobiWorkload { jcfg: JacobiConfig::new(12, variant) };
-                b.iter(|| {
-                    let prepared = workload.prepare(&cfg);
-                    System::run(&cfg, &prepared.preload, prepared.kernels).expect("run").cycles
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(variant), &variant, |b, &variant| {
+            let cfg = base_builder().compute_pes(4).cache_bytes(16 * 1024).build().expect("config");
+            let workload = JacobiWorkload { jcfg: JacobiConfig::new(12, variant) };
+            b.iter(|| {
+                let prepared = workload.prepare(&cfg);
+                System::run(&cfg, &prepared.preload, prepared.kernels).expect("run").cycles
+            });
+        });
     }
     group.finish();
 }

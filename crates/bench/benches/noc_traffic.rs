@@ -13,23 +13,19 @@ fn bench_traffic(c: &mut Criterion) {
     let mut group = c.benchmark_group("a3_noc_traffic");
     group.sample_size(20);
     for load in [0.1f64, 0.5] {
-        group.bench_with_input(
-            BenchmarkId::new("deflection_uniform", load),
-            &load,
-            |b, &load| {
-                b.iter(|| {
-                    let mut net = Network::new(topo);
-                    let cfg = TrafficConfig {
-                        pattern: Pattern::UniformRandom,
-                        offered_load: load,
-                        warmup: 200,
-                        measure: 1000,
-                        seed: 7,
-                    };
-                    run_open_loop(&mut net, topo, &cfg).accepted_throughput
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("deflection_uniform", load), &load, |b, &load| {
+            b.iter(|| {
+                let mut net = Network::new(topo);
+                let cfg = TrafficConfig {
+                    pattern: Pattern::UniformRandom,
+                    offered_load: load,
+                    warmup: 200,
+                    measure: 1000,
+                    seed: 7,
+                };
+                run_open_loop(&mut net, topo, &cfg).accepted_throughput
+            });
+        });
         group.bench_with_input(BenchmarkId::new("ideal_uniform", load), &load, |b, &load| {
             b.iter(|| {
                 let mut net = IdealNetwork::new(topo);

@@ -13,8 +13,7 @@ use medea_core::system::System;
 fn bench_sim_speed(c: &mut Criterion) {
     // Measure the simulated-cycles throughput of a representative run.
     let cfg = base_builder().compute_pes(4).cache_bytes(16 * 1024).build().expect("config");
-    let workload =
-        JacobiWorkload { jcfg: JacobiConfig::new(16, JacobiVariant::HybridFullMp) };
+    let workload = JacobiWorkload { jcfg: JacobiConfig::new(16, JacobiVariant::HybridFullMp) };
     // Discover the per-run cycle count once so Criterion can report
     // cycles/second as throughput.
     let probe = workload.prepare(&cfg);

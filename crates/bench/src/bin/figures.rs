@@ -103,8 +103,7 @@ fn main() {
 /// Figs. 6/8 (and the 16x16 case): execution time per iteration.
 fn fig_exec_time(figure: usize, paper_n: usize, effort: Effort, threads: usize) {
     let n = grid_side(paper_n, effort);
-    let points =
-        if figure == 8 { fig8_points(effort) } else { fig6_points(effort) };
+    let points = if figure == 8 { fig8_points(effort) } else { fig6_points(effort) };
     println!("== Fig. {figure}: Jacobi {n}x{n}, execution time per iteration (cycles) ==");
     let t = Instant::now();
     let outcomes = jacobi_sweep(n, JacobiVariant::HybridFullMp, &points, threads);
@@ -147,10 +146,7 @@ fn fig_speedup_area(figure: usize, paper_n: usize, effort: Effort, threads: usiz
     let outcomes = jacobi_sweep(n, JacobiVariant::HybridFullMp, &points, threads);
     let sva = speedup_vs_area(&outcomes);
     let fmt = |points: &[medea_core::area::DesignPoint]| {
-        points
-            .iter()
-            .map(|p| (p.label.clone(), p.area_mm2, p.speedup))
-            .collect::<Vec<_>>()
+        points.iter().map(|p| (p.label.clone(), p.area_mm2, p.speedup)).collect::<Vec<_>>()
     };
     println!(
         "{}",
@@ -198,7 +194,15 @@ fn comparison(size_override: Option<usize>, effort: Effort, include_sync_only: b
         })
         .collect();
     let headers: Vec<&str> = if include_sync_only {
-        vec!["cores", "full-MP", "sync-only", "pure-SM", "full gain", "sync-only gain", "sync share"]
+        vec![
+            "cores",
+            "full-MP",
+            "sync-only",
+            "pure-SM",
+            "full gain",
+            "sync-only gain",
+            "sync share",
+        ]
     } else {
         vec!["cores", "hybrid", "pure-SM", "gain"]
     };
@@ -231,9 +235,7 @@ fn dse(effort: Effort, threads: usize) {
         "aggregate simulation rate: {:.2} Mcycles/s",
         sim_cycles as f64 / wall.as_secs_f64() / 1e6
     );
-    println!(
-        "(paper: 168 configurations in ~1 day on five 2004-era Xeon servers)\n"
-    );
+    println!("(paper: 168 configurations in ~1 day on five 2004-era Xeon servers)\n");
 }
 
 /// MP vs SM synchronization latency.
@@ -359,8 +361,7 @@ fn traffic_report() {
 
 fn run_jacobi_once(cfg: &SystemConfig, n: usize, variant: JacobiVariant) -> u64 {
     use medea_core::explore::Workload as _;
-    let workload =
-        medea_apps::jacobi::JacobiWorkload { jcfg: JacobiConfig::new(n, variant) };
+    let workload = medea_apps::jacobi::JacobiWorkload { jcfg: JacobiConfig::new(n, variant) };
     let prepared = workload.prepare(cfg);
     let measured = prepared.measured.clone();
     medea_core::system::System::run(cfg, &prepared.preload, prepared.kernels).expect("run");

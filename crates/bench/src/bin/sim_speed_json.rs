@@ -1,0 +1,210 @@
+//! Before/after harness for the cycle-engine hot-path work: measures
+//! simulated-cycles-per-second (experiment E8, `RunResult::sim_rate`) for
+//! a fixed workload set on both engines —
+//!
+//! * **before**: [`System::run_reference`], the naive tick-everything
+//!   loop behind a `Box<dyn Fabric>` (the seed engine);
+//! * **after**: [`System::run`], the zero-allocation, activity-scheduled
+//!   engine with per-PE wake scheduling;
+//!
+//! — and writes the results to `BENCH_sim_speed.json` (or the path given
+//! as the first argument). Both engines produce bit-identical
+//! architectural results (enforced by `tests/golden_determinism.rs` and
+//! the `engine_equivalence` unit test); only wall-clock differs.
+
+use medea_apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_bench::base_builder;
+use medea_core::api::PeApi;
+use medea_core::explore::Workload as _;
+use medea_core::system::{Kernel, RunResult, System};
+use medea_core::{empi, SystemConfig};
+use medea_sim::ids::Rank;
+
+/// Runs per engine; the best (highest) rate is reported to damp noise.
+const REPS: usize = 3;
+
+struct Measurement {
+    name: &'static str,
+    cycles: u64,
+    before_cps: f64,
+    after_cps: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.after_cps / self.before_cps
+    }
+}
+
+fn best_rate(mut run: impl FnMut() -> RunResult) -> (u64, f64) {
+    let mut cycles = 0;
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let result = run();
+        cycles = result.cycles;
+        best = best.max(result.sim_rate());
+    }
+    (cycles, best)
+}
+
+fn measure(
+    name: &'static str,
+    cfg: &SystemConfig,
+    preload: &[(u32, u32)],
+    kernels: impl Fn() -> Vec<Kernel>,
+) -> Measurement {
+    let (cycles_b, before_cps) =
+        best_rate(|| System::run_reference(cfg, preload, kernels()).expect("reference run"));
+    let (cycles_a, after_cps) =
+        best_rate(|| System::run(cfg, preload, kernels()).expect("optimized run"));
+    assert_eq!(cycles_a, cycles_b, "{name}: engines must simulate identical cycle counts");
+    Measurement { name, cycles: cycles_a, before_cps, after_cps }
+}
+
+fn pingpong_kernels(rounds: u32) -> Vec<Kernel> {
+    let ping: Kernel = Box::new(move |api: PeApi| {
+        for i in 1..=rounds {
+            api.send_to_rank(Rank::new(1), &[i]);
+            let back = api.recv_from_rank(Rank::new(1));
+            assert_eq!(back[0], i);
+        }
+    });
+    let pong: Kernel = Box::new(move |api: PeApi| {
+        for _ in 1..=rounds {
+            let v = api.recv_from_rank(Rank::new(0));
+            api.send_to_rank(Rank::new(0), &v);
+        }
+    });
+    vec![ping, pong]
+}
+
+fn reduce_kernels(ranks: usize, iters: u32) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                for _ in 0..iters {
+                    api.compute(200 + 37 * r as u64);
+                    empi::barrier(&api);
+                    let mine = r as f64 + 0.5;
+                    if api.rank().is_master() {
+                        let mut acc = mine;
+                        for src in 1..api.ranks() {
+                            acc = api.fadd(acc, empi::recv_f64(&api, Rank::new(src as u8))[0]);
+                        }
+                        for dst in 1..api.ranks() {
+                            empi::send_f64(&api, Rank::new(dst as u8), &[acc]);
+                        }
+                    } else {
+                        empi::send_f64(&api, Rank::new(0), &[mine]);
+                        empi::recv_f64(&api, Rank::new(0));
+                    }
+                }
+            }) as Kernel
+        })
+        .collect()
+}
+
+/// Imbalanced fork-join: the master runs a long sequential phase while
+/// the workers sit blocked in `recv`, then fans a token out and the
+/// workers do a short parallel phase. The whole-system fast-forward can
+/// never fire during the sequential phase (the workers are recv-blocked,
+/// not timed), so the naive engine ticks the stalled master — and scans
+/// the idle fabric — every one of those cycles. Per-PE wake scheduling
+/// is built for exactly this shape.
+fn imbalanced_kernels(ranks: usize, iters: u32) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                for _ in 0..iters {
+                    if api.rank().is_master() {
+                        api.compute(150_000);
+                        for dst in 1..api.ranks() {
+                            api.send_to_rank(Rank::new(dst as u8), &[1]);
+                        }
+                    } else {
+                        let _ = api.recv_from_rank(Rank::new(0));
+                        api.compute(2_000 + 53 * r as u64);
+                    }
+                }
+            }) as Kernel
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim_speed.json".to_owned());
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    // Jacobi, the paper's workload: FP-stall-heavy with bursts of NoC and
+    // MPMMU traffic — the per-PE wake-scheduling showcase.
+    {
+        let cfg = base_builder().compute_pes(4).cache_bytes(16 * 1024).build().expect("config");
+        let workload = JacobiWorkload { jcfg: JacobiConfig::new(16, JacobiVariant::HybridFullMp) };
+        let prepared = workload.prepare(&cfg);
+        let preload = prepared.preload.clone();
+        rows.push(measure("jacobi_16x16_4pe_hybrid", &cfg, &preload, || {
+            workload.prepare(&cfg).kernels
+        }));
+    }
+
+    // Ping-pong: latency-bound message traffic, fabric almost always
+    // near-empty — exercises the activity-scheduled network tick.
+    {
+        let cfg = base_builder().compute_pes(2).build().expect("config");
+        rows.push(measure("pingpong_mp_2000_rounds", &cfg, &[], || pingpong_kernels(2000)));
+    }
+
+    // All-reduce with staggered compute: mixed timed stalls and barrier
+    // traffic across six ranks.
+    {
+        let cfg = base_builder().compute_pes(6).build().expect("config");
+        rows.push(measure("reduce_6pe_100_iters", &cfg, &[], || reduce_kernels(6, 100)));
+    }
+
+    // Imbalanced fork-join: the per-PE wake-scheduling showcase (see
+    // `imbalanced_kernels`).
+    {
+        let cfg = base_builder().compute_pes(8).build().expect("config");
+        rows.push(measure("imbalanced_forkjoin_8pe", &cfg, &[], || imbalanced_kernels(8, 4)));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"sim_speed\",\n");
+    json.push_str("  \"metric\": \"simulated_cycles_per_wall_second\",\n");
+    json.push_str("  \"before\": \"System::run_reference (naive tick-everything engine)\",\n");
+    json.push_str(
+        "  \"after\": \"System::run (zero-allocation, activity-scheduled, per-PE wake)\",\n",
+    );
+    json.push_str(&format!("  \"reps_per_engine\": {REPS},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"simulated_cycles\": {}, \"before_cps\": {:.0}, \
+             \"after_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.cycles,
+            m.before_cps,
+            m.after_cps,
+            m.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+
+    println!("{json}");
+    for m in &rows {
+        println!(
+            "{:<28} {:>12} cycles  before {:>12.0} c/s  after {:>12.0} c/s  speedup {:>5.2}x",
+            m.name,
+            m.cycles,
+            m.before_cps,
+            m.after_cps,
+            m.speedup()
+        );
+    }
+    let best = rows.iter().map(Measurement::speedup).fold(0.0f64, f64::max);
+    assert!(best >= 1.5, "expected at least one workload to improve >= 1.5x, best was {best:.2}x");
+    println!("wrote {out_path}");
+}

@@ -48,9 +48,7 @@ pub fn jacobi_sweep(
 /// Fig. 6 point set: cores 2..=15 × cache sizes × both policies.
 pub fn fig6_points(effort: Effort) -> Vec<SweepPoint> {
     let (sizes, pes): (Vec<usize>, Vec<usize>) = match effort {
-        Effort::Full => {
-            ((1..=6).map(|k| (1 << k) * 1024).collect(), (2..=15).collect())
-        }
+        Effort::Full => ((1..=6).map(|k| (1 << k) * 1024).collect(), (2..=15).collect()),
         Effort::Quick => (vec![2 * 1024, 8 * 1024, 32 * 1024], vec![2, 4, 8, 12]),
     };
     let mut points = Vec::new();
@@ -100,12 +98,10 @@ pub fn exec_time_series(outcomes: &[SweepOutcome]) -> Vec<ExecTimeSeries> {
     let mut series: Vec<ExecTimeSeries> = Vec::new();
     for o in outcomes {
         let Some(measured) = o.measured() else { continue };
-        let label =
-            format!("{}kB $ {}", o.point.cache_bytes / 1024, o.point.policy);
+        let label = format!("{}kB $ {}", o.point.cache_bytes / 1024, o.point.policy);
         match series.iter_mut().find(|s| s.label == label) {
             Some(s) => s.points.push((o.point.pes, measured)),
-            None => series
-                .push(ExecTimeSeries { label, points: vec![(o.point.pes, measured)] }),
+            None => series.push(ExecTimeSeries { label, points: vec![(o.point.pes, measured)] }),
         }
     }
     for s in &mut series {
@@ -127,12 +123,8 @@ pub struct SpeedupVsArea {
 
 /// Build the speedup-vs-area artifact from a sweep.
 pub fn speedup_vs_area(outcomes: &[SweepOutcome]) -> SpeedupVsArea {
-    let reference = outcomes
-        .iter()
-        .filter_map(SweepOutcome::measured)
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let reference =
+        outcomes.iter().filter_map(SweepOutcome::measured).max().unwrap_or(1).max(1) as f64;
     let all: Vec<DesignPoint> = outcomes
         .iter()
         .filter_map(|o| {

@@ -121,10 +121,13 @@ impl SetAssocCache {
     fn find(&mut self, line_addr: Addr) -> Option<&mut Line> {
         let set = self.set_index(line_addr);
         let clock = &mut self.clock;
-        self.sets[set].iter_mut().find(|l| l.tag == line_addr).map(|l| {
-            Self::touch(clock, l);
-            l
-        })
+        match self.sets[set].iter_mut().find(|l| l.tag == line_addr) {
+            Some(l) => {
+                Self::touch(clock, l);
+                Some(l)
+            }
+            None => None,
+        }
     }
 
     /// Whether the line containing `addr` is resident (no LRU update, no
@@ -282,11 +285,7 @@ impl SetAssocCache {
     /// Iterate over all resident dirty lines (used by whole-cache flushes
     /// and by invariant checks in tests).
     pub fn dirty_lines(&self) -> impl Iterator<Item = Victim> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|l| l.dirty)
-            .map(|l| Victim { line: l.tag, data: l.data })
+        self.sets.iter().flatten().filter(|l| l.dirty).map(|l| Victim { line: l.tag, data: l.data })
     }
 
     /// Number of resident lines.
@@ -409,7 +408,7 @@ mod tests {
     #[test]
     fn set_indexing_separates_lines() {
         let mut c = wb(2048); // 2 ways, 64 sets
-        // Same set: addresses 1024*... line 0 and line 0 + sets*16.
+                              // Same set: addresses 1024*... line 0 and line 0 + sets*16.
         let sets = c.config().sets();
         let a = 0u32;
         let b = (sets * crate::LINE_BYTES) as u32;

@@ -37,9 +37,7 @@ pub struct DesignPoint {
 /// Keep only Pareto-optimal points (no other point has both smaller-or-
 /// equal area and strictly greater speedup), sorted by area.
 pub fn pareto_frontier(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
-    points.sort_by(|a, b| {
-        a.area_mm2.total_cmp(&b.area_mm2).then(b.speedup.total_cmp(&a.speedup))
-    });
+    points.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2).then(b.speedup.total_cmp(&a.speedup)));
     let mut frontier: Vec<DesignPoint> = Vec::new();
     let mut best = f64::NEG_INFINITY;
     for p in points {
@@ -131,8 +129,7 @@ mod tests {
     #[test]
     fn kill_rule_cuts_sublinear_tail() {
         // +100% area for +200% speedup: keep. Then +50% area for +1%: kill.
-        let frontier =
-            vec![dp("base", 1.0, 1.0), dp("good", 2.0, 3.0), dp("waste", 3.0, 3.03)];
+        let frontier = vec![dp("base", 1.0, 1.0), dp("good", 2.0, 3.0), dp("waste", 3.0, 3.03)];
         let kept = apply_kill_rule(&frontier, 1.0);
         let labels: Vec<&str> = kept.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, vec!["base", "good"]);
@@ -142,8 +139,7 @@ mod tests {
     fn kill_rule_skips_but_keeps_walking() {
         // The middle point does not pay from "base", but the last one does:
         // it must survive (the walk is not truncated at the first miss).
-        let frontier =
-            vec![dp("base", 1.0, 1.0), dp("meh", 1.5, 1.2), dp("payoff", 2.0, 2.5)];
+        let frontier = vec![dp("base", 1.0, 1.0), dp("meh", 1.5, 1.2), dp("payoff", 2.0, 2.5)];
         let kept = apply_kill_rule(&frontier, 1.0);
         let labels: Vec<&str> = kept.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, vec!["base", "payoff"]);

@@ -53,7 +53,7 @@ mod tests {
         // These three are the load-bearing paper-quoted relationships; a
         // change here invalidates EXPERIMENTS.md.
         assert_eq!(NOC_AREA_OVERHEAD, 1.0);
-        assert!(CORE_AREA_MM2 > 0.0 && CACHE_AREA_MM2_PER_KB > 0.0);
-        assert!(DDR_FIRST_WORD > MPMMU_CACHE_HIT, "DDR must dominate a cache hit");
+        const { assert!(CORE_AREA_MM2 > 0.0 && CACHE_AREA_MM2_PER_KB > 0.0) }
+        const { assert!(DDR_FIRST_WORD > MPMMU_CACHE_HIT, "DDR must dominate a cache hit") }
     }
 }

@@ -294,9 +294,8 @@ impl SystemConfigBuilder {
         }
         let cache = CacheConfig::with_ways(self.cache_bytes, self.cache_ways, self.cache_policy)
             .map_err(|e| BuildConfigError(e.to_string()))?;
-        let mpmmu_cache =
-            CacheConfig::new(self.mpmmu_cache_bytes, CachePolicy::WriteBack)
-                .map_err(|e| BuildConfigError(format!("mpmmu cache: {e}")))?;
+        let mpmmu_cache = CacheConfig::new(self.mpmmu_cache_bytes, CachePolicy::WriteBack)
+            .map_err(|e| BuildConfigError(format!("mpmmu cache: {e}")))?;
         let layout = MemoryMap::new(self.compute_pes, self.shared_bytes, self.private_bytes)
             .map_err(|e| BuildConfigError(e.to_string()))?;
         if self.cycle_limit == 0 {

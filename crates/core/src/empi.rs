@@ -200,9 +200,12 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        for (kind, len, chunk) in
-            [(KIND_DATA, 0usize, 0usize), (KIND_DATA, 1, 0), (KIND_CREDIT, 0, 0), (KIND_DATA, 3825, 255)]
-        {
+        for (kind, len, chunk) in [
+            (KIND_DATA, 0usize, 0usize),
+            (KIND_DATA, 1, 0),
+            (KIND_CREDIT, 0, 0),
+            (KIND_DATA, 3825, 255),
+        ] {
             let (k, l, c) = parse_header(header(kind, len, chunk));
             assert_eq!((k, l, c), (kind, len, chunk));
         }
@@ -220,9 +223,8 @@ mod tests {
         // For every chunk count, the credits a receiver issues must equal
         // the credits the sender awaits.
         for total in 1..=40usize {
-            let sender_waits = (0..total)
-                .filter(|idx| *idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0)
-                .count();
+            let sender_waits =
+                (0..total).filter(|idx| *idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0).count();
             let receiver_grants = (1..=total)
                 .filter(|received| {
                     total > EAGER_CHUNKS && received % EAGER_CHUNKS == 0 && *received < total

@@ -177,12 +177,8 @@ impl InsertOutcome for Vec<Option<SweepOutcome>> {
 /// (our documented reading of the paper's "optimal Speedup" normalization;
 /// EXPERIMENTS.md discusses the choice).
 pub fn speedups_vs_slowest(outcomes: &[SweepOutcome]) -> Vec<(String, f64)> {
-    let reference = outcomes
-        .iter()
-        .filter_map(SweepOutcome::measured)
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let reference =
+        outcomes.iter().filter_map(SweepOutcome::measured).max().unwrap_or(1).max(1) as f64;
     outcomes
         .iter()
         .filter_map(|o| {
@@ -272,10 +268,7 @@ mod tests {
         let par = run_sweep(&workload, &points, &base, 8);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.measured_cycles, b.measured_cycles);
-            assert_eq!(
-                a.result.as_ref().unwrap().cycles,
-                b.result.as_ref().unwrap().cycles
-            );
+            assert_eq!(a.result.as_ref().unwrap().cycles, b.result.as_ref().unwrap().cycles);
         }
     }
 }

@@ -147,7 +147,7 @@ mod tests {
         assert!(MemoryMap::new(0, 1024, 1024).is_err());
         assert!(MemoryMap::new(1, 0, 1024).is_err());
         assert!(MemoryMap::new(1, 1024, 8).is_err(), "not line-aligned");
-        assert!(MemoryMap::new(16, u32::MAX & !0xF, 1 << 30).is_err(), "overflow");
+        assert!(MemoryMap::new(16, !0xFu32, 1 << 30).is_err(), "overflow");
     }
 
     #[test]

@@ -61,10 +61,7 @@ mod tests {
     fn table_alignment() {
         let t = format_table(
             &["cores", "cycles"],
-            &[
-                vec!["2".into(), "123456".into()],
-                vec!["15".into(), "99".into()],
-            ],
+            &[vec!["2".into(), "123456".into()], vec!["15".into(), "99".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

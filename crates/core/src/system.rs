@@ -4,14 +4,27 @@
 //! the single-clock cycle loop:
 //!
 //! 1. deliver flits ejected by the fabric to their node interfaces;
-//! 2. tick every PE and the MPMMU;
+//! 2. tick every *runnable* PE and the MPMMU;
 //! 3. inject at most one flit per node into the fabric;
 //! 4. tick the fabric;
-//! 5. terminate when every kernel has returned, fast-forwarding across
-//!    cycles in which every component is provably idle (all PEs in pure
-//!    time stalls, fabric drained, MPMMU idle) — the optimization that
-//!    makes the 168-point exploration cheap, standing in for the paper's
-//!    15× SystemC-over-HDL speedup.
+//! 5. terminate when every kernel has returned.
+//!
+//! Two engines implement that loop:
+//!
+//! * [`System::run`] — the production engine. Statically dispatched
+//!   fabric ([`AnyFabric`]), per-PE wake scheduling (a PE parked in a
+//!   pure time stall until cycle `t` is not ticked across the
+//!   intervening cycles, even while the fabric or other PEs stay busy),
+//!   ejection delivery gated on the fabric's O(1) flit census, and the
+//!   whole-system fast-forward across cycles in which every component is
+//!   provably idle — the optimizations that make the 168-point
+//!   exploration cheap, standing in for the paper's 15× SystemC-over-HDL
+//!   speedup.
+//! * [`System::run_reference`] — the naive tick-everything loop behind a
+//!   `Box<dyn Fabric>`, kept as the behavioral reference: both engines
+//!   must produce bit-identical results (`tests/golden_determinism.rs`,
+//!   `engine_equivalence` below), and the pair is the before/after
+//!   baseline of the `BENCH_sim_speed.json` harness.
 
 use crate::api::PeApi;
 use crate::config::SystemConfig;
@@ -21,7 +34,8 @@ use medea_mem::{Mpmmu, MpmmuStats};
 use medea_noc::flit::Flit;
 use medea_noc::ideal::IdealNetwork;
 use medea_noc::network::Network;
-use medea_noc::Fabric;
+use medea_noc::reference::ReferenceNetwork;
+use medea_noc::{AnyFabric, Fabric};
 use medea_pe::bridge::BridgeStats;
 use medea_pe::pe::{PeStats, ProcessingElement, Wakeup};
 use medea_pe::tie::TieStats;
@@ -141,7 +155,8 @@ impl RunResult {
 pub struct System;
 
 impl System {
-    /// Run `kernels` (one per configured PE, by rank order) to completion.
+    /// Run `kernels` (one per configured PE, by rank order) to completion
+    /// on the activity-scheduled engine.
     ///
     /// `preload` words are written into DDR before the first cycle — the
     /// §II-E "at startup, the code to be executed is placed in an external
@@ -155,36 +170,156 @@ impl System {
         preload: &[(Addr, u32)],
         kernels: Vec<Kernel>,
     ) -> Result<RunResult, RunError> {
-        if kernels.len() != cfg.compute_pes() {
-            return Err(RunError::KernelCountMismatch {
-                kernels: kernels.len(),
-                pes: cfg.compute_pes(),
-            });
+        check_kernel_count(cfg, &kernels)?;
+        let topo = cfg.topology();
+        let mut fabric: AnyFabric = match cfg.fabric() {
+            FabricKind::Deflection => Network::new(topo).into(),
+            FabricKind::Ideal => IdealNetwork::new(topo).into(),
+        };
+        let mut mpmmu = build_mpmmu(cfg, preload);
+        let mut pes = build_pes(cfg, kernels);
+
+        let wall_start = Instant::now();
+        let mpmmu_node = cfg.mpmmu_node();
+        let mut mpmmu_hold: Option<Flit> = None;
+        // Per-PE wake schedule: the cycle at which each PE must next be
+        // ticked. A PE parked in a pure time stall (drained bridge and
+        // arbiter — see `ProcessingElement::sleep_until`) is skipped
+        // entirely until its wake cycle; for such a PE a tick is provably
+        // a no-op and it cannot inject, so skipping is bit-identical to
+        // the reference engine's tick-everything loop.
+        let mut wake: Vec<Cycle> = vec![0; pes.len()];
+        let mut ticked: Vec<bool> = vec![false; pes.len()];
+        let mut live = pes.len();
+        let mut now: Cycle = 0;
+        loop {
+            // 1. Deliver ejections. With the O(1) flit census, a drained
+            // fabric skips the per-node ejection polls outright.
+            if fabric.in_flight() > 0 {
+                for pe in &mut pes {
+                    let node = pe.node();
+                    while let Some(flit) = fabric.eject(node) {
+                        pe.deliver(flit, now);
+                    }
+                }
+            }
+            if let Some(flit) = mpmmu_hold.take() {
+                if let Err(back) = mpmmu.handle_incoming(flit) {
+                    mpmmu_hold = Some(back);
+                }
+            }
+            while mpmmu_hold.is_none() && fabric.in_flight() > 0 {
+                match fabric.eject(mpmmu_node) {
+                    Some(flit) => {
+                        if let Err(back) = mpmmu.handle_incoming(flit) {
+                            mpmmu_hold = Some(back);
+                        }
+                    }
+                    None => break,
+                }
+            }
+
+            // 2. Tick runnable components (the MPMMU's tick is a no-op
+            // while it is idle, so it is skipped then too).
+            for (i, pe) in pes.iter_mut().enumerate() {
+                if wake[i] > now {
+                    ticked[i] = false;
+                    continue;
+                }
+                ticked[i] = true;
+                let was_done = pe.is_done();
+                pe.tick(now);
+                if !was_done && pe.is_done() {
+                    live -= 1;
+                }
+                wake[i] = match pe.sleep_until() {
+                    Some(t) => t.max(now + 1),
+                    None => now + 1,
+                };
+            }
+            if !mpmmu.is_idle() {
+                mpmmu.tick(now);
+            }
+
+            // 3. Inject (one flit per node per cycle). A skipped PE has a
+            // drained arbiter by construction, so only ticked PEs can
+            // have traffic to offer.
+            for (i, pe) in pes.iter_mut().enumerate() {
+                if !ticked[i] {
+                    continue;
+                }
+                if let Some(flit) = pe.select_inject() {
+                    if let Err(back) = fabric.try_inject(pe.node(), flit, now) {
+                        pe.restore_inject(back);
+                    }
+                }
+            }
+            if let Some(flit) = mpmmu.pop_outgoing() {
+                if let Err(back) = fabric.try_inject(mpmmu_node, flit, now) {
+                    mpmmu.return_outgoing(back);
+                }
+            }
+
+            // 4. Fabric (activity-scheduled internally; a drained fabric
+            // ticks in constant time).
+            fabric.tick(now);
+
+            // 5. Termination, limits, fast-forward.
+            if live == 0 {
+                break;
+            }
+            if now >= cfg.cycle_limit() {
+                return Err(RunError::CycleLimit { limit: cfg.cycle_limit() });
+            }
+            let quiet = fabric.in_flight() == 0 && mpmmu.is_idle() && mpmmu_hold.is_none();
+            if quiet {
+                match classify_quiet(&pes) {
+                    QuietState::AllTimed { min_wake } => {
+                        // Never skip past the cycle limit: the limit check
+                        // must still observe the overrun.
+                        let t = min_wake.min(cfg.cycle_limit());
+                        if t > now + 1 {
+                            now = t;
+                            continue;
+                        }
+                    }
+                    QuietState::Deadlocked => {
+                        return Err(RunError::Deadlock { at: now, detail: deadlock_detail(&pes) });
+                    }
+                    QuietState::Mixed => {}
+                }
+            }
+            now += 1;
         }
+
+        Ok(finish_result(now, &pes, fabric.stats(), &mpmmu, wall_start))
+    }
+
+    /// Run `kernels` on the naive reference engine: the frozen seed
+    /// fabric ([`ReferenceNetwork`]) behind dynamic dispatch, every
+    /// component ticked every cycle.
+    ///
+    /// This is the behavioral yardstick for [`System::run`] (both must
+    /// produce bit-identical [`RunResult`]s, wall-clock aside) and the
+    /// "before" measurement of the simulation-speed benchmarks. It is not
+    /// used by any workload path.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_reference(
+        cfg: &SystemConfig,
+        preload: &[(Addr, u32)],
+        kernels: Vec<Kernel>,
+    ) -> Result<RunResult, RunError> {
+        check_kernel_count(cfg, &kernels)?;
         let topo = cfg.topology();
         let mut fabric: Box<dyn Fabric> = match cfg.fabric() {
-            FabricKind::Deflection => Box::new(Network::new(topo)),
+            FabricKind::Deflection => Box::new(ReferenceNetwork::new(topo)),
             FabricKind::Ideal => Box::new(IdealNetwork::new(topo)),
         };
-        let mut mpmmu = Mpmmu::new(topo, cfg.mpmmu_node(), cfg.mpmmu_config());
-        for (addr, value) in preload {
-            mpmmu.debug_store().write_word(*addr, *value);
-        }
-        let ranks = cfg.compute_pes();
-        let layout = cfg.layout();
-        let mut pes: Vec<ProcessingElement> = kernels
-            .into_iter()
-            .enumerate()
-            .map(|(i, kernel)| {
-                let rank = Rank::new(i as u8);
-                ProcessingElement::new(
-                    cfg.pe_config(rank),
-                    topo,
-                    cfg.mpmmu_node(),
-                    move |port| kernel(PeApi::new(port, rank, ranks, layout)),
-                )
-            })
-            .collect();
+        let mut mpmmu = build_mpmmu(cfg, preload);
+        let mut pes = build_pes(cfg, kernels);
 
         let wall_start = Instant::now();
         let mpmmu_node = cfg.mpmmu_node();
@@ -246,68 +381,134 @@ impl System {
             }
             let quiet = fabric.in_flight() == 0 && mpmmu.is_idle() && mpmmu_hold.is_none();
             if quiet {
-                let mut min_wake: Option<Cycle> = None;
-                let mut all_timed = true;
-                let mut all_recv_blocked = true;
-                for pe in &pes {
-                    match pe.wakeup() {
-                        Wakeup::Done => {}
-                        Wakeup::At(t) => {
-                            all_recv_blocked = false;
-                            min_wake = Some(min_wake.map_or(t, |m| m.min(t)));
-                        }
-                        Wakeup::External => {
-                            all_timed = false;
-                            if !pe.is_recv_blocked() {
-                                all_recv_blocked = false;
-                            }
-                        }
-                    }
-                }
-                if all_timed {
-                    if let Some(t) = min_wake {
-                        // Never skip past the cycle limit: the limit check
-                        // must still observe the overrun.
-                        let t = t.min(cfg.cycle_limit());
+                match classify_quiet(&pes) {
+                    QuietState::AllTimed { min_wake } => {
+                        let t = min_wake.min(cfg.cycle_limit());
                         if t > now + 1 {
                             now = t;
                             continue;
                         }
                     }
-                } else if all_recv_blocked {
-                    let detail = pes
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, p)| !p.is_done())
-                        .map(|(i, _)| format!("rank {i} blocked in recv"))
-                        .collect::<Vec<_>>()
-                        .join(", ");
-                    return Err(RunError::Deadlock { at: now, detail });
+                    QuietState::Deadlocked => {
+                        return Err(RunError::Deadlock { at: now, detail: deadlock_detail(&pes) });
+                    }
+                    QuietState::Mixed => {}
                 }
             }
             now += 1;
         }
 
-        let fstats = fabric.stats();
-        Ok(RunResult {
-            cycles: now,
-            pe: pes
-                .iter()
-                .map(|p| PeSummary {
-                    engine: *p.stats(),
-                    cache: *p.cache_stats(),
-                    bridge: *p.bridge_stats(),
-                    tie: *p.tie_stats(),
-                })
-                .collect(),
-            fabric_delivered: fstats.delivered,
-            fabric_deflections: fstats.deflections,
-            fabric_mean_latency: fstats.latency.summary().mean(),
-            fabric_max_latency: fstats.latency.summary().max(),
-            mpmmu: *mpmmu.stats(),
-            mpmmu_cache: *mpmmu.cache_stats(),
-            wall: wall_start.elapsed(),
+        Ok(finish_result(now, &pes, fabric.stats(), &mpmmu, wall_start))
+    }
+}
+
+fn check_kernel_count(cfg: &SystemConfig, kernels: &[Kernel]) -> Result<(), RunError> {
+    if kernels.len() != cfg.compute_pes() {
+        return Err(RunError::KernelCountMismatch {
+            kernels: kernels.len(),
+            pes: cfg.compute_pes(),
+        });
+    }
+    Ok(())
+}
+
+fn build_mpmmu(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Mpmmu {
+    let mut mpmmu = Mpmmu::new(cfg.topology(), cfg.mpmmu_node(), cfg.mpmmu_config());
+    for (addr, value) in preload {
+        mpmmu.debug_store().write_word(*addr, *value);
+    }
+    mpmmu
+}
+
+fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement> {
+    let topo = cfg.topology();
+    let ranks = cfg.compute_pes();
+    let layout = cfg.layout();
+    kernels
+        .into_iter()
+        .enumerate()
+        .map(|(i, kernel)| {
+            let rank = Rank::new(i as u8);
+            ProcessingElement::new(cfg.pe_config(rank), topo, cfg.mpmmu_node(), move |port| {
+                kernel(PeApi::new(port, rank, ranks, layout))
+            })
         })
+        .collect()
+}
+
+/// What a drained-fabric, idle-MPMMU cycle looks like from the PEs.
+enum QuietState {
+    /// Every live PE is in a pure time stall; jump to the earliest wake.
+    AllTimed {
+        /// Earliest wake cycle among the stalled PEs.
+        min_wake: Cycle,
+    },
+    /// Every live PE is blocked in `Recv` with no traffic anywhere.
+    Deadlocked,
+    /// Anything else: advance cycle by cycle.
+    Mixed,
+}
+
+fn classify_quiet(pes: &[ProcessingElement]) -> QuietState {
+    let mut min_wake: Option<Cycle> = None;
+    let mut all_timed = true;
+    let mut all_recv_blocked = true;
+    for pe in pes {
+        match pe.wakeup() {
+            Wakeup::Done => {}
+            Wakeup::At(t) => {
+                all_recv_blocked = false;
+                min_wake = Some(min_wake.map_or(t, |m| m.min(t)));
+            }
+            Wakeup::External => {
+                all_timed = false;
+                if !pe.is_recv_blocked() {
+                    all_recv_blocked = false;
+                }
+            }
+        }
+    }
+    match (all_timed, min_wake) {
+        (true, Some(min_wake)) => QuietState::AllTimed { min_wake },
+        _ if all_recv_blocked && !all_timed => QuietState::Deadlocked,
+        _ => QuietState::Mixed,
+    }
+}
+
+fn deadlock_detail(pes: &[ProcessingElement]) -> String {
+    pes.iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_done())
+        .map(|(i, _)| format!("rank {i} blocked in recv"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn finish_result(
+    now: Cycle,
+    pes: &[ProcessingElement],
+    fstats: &medea_noc::FabricStats,
+    mpmmu: &Mpmmu,
+    wall_start: Instant,
+) -> RunResult {
+    RunResult {
+        cycles: now,
+        pe: pes
+            .iter()
+            .map(|p| PeSummary {
+                engine: *p.stats(),
+                cache: *p.cache_stats(),
+                bridge: *p.bridge_stats(),
+                tie: *p.tie_stats(),
+            })
+            .collect(),
+        fabric_delivered: fstats.delivered,
+        fabric_deflections: fstats.deflections,
+        fabric_mean_latency: fstats.latency.summary().mean(),
+        fabric_max_latency: fstats.latency.summary().max(),
+        mpmmu: *mpmmu.stats(),
+        mpmmu_cache: *mpmmu.cache_stats(),
+        wall: wall_start.elapsed(),
     }
 }
 
@@ -318,11 +519,7 @@ mod tests {
     use medea_sim::ids::Rank;
 
     fn cfg(pes: usize) -> SystemConfig {
-        SystemConfig::builder()
-            .compute_pes(pes)
-            .cycle_limit(5_000_000)
-            .build()
-            .unwrap()
+        SystemConfig::builder().compute_pes(pes).cycle_limit(5_000_000).build().unwrap()
     }
 
     #[test]
@@ -532,7 +729,7 @@ mod tests {
                     assert_eq!(api.load_u32(DATA), 111); // cache the line
                     api.send_to_rank(Rank::new(1), &[1]); // let producer go
                     let _ = api.recv_from_rank(Rank::new(1)); // updated token
-                    // No invalidate: stale.
+                                                              // No invalidate: stale.
                     assert_eq!(api.load_u32(DATA), 111, "must read the stale cached copy");
                     api.invalidate_line(DATA);
                     assert_eq!(api.load_u32(DATA), 222, "fresh after DII");
@@ -567,11 +764,7 @@ mod tests {
 
     #[test]
     fn cycle_limit_enforced() {
-        let tight = SystemConfig::builder()
-            .compute_pes(1)
-            .cycle_limit(100)
-            .build()
-            .unwrap();
+        let tight = SystemConfig::builder().compute_pes(1).cycle_limit(100).build().unwrap();
         let err = System::run(
             &tight,
             &[],
@@ -615,6 +808,81 @@ mod tests {
         assert_eq!(a.fabric_deflections, b.fabric_deflections);
     }
 
+    /// A mixed workload (compute stalls + messages + shared memory) that
+    /// exercises every engine subsystem, for the equivalence test.
+    fn mixed_kernels() -> Vec<Kernel> {
+        vec![
+            Box::new(|api: PeApi| {
+                api.compute(700);
+                api.store_f64(api.private_base(), 1.25);
+                api.flush_line(api.private_base());
+                empi::barrier(&api);
+                let v = empi::recv_f64(&api, Rank::new(1));
+                assert_eq!(v[0], 2.5);
+            }),
+            Box::new(|api: PeApi| {
+                empi::barrier(&api);
+                empi::send_f64(&api, Rank::new(0), &[2.5]);
+            }),
+            Box::new(|api: PeApi| {
+                for i in 0..8u32 {
+                    api.uncached_store_u32(0x400 + i * 4, i);
+                }
+                empi::barrier(&api);
+            }),
+        ]
+    }
+
+    #[test]
+    fn engine_equivalence() {
+        // The scheduled engine and the naive reference engine must agree
+        // bit-for-bit on every architectural observable, on both fabrics.
+        for fabric in [FabricKind::Deflection, FabricKind::Ideal] {
+            let mk = || {
+                SystemConfig::builder()
+                    .compute_pes(3)
+                    .fabric(fabric)
+                    .cycle_limit(5_000_000)
+                    .build()
+                    .unwrap()
+            };
+            let fast = System::run(&mk(), &[], mixed_kernels()).unwrap();
+            let slow = System::run_reference(&mk(), &[], mixed_kernels()).unwrap();
+            assert_eq!(fast.cycles, slow.cycles, "{fabric:?}");
+            assert_eq!(fast.fabric_delivered, slow.fabric_delivered, "{fabric:?}");
+            assert_eq!(fast.fabric_deflections, slow.fabric_deflections, "{fabric:?}");
+            assert_eq!(fast.fabric_max_latency, slow.fabric_max_latency, "{fabric:?}");
+            assert_eq!(fast.fabric_mean_latency, slow.fabric_mean_latency, "{fabric:?}");
+            assert_eq!(fast.mpmmu.single_writes.get(), slow.mpmmu.single_writes.get());
+            for (a, b) in fast.pe.iter().zip(&slow.pe) {
+                assert_eq!(a.engine.requests.get(), b.engine.requests.get());
+                assert_eq!(a.engine.compute_cycles.get(), b.engine.compute_cycles.get());
+                assert_eq!(a.engine.recv_wait_cycles.get(), b.engine.recv_wait_cycles.get());
+                assert_eq!(a.engine.send_cycles.get(), b.engine.send_cycles.get());
+                assert_eq!(a.cache.load_hits.get(), b.cache.load_hits.get());
+                assert_eq!(a.bridge.transactions.get(), b.bridge.transactions.get());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_equivalence_on_deadlock() {
+        let kernels = || -> Vec<Kernel> {
+            vec![
+                Box::new(|api: PeApi| {
+                    api.compute(300);
+                    let _ = api.recv_from_rank(Rank::new(1));
+                }),
+                Box::new(|api: PeApi| {
+                    let _ = api.recv_from_rank(Rank::new(0));
+                }),
+            ]
+        };
+        let fast = System::run(&cfg(2), &[], kernels()).unwrap_err();
+        let slow = System::run_reference(&cfg(2), &[], kernels()).unwrap_err();
+        assert_eq!(fast, slow, "deadlock must be detected at the same cycle");
+    }
+
     #[test]
     fn ideal_fabric_not_slower() {
         let mk = |fabric| {
@@ -640,11 +908,6 @@ mod tests {
         };
         let real = System::run(&mk(FabricKind::Deflection), &[], kernels()).unwrap();
         let ideal = System::run(&mk(FabricKind::Ideal), &[], kernels()).unwrap();
-        assert!(
-            ideal.cycles <= real.cycles,
-            "ideal {} > real {}",
-            ideal.cycles,
-            real.cycles
-        );
+        assert!(ideal.cycles <= real.cycles, "ideal {} > real {}", ideal.cycles, real.cycles);
     }
 }

@@ -107,8 +107,7 @@ fn all_to_one_gather_under_contention() {
                 if r == 0 {
                     for src in 1..api.ranks() {
                         let got = empi::recv(&api, Rank::new(src as u8));
-                        let want: Vec<u32> =
-                            (0..50).map(|i| (src * 1000 + i) as u32).collect();
+                        let want: Vec<u32> = (0..50).map(|i| (src * 1000 + i) as u32).collect();
                         assert_eq!(got, want, "message from rank {src}");
                     }
                 } else {

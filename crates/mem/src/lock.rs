@@ -32,7 +32,9 @@ impl fmt::Display for UnlockError {
                 "source {} tried to unlock {:#x} held by source {}",
                 self.requester, self.addr, owner
             ),
-            None => write!(f, "source {} tried to unlock free word {:#x}", self.requester, self.addr),
+            None => {
+                write!(f, "source {} tried to unlock free word {:#x}", self.requester, self.addr)
+            }
         }
     }
 }

@@ -101,10 +101,19 @@ pub struct MpmmuStats {
 enum State {
     Idle,
     /// Serving: responses emitted when `until` is reached.
-    Busy { until: Cycle, then: Completion },
+    Busy {
+        until: Cycle,
+        then: Completion,
+    },
     /// Write in flight: grant sent, awaiting `expect` data flits from
     /// `src`.
-    AwaitData { src: u8, kind: PacketKind, addr: Addr, words: Vec<Option<u32>>, expect: usize },
+    AwaitData {
+        src: u8,
+        kind: PacketKind,
+        addr: Addr,
+        words: Vec<Option<u32>>,
+        expect: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -283,10 +292,8 @@ impl Mpmmu {
                 if words.iter().take(expect).all(Option::is_some) {
                     let latency = self.commit_write(kind, addr, &words, expect);
                     let ack = self.response(src, kind, SubKind::Ack, 1, addr);
-                    self.state = State::Busy {
-                        until: now + latency,
-                        then: Completion::Respond(vec![ack]),
-                    };
+                    self.state =
+                        State::Busy { until: now + latency, then: Completion::Respond(vec![ack]) };
                 } else {
                     self.state = State::AwaitData { src, kind, addr, words, expect };
                 }
@@ -307,8 +314,10 @@ impl Mpmmu {
                 let (value, lat) = self.mem_read_word(addr);
                 self.stats.single_reads.inc();
                 let data = self.response(src, PacketKind::SingleRead, SubKind::Data, 0, value);
-                self.state =
-                    State::Busy { until: now + overhead + lat, then: Completion::Respond(vec![data]) };
+                self.state = State::Busy {
+                    until: now + overhead + lat,
+                    then: Completion::Respond(vec![data]),
+                };
             }
             PacketKind::BlockRead => {
                 let line = line_of(addr);
@@ -383,13 +392,8 @@ impl Mpmmu {
             Completion::Grant { src, kind, addr, expect } => {
                 let grant = self.response(src, kind, SubKind::Ack, 0, addr);
                 self.staging.push_back(grant);
-                self.state = State::AwaitData {
-                    src,
-                    kind,
-                    addr,
-                    words: vec![None; WORDS_PER_LINE],
-                    expect,
-                };
+                self.state =
+                    State::AwaitData { src, kind, addr, words: vec![None; WORDS_PER_LINE], expect };
             }
         }
     }
@@ -445,10 +449,8 @@ impl Mpmmu {
         }
         let mut data = [0u32; WORDS_PER_LINE];
         for (i, word) in data.iter_mut().enumerate() {
-            *word = self
-                .cache
-                .load_word(line + (i as Addr) * 4)
-                .expect("line resident after allocate");
+            *word =
+                self.cache.load_word(line + (i as Addr) * 4).expect("line resident after allocate");
         }
         (data, lat)
     }

@@ -40,7 +40,7 @@ fn drive(m: &mut Mpmmu, now: &mut u64, src: u8, t: Txn) -> Vec<Flit> {
     let mpmmu_at = Coord::new(0, 0);
     let req = |kind, addr| Flit::request(mpmmu_at, kind, src, addr);
     let mut collected = Vec::new();
-    let mut submit = |m: &mut Mpmmu, flit| {
+    let submit = |m: &mut Mpmmu, flit| {
         m.handle_incoming(flit).expect("fifo space");
     };
     match t {

@@ -112,8 +112,8 @@ impl FlitCodec {
         cursor >>= BURST_BITS;
         let seq = (cursor & mask(SEQ_BITS)) as u8;
         cursor >>= SEQ_BITS;
-        let sub = SubKind::from_code((cursor & mask(SUB_BITS)) as u8)
-            .expect("2-bit subtype is total");
+        let sub =
+            SubKind::from_code((cursor & mask(SUB_BITS)) as u8).expect("2-bit subtype is total");
         cursor >>= SUB_BITS;
         let kind = PacketKind::from_code((cursor & mask(TYPE_BITS)) as u8)
             .ok_or(DecodeError::ReservedType)?;

@@ -46,6 +46,7 @@ pub mod coord;
 pub mod flit;
 pub mod ideal;
 pub mod network;
+pub mod reference;
 pub mod router;
 pub mod traffic;
 
@@ -71,7 +72,10 @@ pub struct FabricStats {
 ///
 /// Two implementations exist: the paper's deflection-routed folded torus
 /// ([`network::Network`]) and a contention-free ideal fabric
-/// ([`ideal::IdealNetwork`]) used as an ablation baseline.
+/// ([`ideal::IdealNetwork`]) used as an ablation baseline. Cycle engines
+/// that tick a fabric every cycle should hold an [`AnyFabric`] rather
+/// than a `Box<dyn Fabric>`: the enum dispatches statically, so the
+/// per-cycle `tick`/`in_flight` calls inline into the hot loop.
 pub trait Fabric {
     /// Attempt to inject `flit` at `node` during cycle `now`.
     ///
@@ -98,4 +102,71 @@ pub trait Fabric {
 
     /// Number of nodes addressable on this fabric.
     fn node_count(&self) -> usize;
+}
+
+/// Closed sum of the fabric implementations, for static dispatch in
+/// cycle-loop hot paths (a `Box<dyn Fabric>` costs a vtable indirection
+/// per call, every cycle).
+#[derive(Debug, Clone)]
+pub enum AnyFabric {
+    /// The paper's deflection-routed folded torus.
+    Deflection(network::Network),
+    /// Contention-free ideal network (ablation baseline).
+    Ideal(ideal::IdealNetwork),
+}
+
+impl From<network::Network> for AnyFabric {
+    fn from(net: network::Network) -> Self {
+        AnyFabric::Deflection(net)
+    }
+}
+
+impl From<ideal::IdealNetwork> for AnyFabric {
+    fn from(net: ideal::IdealNetwork) -> Self {
+        AnyFabric::Ideal(net)
+    }
+}
+
+impl Fabric for AnyFabric {
+    fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit> {
+        match self {
+            AnyFabric::Deflection(net) => net.try_inject(node, flit, now),
+            AnyFabric::Ideal(net) => net.try_inject(node, flit, now),
+        }
+    }
+
+    fn eject(&mut self, node: NodeId) -> Option<Flit> {
+        match self {
+            AnyFabric::Deflection(net) => net.eject(node),
+            AnyFabric::Ideal(net) => net.eject(node),
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        match self {
+            AnyFabric::Deflection(net) => net.tick(now),
+            AnyFabric::Ideal(net) => net.tick(now),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            AnyFabric::Deflection(net) => net.in_flight(),
+            AnyFabric::Ideal(net) => net.in_flight(),
+        }
+    }
+
+    fn stats(&self) -> &FabricStats {
+        match self {
+            AnyFabric::Deflection(net) => net.stats(),
+            AnyFabric::Ideal(net) => net.stats(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            AnyFabric::Deflection(net) => net.node_count(),
+            AnyFabric::Ideal(net) => net.node_count(),
+        }
+    }
 }

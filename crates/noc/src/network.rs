@@ -4,6 +4,19 @@
 //! single-cycle links. The two-phase tick (route everything, then deliver
 //! everything) gives the delta-cycle semantics of the original SystemC
 //! model: all routers observe the state left by the previous cycle.
+//!
+//! The tick is the simulator's hot path and is engineered to be
+//! allocation-free and activity-scheduled:
+//!
+//! * link latches are a persistent double buffer (`latches`), not a
+//!   per-cycle collect;
+//! * only *active* switches — those holding a latched flit or a pending
+//!   injection at the cycle boundary — are routed; an idle switch costs
+//!   nothing, which matters because realistic workloads leave most of the
+//!   torus dark most of the time;
+//! * the fabric-wide flit census ([`Fabric::in_flight`]) is an
+//!   incrementally maintained counter, O(1) instead of an all-router scan
+//!   (the cycle engine consults it every cycle).
 
 use crate::coord::{Dir, Topology};
 use crate::flit::Flit;
@@ -18,15 +31,37 @@ pub struct Network {
     routers: Vec<DeflectionRouter>,
     stats: FabricStats,
     next_uid: u64,
+    /// Flits inside the fabric (latches + injection registers + ejection
+    /// queues): +1 on accepted injection, -1 on ejection.
+    in_flight: usize,
+    /// Per-router output latches, reused every cycle.
+    latches: Vec<[Option<Flit>; 4]>,
+    /// Routers with work at the next cycle boundary (dedup'd by
+    /// `is_active`); swapped with `retired` each tick.
+    active: Vec<u16>,
+    is_active: Vec<bool>,
+    /// Spare buffer holding the previous cycle's working set.
+    retired: Vec<u16>,
 }
 
 impl Network {
     /// Build the fabric for `topo`.
     pub fn new(topo: Topology) -> Self {
-        let routers = (0..topo.nodes())
+        let nodes = topo.nodes();
+        let routers = (0..nodes)
             .map(|i| DeflectionRouter::new(topo, topo.coord_of(NodeId::new(i as u16))))
             .collect();
-        Network { topo, routers, stats: FabricStats::default(), next_uid: 1 }
+        Network {
+            topo,
+            routers,
+            stats: FabricStats::default(),
+            next_uid: 1,
+            in_flight: 0,
+            latches: vec![[None; 4]; nodes],
+            active: Vec::with_capacity(nodes),
+            is_active: vec![false; nodes],
+            retired: Vec::with_capacity(nodes),
+        }
     }
 
     /// The topology this network was built for.
@@ -36,6 +71,13 @@ impl Network {
 
     fn router_mut(&mut self, node: NodeId) -> &mut DeflectionRouter {
         &mut self.routers[node.index()]
+    }
+
+    fn mark_active(&mut self, idx: usize) {
+        if !self.is_active[idx] {
+            self.is_active[idx] = true;
+            self.active.push(idx as u16);
+        }
     }
 }
 
@@ -47,6 +89,8 @@ impl Fabric for Network {
             Ok(()) => {
                 self.next_uid += 1;
                 self.stats.injected += 1;
+                self.in_flight += 1;
+                self.mark_active(node.index());
                 Ok(())
             }
             Err(flit) => {
@@ -57,31 +101,53 @@ impl Fabric for Network {
     }
 
     fn eject(&mut self, node: NodeId) -> Option<Flit> {
-        self.router_mut(node).eject()
+        let flit = self.router_mut(node).eject();
+        if flit.is_some() {
+            self.in_flight -= 1;
+        }
+        flit
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Phase 1: every router routes its latched flits.
-        let outputs: Vec<[Option<Flit>; 4]> = self
-            .routers
-            .iter_mut()
-            .map(|r| r.route(now, &mut self.stats))
-            .collect();
-        // Phase 2: deliver over the (single-cycle) links.
-        for (i, outs) in outputs.into_iter().enumerate() {
+        // This cycle's working set, moved out so the `active` field can
+        // start accumulating the next cycle's set into the spare buffer
+        // (both buffers are retained — steady state allocates nothing).
+        let mut work = std::mem::replace(&mut self.active, std::mem::take(&mut self.retired));
+        for &i in &work {
+            self.is_active[i as usize] = false;
+        }
+
+        // Phase 1: every active router routes its latched flits into the
+        // persistent link latches.
+        for &i in &work {
+            self.latches[i as usize] = self.routers[i as usize].route(now, &mut self.stats);
+        }
+
+        // Phase 2: deliver over the (single-cycle) links; receiving
+        // switches and switches with an undrained injection register form
+        // the next working set.
+        for &i in &work {
+            let i = i as usize;
             let from = self.topo.coord_of(NodeId::new(i as u16));
             for dir in Dir::ALL {
-                if let Some(flit) = outs[dir.index()] {
+                if let Some(flit) = self.latches[i][dir.index()].take() {
                     let to = self.topo.neighbor(from, dir);
                     let to_idx = self.topo.node_of(to).index();
                     self.routers[to_idx].accept(dir.opposite(), flit);
+                    self.mark_active(to_idx);
                 }
             }
+            if self.routers[i].has_pending_inject() {
+                self.mark_active(i);
+            }
         }
+
+        work.clear();
+        self.retired = work;
     }
 
     fn in_flight(&self) -> usize {
-        self.routers.iter().map(DeflectionRouter::occupancy).sum()
+        self.in_flight
     }
 
     fn stats(&self) -> &FabricStats {
@@ -96,7 +162,6 @@ impl Fabric for Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coord::Coord;
     use crate::flit::PacketKind;
 
     fn net() -> Network {

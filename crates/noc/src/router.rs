@@ -95,6 +95,15 @@ impl DeflectionRouter {
             + self.eject_queue.len()
     }
 
+    /// Whether the injection register still holds a flit (it could not be
+    /// drained this cycle) — the switch needs another [`route`] call even
+    /// if no link traffic arrives.
+    ///
+    /// [`route`]: DeflectionRouter::route
+    pub const fn has_pending_inject(&self) -> bool {
+        self.inject_slot.is_some()
+    }
+
     /// Route all latched flits for the cycle ending at `now`, returning the
     /// flits leaving on each output port (indexed by [`Dir::index`]).
     ///
@@ -104,36 +113,48 @@ impl DeflectionRouter {
     ///    directions preferred, deflected otherwise;
     /// 3. the injection register is drained into a leftover port if one
     ///    exists (productive preferred).
+    ///
+    /// This is the innermost loop of the whole simulator and performs no
+    /// heap allocation: residents are gathered into a fixed scratch array
+    /// and ordered with an insertion sort (at most four elements).
     pub fn route(&mut self, now: Cycle, stats: &mut FabricStats) -> [Option<Flit>; 4] {
-        let mut resident: Vec<Flit> = Vec::with_capacity(5);
+        let mut resident: [Option<Flit>; 4] = [None; 4];
+        let mut count = 0;
         for slot in &mut self.inputs {
             if let Some(flit) = slot.take() {
-                resident.push(flit);
+                resident[count] = Some(flit);
+                count += 1;
             }
         }
-        // Oldest first; uid breaks ties deterministically.
-        resident.sort_by_key(|f| (f.meta.injected_at, f.meta.uid));
+        // Oldest first; uid breaks ties deterministically. Keys are unique
+        // (uids are), so insertion sort matches the previous stable sort.
+        let key = |f: &Option<Flit>| {
+            let f = f.as_ref().expect("resident slots 0..count are occupied");
+            (f.meta.injected_at, f.meta.uid)
+        };
+        for i in 1..count {
+            let mut j = i;
+            while j > 0 && key(&resident[j - 1]) > key(&resident[j]) {
+                resident.swap(j - 1, j);
+                j -= 1;
+            }
+        }
 
-        // Phase 1: ejection (single ejection channel per cycle).
+        // Ejection and port assignment in one oldest-first pass (the
+        // ejection decision is per-flit, so splitting into a separate
+        // "through" list is unnecessary).
         let mut ejected_one = false;
-        let mut through: Vec<Flit> = Vec::with_capacity(resident.len());
-        for flit in resident {
+        let mut outputs: [Option<Flit>; 4] = [None; 4];
+        for slot in resident.iter_mut().take(count) {
+            let mut flit = slot.take().expect("resident slots 0..count are occupied");
             if flit.dest() == self.coord && !ejected_one && !self.eject_queue.is_full() {
                 let latency = now.saturating_sub(flit.meta.injected_at);
                 stats.latency.record(latency);
                 stats.delivered += 1;
-                self.eject_queue
-                    .push(flit)
-                    .unwrap_or_else(|_| unreachable!("checked not full"));
+                self.eject_queue.push(flit).unwrap_or_else(|_| unreachable!("checked not full"));
                 ejected_one = true;
-            } else {
-                through.push(flit);
+                continue;
             }
-        }
-
-        // Phase 2: port assignment, oldest first.
-        let mut outputs: [Option<Flit>; 4] = [None; 4];
-        for mut flit in through {
             let assigned = self
                 .topo
                 .productive_dirs(self.coord, flit.dest())
@@ -175,8 +196,8 @@ impl DeflectionRouter {
                 .topo
                 .productive_dirs(self.coord, flit.dest())
                 .find(|d| outputs[d.index()].is_none());
-            let free_any =
-                free_productive.or_else(|| Dir::ALL.into_iter().find(|d| outputs[d.index()].is_none()));
+            let free_any = free_productive
+                .or_else(|| Dir::ALL.into_iter().find(|d| outputs[d.index()].is_none()));
             match free_any {
                 Some(d) => outputs[d.index()] = Some(flit),
                 None => self.inject_slot = Some(flit), // wait for a free slot
@@ -252,11 +273,8 @@ mod tests {
         let outs = r.route(11, &mut stats);
         assert_eq!(outs[Dir::East.index()].unwrap().meta.uid, 1);
         assert_eq!(stats.deflections, 1);
-        let deflected = outs
-            .iter()
-            .flatten()
-            .find(|f| f.meta.uid == 2)
-            .expect("young flit must still leave");
+        let deflected =
+            outs.iter().flatten().find(|f| f.meta.uid == 2).expect("young flit must still leave");
         assert_eq!(deflected.meta.deflections, 1);
     }
 

@@ -84,7 +84,11 @@ pub struct TrafficReport {
 /// until the router accepts them, so offered load beyond saturation shows
 /// up as rising latency and a throughput plateau — the standard NoC
 /// methodology.
-pub fn run_open_loop<F: Fabric>(fabric: &mut F, topo: Topology, cfg: &TrafficConfig) -> TrafficReport {
+pub fn run_open_loop<F: Fabric>(
+    fabric: &mut F,
+    topo: Topology,
+    cfg: &TrafficConfig,
+) -> TrafficReport {
     assert!(
         (0.0..=1.0).contains(&cfg.offered_load),
         "offered load must be within one flit per node per cycle"
@@ -105,7 +109,7 @@ pub fn run_open_loop<F: Fabric>(fabric: &mut F, topo: Topology, cfg: &TrafficCon
     let total = cfg.warmup + cfg.measure;
     for now in 0..total {
         // Generate.
-        for src in 0..nodes {
+        for (src, queue) in source_queues.iter_mut().enumerate() {
             if !rng.chance(cfg.offered_load) {
                 continue;
             }
@@ -113,10 +117,9 @@ pub fn run_open_loop<F: Fabric>(fabric: &mut F, topo: Topology, cfg: &TrafficCon
                 Some(d) => d,
                 None => continue,
             };
-            let flit =
-                Flit::message(topo.coord_of(dest), (src % 16) as u8, 0, 0, now as u32);
+            let flit = Flit::message(topo.coord_of(dest), (src % 16) as u8, 0, 0, now as u32);
             generated += 1;
-            source_queues[src].push_back(flit);
+            queue.push_back(flit);
         }
         // Inject from source queues.
         for (src, queue) in source_queues.iter_mut().enumerate() {
@@ -262,10 +265,7 @@ mod tests {
         // Node 0 is (0,0): on the diagonal.
         assert_eq!(destination(Pattern::Transpose, topo, 0, &mut rng), None);
         // Node 1 is (1,0) -> (0,1) = node 4.
-        assert_eq!(
-            destination(Pattern::Transpose, topo, 1, &mut rng),
-            Some(NodeId::new(4))
-        );
+        assert_eq!(destination(Pattern::Transpose, topo, 1, &mut rng), Some(NodeId::new(4)));
     }
 
     #[test]

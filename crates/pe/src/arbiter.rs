@@ -273,8 +273,7 @@ impl NocArbiter {
         assert!(self.restore_slot.is_none(), "double restore in one cycle");
         // Source attribution is only used for grant statistics; reconstruct
         // from the flit class and undo the premature grant count.
-        let src =
-            if flit.kind().is_shared_memory() { Source::Bridge } else { Source::Message };
+        let src = if flit.kind().is_shared_memory() { Source::Bridge } else { Source::Message };
         match src {
             Source::Message => {
                 self.stats.message_grants = decrement(self.stats.message_grants);
@@ -358,10 +357,8 @@ mod tests {
 
     #[test]
     fn dual_priority_hp_first() {
-        let cfg = ArbiterConfig::DualPriority {
-            depth: 4,
-            priority: PriorityAssignment::MessageHigh,
-        };
+        let cfg =
+            ArbiterConfig::DualPriority { depth: 4, priority: PriorityAssignment::MessageHigh };
         let mut a = NocArbiter::new(cfg);
         a.accept_bridge(brd(1));
         a.accept_bridge(brd(2));

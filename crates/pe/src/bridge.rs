@@ -188,7 +188,8 @@ impl Pif2NocBridge {
             }
             BridgeOp::SingleWrite { addr, value } => {
                 self.out_slot = Some(req(PacketKind::SingleWrite, addr));
-                let data = VecDeque::from(vec![self.data_flit(PacketKind::SingleWrite, 0, 1, value)]);
+                let data =
+                    VecDeque::from(vec![self.data_flit(PacketKind::SingleWrite, 0, 1, value)]);
                 self.state = State::AwaitGrant { kind: PacketKind::SingleWrite, data };
             }
             BridgeOp::BlockWrite { line, data } => {

@@ -213,6 +213,26 @@ impl ProcessingElement {
         }
     }
 
+    /// If ticking this PE is provably a no-op until a known cycle, that
+    /// cycle (`Cycle::MAX` for a retired PE) — the per-PE wake-scheduling
+    /// hook of the cycle engine.
+    ///
+    /// Eligibility is deliberately strict: the engine may skip `tick`
+    /// calls only while the PE sits in a pure time stall (or is done)
+    /// *and* its bridge and arbiter are completely drained, because then
+    /// a tick performs no state change and no statistics update, and the
+    /// PE cannot inject traffic. Message deliveries to a sleeping PE only
+    /// buffer into the TIE receiver and never shorten a time stall, so a
+    /// computed wake time stays valid until the next tick.
+    pub fn sleep_until(&self) -> Option<Cycle> {
+        let drained = self.arbiter.occupancy() == 0 && !self.bridge.is_busy();
+        match &self.exec {
+            Exec::Stall { until, .. } if drained => Some(*until),
+            Exec::Done if drained => Some(Cycle::MAX),
+            _ => None,
+        }
+    }
+
     /// Fast-forward hint (see [`Wakeup`]).
     pub fn wakeup(&self) -> Wakeup {
         match &self.exec {
@@ -397,10 +417,7 @@ impl ProcessingElement {
             }),
             PeRequest::LoadF64 { addr } => Exec::Mem(MemExec {
                 shape: MemShape::LoadF64,
-                words: [
-                    WordOp { addr, store: None },
-                    WordOp { addr: addr + 4, store: None },
-                ],
+                words: [WordOp { addr, store: None }, WordOp { addr: addr + 4, store: None }],
                 count: 2,
                 idx: 0,
                 acc: [0; 2],
@@ -607,7 +624,9 @@ mod tests {
     fn run_with_magic_memory(pe: &mut ProcessingElement, limit: Cycle) -> Cycle {
         use medea_noc::flit::{PacketKind, SubKind};
         let mut mem = std::collections::HashMap::<u32, u32>::new();
-        let mut pending_write: Option<(PacketKind, u32, usize, Vec<(u8, u32)>)> = None;
+        // (kind, base address, words expected, words received so far)
+        type PendingWrite = (PacketKind, u32, usize, Vec<(u8, u32)>);
+        let mut pending_write: Option<PendingWrite> = None;
         for now in 0..limit {
             pe.tick(now);
             // Collect everything the PE wants to send and answer at once —
@@ -645,11 +664,9 @@ mod tests {
                         }
                     }
                     (PacketKind::SingleWrite | PacketKind::BlockWrite, SubKind::Request) => {
-                        let expect =
-                            if flit.kind() == PacketKind::SingleWrite { 1 } else { 4 };
+                        let expect = if flit.kind() == PacketKind::SingleWrite { 1 } else { 4 };
                         pending_write = Some((flit.kind(), flit.payload(), expect, Vec::new()));
-                        let grant =
-                            Flit::new(flit.dest(), flit.kind(), SubKind::Ack, 0, 0, 0, 0);
+                        let grant = Flit::new(flit.dest(), flit.kind(), SubKind::Ack, 0, 0, 0, 0);
                         pe.deliver(grant, now);
                     }
                     (_, SubKind::Data) => {
@@ -657,16 +674,12 @@ mod tests {
                             pending_write.as_mut().expect("write in flight");
                         words.push((flit.seq(), flit.payload()));
                         if words.len() == *expect {
-                            let base = if *kind == PacketKind::SingleWrite {
-                                *addr
-                            } else {
-                                *addr & !0xF
-                            };
+                            let base =
+                                if *kind == PacketKind::SingleWrite { *addr } else { *addr & !0xF };
                             for (seq, w) in words.iter() {
                                 mem.insert(base + *seq as u32 * 4, *w);
                             }
-                            let ack =
-                                Flit::new(flit.dest(), *kind, SubKind::Ack, 1, 0, 0, 0);
+                            let ack = Flit::new(flit.dest(), *kind, SubKind::Ack, 1, 0, 0, 0);
                             let kind_done = *kind;
                             let _ = kind_done;
                             pending_write = None;
@@ -674,7 +687,8 @@ mod tests {
                         }
                     }
                     (PacketKind::Lock, SubKind::Request) => {
-                        let ack = Flit::new(flit.dest(), PacketKind::Lock, SubKind::Ack, 0, 0, 0, 0);
+                        let ack =
+                            Flit::new(flit.dest(), PacketKind::Lock, SubKind::Ack, 0, 0, 0, 0);
                         pe.deliver(ack, now);
                     }
                     (PacketKind::Unlock, SubKind::Request) => {

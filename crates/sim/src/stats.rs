@@ -104,11 +104,9 @@ impl Summary {
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mean() {
-            Some(mean) => write!(
-                f,
-                "n={} mean={:.2} min={} max={}",
-                self.count, mean, self.min, self.max
-            ),
+            Some(mean) => {
+                write!(f, "n={} mean={:.2} min={} max={}", self.count, mean, self.min, self.max)
+            }
             None => write!(f, "n=0"),
         }
     }
@@ -158,11 +156,7 @@ impl Log2Histogram {
         if self.summary.count() == 0 {
             return 0.0;
         }
-        let first = if threshold == 0 {
-            0
-        } else {
-            (64 - threshold.leading_zeros()) as usize
-        };
+        let first = if threshold == 0 { 0 } else { (64 - threshold.leading_zeros()) as usize };
         let tail: u64 = self.buckets.iter().skip(first.min(self.buckets.len())).sum();
         tail as f64 / self.summary.count() as f64
     }

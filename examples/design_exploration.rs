@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
     }
-    let workload =
-        JacobiWorkload { jcfg: JacobiConfig::new(n, JacobiVariant::HybridFullMp) };
+    let workload = JacobiWorkload { jcfg: JacobiConfig::new(n, JacobiVariant::HybridFullMp) };
     let base = SystemConfig::builder().cycle_limit(400_000_000);
     let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
     println!("sweeping {} configurations on {threads} threads...", points.len());
@@ -33,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Speedup relative to the slowest configuration, area from the
     // TSMC-65nm model.
-    let reference =
-        outcomes.iter().filter_map(SweepOutcome::measured).max().unwrap_or(1) as f64;
+    let reference = outcomes.iter().filter_map(SweepOutcome::measured).max().unwrap_or(1) as f64;
     let design_points: Vec<DesignPoint> = outcomes
         .iter()
         .filter_map(|o| {

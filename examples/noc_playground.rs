@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10} {:>8} {:>9} {:>9} {:>8} {:>10}",
         "pattern", "offered", "accepted", "mean lat", "max lat", "defl/flit"
     );
-    for pattern in
-        [Pattern::UniformRandom, Pattern::Transpose, Pattern::HotSpot(NodeId::new(0))]
-    {
+    for pattern in [Pattern::UniformRandom, Pattern::Transpose, Pattern::HotSpot(NodeId::new(0))] {
         for load in [0.05f64, 0.2, 0.4, 0.6, 0.9] {
             let mut net = Network::new(topo);
             let cfg = TrafficConfig { pattern, offered_load: load, ..TrafficConfig::default() };

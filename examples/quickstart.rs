@@ -32,26 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("configuration       : {}", system.label());
     println!("cycles / iteration  : {}", outcome.cycles_per_iter);
     println!("total cycles        : {}", outcome.run.cycles);
-    println!(
-        "L1 miss rate        : {:.2}%",
-        outcome.run.l1_miss_rate().unwrap_or(0.0) * 100.0
-    );
+    println!("L1 miss rate        : {:.2}%", outcome.run.l1_miss_rate().unwrap_or(0.0) * 100.0);
     println!("flits delivered     : {}", outcome.run.fabric_delivered);
     println!("flit deflections    : {}", outcome.run.fabric_deflections);
-    println!(
-        "mean flit latency   : {:.1} cycles",
-        outcome.run.fabric_mean_latency.unwrap_or(0.0)
-    );
+    println!("mean flit latency   : {:.1} cycles", outcome.run.fabric_mean_latency.unwrap_or(0.0));
     println!(
         "MPMMU transactions  : {} block reads, {} block writes, {} locks",
         outcome.run.mpmmu.block_reads.get(),
         outcome.run.mpmmu.block_writes.get(),
         outcome.run.mpmmu.locks_granted.get()
     );
-    println!(
-        "simulation rate     : {:.2} Mcycles/s",
-        outcome.run.sim_rate() / 1e6
-    );
+    println!("simulation rate     : {:.2} Mcycles/s", outcome.run.sim_rate() / 1e6);
     println!("result validated against the sequential reference — OK");
     Ok(())
 }

@@ -30,8 +30,8 @@ fn jacobi_all_variants_validate_at_scale() {
             .with_warmup_iters(1)
             .with_measured_iters(2)
             .with_validation();
-        let outcome = jacobi::run(&sys(6), &jcfg)
-            .unwrap_or_else(|e| panic!("{variant} failed: {e}"));
+        let outcome =
+            jacobi::run(&sys(6), &jcfg).unwrap_or_else(|e| panic!("{variant} failed: {e}"));
         jacobi::validate_against_reference(&jcfg, &outcome)
             .unwrap_or_else(|e| panic!("{variant} wrong: {e}"));
     }
@@ -42,10 +42,7 @@ fn jacobi_scales_with_cores_when_cache_fits() {
     let jcfg = JacobiConfig::new(24, JacobiVariant::HybridFullMp);
     let t2 = jacobi::run(&sys(2), &jcfg).unwrap().cycles_per_iter;
     let t8 = jacobi::run(&sys(8), &jcfg).unwrap().cycles_per_iter;
-    assert!(
-        t8 * 2 < t2,
-        "8 cores ({t8}) should be at least 2x faster than 2 cores ({t2})"
-    );
+    assert!(t8 * 2 < t2, "8 cores ({t8}) should be at least 2x faster than 2 cores ({t2})");
 }
 
 #[test]
@@ -95,9 +92,8 @@ fn hybrid_beats_pure_sm_and_sync_dominates() {
     // E5/E6 in miniature: full-MP ≥ sync-only ≥ ... both beat pure SM, and
     // the sync-only variant captures most of the gain.
     let n = 16;
-    let run = |variant| {
-        jacobi::run(&sys(4), &JacobiConfig::new(n, variant)).unwrap().cycles_per_iter
-    };
+    let run =
+        |variant| jacobi::run(&sys(4), &JacobiConfig::new(n, variant)).unwrap().cycles_per_iter;
     let full = run(JacobiVariant::HybridFullMp);
     let sync_only = run(JacobiVariant::HybridSyncOnly);
     let pure = run(JacobiVariant::PureSharedMemory);
