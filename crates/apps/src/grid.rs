@@ -71,9 +71,11 @@ pub fn partition_rows(n: usize, ranks: usize, rank: usize) -> (usize, usize) {
     (start, start + rows)
 }
 
-/// Largest PE count a grid of side `n` supports (one interior row each).
+/// Largest PE count a grid of side `n` supports (one interior row each),
+/// capped at the 255 ranks of the largest (16×16) torus. Callers must
+/// additionally respect their own topology's `nodes − 1` bound.
 pub fn max_ranks(n: usize) -> usize {
-    (n - 2).min(15)
+    (n - 2).min(255)
 }
 
 #[cfg(test)]

@@ -639,4 +639,26 @@ mod tests {
         let jcfg = JacobiConfig::new(8, JacobiVariant::HybridFullMp);
         let _ = run(&sys(7, 16, CachePolicy::WriteBack), &jcfg);
     }
+
+    #[test]
+    fn rank_generic_at_63_ranks_on_8x8() {
+        // The kernels are rank-count-generic: a fully populated 8x8 torus
+        // (63 compute PEs, one interior row each) still validates
+        // bit-for-bit against the sequential reference.
+        let sys = SystemConfig::builder()
+            .topology(medea_core::Topology::new(8, 8).unwrap())
+            .compute_pes(63)
+            .cache_bytes(16 * 1024)
+            .cycle_limit(400_000_000)
+            .build()
+            .unwrap();
+        let jcfg = JacobiConfig::new(65, JacobiVariant::HybridFullMp)
+            .with_warmup_iters(0)
+            .with_measured_iters(1)
+            .with_validation();
+        let outcome = run(&sys, &jcfg).unwrap();
+        validate_against_reference(&jcfg, &outcome).unwrap();
+        assert_eq!(outcome.run.pe.len(), 63);
+        assert!(outcome.cycles_per_iter > 0);
+    }
 }

@@ -18,7 +18,7 @@ fn bench_exec_time(c: &mut Criterion) {
         ("e7_small_16x16_wb16k", 16, 16, CachePolicy::WriteBack),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            let points = [SweepPoint { pes: 4, cache_bytes: cache_kb * 1024, policy }];
+            let points = [SweepPoint::new(4, cache_kb * 1024, policy)];
             b.iter(|| {
                 let outcomes = jacobi_sweep(n, JacobiVariant::HybridFullMp, &points, 1);
                 assert!(outcomes[0].measured().unwrap() > 0);

@@ -13,11 +13,8 @@ fn bench_speedup_area(c: &mut Criterion) {
     let points: Vec<SweepPoint> = [2usize, 4, 8]
         .iter()
         .flat_map(|&pes| {
-            [4 * 1024usize, 16 * 1024].map(|cache_bytes| SweepPoint {
-                pes,
-                cache_bytes,
-                policy: CachePolicy::WriteBack,
-            })
+            [4 * 1024usize, 16 * 1024]
+                .map(|cache_bytes| SweepPoint::new(pes, cache_bytes, CachePolicy::WriteBack))
         })
         .collect();
     group.bench_function("pipeline_16x16_6pts", |b| {

@@ -1,0 +1,278 @@
+//! Topology-scaling harness: runs the paper's Jacobi workload on 4×4,
+//! 8×8 and 16×16 tori (up to 255 compute PEs) through the topology-aware
+//! parallel sweep engine (`medea_core::explore::run_sweep`) and writes
+//! `BENCH_scaling.json` with, per point, the simulation throughput
+//! (simulated cycles per wall-clock second) and the Jacobi speedup
+//! relative to the fewest-PE point of the same torus.
+//!
+//! All points of all tiers go through **one** sweep call, so the
+//! self-scheduling worker pool keeps every host core busy across the ladder
+//! rather than per tier. In full mode the most-populated 16×16 point
+//! (255 PEs) is additionally re-run with numerical validation against
+//! the sequential reference — the largest configuration is checked
+//! bit-for-bit, not just timed.
+//!
+//! ```text
+//! cargo run --release -p medea-bench --bin scaling_json -- [--smoke] [OUT_PATH]
+//! ```
+//!
+//! `--smoke` shrinks grids and PE counts to CI scale while still covering
+//! all three topologies.
+
+use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_bench::sweep_threads;
+use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
+use medea_core::{CachePolicy, SystemConfig, SystemConfigBuilder, Topology};
+use std::time::Instant;
+
+/// One torus of the scaling ladder: its grid side and the PE counts run
+/// on it (fewest first; the speedup baseline).
+struct Tier {
+    side: u8,
+    grid_n: usize,
+    pe_counts: &'static [usize],
+}
+
+/// Full ladder: fully populated tori, up to the 255-PE maximum. The grid
+/// is sized so the largest PE count gets one interior row per rank.
+const FULL: &[Tier] = &[
+    Tier { side: 4, grid_n: 62, pe_counts: &[2, 8, 15] },
+    Tier { side: 8, grid_n: 65, pe_counts: &[4, 16, 63] },
+    Tier { side: 16, grid_n: 257, pe_counts: &[32, 128, 255] },
+];
+
+/// CI-scale ladder: same three topologies, small grids and populations.
+const SMOKE: &[Tier] = &[
+    Tier { side: 4, grid_n: 18, pe_counts: &[2, 8] },
+    Tier { side: 8, grid_n: 26, pe_counts: &[4, 24] },
+    Tier { side: 16, grid_n: 42, pe_counts: &[8, 40] },
+];
+
+const CACHE_BYTES: usize = 16 * 1024;
+
+/// Jacobi with the grid side chosen per point from the point's topology,
+/// so one sweep can interleave all tiers on the worker pool.
+struct TieredJacobi {
+    /// `(torus, grid side)` pairs, keyed by the full topology so square
+    /// and rectangular tori of equal width can never be confused.
+    grid_by_topology: Vec<(Topology, usize)>,
+}
+
+impl TieredJacobi {
+    fn grid_n(&self, topology: Topology) -> usize {
+        self.grid_by_topology
+            .iter()
+            .find(|(t, _)| *t == topology)
+            .map(|(_, n)| *n)
+            .expect("every sweep point's topology has a grid size")
+    }
+}
+
+impl Workload for TieredJacobi {
+    fn name(&self) -> &str {
+        "jacobi-scaling"
+    }
+
+    fn prepare(&self, cfg: &SystemConfig) -> PreparedWorkload {
+        JacobiWorkload { jcfg: jacobi_config(self.grid_n(cfg.topology())) }.prepare(cfg)
+    }
+}
+
+fn jacobi_config(grid_n: usize) -> JacobiConfig {
+    JacobiConfig::new(grid_n, JacobiVariant::HybridFullMp)
+        .with_warmup_iters(1)
+        .with_measured_iters(1)
+}
+
+/// Sweep-invariant configuration. The shared segment must hold the
+/// published halo slots of the most populated point (~2 MB at 255 ranks
+/// on a 257-grid); 4 MB covers every tier with room to spare.
+fn base_builder() -> SystemConfigBuilder {
+    SystemConfig::builder().cycle_limit(400_000_000).shared_bytes(4 * 1024 * 1024)
+}
+
+struct Row {
+    label: String,
+    pes: usize,
+    sim_cycles: u64,
+    cycles_per_iter: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    speedup: f64,
+}
+
+struct TierReport {
+    topology: String,
+    grid_n: usize,
+    rows: Vec<Row>,
+}
+
+fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
+    let topo_of = |t: &Tier| Topology::new(t.side, t.side).expect("valid square torus");
+    let workload =
+        TieredJacobi { grid_by_topology: tiers.iter().map(|t| (topo_of(t), t.grid_n)).collect() };
+    // One flat point list: the self-scheduling worker pool overlaps cheap
+    // 4x4 points with the long 255-PE grind instead of idling between
+    // tiers.
+    let mut points = Vec::new();
+    for tier in tiers {
+        let topology = topo_of(tier);
+        for &pes in tier.pe_counts {
+            points.push(SweepPoint::on(topology, pes, CACHE_BYTES, CachePolicy::WriteBack));
+        }
+    }
+    let outcomes = run_sweep(&workload, &points, &base_builder(), threads);
+
+    let mut reports = Vec::new();
+    let mut cursor = outcomes.iter();
+    for tier in tiers {
+        let tier_outcomes: Vec<&SweepOutcome> =
+            cursor.by_ref().take(tier.pe_counts.len()).collect();
+        let baseline = tier_outcomes
+            .first()
+            .and_then(|o| o.measured())
+            .expect("fewest-PE point must succeed")
+            .max(1) as f64;
+        let rows = tier_outcomes
+            .iter()
+            .map(|o| {
+                let result = o.result.as_ref().expect("scaling run failed");
+                Row {
+                    label: o.label.clone(),
+                    pes: o.point.pes,
+                    sim_cycles: result.cycles,
+                    cycles_per_iter: o.measured_cycles,
+                    wall_s: result.wall.as_secs_f64(),
+                    cycles_per_sec: result.sim_rate(),
+                    speedup: baseline / o.measured_cycles.max(1) as f64,
+                }
+            })
+            .collect();
+        reports.push(TierReport {
+            topology: format!("{}x{}", tier.side, tier.side),
+            grid_n: tier.grid_n,
+            rows,
+        });
+    }
+    reports
+}
+
+/// Re-run the most-populated point of the largest tier with validation:
+/// every interior cell of the final grid must match the sequential
+/// reference bit-for-bit, so the 255-PE configuration is numerically
+/// checked, not just timed (the seq-number attribution assumption of the
+/// TIE receiver included).
+fn validate_largest(tiers: &[Tier]) -> (String, usize) {
+    let tier = tiers.last().expect("ladder is not empty");
+    let pes = *tier.pe_counts.last().expect("tier has PE counts");
+    let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+    let sys = base_builder()
+        .topology(topology)
+        .compute_pes(pes)
+        .cache_bytes(CACHE_BYTES)
+        .build()
+        .expect("validated configuration");
+    let jcfg = JacobiConfig::new(tier.grid_n, JacobiVariant::HybridFullMp)
+        .with_warmup_iters(0)
+        .with_measured_iters(1)
+        .with_validation();
+    let outcome = jacobi::run(&sys, &jcfg).expect("validation run");
+    jacobi::validate_against_reference(&jcfg, &outcome)
+        .expect("largest configuration must match the sequential reference bit-for-bit");
+    (sys.label(), pes)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}; usage: scaling_json [--smoke] [OUT_PATH]");
+                std::process::exit(2);
+            }
+            path => out_path = Some(path.to_owned()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_scaling.json".to_owned());
+    let tiers = if smoke { SMOKE } else { FULL };
+    let threads = sweep_threads();
+    let started = Instant::now();
+    let reports = run_ladder(tiers, threads);
+    // Smoke mode skips the ~half-minute 255-PE validation pass; the
+    // 63-rank validated run in the apps test suite covers CI.
+    let validated = (!smoke).then(|| validate_largest(tiers));
+    let total_wall = started.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"scaling\",\n");
+    json.push_str("  \"metric\": \"simulated_cycles_per_wall_second\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(
+        "  \"engine\": \"System::run via explore::run_sweep (scoped workers over a \
+         self-scheduling queue, one flat sweep over all tiers)\",\n",
+    );
+    json.push_str("  \"workload\": \"jacobi hybrid-full-mp, 1 warmup + 1 measured iteration\",\n");
+    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!("  \"total_wall_s\": {total_wall:.2},\n"));
+    match &validated {
+        Some((label, pes)) => json.push_str(&format!(
+            "  \"validated_against_reference\": {{\"label\": \"{label}\", \"pes\": {pes}}},\n"
+        )),
+        None => json.push_str("  \"validated_against_reference\": null,\n"),
+    }
+    json.push_str("  \"topologies\": [\n");
+    for (i, t) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"grid_n\": {}, \"rows\": [\n",
+            t.topology, t.grid_n
+        ));
+        for (j, r) in t.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"label\": \"{}\", \"pes\": {}, \"sim_cycles\": {}, \
+                 \"cycles_per_iter\": {}, \"wall_s\": {:.3}, \"cycles_per_sec\": {:.0}, \
+                 \"jacobi_speedup_vs_fewest_pes\": {:.2}}}{}\n",
+                r.label,
+                r.pes,
+                r.sim_cycles,
+                r.cycles_per_iter,
+                r.wall_s,
+                r.cycles_per_sec,
+                r.speedup,
+                if j + 1 < t.rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!("    ]}}{}\n", if i + 1 < reports.len() { "," } else { "" }));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+
+    for t in &reports {
+        for r in &t.rows {
+            println!(
+                "{:<6} {:>22} {:>12} cycles  {:>12.0} c/s  speedup {:>6.2}x",
+                t.topology, r.label, r.sim_cycles, r.cycles_per_sec, r.speedup
+            );
+        }
+    }
+    if let Some((label, _)) = &validated {
+        println!("validated {label} against the sequential reference");
+    }
+    // Sanity: every tier must show parallel speedup from its fewest- to
+    // its most-populated point (the whole reason the torus scales out).
+    for t in &reports {
+        let last = t.rows.last().expect("tier has rows");
+        assert!(
+            last.speedup > 1.0,
+            "{}: {} PEs must beat {} PEs, got {:.2}x",
+            t.topology,
+            last.pes,
+            t.rows[0].pes,
+            last.speedup
+        );
+    }
+    println!("wrote {out_path}");
+}

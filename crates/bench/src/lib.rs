@@ -39,8 +39,11 @@ pub fn jacobi_sweep(
     points: &[SweepPoint],
     threads: usize,
 ) -> Vec<SweepOutcome> {
-    let points: Vec<SweepPoint> =
-        points.iter().copied().filter(|p| p.pes <= max_ranks(n)).collect();
+    let points: Vec<SweepPoint> = points
+        .iter()
+        .copied()
+        .filter(|p| p.pes <= max_ranks(n).min(p.topology.max_compute_pes()))
+        .collect();
     let workload = JacobiWorkload { jcfg: JacobiConfig::new(n, variant) };
     run_sweep(&workload, &points, &base_builder(), threads)
 }
@@ -55,7 +58,7 @@ pub fn fig6_points(effort: Effort) -> Vec<SweepPoint> {
     for policy in [CachePolicy::WriteBack, CachePolicy::WriteThrough] {
         for &cache_bytes in &sizes {
             for &pes in &pes {
-                points.push(SweepPoint { pes, cache_bytes, policy });
+                points.push(SweepPoint::new(pes, cache_bytes, policy));
             }
         }
     }
@@ -182,7 +185,7 @@ pub fn model_comparison(
             continue;
         }
         let measure = |variant| {
-            let point = SweepPoint { pes, cache_bytes, policy: CachePolicy::WriteBack };
+            let point = SweepPoint::new(pes, cache_bytes, CachePolicy::WriteBack);
             let cfg = point.apply(base_builder());
             let workload = JacobiWorkload { jcfg: JacobiConfig::new(n, variant) };
             let prepared = workload.prepare(&cfg);
@@ -227,8 +230,8 @@ mod tests {
             10,
             JacobiVariant::HybridFullMp,
             &[
-                SweepPoint { pes: 2, cache_bytes: 4096, policy: CachePolicy::WriteBack },
-                SweepPoint { pes: 4, cache_bytes: 4096, policy: CachePolicy::WriteBack },
+                SweepPoint::new(2, 4096, CachePolicy::WriteBack),
+                SweepPoint::new(4, 4096, CachePolicy::WriteBack),
             ],
             2,
         );
@@ -246,9 +249,9 @@ mod tests {
             10,
             JacobiVariant::HybridFullMp,
             &[
-                SweepPoint { pes: 2, cache_bytes: 4096, policy: CachePolicy::WriteBack },
-                SweepPoint { pes: 4, cache_bytes: 4096, policy: CachePolicy::WriteBack },
-                SweepPoint { pes: 8, cache_bytes: 4096, policy: CachePolicy::WriteBack },
+                SweepPoint::new(2, 4096, CachePolicy::WriteBack),
+                SweepPoint::new(4, 4096, CachePolicy::WriteBack),
+                SweepPoint::new(8, 4096, CachePolicy::WriteBack),
             ],
             3,
         );

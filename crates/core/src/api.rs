@@ -79,9 +79,10 @@ impl PeApi {
         NodeId::new(rank.index() as u16 + 1)
     }
 
-    /// The application-level source id `rank`'s messages carry.
+    /// The application-level source id `rank`'s messages carry: the full
+    /// linear node index (the SRC-ID field is sized per topology).
     pub fn src_id_of_rank(&self, rank: Rank) -> u8 {
-        (self.node_of_rank(rank).index() % 16) as u8
+        self.node_of_rank(rank).index() as u8
     }
 
     // ---- compute ----

@@ -28,11 +28,15 @@ impl std::error::Error for BuildConfigError {}
 
 /// A fully validated MEDEA system configuration.
 ///
-/// The topology is the paper's 4×4 folded torus: the MPMMU occupies node 0
-/// and compute PEs occupy nodes 1..=N (so N ≤ 15, matching the paper's
-/// "number of processor cores between 3 and 16, 1 of which is the MPMMU").
+/// The system is assembled on any supported torus (2×2 up to 16×16,
+/// default: the paper's 4×4 folded torus): the MPMMU occupies node 0 and
+/// compute PEs occupy nodes 1..=N, so N is bounded by `nodes − 1` of the
+/// configured topology — 15 on the paper instance (matching its "number
+/// of processor cores between 3 and 16, 1 of which is the MPMMU"), up to
+/// 255 on a 16×16 torus.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemConfig {
+    topology: Topology,
     compute_pes: usize,
     cache: CacheConfig,
     arbiter: ArbiterConfig,
@@ -86,9 +90,9 @@ impl SystemConfig {
         self.cycle_limit
     }
 
-    /// The 4×4 folded torus all configurations use.
-    pub fn topology(&self) -> Topology {
-        Topology::paper_4x4()
+    /// The torus this system is assembled on.
+    pub const fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// The MPMMU's node.
@@ -138,13 +142,20 @@ impl SystemConfig {
     }
 
     /// Short label in the paper's figure style, e.g. `11P_16k$_WB`.
+    /// Non-paper topologies are called out with an `@WxH` suffix
+    /// (e.g. `63P_16k$_WB@8x8`).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}P_{}k$_{}",
             self.compute_pes,
             self.cache.total_bytes() / 1024,
             self.cache.policy()
-        )
+        );
+        if self.topology == Topology::paper_4x4() {
+            base
+        } else {
+            format!("{base}@{}x{}", self.topology.width(), self.topology.height())
+        }
     }
 }
 
@@ -164,6 +175,7 @@ impl fmt::Display for SystemConfig {
 /// Builder for [`SystemConfig`].
 #[derive(Debug, Clone)]
 pub struct SystemConfigBuilder {
+    topology: Topology,
     compute_pes: usize,
     cache_bytes: usize,
     cache_ways: usize,
@@ -182,6 +194,7 @@ pub struct SystemConfigBuilder {
 impl Default for SystemConfigBuilder {
     fn default() -> Self {
         SystemConfigBuilder {
+            topology: Topology::paper_4x4(),
             compute_pes: 4,
             cache_bytes: 16 * 1024,
             cache_ways: CacheConfig::DEFAULT_WAYS,
@@ -200,7 +213,15 @@ impl Default for SystemConfigBuilder {
 }
 
 impl SystemConfigBuilder {
-    /// Number of compute PEs (1..=15).
+    /// The torus to assemble the system on (default: the paper's 4×4
+    /// folded torus). The PE-count bound follows: `1..=nodes − 1`.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Number of compute PEs (`1..=nodes − 1` of the configured topology;
+    /// 1..=15 on the default 4×4 torus).
     pub fn compute_pes(mut self, n: usize) -> Self {
         self.compute_pes = n;
         self
@@ -282,14 +303,16 @@ impl SystemConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildConfigError`] when the PE count exceeds the torus
-    /// (15 + MPMMU), when cache geometry is invalid, or when the memory
-    /// layout is malformed.
+    /// Returns [`BuildConfigError`] when the PE count exceeds the
+    /// configured torus (`nodes − 1`, one node being the MPMMU), when
+    /// cache geometry is invalid, or when the memory layout is malformed.
     pub fn build(self) -> Result<SystemConfig, BuildConfigError> {
-        if !(1..=15).contains(&self.compute_pes) {
+        let max_pes = self.topology.max_compute_pes();
+        if !(1..=max_pes).contains(&self.compute_pes) {
             return Err(BuildConfigError(format!(
-                "compute_pes must be 1..=15 on the 4x4 torus, got {}",
-                self.compute_pes
+                "compute_pes must be 1..={max_pes} on the {} (nodes − 1, one node is the \
+                 MPMMU), got {}",
+                self.topology, self.compute_pes
             )));
         }
         let cache = CacheConfig::with_ways(self.cache_bytes, self.cache_ways, self.cache_policy)
@@ -302,6 +325,7 @@ impl SystemConfigBuilder {
             return Err(BuildConfigError("cycle limit must be positive".into()));
         }
         Ok(SystemConfig {
+            topology: self.topology,
             compute_pes: self.compute_pes,
             cache,
             arbiter: self.arbiter,
@@ -345,6 +369,43 @@ mod tests {
         assert!(SystemConfig::builder().compute_pes(16).build().is_err());
         assert!(SystemConfig::builder().cache_bytes(3000).build().is_err());
         assert!(SystemConfig::builder().cycle_limit(0).build().is_err());
+    }
+
+    #[test]
+    fn pe_bound_derives_from_topology() {
+        // The bound is nodes − 1 of the *configured* torus, not 15.
+        let t8 = Topology::new(8, 8).unwrap();
+        let cfg = SystemConfig::builder().topology(t8).compute_pes(63).build().unwrap();
+        assert_eq!(cfg.compute_pes(), 63);
+        assert_eq!(cfg.topology().nodes(), 64);
+        assert!(SystemConfig::builder().topology(t8).compute_pes(64).build().is_err());
+
+        let t16 = Topology::new(16, 16).unwrap();
+        let big = SystemConfig::builder().topology(t16).compute_pes(255).build().unwrap();
+        assert_eq!(big.compute_pes(), 255);
+        assert!(SystemConfig::builder().topology(t16).compute_pes(256).build().is_err());
+
+        let t2 = Topology::new(2, 2).unwrap();
+        assert!(SystemConfig::builder().topology(t2).compute_pes(3).build().is_ok());
+        assert!(SystemConfig::builder().topology(t2).compute_pes(4).build().is_err());
+    }
+
+    #[test]
+    fn rank_node_mapping_beyond_paper_torus() {
+        let t8 = Topology::new(8, 8).unwrap();
+        let cfg = SystemConfig::builder().topology(t8).compute_pes(63).build().unwrap();
+        assert_eq!(cfg.node_of_rank(Rank::new(62)), NodeId::new(63));
+        assert_eq!(cfg.rank_of_node(NodeId::new(63)), Some(Rank::new(62)));
+        assert_eq!(cfg.rank_of_node(NodeId::new(0)), None, "MPMMU node");
+        assert_eq!(cfg.layout().ranks(), 63);
+        assert_eq!(cfg.mpmmu_config().num_procs, 63);
+    }
+
+    #[test]
+    fn label_carries_non_paper_topology() {
+        let t8 = Topology::new(8, 8).unwrap();
+        let cfg = SystemConfig::builder().topology(t8).compute_pes(63).build().unwrap();
+        assert_eq!(cfg.label(), "63P_16k$_WB@8x8");
     }
 
     #[test]

@@ -4,20 +4,30 @@
 //! algorithm for three different sizes of input data on 168 different
 //! architectures in about 1 day using 5 servers" — the 168 points being
 //! 14 core counts × 6 cache sizes × 2 write policies. This module runs the
-//! same sweep on host threads.
+//! same kind of sweep on host threads, and goes beyond the paper's fixed
+//! 4×4 instance: every [`SweepPoint`] carries its own [`Topology`], so one
+//! sweep can span 2×2 up to 16×16 tori (255 compute PEs).
+//!
+//! The engine is a pool of scoped worker threads over a self-scheduling
+//! shared work queue: each worker atomically claims the next unstarted
+//! point, so cheap 4×4 points never leave a core idle while another thread
+//! grinds through a 255-PE run.
 
 use crate::api::PeApi;
 use crate::config::SystemConfig;
 use crate::system::{Kernel, RunError, RunResult, System};
 use medea_cache::{Addr, CacheConfig, CachePolicy};
+use medea_noc::coord::Topology;
 use medea_sim::Cycle;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// One coordinate of the exploration grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SweepPoint {
-    /// Compute PEs (1..=15).
+    /// The torus the system is assembled on.
+    pub topology: Topology,
+    /// Compute PEs (`1..=topology.nodes() − 1`).
     pub pes: usize,
     /// L1 size in bytes.
     pub cache_bytes: usize,
@@ -26,11 +36,22 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
+    /// A point on the paper's 4×4 folded torus.
+    pub fn new(pes: usize, cache_bytes: usize, policy: CachePolicy) -> Self {
+        SweepPoint { topology: Topology::paper_4x4(), pes, cache_bytes, policy }
+    }
+
+    /// A point on an explicit torus.
+    pub fn on(topology: Topology, pes: usize, cache_bytes: usize, policy: CachePolicy) -> Self {
+        SweepPoint { topology, pes, cache_bytes, policy }
+    }
+
     /// Materialize the point into a full system configuration, starting
     /// from `base` (which carries workload-independent settings such as
     /// segment sizes and the cycle limit).
     pub fn apply(&self, base: crate::config::SystemConfigBuilder) -> SystemConfig {
-        base.compute_pes(self.pes)
+        base.topology(self.topology)
+            .compute_pes(self.pes)
             .cache_bytes(self.cache_bytes)
             .cache_policy(self.policy)
             .build()
@@ -39,13 +60,13 @@ impl SweepPoint {
 }
 
 /// The paper's full grid: PEs 2..=15, cache 2..=64 kB, WB + WT
-/// (14 × 6 × 2 = 168 points).
+/// (14 × 6 × 2 = 168 points), all on the 4×4 torus.
 pub fn paper_grid() -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for policy in [CachePolicy::WriteBack, CachePolicy::WriteThrough] {
         for &cache_bytes in &CacheConfig::PAPER_SIZES {
             for pes in 2..=15 {
-                points.push(SweepPoint { pes, cache_bytes, policy });
+                points.push(SweepPoint::new(pes, cache_bytes, policy));
             }
         }
     }
@@ -57,7 +78,7 @@ pub fn quick_grid() -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for &cache_bytes in &[4 * 1024, 16 * 1024] {
         for pes in [2usize, 4, 8] {
-            points.push(SweepPoint { pes, cache_bytes, policy: CachePolicy::WriteBack });
+            points.push(SweepPoint::new(pes, cache_bytes, CachePolicy::WriteBack));
         }
     }
     points
@@ -111,11 +132,25 @@ impl SweepOutcome {
     }
 }
 
+/// Self-scheduling shared queue of sweep points: workers atomically claim
+/// the next unstarted index.
+struct WorkQueue<'a> {
+    points: &'a [SweepPoint],
+    next: AtomicUsize,
+}
+
+impl WorkQueue<'_> {
+    fn claim(&self) -> Option<(usize, SweepPoint)> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        self.points.get(idx).map(|p| (idx, *p))
+    }
+}
+
 /// Run `workload` on every `point`, using up to `threads` host threads.
 ///
 /// `base` carries the sweep-invariant configuration; each point overrides
-/// PE count, cache size and policy. Outcomes are returned in `points`
-/// order regardless of scheduling.
+/// topology, PE count, cache size and policy. Outcomes are returned in
+/// `points` order regardless of scheduling.
 pub fn run_sweep<W: Workload>(
     workload: &W,
     points: &[SweepPoint],
@@ -123,54 +158,44 @@ pub fn run_sweep<W: Workload>(
     threads: usize,
 ) -> Vec<SweepOutcome> {
     let threads = threads.max(1).min(points.len().max(1));
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
-    slots.resize_with(points.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
+    let queue = WorkQueue { points, next: AtomicUsize::new(0) };
+    let (tx, rx) = mpsc::channel::<(usize, SweepOutcome)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= points.len() {
-                    break;
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || {
+                while let Some((idx, point)) = queue.claim() {
+                    let cfg = point.apply(base.clone());
+                    let prepared = workload.prepare(&cfg);
+                    let measured_cell = Arc::clone(&prepared.measured);
+                    let result = System::run(&cfg, &prepared.preload, prepared.kernels);
+                    let outcome = SweepOutcome {
+                        point,
+                        label: cfg.label(),
+                        measured_cycles: if result.is_ok() {
+                            measured_cell.load(Ordering::SeqCst)
+                        } else {
+                            0
+                        },
+                        result,
+                    };
+                    if tx.send((idx, outcome)).is_err() {
+                        break; // collector gone; nothing left to do
+                    }
                 }
-                let point = points[idx];
-                let cfg = point.apply(base.clone());
-                let prepared = workload.prepare(&cfg);
-                let measured_cell = Arc::clone(&prepared.measured);
-                let result = System::run(&cfg, &prepared.preload, prepared.kernels);
-                let outcome = SweepOutcome {
-                    point,
-                    label: cfg.label(),
-                    measured_cycles: if result.is_ok() {
-                        measured_cell.load(Ordering::SeqCst)
-                    } else {
-                        0
-                    },
-                    result,
-                };
-                slots.lock().expect("sweep mutex").insert_outcome(idx, outcome);
             });
         }
-    });
+        drop(tx);
 
-    slots
-        .into_inner()
-        .expect("sweep mutex")
-        .into_iter()
-        .map(|o| o.expect("every index visited"))
-        .collect()
-}
-
-trait InsertOutcome {
-    fn insert_outcome(&mut self, idx: usize, outcome: SweepOutcome);
-}
-
-impl InsertOutcome for Vec<Option<SweepOutcome>> {
-    fn insert_outcome(&mut self, idx: usize, outcome: SweepOutcome) {
-        self[idx] = Some(outcome);
-    }
+        let mut slots: Vec<Option<SweepOutcome>> = Vec::new();
+        slots.resize_with(points.len(), || None);
+        for (idx, outcome) in rx {
+            slots[idx] = Some(outcome);
+        }
+        slots.into_iter().map(|o| o.expect("every index visited")).collect()
+    })
 }
 
 /// Compute speedups relative to the slowest successful point of the sweep
@@ -226,6 +251,7 @@ mod tests {
     #[test]
     fn paper_grid_is_168_points() {
         assert_eq!(paper_grid().len(), 168);
+        assert!(paper_grid().iter().all(|p| p.topology == Topology::paper_4x4()));
     }
 
     #[test]
@@ -243,11 +269,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_spans_multiple_topologies() {
+        let workload = ComputeOnlyWorkload { cycles_per_rank: 250 };
+        let points = vec![
+            SweepPoint::new(2, 4096, CachePolicy::WriteBack),
+            SweepPoint::on(Topology::new(8, 8).unwrap(), 20, 4096, CachePolicy::WriteBack),
+            SweepPoint::on(Topology::new(8, 2).unwrap(), 15, 4096, CachePolicy::WriteBack),
+        ];
+        let base = SystemConfig::builder().cycle_limit(1_000_000);
+        let outcomes = run_sweep(&workload, &points, &base, 3);
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            let measured = o.measured().expect("run succeeded");
+            assert!((250..=270).contains(&measured), "{}: measured {measured}", o.label);
+        }
+        assert_eq!(outcomes[1].label, "20P_4k$_WB@8x8");
+        assert_eq!(outcomes[2].label, "15P_4k$_WB@8x2");
+    }
+
+    #[test]
     fn speedups_reference_is_slowest() {
         let workload = ComputeOnlyWorkload { cycles_per_rank: 500 };
         let points = vec![
-            SweepPoint { pes: 1, cache_bytes: 2048, policy: CachePolicy::WriteBack },
-            SweepPoint { pes: 2, cache_bytes: 2048, policy: CachePolicy::WriteBack },
+            SweepPoint::new(1, 2048, CachePolicy::WriteBack),
+            SweepPoint::new(2, 2048, CachePolicy::WriteBack),
         ];
         let base = SystemConfig::builder().cycle_limit(1_000_000);
         let outcomes = run_sweep(&workload, &points, &base, 2);

@@ -57,6 +57,7 @@ pub mod system;
 
 pub use config::{BuildConfigError, SystemConfig, SystemConfigBuilder};
 pub use medea_cache::CachePolicy;
+pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};
 pub use medea_pe::fpu::MulOption;
 pub use system::{RunError, RunResult};

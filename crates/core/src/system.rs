@@ -884,6 +884,85 @@ mod tests {
     }
 
     #[test]
+    fn assembles_on_larger_and_rectangular_tori() {
+        use medea_noc::coord::Topology;
+        // 8x8: ranks beyond the paper's 15 exchange messages and shared
+        // memory through the full stack.
+        let cfg8 = SystemConfig::builder()
+            .topology(Topology::new(8, 8).unwrap())
+            .compute_pes(20)
+            .cycle_limit(5_000_000)
+            .build()
+            .unwrap();
+        let kernels: Vec<Kernel> = (0..20)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    api.store_u32(api.private_base(), r as u32);
+                    api.flush_line(api.private_base());
+                    empi::barrier(&api);
+                    if r == 19 {
+                        empi::send(&api, Rank::new(0), &[4242]);
+                    } else if r == 0 {
+                        let got = empi::recv(&api, Rank::new(19));
+                        assert_eq!(got, vec![4242]);
+                    }
+                }) as Kernel
+            })
+            .collect();
+        let result = System::run(&cfg8, &[], kernels).unwrap();
+        assert!(result.fabric_delivered > 0);
+        assert_eq!(result.pe.len(), 20);
+
+        // 8x2 rectangular torus: same workload shape on 10 ranks.
+        let cfg_rect = SystemConfig::builder()
+            .topology(Topology::new(8, 2).unwrap())
+            .compute_pes(10)
+            .cycle_limit(5_000_000)
+            .build()
+            .unwrap();
+        let kernels: Vec<Kernel> =
+            (0..10).map(|_| Box::new(|api: PeApi| empi::barrier(&api)) as Kernel).collect();
+        System::run(&cfg_rect, &[], kernels).unwrap();
+    }
+
+    #[test]
+    fn engine_equivalence_on_8x8() {
+        use medea_noc::coord::Topology;
+        let mk = || {
+            SystemConfig::builder()
+                .topology(Topology::new(8, 8).unwrap())
+                .compute_pes(17)
+                .cycle_limit(5_000_000)
+                .build()
+                .unwrap()
+        };
+        let kernels = || -> Vec<Kernel> {
+            (0..17)
+                .map(|r| {
+                    Box::new(move |api: PeApi| {
+                        api.compute(40 + 11 * r as u64);
+                        empi::barrier(&api);
+                        if r > 0 {
+                            empi::send_f64(&api, Rank::new(0), &[r as f64]);
+                        } else {
+                            for src in 1..api.ranks() {
+                                let v = empi::recv_f64(&api, Rank::new(src as u8));
+                                assert_eq!(v[0], src as f64);
+                            }
+                        }
+                    }) as Kernel
+                })
+                .collect()
+        };
+        let fast = System::run(&mk(), &[], kernels()).unwrap();
+        let slow = System::run_reference(&mk(), &[], kernels()).unwrap();
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.fabric_delivered, slow.fabric_delivered);
+        assert_eq!(fast.fabric_deflections, slow.fabric_deflections);
+        assert_eq!(fast.fabric_mean_latency, slow.fabric_mean_latency);
+    }
+
+    #[test]
     fn ideal_fabric_not_slower() {
         let mk = |fabric| {
             SystemConfig::builder()

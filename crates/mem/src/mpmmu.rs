@@ -14,8 +14,9 @@
 //!   and the requesting bridge retries (documented design choice).
 //!
 //! Source identification: the application-level `src-id` field equals the
-//! linear node index of the requester (possible because a MEDEA instance
-//! has at most 16 nodes), which is how responses find their way back.
+//! linear node index of the requester (the field is sized per topology to
+//! hold a full node index, up to 256 nodes on a 16×16 torus), which is
+//! how responses find their way back.
 
 use crate::backing::BackingStore;
 use crate::ddr::DdrModel;
@@ -426,7 +427,7 @@ impl Mpmmu {
 
     fn response(&self, src: u8, kind: PacketKind, sub: SubKind, seq: u8, data: u32) -> Flit {
         let dest = self.topo.coord_of(NodeId::new(src as u16));
-        Flit::new(dest, kind, sub, seq, 0, (self.node.index() % 16) as u8, data)
+        Flit::new(dest, kind, sub, seq, 0, self.node.index() as u8, data)
     }
 
     // ---- memory hierarchy (MPMMU cache in front of DDR) ----

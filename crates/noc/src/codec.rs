@@ -5,13 +5,18 @@
 //! as:
 //!
 //! ```text
-//! | V(1) | X(xb) | Y(yb) | TYPE(3) | SUBTYPE(2) | SEQ(4) | BURST(2) | SRC(4) | DATA(32) |
+//! | V(1) | X(xb) | Y(yb) | TYPE(3) | SUBTYPE(2) | SEQ(4) | BURST(2) | SRC(xb+yb) | DATA(32) |
 //! ```
 //!
-//! where `xb`/`yb` depend on the torus dimensions (2 bits each for the
-//! paper's 4×4). We reproduce that layout exactly — it is the
-//! "RTL-faithfulness" surrogate of this reproduction and is property-tested
-//! for roundtripping.
+//! Every field width except the fixed protocol fields derives from the
+//! configured torus: `xb`/`yb` are the coordinate widths and the `SRC-ID`
+//! field is sized to hold a full linear node index (`xb + yb` bits). On
+//! the paper's 4×4 folded torus this reduces exactly to Fig. 5 — 2 bits
+//! per coordinate and the 4-bit `SRC-ID` — and on the largest supported
+//! 16×16 torus the format is 60 bits, still inside the 64-bit flit
+//! budget. The layout is the "RTL-faithfulness" surrogate of this
+//! reproduction and is property-tested for roundtripping on every
+//! topology.
 
 use crate::coord::{Coord, Topology};
 use crate::flit::{Flit, PacketKind, SubKind, BURST_BITS, SEQ_BITS};
@@ -52,7 +57,6 @@ impl std::error::Error for DecodeError {}
 
 const TYPE_BITS: u32 = 3;
 const SUB_BITS: u32 = 2;
-const SRC_BITS: u32 = 4;
 const DATA_BITS: u32 = 32;
 
 /// Encoder/decoder for a given torus size.
@@ -67,6 +71,12 @@ impl FlitCodec {
         FlitCodec { topo }
     }
 
+    /// Width of the `SRC-ID` field for this topology: enough bits for a
+    /// full linear node index (4 on the paper's 4×4, 8 on a 16×16).
+    pub const fn src_bits(&self) -> u32 {
+        self.topo.src_bits()
+    }
+
     /// Total wire bits of the format for this topology.
     pub const fn width(&self) -> u32 {
         1 + self.topo.x_bits()
@@ -75,12 +85,24 @@ impl FlitCodec {
             + SUB_BITS
             + SEQ_BITS
             + BURST_BITS
-            + SRC_BITS
+            + self.src_bits()
             + DATA_BITS
     }
 
     /// Serialize `flit` into its 64-bit wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit's source id does not fit this topology's
+    /// `SRC-ID` field (a flit built for a larger torus).
     pub fn encode(&self, flit: &Flit) -> u64 {
+        assert!(
+            (flit.src_id() as u64) < (1 << self.src_bits()),
+            "src-id {} exceeds the {}-bit field of the {}",
+            flit.src_id(),
+            self.src_bits(),
+            self.topo
+        );
         let mut w: u64 = 1; // validity bit
         w = (w << self.topo.x_bits()) | flit.dest().x as u64;
         w = (w << self.topo.y_bits()) | flit.dest().y as u64;
@@ -88,7 +110,7 @@ impl FlitCodec {
         w = (w << SUB_BITS) | flit.sub().code() as u64;
         w = (w << SEQ_BITS) | flit.seq() as u64;
         w = (w << BURST_BITS) | flit.burst() as u64;
-        w = (w << SRC_BITS) | flit.src_id() as u64;
+        w = (w << self.src_bits()) | flit.src_id() as u64;
         (w << DATA_BITS) | flit.payload() as u64
     }
 
@@ -106,8 +128,8 @@ impl FlitCodec {
         let mut cursor = word;
         let data = (cursor & mask(DATA_BITS)) as u32;
         cursor >>= DATA_BITS;
-        let src = (cursor & mask(SRC_BITS)) as u8;
-        cursor >>= SRC_BITS;
+        let src = (cursor & mask(self.src_bits())) as u8;
+        cursor >>= self.src_bits();
         let burst = (cursor & mask(BURST_BITS)) as u8;
         cursor >>= BURST_BITS;
         let seq = (cursor & mask(SEQ_BITS)) as u8;
@@ -152,6 +174,26 @@ mod tests {
     fn paper_format_is_52_bits() {
         // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 4 + 32 = 52 for the 4x4 torus.
         assert_eq!(codec().width(), 52);
+        assert_eq!(codec().src_bits(), 4, "Fig. 5's 4-bit SRC-ID on the paper torus");
+    }
+
+    #[test]
+    fn max_torus_format_fits_64_bit_flit() {
+        // 1 + 4 + 4 + 3 + 2 + 4 + 2 + 8 + 32 = 60 for the 16x16 torus.
+        let c = FlitCodec::new(Topology::new(16, 16).unwrap());
+        assert_eq!(c.src_bits(), 8);
+        assert_eq!(c.width(), 60);
+        // The highest node id roundtrips through the widened SRC field.
+        let f = Flit::message(Coord::new(15, 15), 255, 3, 1, 0xDEAD_BEEF);
+        assert_eq!(c.decode(c.encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 4-bit field")]
+    fn oversized_src_rejected_by_small_topology_codec() {
+        // A node index of a big torus cannot be encoded for the 4x4.
+        let f = Flit::message(Coord::new(0, 0), 200, 0, 0, 0);
+        codec().encode(&f);
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl std::error::Error for InvalidTopologyError {}
 
 /// A `width × height` torus. Copyable value object shared by routers,
 /// bridges (for the address LUT) and the codec (for field widths).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// There is deliberately no `Default` implementation: every component
+/// takes the topology it operates on explicitly, so nothing in the stack
+/// can silently assume the paper's 4×4 instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Topology {
     width: u8,
     height: u8,
@@ -141,6 +145,21 @@ impl Topology {
     /// Total node count.
     pub const fn nodes(self) -> usize {
         self.width as usize * self.height as usize
+    }
+
+    /// Largest number of compute PEs this torus can host: every node but
+    /// the one reserved for the MPMMU (255 on the 16×16 maximum).
+    pub const fn max_compute_pes(self) -> usize {
+        self.nodes() - 1
+    }
+
+    /// Bits needed to encode a linear node index — the width of the
+    /// application-level `SRC-ID` field for this torus (4 on the paper's
+    /// 4×4, 8 on the 16×16 maximum). Row-major indices satisfy
+    /// `y·width + x < 2^(x_bits + y_bits)`, so the sum of the coordinate
+    /// widths always suffices.
+    pub const fn src_bits(self) -> u32 {
+        self.x_bits() + self.y_bits()
     }
 
     /// Bits needed to encode an X coordinate (2 for the 4×4 paper torus).
@@ -201,12 +220,6 @@ impl Topology {
             dirs[n] = Some(d);
         }
         ProductiveDirs { dirs, next: 0 }
-    }
-}
-
-impl Default for Topology {
-    fn default() -> Self {
-        Topology::paper_4x4()
     }
 }
 
@@ -280,6 +293,25 @@ mod tests {
         // each coordinate".
         assert_eq!(t.x_bits(), 2);
         assert_eq!(t.y_bits(), 2);
+    }
+
+    #[test]
+    fn src_bits_cover_every_node_index() {
+        for w in 2..=16u8 {
+            for h in 2..=16u8 {
+                let t = Topology::new(w, h).unwrap();
+                let max_index = t.nodes() - 1;
+                assert!(
+                    max_index < (1usize << t.src_bits()),
+                    "{t}: index {max_index} exceeds {} src bits",
+                    t.src_bits()
+                );
+                assert_eq!(t.max_compute_pes(), t.nodes() - 1);
+            }
+        }
+        assert_eq!(Topology::paper_4x4().src_bits(), 4, "the paper's 4-bit SRC-ID field");
+        assert_eq!(Topology::new(16, 16).unwrap().src_bits(), 8);
+        assert_eq!(Topology::new(16, 16).unwrap().max_compute_pes(), 255);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! * **bridge level** — `TYPE` (3 bits, seven packet types), `SUBTYPE`
 //!   (2 bits) and `SEQ-NUM` (4 bits) used by the pif2NoC bridge and TIE
 //!   interface;
-//! * **application level** — `BURST-SIZE` (2 bits), `SRC-ID` (4 bits) and a
-//!   32-bit data word, written and consumed by software.
+//! * **application level** — `BURST-SIZE` (2 bits), `SRC-ID` (the linear
+//!   node index of the sender; 4 bits on the paper's 4×4 torus, widening
+//!   with the topology up to 8 bits on a 16×16) and a 32-bit data word,
+//!   written and consumed by software.
 //!
 //! The struct here is the *semantic* view; the bit-exact wire form lives in
 //! [`crate::codec`].
@@ -220,10 +222,15 @@ pub struct Flit {
 impl Flit {
     /// Construct a flit with every wire field explicit.
     ///
+    /// The `src_id` is the sender's linear node index; its `u8` type bounds
+    /// it to the 256 nodes of the largest (16×16) torus, and the codec
+    /// checks it against the actual per-topology field width at encode
+    /// time.
+    ///
     /// # Panics
     ///
-    /// Panics if `seq`, `burst` or `src_id` exceed their field widths
-    /// (4, 2 and 4 bits respectively).
+    /// Panics if `seq` or `burst` exceed their field widths (4 and 2 bits
+    /// respectively).
     pub fn new(
         dest: Coord,
         kind: PacketKind,
@@ -235,7 +242,6 @@ impl Flit {
     ) -> Self {
         assert!(seq < (1 << SEQ_BITS), "seq {seq} exceeds 4-bit field");
         assert!(burst < (1 << BURST_BITS), "burst {burst} exceeds 2-bit field");
-        assert!(src_id < 16, "src-id {src_id} exceeds 4-bit field");
         Flit { dest, kind, sub, seq, burst, src_id, data, meta: FlitMeta::default() }
     }
 
@@ -281,7 +287,7 @@ impl Flit {
         burst_len(self.burst)
     }
 
-    /// Application-level source id (rank or node index, 4 bits).
+    /// Application-level source id: the sender's linear node index.
     pub const fn src_id(&self) -> u8 {
         self.src_id
     }
@@ -351,10 +357,9 @@ mod tests {
             Flit::new(d, PacketKind::Message, SubKind::Data, 0, 4, 0, 0)
         })
         .is_err());
-        assert!(std::panic::catch_unwind(|| {
-            Flit::new(d, PacketKind::Message, SubKind::Data, 0, 0, 16, 0)
-        })
-        .is_err());
+        // src ids cover the full u8 range: node 255 of a 16x16 torus.
+        let f = Flit::new(d, PacketKind::Message, SubKind::Data, 0, 0, 255, 0);
+        assert_eq!(f.src_id(), 255);
     }
 
     #[test]

@@ -229,7 +229,7 @@ mod tests {
                 }
                 let flit = Flit::message(
                     topo.coord_of(NodeId::new(d as u16)),
-                    (s % 16) as u8,
+                    s as u8,
                     0,
                     0,
                     (s * 100 + d) as u32,
@@ -281,7 +281,7 @@ mod tests {
                         crate::flit::SubKind::Data,
                         0,
                         0,
-                        (s % 16) as u8,
+                        s as u8,
                         now as u32,
                     );
                     if n.try_inject(NodeId::new(s as u16), f, now).is_ok() {
@@ -310,7 +310,7 @@ mod tests {
                     if d != s {
                         let f = Flit::message(
                             topo.coord_of(NodeId::new(d as u16)),
-                            (s % 16) as u8,
+                            s as u8,
                             0,
                             0,
                             (now * 31 + s as u64) as u32,

@@ -117,7 +117,7 @@ pub fn run_open_loop<F: Fabric>(
                 Some(d) => d,
                 None => continue,
             };
-            let flit = Flit::message(topo.coord_of(dest), (src % 16) as u8, 0, 0, now as u32);
+            let flit = Flit::message(topo.coord_of(dest), src as u8, 0, 0, now as u32);
             generated += 1;
             queue.push_back(flit);
         }

@@ -17,6 +17,16 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
     (2u8..=8, 2u8..=8).prop_map(|(w, h)| Topology::new(w, h).expect("valid dims"))
 }
 
+/// Topologies the fabric-level properties sweep: the paper's square torus
+/// plus strongly rectangular ones (single-row rings in one axis), where
+/// the productive-direction and wrap logic degenerate differently.
+fn fabric_topologies() -> Vec<Topology> {
+    [(4, 4), (8, 2), (2, 8), (5, 3)]
+        .into_iter()
+        .map(|(w, h)| Topology::new(w, h).expect("valid dims"))
+        .collect()
+}
+
 fn arb_kind() -> impl Strategy<Value = PacketKind> {
     prop::sample::select(PacketKind::ALL.to_vec())
 }
@@ -62,7 +72,7 @@ proptest! {
                 sub,
                 rng.next_below(16) as u8,
                 rng.next_below(4) as u8,
-                rng.next_below(16) as u8,
+                rng.next_below(topo.nodes() as u64) as u8,
                 rng.next_u64() as u32,
             );
             let word = codec.encode(&flit);
@@ -81,97 +91,108 @@ proptest! {
     }
 
     /// Deflection routing is lossless and eventually delivers everything,
-    /// regardless of injection pattern.
+    /// regardless of injection pattern, on square *and* rectangular tori
+    /// (8×2 and 2×8 degenerate to a single wrap ring on one axis).
     #[test]
     fn deflection_delivers_everything(
         seed in any::<u64>(),
         flit_count in 1usize..60,
     ) {
-        let topo = Topology::paper_4x4();
-        let mut net = Network::new(topo);
-        let mut rng = medea_sim::rng::SplitMix64::new(seed);
-        let mut pending: Vec<(NodeId, Flit)> = (0..flit_count)
-            .map(|i| {
-                let src = NodeId::new(rng.next_below(16) as u16);
-                let dest = NodeId::new(rng.next_below(16) as u16);
-                let flit = Flit::message(
-                    topo.coord_of(dest),
-                    (src.index() % 16) as u8,
-                    0,
-                    0,
-                    i as u32,
-                );
-                (src, flit)
-            })
-            .collect();
-        let mut delivered = 0usize;
-        let mut payloads = std::collections::BTreeSet::new();
-        let mut now = 0u64;
-        while delivered < flit_count {
-            prop_assert!(now < 10_000, "undelivered traffic after 10k cycles");
-            let mut still = Vec::new();
-            for (src, flit) in pending {
-                match net.try_inject(src, flit, now) {
-                    Ok(()) => {}
-                    Err(back) => still.push((src, back)),
-                }
-            }
-            pending = still;
-            net.tick(now);
-            for node in 0..16 {
-                while let Some(f) = net.eject(NodeId::new(node)) {
-                    prop_assert_eq!(
-                        topo.node_of(f.dest()).index(),
-                        node as usize,
-                        "flit ejected at the wrong node"
+        for topo in fabric_topologies() {
+            let nodes = topo.nodes() as u64;
+            let mut net = Network::new(topo);
+            let mut rng = medea_sim::rng::SplitMix64::new(seed);
+            let mut pending: Vec<(NodeId, Flit)> = (0..flit_count)
+                .map(|i| {
+                    let src = NodeId::new(rng.next_below(nodes) as u16);
+                    let dest = NodeId::new(rng.next_below(nodes) as u16);
+                    let flit = Flit::message(
+                        topo.coord_of(dest),
+                        src.index() as u8,
+                        0,
+                        0,
+                        i as u32,
                     );
-                    prop_assert!(payloads.insert(f.payload()), "duplicate delivery");
-                    delivered += 1;
+                    (src, flit)
+                })
+                .collect();
+            let mut delivered = 0usize;
+            let mut payloads = std::collections::BTreeSet::new();
+            let mut now = 0u64;
+            while delivered < flit_count {
+                prop_assert!(now < 10_000, "undelivered traffic after 10k cycles on {}", topo);
+                let mut still = Vec::new();
+                for (src, flit) in pending {
+                    match net.try_inject(src, flit, now) {
+                        Ok(()) => {}
+                        Err(back) => still.push((src, back)),
+                    }
                 }
+                pending = still;
+                net.tick(now);
+                for node in 0..topo.nodes() {
+                    while let Some(f) = net.eject(NodeId::new(node as u16)) {
+                        prop_assert_eq!(
+                            topo.node_of(f.dest()).index(),
+                            node,
+                            "flit ejected at the wrong node of {}", topo
+                        );
+                        prop_assert!(payloads.insert(f.payload()), "duplicate delivery");
+                        delivered += 1;
+                    }
+                }
+                now += 1;
             }
-            now += 1;
+            prop_assert_eq!(net.in_flight(), 0);
+            prop_assert_eq!(net.stats().delivered, flit_count as u64);
         }
-        prop_assert_eq!(net.in_flight(), 0);
-        prop_assert_eq!(net.stats().delivered, flit_count as u64);
     }
 
     /// The zero-allocation, activity-scheduled fabric is observationally
     /// identical to the frozen seed implementation under arbitrary
     /// traffic: same ejections at every node every cycle, same census,
-    /// same statistics.
+    /// same statistics — including on non-square (8×2, 2×8) tori.
     #[test]
     fn optimized_fabric_matches_reference(seed in any::<u64>()) {
-        let topo = Topology::paper_4x4();
-        let mut fast = Network::new(topo);
-        let mut slow = ReferenceNetwork::new(topo);
-        let mut rng = medea_sim::rng::SplitMix64::new(seed);
-        for now in 0..400u64 {
-            if now < 300 {
-                let src = NodeId::new(rng.next_below(16) as u16);
-                let dest = NodeId::new(rng.next_below(16) as u16);
-                let flit = Flit::message(topo.coord_of(dest), 0, 0, 0, now as u32);
-                let a = fast.try_inject(src, flit, now).is_ok();
-                let b = slow.try_inject(src, flit, now).is_ok();
-                prop_assert_eq!(a, b, "injection acceptance diverged at {}", now);
-            }
-            fast.tick(now);
-            slow.tick(now);
-            for node in 0..16 {
-                loop {
-                    let a = fast.eject(NodeId::new(node));
-                    let b = slow.eject(NodeId::new(node));
-                    prop_assert_eq!(a, b, "ejection diverged at node {} cycle {}", node, now);
-                    if a.is_none() {
-                        break;
+        for topo in fabric_topologies() {
+            let nodes = topo.nodes() as u64;
+            let mut fast = Network::new(topo);
+            let mut slow = ReferenceNetwork::new(topo);
+            let mut rng = medea_sim::rng::SplitMix64::new(seed);
+            for now in 0..400u64 {
+                if now < 300 {
+                    let src = NodeId::new(rng.next_below(nodes) as u16);
+                    let dest = NodeId::new(rng.next_below(nodes) as u16);
+                    let flit = Flit::message(topo.coord_of(dest), src.index() as u8, 0, 0, now as u32);
+                    let a = fast.try_inject(src, flit, now).is_ok();
+                    let b = slow.try_inject(src, flit, now).is_ok();
+                    prop_assert_eq!(a, b, "injection acceptance diverged at {} on {}", now, topo);
+                }
+                fast.tick(now);
+                slow.tick(now);
+                for node in 0..topo.nodes() {
+                    loop {
+                        let a = fast.eject(NodeId::new(node as u16));
+                        let b = slow.eject(NodeId::new(node as u16));
+                        prop_assert_eq!(
+                            a, b,
+                            "ejection diverged at node {} cycle {} on {}", node, now, topo
+                        );
+                        if a.is_none() {
+                            break;
+                        }
                     }
                 }
+                prop_assert_eq!(
+                    fast.in_flight(), slow.in_flight(),
+                    "census diverged at {} on {}", now, topo
+                );
             }
-            prop_assert_eq!(fast.in_flight(), slow.in_flight(), "census diverged at {}", now);
+            prop_assert_eq!(fast.stats().delivered, slow.stats().delivered);
+            prop_assert_eq!(fast.stats().deflections, slow.stats().deflections);
+            prop_assert_eq!(fast.stats().injected, slow.stats().injected);
+            prop_assert_eq!(fast.stats().latency.buckets(), slow.stats().latency.buckets());
         }
-        prop_assert_eq!(fast.stats().delivered, slow.stats().delivered);
-        prop_assert_eq!(fast.stats().deflections, slow.stats().deflections);
-        prop_assert_eq!(fast.stats().injected, slow.stats().injected);
-        prop_assert_eq!(fast.stats().latency.buckets(), slow.stats().latency.buckets());
     }
 
     /// The fabric conserves flits at every cycle: injected = delivered +

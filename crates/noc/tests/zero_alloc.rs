@@ -52,8 +52,7 @@ fn fabric_steady_state_is_allocation_free() {
         for now in start..start + cycles {
             for s in 0..topo.nodes() {
                 let d = (s + 1 + (now as usize % (topo.nodes() - 1))) % topo.nodes();
-                let flit =
-                    Flit::message(topo.coord_of(NodeId::new(d as u16)), (s % 16) as u8, 0, 0, 7);
+                let flit = Flit::message(topo.coord_of(NodeId::new(d as u16)), s as u8, 0, 0, 7);
                 let _ = net.try_inject(NodeId::new(s as u16), flit, now);
             }
             net.tick(now);

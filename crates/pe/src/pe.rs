@@ -137,6 +137,9 @@ enum Exec {
 pub struct ProcessingElement {
     cfg: PeConfig,
     topo: Topology,
+    /// Checked-at-construction application-level source id (the node
+    /// index; shared by the bridge and the TIE send path).
+    src_id: u8,
     host: KernelHost<PeRequest, PeResponse>,
     cache: SetAssocCache,
     bridge: Pif2NocBridge,
@@ -152,11 +155,13 @@ impl ProcessingElement {
     where
         F: FnOnce(PePort) + Send + 'static,
     {
-        let src_id = (cfg.node.index() % 16) as u8;
+        let src_id = u8::try_from(cfg.node.index())
+            .expect("node index exceeds the 8-bit src-id budget (at most 256 nodes)");
         let host = KernelHost::spawn(&format!("pe{}", cfg.node.index()), kernel);
         ProcessingElement {
             cfg,
             topo,
+            src_id,
             host,
             cache: SetAssocCache::new(cfg.cache),
             bridge: Pif2NocBridge::new(topo.coord_of(mpmmu), src_id, cfg.bridge),
@@ -465,11 +470,7 @@ impl ProcessingElement {
                 Exec::BridgeWait { shape: DirectShape::Unlock }
             }
             PeRequest::Send { dest, payload } => {
-                let flits = packetize(
-                    self.topo.coord_of(dest),
-                    (self.cfg.node.index() % 16) as u8,
-                    &payload,
-                );
+                let flits = packetize(self.topo.coord_of(dest), self.src_id, &payload);
                 Exec::Send { flits: flits.into() }
             }
             PeRequest::Recv { from } => Exec::Recv { from },

@@ -40,15 +40,19 @@ impl From<u16> for NodeId {
 
 /// eMPI rank of a processing element (0-based, excludes the MPMMU).
 ///
-/// The application-level `source-id` field of the packet format (Fig. 5) is
-/// four bits wide, which bounds a single MEDEA instance to 16 ranks — the
-/// same bound the paper's 3..16-core exploration respects.
+/// The application-level `source-id` field of the packet format (Fig. 5)
+/// is sized per topology to carry a full linear node index, so the rank
+/// space is bounded by the largest supported torus: 16×16 = 256 nodes,
+/// one of which is the MPMMU, leaving 255 compute ranks (held in a `u8`).
+/// On the paper's 4×4 instance the field is 4 bits and the bound is 15 —
+/// the same bound the paper's 3..16-core exploration respects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Rank(pub u8);
 
 impl Rank {
-    /// Maximum number of ranks representable in the 4-bit source-id field.
-    pub const MAX_RANKS: usize = 16;
+    /// Maximum number of ranks on the largest supported torus (16×16
+    /// nodes minus the MPMMU).
+    pub const MAX_RANKS: usize = 255;
 
     /// Create a rank from a raw index.
     pub const fn new(index: u8) -> Self {
@@ -105,8 +109,10 @@ mod tests {
     }
 
     #[test]
-    fn rank_bound_matches_source_id_field() {
-        // 4-bit src field => 16 ranks.
-        assert_eq!(Rank::MAX_RANKS, 1 << 4);
+    fn rank_bound_matches_largest_torus() {
+        // 16x16 nodes, one reserved for the MPMMU; rank indices 0..=254
+        // all fit the u8 representation.
+        assert_eq!(Rank::MAX_RANKS, 16 * 16 - 1);
+        assert!(Rank::MAX_RANKS - 1 <= u8::MAX as usize);
     }
 }

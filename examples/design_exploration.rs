@@ -17,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut points = Vec::new();
     for pes in [2usize, 4, 6, 8, 10, 12] {
         for cache_kb in [2usize, 8, 16, 32] {
-            points.push(SweepPoint {
-                pes,
-                cache_bytes: cache_kb * 1024,
-                policy: CachePolicy::WriteBack,
-            });
+            points.push(SweepPoint::new(pes, cache_kb * 1024, CachePolicy::WriteBack));
         }
     }
     let workload = JacobiWorkload { jcfg: JacobiConfig::new(n, JacobiVariant::HybridFullMp) };

@@ -7,9 +7,10 @@
 //! behavior-preserving. Any optimization that changes one of these
 //! numbers is a functional change, not an optimization.
 
+use medea::apps::jacobi::{self, JacobiConfig, JacobiVariant};
 use medea::core::api::PeApi;
 use medea::core::system::{Kernel, RunResult, System};
-use medea::core::{empi, SystemConfig};
+use medea::core::{empi, SystemConfig, Topology};
 use medea::sim::ids::Rank;
 
 fn cfg(pes: usize) -> SystemConfig {
@@ -117,6 +118,31 @@ fn gather_fingerprint_stable_and_deflecting() {
     // Seven concurrent senders into one ejection channel: the deflection
     // path must actually fire, and its count must be reproduced exactly.
     assert!(a.fabric_deflections > 0, "gather must exercise deflection");
+}
+
+#[test]
+fn jacobi_8x8_63pe_fingerprint_stable_across_runs() {
+    // Topology-generic assembly pinned bit-for-bit: a fully populated
+    // 8x8 torus (63 compute PEs, one interior row each) must reproduce
+    // exact cycle, delivery and deflection counts run over run.
+    let run = || {
+        let sys = SystemConfig::builder()
+            .topology(Topology::new(8, 8).expect("8x8 torus"))
+            .compute_pes(63)
+            .cycle_limit(400_000_000)
+            .build()
+            .expect("63-PE configuration");
+        let jcfg = JacobiConfig::new(65, JacobiVariant::HybridFullMp)
+            .with_warmup_iters(0)
+            .with_measured_iters(1);
+        jacobi::run(&sys, &jcfg).expect("8x8 Jacobi run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a.run), fingerprint(&b.run));
+    assert_eq!(a.cycles_per_iter, b.cycles_per_iter);
+    assert!(a.run.fabric_delivered > 0, "63-PE Jacobi must use the fabric");
+    assert_eq!(a.run.pe.len(), 63);
 }
 
 #[test]
