@@ -29,7 +29,7 @@ use medea_core::api::PeApi;
 use medea_core::calib::LOOP_OVERHEAD_CYCLES;
 use medea_core::explore::{PreparedWorkload, Workload};
 use medea_core::system::{Kernel, RunError, RunResult, System};
-use medea_core::{empi, SystemConfig};
+use medea_core::{Empi, SystemConfig};
 use medea_pe::kernel_if::f64_to_words;
 use medea_sim::ids::Rank;
 use medea_sim::Cycle;
@@ -166,52 +166,53 @@ struct KernelCtx {
 }
 
 fn jacobi_kernel(api: PeApi, ctx: KernelCtx) {
+    let comm = Empi::new(api);
     let jcfg = ctx.jcfg;
     let n = jcfg.n;
-    let ranks = api.ranks();
-    let r = api.rank().index();
+    let ranks = comm.ranks();
+    let r = comm.rank().index();
     let (g0, g1) = partition_rows(n, ranks, r);
-    let lay = RankLayout::new(n, api.private_base(), g1 - g0);
+    let lay = RankLayout::new(n, comm.private_base(), g1 - g0);
     assert!(
-        2 * lay.buf_bytes <= api.layout().private_bytes(),
+        2 * lay.buf_bytes <= comm.layout().private_bytes(),
         "grid slice does not fit the private segment"
     );
 
-    let barrier = |api: &PeApi| match jcfg.variant {
-        JacobiVariant::PureSharedMemory => ctx.sm_barrier.wait(api, ranks),
-        _ => empi::barrier(api),
+    let barrier = |comm: &Empi| match jcfg.variant {
+        JacobiVariant::PureSharedMemory => ctx.sm_barrier.wait(comm, ranks),
+        _ => comm.barrier(),
     };
 
     let mut cur = 0usize;
     let mut t0: Cycle = 0;
     for it in 0..jcfg.total_iters() {
         if it == jcfg.warmup_iters {
-            barrier(&api);
-            t0 = api.now();
+            barrier(&comm);
+            t0 = comm.now();
         }
         let nxt = 1 - cur;
-        sweep(&api, &lay, cur, nxt);
+        sweep(&comm, &lay, cur, nxt);
         match jcfg.variant {
-            JacobiVariant::HybridFullMp => exchange_mp(&api, &lay, nxt),
+            JacobiVariant::HybridFullMp => exchange_mp(&comm, &lay, nxt),
             JacobiVariant::HybridSyncOnly => {
-                exchange_shared(&api, &lay, nxt, it % 2, false, &barrier)
+                exchange_shared(&comm, &lay, nxt, it % 2, false, &barrier)
             }
             JacobiVariant::PureSharedMemory => {
-                exchange_shared(&api, &lay, nxt, it % 2, true, &barrier)
+                exchange_shared(&comm, &lay, nxt, it % 2, true, &barrier)
             }
         }
         cur = nxt;
     }
-    barrier(&api);
+    barrier(&comm);
     if r == 0 {
-        let t1 = api.now();
+        let t1 = comm.now();
         let window = t1.saturating_sub(t0).max(1);
         ctx.measured.store(window / jcfg.measured_iters.max(1) as u64, Ordering::SeqCst);
     }
     if let Some(sink) = &ctx.collect {
         let mut rows = Vec::with_capacity(lay.owned);
         for (li, gi) in (g0..g1).enumerate().map(|(i, gi)| (i + 1, gi)) {
-            let row: Vec<f64> = (0..n).map(|j| api.load_f64(lay.cell(cur, li, j))).collect();
+            let row: Vec<f64> = (0..n).map(|j| comm.load_f64(lay.cell(cur, li, j))).collect();
             rows.push((gi, row));
         }
         sink.lock().expect("collection mutex").extend(rows);
@@ -248,49 +249,27 @@ fn write_row(api: &PeApi, lay: &RankLayout, buf: usize, li: usize, values: &[f64
     }
 }
 
-/// Message-passing halo exchange on the freshly written buffer. Four
-/// even/odd phases so no pair ever runs opposite-direction windowed sends
-/// concurrently (the eMPI ordering requirement).
-fn exchange_mp(api: &PeApi, lay: &RankLayout, buf: usize) {
-    let ranks = api.ranks();
-    let r = api.rank().index();
-    let even = r.is_multiple_of(2);
+/// Message-passing halo exchange on the freshly written buffer: one
+/// [`Empi::sendrecv_f64`] per direction. The full-duplex progress engine
+/// services both sides of the chain at once, so no even/odd phasing is
+/// needed and the pipeline never serializes rank-by-rank; boundary ranks
+/// fall out of the `None` (MPI_PROC_NULL) arms.
+fn exchange_mp(comm: &Empi, lay: &RankLayout, buf: usize) {
+    let ranks = comm.ranks();
+    let r = comm.rank().index();
     let prev = (r > 0).then(|| Rank::new((r - 1) as u8));
     let next = (r + 1 < ranks).then(|| Rank::new((r + 1) as u8));
-    let bottom = lay.owned; // my last owned local row
-                            // Downward traffic: bottom row -> next rank's top halo.
-    if even {
-        if let Some(nx) = next {
-            empi::send_f64(api, nx, &read_row(api, lay, buf, bottom));
-        }
-    } else if let Some(pv) = prev {
-        let row = empi::recv_f64(api, pv);
-        write_row(api, lay, buf, 0, &row);
+    // Downward traffic: my bottom owned row -> next rank's top halo,
+    // while my top halo arrives from prev.
+    let bottom = next.map(|_| read_row(comm, lay, buf, lay.owned));
+    if let Some(row) = comm.sendrecv_f64(next, bottom.as_deref().unwrap_or(&[]), prev) {
+        write_row(comm, lay, buf, 0, &row);
     }
-    if !even {
-        if let Some(nx) = next {
-            empi::send_f64(api, nx, &read_row(api, lay, buf, bottom));
-        }
-    } else if let Some(pv) = prev {
-        let row = empi::recv_f64(api, pv);
-        write_row(api, lay, buf, 0, &row);
-    }
-    // Upward traffic: top row -> previous rank's bottom halo.
-    if even {
-        if let Some(pv) = prev {
-            empi::send_f64(api, pv, &read_row(api, lay, buf, 1));
-        }
-    } else if let Some(nx) = next {
-        let row = empi::recv_f64(api, nx);
-        write_row(api, lay, buf, lay.owned + 1, &row);
-    }
-    if !even {
-        if let Some(pv) = prev {
-            empi::send_f64(api, pv, &read_row(api, lay, buf, 1));
-        }
-    } else if let Some(nx) = next {
-        let row = empi::recv_f64(api, nx);
-        write_row(api, lay, buf, lay.owned + 1, &row);
+    // Upward traffic: my top owned row -> previous rank's bottom halo,
+    // while my bottom halo arrives from next.
+    let top = prev.map(|_| read_row(comm, lay, buf, 1));
+    if let Some(row) = comm.sendrecv_f64(prev, top.as_deref().unwrap_or(&[]), next) {
+        write_row(comm, lay, buf, lay.owned + 1, &row);
     }
 }
 
@@ -308,13 +287,14 @@ fn exchange_mp(api: &PeApi, lay: &RankLayout, buf: usize) {
 /// ordering instead, which is exactly the synchronization saving the paper
 /// credits message passing for.
 fn exchange_shared(
-    api: &PeApi,
+    comm: &Empi,
     lay: &RankLayout,
     buf: usize,
     parity: usize,
     locked: bool,
-    barrier: &impl Fn(&PeApi),
+    barrier: &impl Fn(&Empi),
 ) {
+    let api: &PeApi = comm;
     let ranks = api.ranks();
     let r = api.rank().index();
     let n = lay.n;
@@ -368,7 +348,7 @@ fn exchange_shared(
     if r + 1 < ranks {
         publish(pub_slot(n, r, 1, parity), &read_row(api, lay, buf, lay.owned));
     }
-    barrier(api);
+    barrier(comm);
     // Consume.
     if r > 0 {
         let row = consume(pub_slot(n, r - 1, 1, parity));
@@ -638,6 +618,28 @@ mod tests {
     fn too_many_pes_panics() {
         let jcfg = JacobiConfig::new(8, JacobiVariant::HybridFullMp);
         let _ = run(&sys(7, 16, CachePolicy::WriteBack), &jcfg);
+    }
+
+    #[test]
+    fn validates_under_tree_collectives() {
+        // The barrier algorithm must not change the numerics: the hybrid
+        // variant stays bit-exact against the sequential reference under
+        // both tree algorithms.
+        use medea_core::CollectiveAlgo;
+        for algo in [CollectiveAlgo::BinomialTree, CollectiveAlgo::RecursiveDoubling] {
+            let sys = SystemConfig::builder()
+                .compute_pes(5)
+                .cache_bytes(16 * 1024)
+                .collective_algo(algo)
+                .cycle_limit(200_000_000)
+                .build()
+                .unwrap();
+            let jcfg = JacobiConfig::new(10, JacobiVariant::HybridFullMp)
+                .with_measured_iters(2)
+                .with_validation();
+            let outcome = run(&sys, &jcfg).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            validate_against_reference(&jcfg, &outcome).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use medea_cache::Addr;
 use medea_core::api::PeApi;
 use medea_core::calib::LOOP_OVERHEAD_CYCLES;
 use medea_core::system::{Kernel, RunError, RunResult, System};
-use medea_core::{empi, SystemConfig};
+use medea_core::{Empi, SystemConfig};
 use medea_pe::kernel_if::f64_to_words;
 use medea_sim::ids::Rank;
 use medea_sim::Cycle;
@@ -130,35 +130,36 @@ pub fn run(sys: &SystemConfig, mcfg: &MatmulConfig) -> Result<MatmulOutcome, Run
             let sink = Arc::clone(&sink);
             let n = mcfg.n;
             Box::new(move |api: PeApi| {
-                let base = api.private_base();
-                let (s, e) = rows_of(n, api.ranks(), r);
+                let comm = Empi::new(api);
+                let base = comm.private_base();
+                let (s, e) = rows_of(n, comm.ranks(), r);
                 let a_at = |li: usize, k: usize| base + ((li * n + k) * 8) as u32;
                 let b_base = base + ((e - s) * n * 8) as u32;
                 let b_at = |k: usize, j: usize| b_base + ((k * n + j) * 8) as u32;
                 let c_base = b_base + (n * n * 8) as u32;
                 let c_at = |li: usize, j: usize| c_base + ((li * n + j) * 8) as u32;
-                empi::barrier(&api);
-                let t0 = api.now();
+                comm.barrier();
+                let t0 = comm.now();
                 for li in 0..e - s {
                     for j in 0..n {
                         let mut acc = 0.0;
                         for k in 0..n {
-                            let av = api.load_f64(a_at(li, k));
-                            let bv = api.load_f64(b_at(k, j));
-                            let prod = api.fmul(av, bv);
-                            acc = api.fadd(acc, prod);
-                            api.compute(LOOP_OVERHEAD_CYCLES);
+                            let av = comm.load_f64(a_at(li, k));
+                            let bv = comm.load_f64(b_at(k, j));
+                            let prod = comm.fmul(av, bv);
+                            acc = comm.fadd(acc, prod);
+                            comm.compute(LOOP_OVERHEAD_CYCLES);
                         }
-                        api.store_f64(c_at(li, j), acc);
+                        comm.store_f64(c_at(li, j), acc);
                     }
                 }
-                empi::barrier(&api);
+                comm.barrier();
                 if r == 0 {
-                    cell.store(api.now() - t0, Ordering::SeqCst);
+                    cell.store(comm.now() - t0, Ordering::SeqCst);
                 }
                 let mut rows = Vec::new();
                 for (li, gi) in (s..e).enumerate() {
-                    let row: Vec<f64> = (0..n).map(|j| api.load_f64(c_at(li, j))).collect();
+                    let row: Vec<f64> = (0..n).map(|j| comm.load_f64(c_at(li, j))).collect();
                     rows.push((gi, row));
                 }
                 sink.lock().expect("matmul sink").extend(rows);

@@ -1,15 +1,18 @@
 //! Synchronization-latency microbenchmark: one-word round trips between
-//! two ranks, message-passing versus shared-memory mailbox.
+//! two ranks — raw TIE messages, framed eMPI messages through the
+//! communicator, and a shared-memory mailbox.
 //!
 //! Quantifies the paper's core motivation (§I): "an explicit exchange of
 //! synchronization tokens among the processing elements through dedicated
 //! on-chip links would be beneficial" compared to synchronizing through
-//! the memory hierarchy.
+//! the memory hierarchy — and, between the two message flavours, what the
+//! eMPI frame header and call overhead cost on top of the bare hardware
+//! path.
 
 use crate::sm::SmMailbox;
 use medea_core::api::PeApi;
 use medea_core::system::{Kernel, RunError, System};
-use medea_core::SystemConfig;
+use medea_core::{Empi, SystemConfig};
 use medea_sim::ids::Rank;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,8 +21,10 @@ use std::sync::Arc;
 /// Transport used for the round trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PingPongTransport {
-    /// Raw TIE messages.
+    /// Raw TIE messages (bare hardware path, no framing).
     MessagePassing,
+    /// Framed eMPI messages via [`Empi::send`]/[`Empi::recv`].
+    EmpiFramed,
     /// Shared-memory mailboxes (uncached flag + data words).
     SharedMemory,
 }
@@ -56,34 +61,45 @@ pub fn run(
     let pong_box = SmMailbox { flag: 0x80, data: 0x90 };
 
     let ping: Kernel = Box::new(move |api: PeApi| {
-        let t0 = api.now();
+        let comm = Empi::new(api);
+        let t0 = comm.now();
         for i in 1..=rounds {
             match transport {
                 PingPongTransport::MessagePassing => {
-                    api.send_to_rank(Rank::new(1), &[i as u32]);
-                    let back = api.recv_from_rank(Rank::new(1));
+                    comm.send_to_rank(Rank::new(1), &[i as u32]);
+                    let back = comm.recv_from_rank(Rank::new(1));
+                    debug_assert_eq!(back[0], i as u32);
+                }
+                PingPongTransport::EmpiFramed => {
+                    comm.send(Rank::new(1), &[i as u32]);
+                    let back = comm.recv(Rank::new(1));
                     debug_assert_eq!(back[0], i as u32);
                 }
                 PingPongTransport::SharedMemory => {
-                    ping_box.post(&api, i as u32, i as u32);
-                    let back = pong_box.take(&api, i as u32);
+                    ping_box.post(&comm, i as u32, i as u32);
+                    let back = pong_box.take(&comm, i as u32);
                     debug_assert_eq!(back, i as u32);
                 }
             }
         }
-        let t1 = api.now();
+        let t1 = comm.now();
         cell.store(t1 - t0, Ordering::SeqCst);
     });
     let pong: Kernel = Box::new(move |api: PeApi| {
+        let comm = Empi::new(api);
         for i in 1..=rounds {
             match transport {
                 PingPongTransport::MessagePassing => {
-                    let v = api.recv_from_rank(Rank::new(0));
-                    api.send_to_rank(Rank::new(0), &v);
+                    let v = comm.recv_from_rank(Rank::new(0));
+                    comm.send_to_rank(Rank::new(0), &v);
+                }
+                PingPongTransport::EmpiFramed => {
+                    let v = comm.recv(Rank::new(0));
+                    comm.send(Rank::new(0), &v);
                 }
                 PingPongTransport::SharedMemory => {
-                    let v = ping_box.take(&api, i as u32);
-                    pong_box.post(&api, i as u32, v);
+                    let v = ping_box.take(&comm, i as u32);
+                    pong_box.post(&comm, i as u32, v);
                 }
             }
         }
@@ -125,13 +141,22 @@ mod tests {
 
     #[test]
     fn message_passing_beats_shared_memory() {
-        // The paper's motivating claim, as a test.
-        let mp = run(&sys(), PingPongTransport::MessagePassing, 100).unwrap();
+        // The paper's motivating claim, as a test — and the framing tax
+        // must sit strictly between the bare hardware path and the memory
+        // hierarchy.
+        let raw = run(&sys(), PingPongTransport::MessagePassing, 100).unwrap();
+        let framed = run(&sys(), PingPongTransport::EmpiFramed, 100).unwrap();
         let sm = run(&sys(), PingPongTransport::SharedMemory, 100).unwrap();
         assert!(
-            mp.cycles_per_round < sm.cycles_per_round,
-            "MP {} !< SM {}",
-            mp.cycles_per_round,
+            raw.cycles_per_round < framed.cycles_per_round,
+            "raw {} !< framed {}",
+            raw.cycles_per_round,
+            framed.cycles_per_round
+        );
+        assert!(
+            framed.cycles_per_round < sm.cycles_per_round,
+            "framed {} !< SM {}",
+            framed.cycles_per_round,
             sm.cycles_per_round
         );
     }

@@ -1,12 +1,13 @@
 //! All-reduce (global sum) in message-passing and shared-memory flavours —
 //! the collective behind convergence tests in iterative solvers, and
-//! another direct MP-vs-SM synchronization comparison.
+//! another direct MP-vs-SM synchronization comparison. The MP flavour is
+//! [`Empi::allreduce`], so the communicator's configured algorithm
+//! (linear, binomial tree, recursive doubling) is what gets measured.
 
 use crate::sm::SmBarrier;
 use medea_core::api::PeApi;
 use medea_core::system::{Kernel, RunError, System};
-use medea_core::{empi, SystemConfig};
-use medea_sim::ids::Rank;
+use medea_core::{Empi, SystemConfig};
 use medea_sim::Cycle;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -14,7 +15,7 @@ use std::sync::{Arc, Mutex};
 /// How the reduction is communicated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceTransport {
-    /// Gather-to-root + broadcast over eMPI.
+    /// [`Empi::allreduce`] over the NoC (algorithm per the system config).
     MessagePassing,
     /// Lock-protected accumulator word in shared memory + SM barrier.
     SharedMemory,
@@ -53,40 +54,26 @@ pub fn run(
             let cell = Arc::clone(&window);
             let sums = Arc::clone(&sums);
             Box::new(move |api: PeApi| {
+                let comm = Empi::new(api);
                 let mine = contribution(r);
-                empi::barrier(&api);
-                let t0 = api.now();
+                comm.barrier();
+                let t0 = comm.now();
                 let total = match transport {
-                    ReduceTransport::MessagePassing => {
-                        if api.rank().is_master() {
-                            let mut acc = mine;
-                            for src in 1..api.ranks() {
-                                let v = empi::recv_f64(&api, Rank::new(src as u8));
-                                acc = api.fadd(acc, v[0]);
-                            }
-                            for dst in 1..api.ranks() {
-                                empi::send_f64(&api, Rank::new(dst as u8), &[acc]);
-                            }
-                            acc
-                        } else {
-                            empi::send_f64(&api, Rank::new(0), &[mine]);
-                            empi::recv_f64(&api, Rank::new(0))[0]
-                        }
-                    }
+                    ReduceTransport::MessagePassing => comm.allreduce(mine),
                     ReduceTransport::SharedMemory => {
                         // Accumulate under the MPMMU lock, then rendezvous
                         // at the SM barrier and read the total back.
-                        api.lock(LOCK);
-                        let acc = api.uncached_load_f64(ACC_LO);
-                        let acc = api.fadd(acc, mine);
-                        api.uncached_store_f64(ACC_LO, acc);
-                        api.unlock(LOCK);
-                        bar.wait(&api, api.ranks());
-                        api.uncached_load_f64(ACC_LO)
+                        comm.lock(LOCK);
+                        let acc = comm.uncached_load_f64(ACC_LO);
+                        let acc = comm.fadd(acc, mine);
+                        comm.uncached_store_f64(ACC_LO, acc);
+                        comm.unlock(LOCK);
+                        bar.wait(&comm, comm.ranks());
+                        comm.uncached_load_f64(ACC_LO)
                     }
                 };
                 if r == 0 {
-                    cell.store(api.now() - t0, Ordering::SeqCst);
+                    cell.store(comm.now() - t0, Ordering::SeqCst);
                 }
                 sums.lock().expect("reduce sink").push(total);
             }) as Kernel
@@ -140,5 +127,26 @@ mod tests {
         let mp = run(&sys(6), ReduceTransport::MessagePassing, half).unwrap();
         let sm = run(&sys(6), ReduceTransport::SharedMemory, half).unwrap();
         assert!(mp.cycles < sm.cycles, "MP {} !< SM {}", mp.cycles, sm.cycles);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_the_sum() {
+        // Halves sum exactly in FP, so every accumulation order must give
+        // identical bits — and every rank must observe the same value
+        // (asserted inside run()).
+        use medea_core::CollectiveAlgo;
+        for algo in CollectiveAlgo::ALL {
+            for pes in [2usize, 5, 7, 8] {
+                let sys = SystemConfig::builder()
+                    .compute_pes(pes)
+                    .collective_algo(algo)
+                    .cycle_limit(50_000_000)
+                    .build()
+                    .unwrap();
+                let rep = run(&sys, ReduceTransport::MessagePassing, half).unwrap();
+                let expect: f64 = (0..pes).map(half).sum();
+                assert_eq!(rep.sum, expect, "{algo} at {pes} ranks");
+            }
+        }
     }
 }

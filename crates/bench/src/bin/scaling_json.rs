@@ -12,6 +12,14 @@
 //! the sequential reference — the largest configuration is checked
 //! bit-for-bit, not just timed.
 //!
+//! The harness also runs the **collectives microbench**: barrier and
+//! allreduce cycles per operation at the most-populated point of every
+//! tier, for each `CollectiveAlgo` (linear / binomial-tree /
+//! recursive-doubling). This records the O(ranks) → O(log ranks) win of
+//! the tree algorithms — on the full 255-rank 16×16 point the tree
+//! barrier must complete in at least 4× fewer simulated cycles than the
+//! linear one (asserted).
+//!
 //! ```text
 //! cargo run --release -p medea-bench --bin scaling_json -- [--smoke] [OUT_PATH]
 //! ```
@@ -21,8 +29,12 @@
 
 use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
 use medea_bench::sweep_threads;
+use medea_core::api::PeApi;
 use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
-use medea_core::{CachePolicy, SystemConfig, SystemConfigBuilder, Topology};
+use medea_core::system::{Kernel, System};
+use medea_core::{CachePolicy, CollectiveAlgo, Empi, SystemConfig, SystemConfigBuilder, Topology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One torus of the scaling ladder: its grid side and the PE counts run
@@ -157,6 +169,94 @@ fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
     reports
 }
 
+// ---- collectives microbench ----
+
+/// Operations measured per (topology, algorithm) point.
+const COLLECTIVE_ITERS: u64 = 8;
+
+/// One row of the collectives microbench.
+struct CollectiveRow {
+    topology: String,
+    pes: usize,
+    op: &'static str,
+    algo: CollectiveAlgo,
+    cycles_per_op: u64,
+    speedup_vs_linear: f64,
+}
+
+/// Measure the steady-state cost of one collective: every rank loops
+/// `COLLECTIVE_ITERS` operations between two `now()` probes at rank 0
+/// (one warm-up barrier first so arrival skew does not pollute the
+/// window).
+fn collective_cycles(
+    topology: Topology,
+    pes: usize,
+    algo: CollectiveAlgo,
+    op: &'static str,
+) -> u64 {
+    let cfg = base_builder()
+        .topology(topology)
+        .compute_pes(pes)
+        .cache_bytes(CACHE_BYTES)
+        .collective_algo(algo)
+        .build()
+        .expect("collective bench configuration");
+    let measured = Arc::new(AtomicU64::new(0));
+    let kernels: Vec<Kernel> = (0..pes)
+        .map(|r| {
+            let cell = Arc::clone(&measured);
+            Box::new(move |api: PeApi| {
+                let comm = Empi::new(api);
+                comm.barrier();
+                let t0 = comm.now();
+                for _ in 0..COLLECTIVE_ITERS {
+                    match op {
+                        "barrier" => comm.barrier(),
+                        "allreduce" => {
+                            let _ = comm.allreduce(r as f64 + 0.5);
+                        }
+                        other => unreachable!("unknown collective op {other}"),
+                    }
+                }
+                if r == 0 {
+                    cell.store((comm.now() - t0) / COLLECTIVE_ITERS, Ordering::SeqCst);
+                }
+            }) as Kernel
+        })
+        .collect();
+    System::run(&cfg, &[], kernels).expect("collective bench run");
+    measured.load(Ordering::SeqCst)
+}
+
+/// Barrier + allreduce at the most-populated point of every tier, for
+/// every algorithm.
+fn run_collectives(tiers: &[Tier]) -> Vec<CollectiveRow> {
+    let mut rows = Vec::new();
+    for tier in tiers {
+        let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+        let pes = *tier.pe_counts.last().expect("tier has PE counts");
+        for op in ["barrier", "allreduce"] {
+            let linear = collective_cycles(topology, pes, CollectiveAlgo::Linear, op);
+            for algo in CollectiveAlgo::ALL {
+                let cycles = if algo == CollectiveAlgo::Linear {
+                    linear
+                } else {
+                    collective_cycles(topology, pes, algo, op)
+                };
+                rows.push(CollectiveRow {
+                    topology: format!("{}x{}", tier.side, tier.side),
+                    pes,
+                    op,
+                    algo,
+                    cycles_per_op: cycles,
+                    speedup_vs_linear: linear as f64 / cycles.max(1) as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Re-run the most-populated point of the largest tier with validation:
 /// every interior cell of the final grid must match the sequential
 /// reference bit-for-bit, so the 255-PE configuration is numerically
@@ -200,6 +300,7 @@ fn main() {
     let threads = sweep_threads();
     let started = Instant::now();
     let reports = run_ladder(tiers, threads);
+    let collectives = run_collectives(tiers);
     // Smoke mode skips the ~half-minute 255-PE validation pass; the
     // 63-rank validated run in the apps test suite covers CI.
     let validated = (!smoke).then(|| validate_largest(tiers));
@@ -246,7 +347,24 @@ fn main() {
         }
         json.push_str(&format!("    ]}}{}\n", if i + 1 < reports.len() { "," } else { "" }));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"collectives\": {{\"iters_per_op\": {COLLECTIVE_ITERS}, \"rows\": [\n"
+    ));
+    for (i, c) in collectives.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"pes\": {}, \"op\": \"{}\", \"algo\": \"{}\", \
+             \"cycles_per_op\": {}, \"speedup_vs_linear\": {:.2}}}{}\n",
+            c.topology,
+            c.pes,
+            c.op,
+            c.algo,
+            c.cycles_per_op,
+            c.speedup_vs_linear,
+            if i + 1 < collectives.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
 
@@ -257,6 +375,17 @@ fn main() {
                 t.topology, r.label, r.sim_cycles, r.cycles_per_sec, r.speedup
             );
         }
+    }
+    for c in &collectives {
+        println!(
+            "{:<6} {:>4} PEs  {:<9} {:<18} {:>9} cycles/op  vs linear {:>6.2}x",
+            c.topology,
+            c.pes,
+            c.op,
+            c.algo.to_string(),
+            c.cycles_per_op,
+            c.speedup_vs_linear
+        );
     }
     if let Some((label, _)) = &validated {
         println!("validated {label} against the sequential reference");
@@ -274,5 +403,27 @@ fn main() {
             last.speedup
         );
     }
+    // The O(ranks) → O(log ranks) acceptance gate: at the largest point,
+    // the tree barrier must be ≥ 4x cheaper than linear on the full
+    // 255-rank run; even the CI smoke scale must show a clear win.
+    let largest = collectives
+        .iter()
+        .filter(|c| c.op == "barrier")
+        .max_by_key(|c| c.pes)
+        .expect("collectives measured");
+    let tree_factor = collectives
+        .iter()
+        .filter(|c| {
+            c.op == "barrier" && c.pes == largest.pes && c.algo == CollectiveAlgo::BinomialTree
+        })
+        .map(|c| c.speedup_vs_linear)
+        .next()
+        .expect("binomial row present");
+    let required = if smoke { 1.5 } else { 4.0 };
+    assert!(
+        tree_factor >= required,
+        "binomial barrier at {} PEs must be >= {required}x cheaper than linear, got {tree_factor:.2}x",
+        largest.pes
+    );
     println!("wrote {out_path}");
 }

@@ -17,7 +17,7 @@ use medea_bench::base_builder;
 use medea_core::api::PeApi;
 use medea_core::explore::Workload as _;
 use medea_core::system::{Kernel, RunResult, System};
-use medea_core::{empi, SystemConfig};
+use medea_core::{Empi, SystemConfig};
 use medea_sim::ids::Rank;
 
 /// Runs per engine; the best (highest) rate is reported to damp noise.
@@ -82,22 +82,11 @@ fn reduce_kernels(ranks: usize, iters: u32) -> Vec<Kernel> {
     (0..ranks)
         .map(|r| {
             Box::new(move |api: PeApi| {
+                let comm = Empi::new(api);
                 for _ in 0..iters {
-                    api.compute(200 + 37 * r as u64);
-                    empi::barrier(&api);
-                    let mine = r as f64 + 0.5;
-                    if api.rank().is_master() {
-                        let mut acc = mine;
-                        for src in 1..api.ranks() {
-                            acc = api.fadd(acc, empi::recv_f64(&api, Rank::new(src as u8))[0]);
-                        }
-                        for dst in 1..api.ranks() {
-                            empi::send_f64(&api, Rank::new(dst as u8), &[acc]);
-                        }
-                    } else {
-                        empi::send_f64(&api, Rank::new(0), &[mine]);
-                        empi::recv_f64(&api, Rank::new(0));
-                    }
+                    comm.compute(200 + 37 * r as u64);
+                    comm.barrier();
+                    let _ = comm.allreduce(r as f64 + 0.5);
                 }
             }) as Kernel
         })

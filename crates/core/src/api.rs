@@ -11,6 +11,7 @@
 //! runs (cycle limit or deadlock) — the kernel thread unwinds and the
 //! engine reports the underlying [`crate::RunError`] instead.
 
+use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use medea_cache::{line_of, Addr, LINE_BYTES};
 use medea_pe::kernel_if::{PeRequest, PeResponse};
@@ -26,13 +27,26 @@ pub struct PeApi {
     rank: Rank,
     ranks: usize,
     layout: MemoryMap,
+    collective_algo: CollectiveAlgo,
 }
 
 impl PeApi {
     /// Wrap a raw PE port. Called by the system assembler; kernels receive
     /// the ready-made value.
-    pub fn new(port: PePort, rank: Rank, ranks: usize, layout: MemoryMap) -> Self {
-        PeApi { port, rank, ranks, layout }
+    pub fn new(
+        port: PePort,
+        rank: Rank,
+        ranks: usize,
+        layout: MemoryMap,
+        collective_algo: CollectiveAlgo,
+    ) -> Self {
+        PeApi { port, rank, ranks, layout, collective_algo }
+    }
+
+    /// The collective algorithm configured on the system — adopted by
+    /// [`crate::empi::Empi::new`].
+    pub const fn collective_algo(&self) -> CollectiveAlgo {
+        self.collective_algo
     }
 
     fn call(&self, req: PeRequest) -> PeResponse {
@@ -282,7 +296,7 @@ mod tests {
         let (api, h) = {
             let (tx, rx) = std::sync::mpsc::channel();
             let h = medea_sim::coroutine::KernelHost::spawn("t", move |port| {
-                let api = PeApi::new(port, Rank::new(2), 4, layout);
+                let api = PeApi::new(port, Rank::new(2), 4, layout, CollectiveAlgo::Linear);
                 tx.send((
                     api.node_of_rank(Rank::new(0)),
                     api.node_of_rank(Rank::new(3)),

@@ -1,6 +1,7 @@
 //! System configuration: the design-space knobs of the paper's exploration.
 
 use crate::calib;
+use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use crate::FabricKind;
 use medea_cache::{CacheConfig, CachePolicy};
@@ -47,6 +48,7 @@ pub struct SystemConfig {
     ddr: DdrModel,
     lock_retry_backoff: Cycle,
     cycle_limit: Cycle,
+    collective_algo: CollectiveAlgo,
 }
 
 impl SystemConfig {
@@ -93,6 +95,12 @@ impl SystemConfig {
     /// The torus this system is assembled on.
     pub const fn topology(&self) -> Topology {
         self.topology
+    }
+
+    /// The algorithm eMPI collectives run on this system (default
+    /// [`CollectiveAlgo::Linear`], the seed's rank-0-centred patterns).
+    pub const fn collective_algo(&self) -> CollectiveAlgo {
+        self.collective_algo
     }
 
     /// The MPMMU's node.
@@ -189,6 +197,7 @@ pub struct SystemConfigBuilder {
     ddr: DdrModel,
     lock_retry_backoff: Cycle,
     cycle_limit: Cycle,
+    collective_algo: CollectiveAlgo,
 }
 
 impl Default for SystemConfigBuilder {
@@ -208,6 +217,7 @@ impl Default for SystemConfigBuilder {
             ddr: DdrModel::new(calib::DDR_FIRST_WORD, calib::DDR_PER_WORD),
             lock_retry_backoff: calib::LOCK_RETRY_BACKOFF,
             cycle_limit: 2_000_000_000,
+            collective_algo: CollectiveAlgo::Linear,
         }
     }
 }
@@ -299,6 +309,16 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Algorithm for eMPI collectives. The default, `Linear`, reproduces
+    /// the seed's rank-0-centred message patterns (and so the paper-4×4
+    /// golden fingerprints); `BinomialTree`/`RecursiveDoubling` turn the
+    /// O(ranks) barrier into O(log ranks) rounds for the 63–255-rank
+    /// tori.
+    pub fn collective_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.collective_algo = algo;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -336,6 +356,7 @@ impl SystemConfigBuilder {
             ddr: self.ddr,
             lock_retry_backoff: self.lock_retry_backoff,
             cycle_limit: self.cycle_limit,
+            collective_algo: self.collective_algo,
         })
     }
 }
@@ -351,6 +372,17 @@ mod tests {
         assert_eq!(cfg.cache().total_bytes(), 16 * 1024);
         assert_eq!(cfg.label(), "4P_16k$_WB");
         assert_eq!(cfg.topology().nodes(), 16);
+        // The default algorithm is the deliberate fingerprint-preserving
+        // choice; trees are opt-in.
+        assert_eq!(cfg.collective_algo(), CollectiveAlgo::Linear);
+    }
+
+    #[test]
+    fn collective_algo_is_configurable() {
+        for algo in CollectiveAlgo::ALL {
+            let cfg = SystemConfig::builder().collective_algo(algo).build().unwrap();
+            assert_eq!(cfg.collective_algo(), algo);
+        }
     }
 
     #[test]

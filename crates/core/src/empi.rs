@@ -1,10 +1,17 @@
-//! The embedded-MPI layer (§II-E).
+//! The embedded-MPI layer (§II-E), as a first-class communicator.
 //!
 //! "For the message-passing model, we implemented a sub-set of MPI APIs
 //! called embedded-MPI (eMPI). With just three basic primitives,
 //! MPI_send(), MPI_receive() and MPI_barrier() for synchronization, a
 //! direct communication between cores is possible totally avoiding in some
 //! cases the access to the global-memory."
+//!
+//! The reproduction grows the paper's three primitives into a
+//! communicator object, [`Empi`]: one per kernel, wrapping its [`PeApi`],
+//! exposing point-to-point transfers ([`Empi::send`], [`Empi::recv`],
+//! [`Empi::sendrecv`]) and the collective surface ([`Empi::barrier`],
+//! [`Empi::bcast`], [`Empi::reduce`], [`Empi::allreduce`],
+//! [`Empi::gather`], [`Empi::scatter`]) on top of them.
 //!
 //! # Framing
 //!
@@ -18,26 +25,68 @@
 //! packet = [header, up to 15 data words]
 //! ```
 //!
+//! The chunk index is an 8-bit field, so a message spans at most
+//! [`MAX_CHUNKS`] = 256 chunks of [`CHUNK_DATA_WORDS`] = 15 words:
+//! [`MAX_MESSAGE_WORDS`] = 3840 words is the real limit. (The 20-bit
+//! length field could describe far longer messages; the chunk index is
+//! the binding constraint, and the asserts below enforce it.)
+//!
 //! # Flow control
 //!
-//! The TIE receiver reassembles at most two packets per source at a time
-//! (the paper's double buffer, Fig. 2-b). Messages of up to two chunks are
-//! therefore sent *eagerly*. Longer messages use a credit protocol that
-//! keeps at most two data packets in flight: the receiver returns one
-//! credit packet per two data chunks consumed, and the sender blocks on a
-//! credit before every even-indexed chunk from the third onward. This is
-//! our software reading of the request/data distinction the paper gives
-//! the message-passing subtype field (§II-D).
+//! The TIE receiver reassembles at most two *data* packets per source at
+//! a time (the paper's double buffer, Fig. 2-b). Messages of up to two
+//! chunks are therefore sent *eagerly*. Longer messages use a credit
+//! protocol that keeps at most two data packets in flight: the receiver
+//! returns one credit packet per two data chunks consumed, and the sender
+//! blocks on a credit before every even-indexed chunk from the third
+//! onward. Credits are single-flit packets and bypass the reassembly
+//! buffers, so they can overtake in-flight data. This is our software
+//! reading of the request/data distinction the paper gives the
+//! message-passing subtype field (§II-D).
 //!
-//! Consequence (as in unbuffered MPI): two ranks must not run
-//! credit-window `send`s *to each other* concurrently — order the exchange
-//! (even/odd phases) as the Jacobi workloads do. A protocol violation
-//! panics with a diagnostic rather than deadlocking.
+//! Two ranks must therefore never run credit-window [`Empi::send`]s *to
+//! each other* concurrently — the classic unbuffered-MPI exchange
+//! deadlock. [`Empi::sendrecv`] makes that footgun unrepresentable: it
+//! runs both directions through one progress engine that services
+//! incoming data (granting credits) while its own send waits for credits,
+//! so symmetric exchanges — halo swaps, recursive-doubling rounds — need
+//! no even/odd phasing. A bare `send` that meets opposite-direction data
+//! while awaiting a credit still panics with a diagnostic pointing at
+//! `sendrecv`.
+//!
+//! # Collective algorithms
+//!
+//! Every collective dispatches on the communicator's [`CollectiveAlgo`],
+//! selected via `SystemConfigBuilder::collective_algo` (default
+//! [`CollectiveAlgo::Linear`], which reproduces the seed's rank-0-centred
+//! message patterns — the paper-4×4 golden fingerprints are pinned to
+//! it):
+//!
+//! | collective  | `Linear`            | `BinomialTree`     | `RecursiveDoubling`   |
+//! |-------------|---------------------|--------------------|-----------------------|
+//! | `barrier`   | all→0, 0→all        | tree up + down     | pairwise log₂ rounds  |
+//! | `bcast`     | root→each           | binomial tree      | binomial tree         |
+//! | `reduce`    | each→root, in order | binomial tree      | doubling (all ranks)  |
+//! | `allreduce` | reduce + bcast      | reduce + bcast     | pairwise log₂ rounds  |
+//! | `gather`    | each→root, in order | each→root          | each→root             |
+//! | `scatter`   | root→each, in order | root→each          | root→each             |
+//!
+//! `gather`/`scatter` move distinct per-rank payloads, so a tree cannot
+//! reduce their total data volume; they stay linear under every
+//! algorithm. `RecursiveDoubling` is inherently an all-ranks algorithm:
+//! its `reduce` runs the doubling exchange and simply discards the result
+//! everywhere but the root, and its rooted `bcast` falls back to the
+//! binomial tree. The linear barrier costs O(ranks) serialized messages
+//! through rank 0; both tree algorithms cost O(log ranks) rounds — the
+//! difference the `scaling_json` collectives microbench records at up to
+//! 255 ranks.
 
 use crate::api::PeApi;
 use crate::calib::CALL_OVERHEAD_CYCLES;
 use medea_pe::kernel_if::{f64_to_words, words_to_f64};
 use medea_sim::ids::Rank;
+use std::cell::RefCell;
+use std::fmt;
 
 /// Data words per chunk (16-word packet minus the frame header).
 pub const CHUNK_DATA_WORDS: usize = 15;
@@ -45,15 +94,19 @@ pub const CHUNK_DATA_WORDS: usize = 15;
 /// Chunks that may be in flight without credits (the TIE double buffer).
 pub const EAGER_CHUNKS: usize = 2;
 
-/// Maximum message length representable in the 20-bit frame length field.
-pub const MAX_MESSAGE_WORDS: usize = (1 << 20) - 1;
+/// Maximum chunks per message (the 8-bit chunk-index field).
+pub const MAX_CHUNKS: usize = 256;
+
+/// Maximum message length in words. Bounded by the chunk-index field
+/// (256 chunks × 15 words), *not* by the roomier 20-bit length field.
+pub const MAX_MESSAGE_WORDS: usize = MAX_CHUNKS * CHUNK_DATA_WORDS;
 
 const KIND_DATA: u32 = 0;
 const KIND_CREDIT: u32 = 1;
 
 fn header(kind: u32, len: usize, chunk: usize) -> u32 {
     debug_assert!(len <= MAX_MESSAGE_WORDS);
-    debug_assert!(chunk <= 0xFF);
+    debug_assert!(chunk < MAX_CHUNKS);
     (kind << 28) | ((len as u32) << 8) | chunk as u32
 }
 
@@ -61,137 +114,750 @@ fn parse_header(word: u32) -> (u32, usize, usize) {
     (word >> 28, ((word >> 8) & 0xF_FFFF) as usize, (word & 0xFF) as usize)
 }
 
-/// MPI_send: transmit `words` to `to`, blocking until the last flit enters
-/// the sender's arbiter (eager) or until the receiver has granted credits
-/// for every chunk (windowed).
-///
-/// # Panics
-///
-/// Panics if the message exceeds [`MAX_MESSAGE_WORDS`], needs more than
-/// 256 chunks, or if a non-credit packet arrives while awaiting a credit
-/// (overlapping opposite-direction sends — order the exchange).
-pub fn send(api: &PeApi, to: Rank, words: &[u32]) {
-    api.compute(CALL_OVERHEAD_CYCLES);
-    assert!(words.len() <= MAX_MESSAGE_WORDS, "message too long");
-    if words.is_empty() {
-        api.send_to_rank(to, &[header(KIND_DATA, 0, 0)]);
-        return;
-    }
-    let chunks: Vec<&[u32]> = words.chunks(CHUNK_DATA_WORDS).collect();
-    assert!(chunks.len() <= 256, "message needs more than 256 chunks");
-    for (idx, chunk) in chunks.iter().enumerate() {
-        if idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0 {
-            let credit = api.recv_from_rank(to);
-            let (kind, _, _) = parse_header(credit[0]);
-            assert_eq!(
-                kind, KIND_CREDIT,
-                "expected a credit from {to} but got a data packet: overlapping \
-                 opposite-direction sends — order the exchange (even/odd ranks)"
-            );
+/// Which algorithm the communicator's collectives run (see the module
+/// docs for the per-collective table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollectiveAlgo {
+    /// Rank-0-centred linear patterns — the seed behavior, O(ranks)
+    /// serialized messages. The default, so the paper-4×4 golden
+    /// fingerprints stay a deliberate choice.
+    #[default]
+    Linear,
+    /// Binomial trees rooted at the collective's root — O(log ranks)
+    /// rounds for barrier/bcast/reduce.
+    BinomialTree,
+    /// Recursive doubling — O(log ranks) pairwise exchange rounds for
+    /// barrier/allreduce; rooted collectives fall back to the tree.
+    RecursiveDoubling,
+}
+
+impl fmt::Display for CollectiveAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveAlgo::Linear => write!(f, "linear"),
+            CollectiveAlgo::BinomialTree => write!(f, "binomial-tree"),
+            CollectiveAlgo::RecursiveDoubling => write!(f, "recursive-doubling"),
         }
-        let mut packet = Vec::with_capacity(1 + chunk.len());
+    }
+}
+
+impl CollectiveAlgo {
+    /// All selectable algorithms, for sweeps and benches.
+    pub const ALL: [CollectiveAlgo; 3] =
+        [CollectiveAlgo::Linear, CollectiveAlgo::BinomialTree, CollectiveAlgo::RecursiveDoubling];
+}
+
+/// The eMPI communicator: one per kernel, owning its [`PeApi`].
+///
+/// Derefs to [`PeApi`], so kernels keep direct access to loads/stores,
+/// coherence operations and raw TIE messaging through the communicator.
+/// The send path stages every outgoing packet in one reusable buffer per
+/// communicator — steady-state point-to-point traffic allocates nothing
+/// beyond the received message itself.
+#[derive(Debug)]
+pub struct Empi {
+    api: PeApi,
+    algo: CollectiveAlgo,
+    /// Reusable staging buffer for one outgoing packet (≤ 16 words).
+    packet: RefCell<Vec<u32>>,
+    /// Reusable staging buffer for f64 → word conversion on the send side.
+    staging: RefCell<Vec<u32>>,
+}
+
+impl std::ops::Deref for Empi {
+    type Target = PeApi;
+
+    fn deref(&self) -> &PeApi {
+        &self.api
+    }
+}
+
+impl Empi {
+    /// Wrap a kernel's [`PeApi`], adopting the algorithm configured on the
+    /// system (`SystemConfigBuilder::collective_algo`).
+    pub fn new(api: PeApi) -> Self {
+        let algo = api.collective_algo();
+        Empi::with_algo(api, algo)
+    }
+
+    /// Wrap a kernel's [`PeApi`] with an explicit algorithm override.
+    pub fn with_algo(api: PeApi, algo: CollectiveAlgo) -> Self {
+        Empi {
+            api,
+            algo,
+            packet: RefCell::new(Vec::with_capacity(1 + CHUNK_DATA_WORDS)),
+            staging: RefCell::new(Vec::with_capacity(64)),
+        }
+    }
+
+    /// The algorithm this communicator's collectives run.
+    pub const fn algo(&self) -> CollectiveAlgo {
+        self.algo
+    }
+
+    /// The wrapped [`PeApi`].
+    pub const fn api(&self) -> &PeApi {
+        &self.api
+    }
+
+    // ---- point to point ----
+
+    /// MPI_send: transmit `words` to `to`, blocking until the last flit
+    /// enters the sender's arbiter (eager) or until the receiver has
+    /// granted credits for every chunk (windowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message exceeds [`MAX_MESSAGE_WORDS`], or if a data
+    /// packet arrives while awaiting a credit (opposite-direction sends —
+    /// use [`Empi::sendrecv`] for symmetric exchanges).
+    pub fn send(&self, to: Rank, words: &[u32]) {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        self.send_inner(to, words);
+    }
+
+    fn send_inner(&self, to: Rank, words: &[u32]) {
+        assert!(
+            words.len() <= MAX_MESSAGE_WORDS,
+            "message of {} words exceeds the {MAX_MESSAGE_WORDS}-word eMPI limit \
+             ({MAX_CHUNKS} chunks of {CHUNK_DATA_WORDS} words)",
+            words.len()
+        );
+        if words.is_empty() {
+            self.api.send_to_rank(to, &[header(KIND_DATA, 0, 0)]);
+            return;
+        }
+        let total = words.len().div_ceil(CHUNK_DATA_WORDS);
+        for idx in 0..total {
+            if idx >= EAGER_CHUNKS && idx % EAGER_CHUNKS == 0 {
+                let credit = self.api.recv_from_rank(to);
+                let (kind, _, _) = parse_header(credit[0]);
+                assert_eq!(
+                    kind, KIND_CREDIT,
+                    "expected a credit from {to} but got a data packet: overlapping \
+                     opposite-direction sends — use Empi::sendrecv for the exchange"
+                );
+            }
+            self.send_chunk(to, words, idx);
+        }
+    }
+
+    /// Stage and transmit chunk `idx` of `words` via the reusable packet
+    /// buffer.
+    fn send_chunk(&self, to: Rank, words: &[u32], idx: usize) {
+        let mut packet = self.packet.borrow_mut();
+        packet.clear();
         packet.push(header(KIND_DATA, words.len(), idx));
-        packet.extend_from_slice(chunk);
-        api.send_to_rank(to, &packet);
+        if !words.is_empty() {
+            let base = idx * CHUNK_DATA_WORDS;
+            let end = (base + CHUNK_DATA_WORDS).min(words.len());
+            packet.extend_from_slice(&words[base..end]);
+        }
+        self.api.send_to_rank(to, &packet);
+    }
+
+    /// MPI_receive: block until the complete message from `from` has
+    /// arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics on interleaved messages from the same source (two `send`s to
+    /// the same destination without an intervening `recv` pairing) and on
+    /// unexpected credit packets.
+    pub fn recv(&self, from: Rank) -> Vec<u32> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        self.recv_inner(from)
+    }
+
+    fn recv_inner(&self, from: Rank) -> Vec<u32> {
+        let mut rx = RxState::new();
+        while !rx.done() {
+            let packet = self.api.recv_from_rank(from);
+            let (kind, _, _) = parse_header(packet[0]);
+            assert_eq!(kind, KIND_DATA, "unexpected credit packet from {from} while receiving");
+            rx.accept(&self.api, from, &packet);
+        }
+        rx.data
+    }
+
+    /// MPI_sendrecv: send `words` to `to` while receiving one message from
+    /// `from`, through a single full-duplex progress engine. `None` on
+    /// either side skips that direction (MPI_PROC_NULL), so boundary ranks
+    /// of a halo exchange need no special-casing. Returns the received
+    /// message when `from` is present.
+    ///
+    /// Unlike back-to-back `send`/`recv`, the engine services incoming
+    /// data — granting flow-control credits — while its own send is
+    /// blocked on a credit, so two ranks may exchange windowed messages
+    /// *with each other* concurrently, and chains/rings of exchanges
+    /// pipeline instead of serializing.
+    pub fn sendrecv(
+        &self,
+        to: Option<Rank>,
+        words: &[u32],
+        from: Option<Rank>,
+    ) -> Option<Vec<u32>> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        match (to, from) {
+            (None, None) => None,
+            (Some(to), None) => {
+                self.send_inner(to, words);
+                None
+            }
+            (None, Some(from)) => Some(self.recv_inner(from)),
+            (Some(to), Some(from)) => Some(self.duplex(to, words, from)),
+        }
+    }
+
+    /// The full-duplex engine behind [`Empi::sendrecv`]: one transmit
+    /// state machine (chunk cursor + credit allowance) and one receive
+    /// state machine, advanced until both complete.
+    fn duplex(&self, to: Rank, words: &[u32], from: Rank) -> Vec<u32> {
+        assert!(
+            words.len() <= MAX_MESSAGE_WORDS,
+            "message of {} words exceeds the {MAX_MESSAGE_WORDS}-word eMPI limit",
+            words.len()
+        );
+        let total_tx = if words.is_empty() { 1 } else { words.len().div_ceil(CHUNK_DATA_WORDS) };
+        let mut next = 0usize; // next chunk to transmit
+        let mut allowance = EAGER_CHUNKS; // chunks the credit window permits
+        let mut rx = RxState::new();
+        loop {
+            let tx_done = next >= total_tx;
+            if tx_done && rx.done() {
+                break;
+            }
+            if !tx_done && next < allowance {
+                self.send_chunk(to, words, next);
+                next += 1;
+                continue;
+            }
+            // Transmit is blocked on a credit and/or the receive is still
+            // incomplete: service whatever arrives next.
+            let take_credit = |allowance: &mut usize, credit: &[u32]| {
+                assert_eq!(
+                    parse_header(credit[0]).0,
+                    KIND_CREDIT,
+                    "expected a credit from {to} but got a data packet: a third party is \
+                     sending into this exchange"
+                );
+                *allowance += EAGER_CHUNKS;
+            };
+            let take_data = |rx: &mut RxState, packet: &[u32]| {
+                assert_eq!(
+                    parse_header(packet[0]).0,
+                    KIND_DATA,
+                    "unexpected credit packet from {from} while receiving"
+                );
+                rx.accept(&self.api, from, packet);
+            };
+            if to == from {
+                let packet = self.api.recv_from_rank(from);
+                if parse_header(packet[0]).0 == KIND_CREDIT {
+                    assert!(!tx_done, "credit from {from} after the last chunk was sent");
+                    allowance += EAGER_CHUNKS;
+                } else {
+                    rx.accept(&self.api, from, &packet);
+                }
+            } else if tx_done {
+                // Only the receive side is pending.
+                let packet = self.api.recv_from_rank(from);
+                take_data(&mut rx, &packet);
+            } else if rx.done() {
+                // Only the credit wait is pending.
+                let credit = self.api.recv_from_rank(to);
+                take_credit(&mut allowance, &credit);
+            } else {
+                // Both directions pending against *different* peers: poll
+                // each so neither side of the exchange can starve the
+                // other (a chain of sendrecvs pipelines instead of
+                // cascading serially). TryRecv charges at least one cycle,
+                // so the simulation always advances.
+                if let Some(credit) = self.api.try_recv_from_rank(to) {
+                    take_credit(&mut allowance, &credit);
+                } else if let Some(packet) = self.api.try_recv_from_rank(from) {
+                    take_data(&mut rx, &packet);
+                }
+            }
+        }
+        rx.data
+    }
+
+    // ---- f64 convenience ----
+
+    /// Send a slice of doubles (two words each).
+    pub fn send_f64(&self, to: Rank, values: &[f64]) {
+        let stage = self.stage_f64(values);
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        self.send_inner(to, &stage);
+    }
+
+    /// Receive a slice of doubles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the incoming message has an odd word count.
+    pub fn recv_f64(&self, from: Rank) -> Vec<f64> {
+        let words = self.recv(from);
+        words_to_f64_vec(&words)
+    }
+
+    /// [`Empi::sendrecv`] over doubles.
+    pub fn sendrecv_f64(
+        &self,
+        to: Option<Rank>,
+        values: &[f64],
+        from: Option<Rank>,
+    ) -> Option<Vec<f64>> {
+        let stage = self.stage_f64(values);
+        self.sendrecv(to, &stage, from).map(|words| words_to_f64_vec(&words))
+    }
+
+    /// Copy `values` into the reusable word-staging buffer and hand back a
+    /// shared borrow of it — the send paths only need `&[u32]`, and the
+    /// packet buffer is a separate cell, so nothing re-enters this one
+    /// while the borrow is live.
+    fn stage_f64(&self, values: &[f64]) -> std::cell::Ref<'_, Vec<u32>> {
+        let mut stage = self.staging.borrow_mut();
+        stage.clear();
+        for v in values {
+            let (lo, hi) = f64_to_words(*v);
+            stage.push(lo);
+            stage.push(hi);
+        }
+        drop(stage);
+        self.staging.borrow()
+    }
+
+    // ---- collectives ----
+
+    /// MPI_barrier: synchronization-token exchange over the NoC — the
+    /// hybrid model's key primitive, no shared memory touched.
+    pub fn barrier(&self) {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        let ranks = self.api.ranks();
+        if ranks == 1 {
+            return;
+        }
+        match self.algo {
+            CollectiveAlgo::Linear => self.linear_barrier(),
+            CollectiveAlgo::BinomialTree => {
+                self.binomial_reduce_tokens();
+                let _ = self.binomial_bcast(Rank::new(0), &[]);
+            }
+            CollectiveAlgo::RecursiveDoubling => self.doubling_barrier(),
+        }
+    }
+
+    /// Broadcast `words` from `root` to every rank; every rank returns the
+    /// message. Non-root callers' `words` are ignored (pass `&[]`).
+    pub fn bcast(&self, root: Rank, words: &[u32]) -> Vec<u32> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        if self.api.ranks() == 1 {
+            return words.to_vec();
+        }
+        match self.algo {
+            CollectiveAlgo::Linear => self.linear_bcast(root, words),
+            CollectiveAlgo::BinomialTree | CollectiveAlgo::RecursiveDoubling => {
+                self.binomial_bcast(root, words)
+            }
+        }
+    }
+
+    /// Broadcast doubles from `root`.
+    pub fn bcast_f64(&self, root: Rank, values: &[f64]) -> Vec<f64> {
+        let stage = self.stage_f64(values);
+        let words = self.bcast(root, &stage);
+        drop(stage);
+        words_to_f64_vec(&words)
+    }
+
+    /// Sum-reduce one double per rank to `root` (FP adds are charged on
+    /// the combining PEs). Returns `Some(sum)` at the root, `None`
+    /// elsewhere. The accumulation order is fixed per algorithm, so the
+    /// result is bit-deterministic run over run.
+    pub fn reduce(&self, root: Rank, value: f64) -> Option<f64> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        if self.api.ranks() == 1 {
+            return (self.api.rank() == root).then_some(value);
+        }
+        match self.algo {
+            CollectiveAlgo::Linear => self.linear_reduce(root, value),
+            CollectiveAlgo::BinomialTree => self.binomial_reduce(root, value),
+            CollectiveAlgo::RecursiveDoubling => {
+                let sum = self.doubling_allreduce(value);
+                (self.api.rank() == root).then_some(sum)
+            }
+        }
+    }
+
+    /// Sum-reduce one double per rank; every rank returns the sum.
+    pub fn allreduce(&self, value: f64) -> f64 {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        if self.api.ranks() == 1 {
+            return value;
+        }
+        let root = Rank::new(0);
+        match self.algo {
+            CollectiveAlgo::Linear => {
+                let sum = self.linear_reduce(root, value);
+                self.linear_bcast_f64_scalar(root, sum)
+            }
+            CollectiveAlgo::BinomialTree => {
+                let sum = self.binomial_reduce(root, value);
+                match sum {
+                    Some(s) => {
+                        self.binomial_bcast(root, &self.stage_f64(&[s]));
+                        s
+                    }
+                    None => {
+                        let words = self.binomial_bcast(root, &[]);
+                        words_to_f64_vec(&words)[0]
+                    }
+                }
+            }
+            CollectiveAlgo::RecursiveDoubling => self.doubling_allreduce(value),
+        }
+    }
+
+    /// Gather each rank's `words` to `root` (rank-indexed). Returns
+    /// `Some(messages)` at the root, `None` elsewhere. Linear under every
+    /// algorithm — each rank contributes distinct data, so a tree cannot
+    /// reduce the volume through the root's ejection port.
+    pub fn gather(&self, root: Rank, words: &[u32]) -> Option<Vec<Vec<u32>>> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        let ranks = self.api.ranks();
+        if self.api.rank() == root {
+            let mut out: Vec<Vec<u32>> = vec![Vec::new(); ranks];
+            out[root.index()] = words.to_vec();
+            for src in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                out[src.index()] = self.recv(src);
+            }
+            Some(out)
+        } else {
+            self.send(root, words);
+            None
+        }
+    }
+
+    /// Scatter `chunks[rank]` from `root` to each rank; every rank returns
+    /// its chunk. Non-root callers' `chunks` are ignored (pass `&[]`).
+    /// Linear under every algorithm (see [`Empi::gather`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics at the root if `chunks.len()` differs from the rank count.
+    pub fn scatter(&self, root: Rank, chunks: &[Vec<u32>]) -> Vec<u32> {
+        self.api.compute(CALL_OVERHEAD_CYCLES);
+        let ranks = self.api.ranks();
+        if self.api.rank() == root {
+            assert_eq!(chunks.len(), ranks, "scatter needs one chunk per rank");
+            for dst in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                self.send(dst, &chunks[dst.index()]);
+            }
+            chunks[root.index()].clone()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    // ---- linear algorithms (the seed's message patterns) ----
+
+    fn linear_barrier(&self) {
+        let ranks = self.api.ranks();
+        if self.api.rank().is_master() {
+            for r in 1..ranks {
+                let _ = self.recv(Rank::new(r as u8));
+            }
+            for r in 1..ranks {
+                self.send(Rank::new(r as u8), &[]);
+            }
+        } else {
+            self.send(Rank::new(0), &[]);
+            let _ = self.recv(Rank::new(0));
+        }
+    }
+
+    fn linear_bcast(&self, root: Rank, words: &[u32]) -> Vec<u32> {
+        if self.api.rank() == root {
+            for dst in (0..self.api.ranks()).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                self.send(dst, words);
+            }
+            words.to_vec()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    fn linear_reduce(&self, root: Rank, value: f64) -> Option<f64> {
+        if self.api.rank() == root {
+            let mut acc = value;
+            for src in (0..self.api.ranks()).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                let v = self.recv_f64(src);
+                acc = self.api.fadd(acc, v[0]);
+            }
+            Some(acc)
+        } else {
+            self.send_f64(root, &[value]);
+            None
+        }
+    }
+
+    /// The broadcast half of the linear allreduce, kept message-for-
+    /// message identical to the seed's hand-rolled gather + broadcast.
+    fn linear_bcast_f64_scalar(&self, root: Rank, sum: Option<f64>) -> f64 {
+        if self.api.rank() == root {
+            let s = sum.expect("root holds the reduction");
+            for dst in (0..self.api.ranks()).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                self.send_f64(dst, &[s]);
+            }
+            s
+        } else {
+            self.recv_f64(root)[0]
+        }
+    }
+
+    // ---- binomial-tree algorithms ----
+
+    /// This rank's position relative to `root` (the tree is rooted at the
+    /// collective's root by rank rotation).
+    fn relative_rank(&self, root: Rank) -> usize {
+        let ranks = self.api.ranks();
+        (self.api.rank().index() + ranks - root.index()) % ranks
+    }
+
+    fn absolute_rank(&self, root: Rank, relative: usize) -> Rank {
+        Rank::new(((relative + root.index()) % self.api.ranks()) as u8)
+    }
+
+    /// Binomial reduce of one double to `root`: leaves send first, every
+    /// subtree parent combines its children in ascending-mask order.
+    fn binomial_reduce(&self, root: Rank, value: f64) -> Option<f64> {
+        let ranks = self.api.ranks();
+        let rel = self.relative_rank(root);
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < ranks {
+            if rel & mask != 0 {
+                self.send_f64(self.absolute_rank(root, rel - mask), &[acc]);
+                return None;
+            }
+            if rel + mask < ranks {
+                let v = self.recv_f64(self.absolute_rank(root, rel + mask));
+                acc = self.api.fadd(acc, v[0]);
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Binomial broadcast from `root`: each rank receives from its parent,
+    /// then forwards down its subtree in descending-mask order.
+    fn binomial_bcast(&self, root: Rank, words: &[u32]) -> Vec<u32> {
+        let ranks = self.api.ranks();
+        let rel = self.relative_rank(root);
+        let mut mask = 1usize;
+        let mut data: Option<Vec<u32>> = (rel == 0).then(|| words.to_vec());
+        while mask < ranks {
+            if rel & mask != 0 {
+                data = Some(self.recv(self.absolute_rank(root, rel - mask)));
+                break;
+            }
+            mask <<= 1;
+        }
+        let data = data.expect("every rank receives or is the root");
+        // Forward down the subtree: every mask below this rank's receive
+        // mask (all of them, for the root) addresses one child.
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < ranks {
+                self.send(self.absolute_rank(root, rel + mask), &data);
+            }
+            mask >>= 1;
+        }
+        data
+    }
+
+    /// The token-only binomial reduce the tree barrier uses (empty
+    /// messages, no FP combine — the FP variant would charge fake adds).
+    /// The broadcast half of the barrier is just `binomial_bcast` of an
+    /// empty message.
+    fn binomial_reduce_tokens(&self) {
+        let ranks = self.api.ranks();
+        let rel = self.api.rank().index();
+        let mut mask = 1usize;
+        while mask < ranks {
+            if rel & mask != 0 {
+                self.send(Rank::new((rel - mask) as u8), &[]);
+                return;
+            }
+            if rel + mask < ranks {
+                let _ = self.recv(Rank::new((rel + mask) as u8));
+            }
+            mask <<= 1;
+        }
+    }
+
+    // ---- recursive doubling ----
+
+    /// Largest power of two ≤ `ranks` and the surplus beyond it.
+    fn doubling_split(&self) -> (usize, usize) {
+        let ranks = self.api.ranks();
+        let pof2 = 1usize << (usize::BITS - 1 - ranks.leading_zeros());
+        (pof2, ranks - pof2)
+    }
+
+    /// Recursive-doubling allreduce (MPICH-style non-power-of-two
+    /// handling): surplus even ranks fold into their odd neighbour before
+    /// the log₂ pairwise-exchange rounds and receive the result after.
+    /// Both partners of a round compute `fadd(acc, theirs)`; IEEE addition
+    /// is commutative bitwise (NaN aside), so every rank converges to the
+    /// same bits.
+    fn doubling_allreduce(&self, value: f64) -> f64 {
+        let (pof2, rem) = self.doubling_split();
+        let r = self.api.rank().index();
+        let mut acc = value;
+        // Fold-in phase for the surplus ranks.
+        let newrank = if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                self.send_f64(Rank::new((r + 1) as u8), &[acc]);
+                None
+            } else {
+                let v = self.recv_f64(Rank::new((r - 1) as u8));
+                acc = self.api.fadd(acc, v[0]);
+                Some(r / 2)
+            }
+        } else {
+            Some(r - rem)
+        };
+        if let Some(newrank) = newrank {
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner_new = newrank ^ mask;
+                let partner =
+                    if partner_new < rem { partner_new * 2 + 1 } else { partner_new + rem };
+                let partner = Rank::new(partner as u8);
+                let v = self
+                    .sendrecv_f64(Some(partner), &[acc], Some(partner))
+                    .expect("duplex exchange returns the partner's value");
+                acc = self.api.fadd(acc, v[0]);
+                mask <<= 1;
+            }
+        }
+        // Unfold phase: hand the result back to the folded-in even ranks.
+        if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                acc = self.recv_f64(Rank::new((r + 1) as u8))[0];
+            } else {
+                self.send_f64(Rank::new((r - 1) as u8), &[acc]);
+            }
+        }
+        acc
+    }
+
+    /// Recursive-doubling barrier: the allreduce exchange pattern with
+    /// empty tokens.
+    fn doubling_barrier(&self) {
+        let (pof2, rem) = self.doubling_split();
+        let r = self.api.rank().index();
+        let newrank = if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                self.send(Rank::new((r + 1) as u8), &[]);
+                None
+            } else {
+                let _ = self.recv(Rank::new((r - 1) as u8));
+                Some(r / 2)
+            }
+        } else {
+            Some(r - rem)
+        };
+        if let Some(newrank) = newrank {
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner_new = newrank ^ mask;
+                let partner =
+                    if partner_new < rem { partner_new * 2 + 1 } else { partner_new + rem };
+                let _ = self.sendrecv(
+                    Some(Rank::new(partner as u8)),
+                    &[],
+                    Some(Rank::new(partner as u8)),
+                );
+                mask <<= 1;
+            }
+        }
+        if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                let _ = self.recv(Rank::new((r + 1) as u8));
+            } else {
+                self.send(Rank::new((r - 1) as u8), &[]);
+            }
+        }
     }
 }
 
-/// MPI_receive: block until the complete message from `from` has arrived.
-///
-/// # Panics
-///
-/// Panics on interleaved messages from the same source (two `send`s to the
-/// same destination without an intervening `recv` pairing).
-pub fn recv(api: &PeApi, from: Rank) -> Vec<u32> {
-    api.compute(CALL_OVERHEAD_CYCLES);
-    let first = recv_data_packet(api, from);
-    let (_, len, first_idx) = parse_header(first[0]);
-    let total_chunks = if len == 0 { 1 } else { len.div_ceil(CHUNK_DATA_WORDS) };
-    let mut data = vec![0u32; len];
-    let mut received = vec![false; total_chunks];
-    place_chunk(len, first_idx, &first, &mut data);
-    received[first_idx] = true;
-    let mut count = 1usize;
-    grant_credit_if_due(api, from, count, total_chunks);
-    while count < total_chunks {
-        let packet = recv_data_packet(api, from);
-        let (_, plen, idx) = parse_header(packet[0]);
-        assert_eq!(plen, len, "interleaved eMPI messages from {from}");
-        assert!(!received[idx], "duplicate chunk {idx} from {from}");
-        place_chunk(len, idx, &packet, &mut data);
-        received[idx] = true;
-        count += 1;
-        grant_credit_if_due(api, from, count, total_chunks);
+/// Receive-side reassembly: chunk placement, duplicate detection and
+/// credit granting, shared by `recv` and the `sendrecv` engine. The seen-
+/// chunk set is a fixed bitmap ([`MAX_CHUNKS`] bits) — no allocation
+/// beyond the returned message.
+#[derive(Debug)]
+struct RxState {
+    data: Vec<u32>,
+    len: usize,
+    total_chunks: usize,
+    count: usize,
+    seen: [u64; MAX_CHUNKS / 64],
+    started: bool,
+}
+
+impl RxState {
+    fn new() -> Self {
+        RxState {
+            data: Vec::new(),
+            len: 0,
+            total_chunks: 0,
+            count: 0,
+            seen: [0; MAX_CHUNKS / 64],
+            started: false,
+        }
     }
-    data
-}
 
-fn recv_data_packet(api: &PeApi, from: Rank) -> Vec<u32> {
-    let packet = api.recv_from_rank(from);
-    let (kind, _, _) = parse_header(packet[0]);
-    assert_eq!(kind, KIND_DATA, "unexpected credit packet from {from} while receiving");
-    packet
-}
-
-fn place_chunk(len: usize, idx: usize, packet: &[u32], data: &mut [u32]) {
-    if len == 0 {
-        return;
+    fn done(&self) -> bool {
+        self.started && self.count == self.total_chunks
     }
-    let base = idx * CHUNK_DATA_WORDS;
-    let n = (len - base).min(CHUNK_DATA_WORDS);
-    data[base..base + n].copy_from_slice(&packet[1..1 + n]);
-}
 
-fn grant_credit_if_due(api: &PeApi, from: Rank, received: usize, total: usize) {
-    if total > EAGER_CHUNKS && received.is_multiple_of(EAGER_CHUNKS) && received < total {
-        api.send_to_rank(from, &[header(KIND_CREDIT, 0, 0)]);
+    /// Integrate one data packet, granting a flow-control credit when the
+    /// window schedule calls for one.
+    fn accept(&mut self, api: &PeApi, from: Rank, packet: &[u32]) {
+        let (_, len, idx) = parse_header(packet[0]);
+        if !self.started {
+            self.started = true;
+            self.len = len;
+            self.total_chunks = if len == 0 { 1 } else { len.div_ceil(CHUNK_DATA_WORDS) };
+            self.data = vec![0u32; len];
+        } else {
+            assert_eq!(len, self.len, "interleaved eMPI messages from {from}");
+        }
+        let (word, bit) = (idx / 64, idx % 64);
+        assert!(self.seen[word] & (1 << bit) == 0, "duplicate chunk {idx} from {from}");
+        self.seen[word] |= 1 << bit;
+        if self.len > 0 {
+            let base = idx * CHUNK_DATA_WORDS;
+            let n = (self.len - base).min(CHUNK_DATA_WORDS);
+            self.data[base..base + n].copy_from_slice(&packet[1..1 + n]);
+        }
+        self.count += 1;
+        if self.total_chunks > EAGER_CHUNKS
+            && self.count.is_multiple_of(EAGER_CHUNKS)
+            && self.count < self.total_chunks
+        {
+            api.send_to_rank(from, &[header(KIND_CREDIT, 0, 0)]);
+        }
     }
 }
 
-/// Send a slice of doubles (two words each).
-pub fn send_f64(api: &PeApi, to: Rank, values: &[f64]) {
-    let mut words = Vec::with_capacity(values.len() * 2);
-    for v in values {
-        let (lo, hi) = f64_to_words(*v);
-        words.push(lo);
-        words.push(hi);
-    }
-    send(api, to, &words);
-}
-
-/// Receive a slice of doubles.
-///
-/// # Panics
-///
-/// Panics if the incoming message has an odd word count.
-pub fn recv_f64(api: &PeApi, from: Rank) -> Vec<f64> {
-    let words = recv(api, from);
+fn words_to_f64_vec(words: &[u32]) -> Vec<f64> {
     assert_eq!(words.len() % 2, 0, "f64 message with odd word count");
     words.chunks_exact(2).map(|c| words_to_f64(c[0], c[1])).collect()
-}
-
-/// MPI_barrier: synchronization-token exchange over the NoC — the hybrid
-/// model's key primitive, no shared memory touched.
-///
-/// Implementation: every rank sends a token to rank 0; rank 0 collects all
-/// of them and broadcasts a release token.
-pub fn barrier(api: &PeApi) {
-    api.compute(CALL_OVERHEAD_CYCLES);
-    let ranks = api.ranks();
-    if ranks == 1 {
-        return;
-    }
-    if api.rank().is_master() {
-        for r in 1..ranks {
-            let _ = recv(api, Rank::new(r as u8));
-        }
-        for r in 1..ranks {
-            send(api, Rank::new(r as u8), &[]);
-        }
-    } else {
-        send(api, Rank::new(0), &[]);
-        let _ = recv(api, Rank::new(0));
-    }
 }
 
 #[cfg(test)]
@@ -204,11 +870,20 @@ mod tests {
             (KIND_DATA, 0usize, 0usize),
             (KIND_DATA, 1, 0),
             (KIND_CREDIT, 0, 0),
-            (KIND_DATA, 3825, 255),
+            (KIND_DATA, MAX_MESSAGE_WORDS, MAX_CHUNKS - 1),
         ] {
             let (k, l, c) = parse_header(header(kind, len, chunk));
             assert_eq!((k, l, c), (kind, len, chunk));
         }
+    }
+
+    #[test]
+    fn message_limit_is_chunk_bound() {
+        // The 8-bit chunk index, not the 20-bit length field, bounds the
+        // message: 256 chunks of 15 words.
+        assert_eq!(MAX_MESSAGE_WORDS, 3840);
+        const { assert!(MAX_MESSAGE_WORDS < (1 << 20) - 1, "length field has headroom") }
+        assert_eq!(MAX_MESSAGE_WORDS.div_ceil(CHUNK_DATA_WORDS), MAX_CHUNKS);
     }
 
     #[test]
@@ -231,6 +906,41 @@ mod tests {
                 })
                 .count();
             assert_eq!(sender_waits, receiver_grants, "imbalance at {total} chunks");
+        }
+    }
+
+    #[test]
+    fn doubling_partner_maps_are_involutions() {
+        // The recursive-doubling partner mapping must pair ranks up
+        // symmetrically in every round, for every rank count.
+        for ranks in 2..=24usize {
+            let pof2 = 1usize << (usize::BITS - 1 - ranks.leading_zeros());
+            let rem = ranks - pof2;
+            let newrank = |r: usize| -> Option<usize> {
+                if r < 2 * rem {
+                    (r % 2 == 1).then_some(r / 2)
+                } else {
+                    Some(r - rem)
+                }
+            };
+            let absolute = |n: usize| -> usize {
+                if n < rem {
+                    n * 2 + 1
+                } else {
+                    n + rem
+                }
+            };
+            let mut mask = 1usize;
+            while mask < pof2 {
+                for r in 0..ranks {
+                    if let Some(n) = newrank(r) {
+                        let p = absolute(n ^ mask);
+                        let pn = newrank(p).expect("partners participate");
+                        assert_eq!(absolute(pn ^ mask), r, "ranks {ranks} mask {mask} rank {r}");
+                    }
+                }
+                mask <<= 1;
+            }
         }
     }
 }

@@ -12,7 +12,12 @@
 //! * [`PeApi`](api::PeApi) — the architectural-operation interface kernels
 //!   program against (loads/stores through the cache, §II-E coherence
 //!   operations, lock/unlock, raw TIE messages);
-//! * [`empi`] — the embedded-MPI layer (§II-E): `send`, `recv`, `barrier`;
+//! * [`empi`] — the embedded-MPI layer (§II-E) as a communicator object:
+//!   [`Empi`](empi::Empi) wraps a kernel's `PeApi` with point-to-point
+//!   transfers (`send`/`recv`/`sendrecv`) and algorithm-selectable
+//!   collectives (`barrier`, `bcast`, `reduce`, `allreduce`, `gather`,
+//!   `scatter` — linear, binomial-tree or recursive-doubling per
+//!   [`CollectiveAlgo`]);
 //! * [`area`] — the TSMC-65nm area model with kill-rule Pareto pruning
 //!   used for Figs. 7 and 9;
 //! * [`explore`] — the multi-configuration design-space exploration driver
@@ -30,14 +35,17 @@
 //!     .cache_bytes(4 * 1024)
 //!     .cache_policy(CachePolicy::WriteBack)
 //!     .build()?;
-//! // Two kernels: rank 1 sends a token, rank 0 waits for it.
+//! // Two kernels exchanging one framed eMPI message through their
+//! // communicators.
 //! let result = System::run(&cfg, &[], vec![
 //!     Box::new(|api: medea_core::api::PeApi| {
-//!         let packet = api.recv_from_rank(medea_sim::ids::Rank::new(1));
-//!         assert_eq!(packet, vec![42]);
+//!         let comm = medea_core::Empi::new(api);
+//!         let message = comm.recv(medea_sim::ids::Rank::new(1));
+//!         assert_eq!(message, vec![42]);
 //!     }),
 //!     Box::new(|api: medea_core::api::PeApi| {
-//!         api.send_to_rank(medea_sim::ids::Rank::new(0), &[42]);
+//!         let comm = medea_core::Empi::new(api);
+//!         comm.send(medea_sim::ids::Rank::new(0), &[42]);
 //!     }),
 //! ])?;
 //! assert!(result.cycles > 0);
@@ -56,6 +64,7 @@ pub mod report;
 pub mod system;
 
 pub use config::{BuildConfigError, SystemConfig, SystemConfigBuilder};
+pub use empi::{CollectiveAlgo, Empi};
 pub use medea_cache::CachePolicy;
 pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};

@@ -424,13 +424,14 @@ fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement>
     let topo = cfg.topology();
     let ranks = cfg.compute_pes();
     let layout = cfg.layout();
+    let algo = cfg.collective_algo();
     kernels
         .into_iter()
         .enumerate()
         .map(|(i, kernel)| {
             let rank = Rank::new(i as u8);
             ProcessingElement::new(cfg.pe_config(rank), topo, cfg.mpmmu_node(), move |port| {
-                kernel(PeApi::new(port, rank, ranks, layout))
+                kernel(PeApi::new(port, rank, ranks, layout, algo))
             })
         })
         .collect()
@@ -515,7 +516,7 @@ fn finish_result(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::empi;
+    use crate::empi::Empi;
     use medea_sim::ids::Rank;
 
     fn cfg(pes: usize) -> SystemConfig {
@@ -599,22 +600,26 @@ mod tests {
             &[],
             vec![
                 Box::new(move |api: PeApi| {
-                    api.compute(slow);
-                    empi::barrier(&api);
-                    assert!(api.now() >= slow);
+                    let comm = Empi::new(api);
+                    comm.compute(slow);
+                    comm.barrier();
+                    assert!(comm.now() >= slow);
                 }),
                 Box::new(move |api: PeApi| {
-                    empi::barrier(&api);
-                    assert!(api.now() >= slow);
+                    let comm = Empi::new(api);
+                    comm.barrier();
+                    assert!(comm.now() >= slow);
                 }),
                 Box::new(move |api: PeApi| {
-                    api.compute(100);
-                    empi::barrier(&api);
-                    assert!(api.now() >= slow);
+                    let comm = Empi::new(api);
+                    comm.compute(100);
+                    comm.barrier();
+                    assert!(comm.now() >= slow);
                 }),
                 Box::new(move |api: PeApi| {
-                    empi::barrier(&api);
-                    assert!(api.now() >= slow);
+                    let comm = Empi::new(api);
+                    comm.barrier();
+                    assert!(comm.now() >= slow);
                 }),
             ],
         )
@@ -631,11 +636,11 @@ mod tests {
             &[],
             vec![
                 Box::new(move |api: PeApi| {
-                    let got = empi::recv(&api, Rank::new(1));
+                    let got = Empi::new(api).recv(Rank::new(1));
                     assert_eq!(got, expect);
                 }),
                 Box::new(move |api: PeApi| {
-                    empi::send(&api, Rank::new(0), &payload);
+                    Empi::new(api).send(Rank::new(0), &payload);
                 }),
             ],
         )
@@ -649,11 +654,11 @@ mod tests {
             &[],
             vec![
                 Box::new(|api: PeApi| {
-                    let got = empi::recv_f64(&api, Rank::new(1));
+                    let got = Empi::new(api).recv_f64(Rank::new(1));
                     assert_eq!(got, vec![1.5, -2.25, 1e300]);
                 }),
                 Box::new(|api: PeApi| {
-                    empi::send_f64(&api, Rank::new(0), &[1.5, -2.25, 1e300]);
+                    Empi::new(api).send_f64(Rank::new(0), &[1.5, -2.25, 1e300]);
                 }),
             ],
         )
@@ -784,18 +789,21 @@ mod tests {
                 &[],
                 vec![
                     Box::new(|api: PeApi| {
+                        let comm = Empi::new(api);
                         for i in 0..20u32 {
-                            api.store_u32(api.private_base() + i * 4, i);
+                            comm.store_u32(comm.private_base() + i * 4, i);
                         }
-                        empi::barrier(&api);
+                        comm.barrier();
                     }),
                     Box::new(|api: PeApi| {
-                        api.compute(500);
-                        empi::barrier(&api);
+                        let comm = Empi::new(api);
+                        comm.compute(500);
+                        comm.barrier();
                     }),
                     Box::new(|api: PeApi| {
-                        api.store_f64(api.private_base(), 3.25);
-                        empi::barrier(&api);
+                        let comm = Empi::new(api);
+                        comm.store_f64(comm.private_base(), 3.25);
+                        comm.barrier();
                     }),
                 ],
             )
@@ -813,22 +821,25 @@ mod tests {
     fn mixed_kernels() -> Vec<Kernel> {
         vec![
             Box::new(|api: PeApi| {
-                api.compute(700);
-                api.store_f64(api.private_base(), 1.25);
-                api.flush_line(api.private_base());
-                empi::barrier(&api);
-                let v = empi::recv_f64(&api, Rank::new(1));
+                let comm = Empi::new(api);
+                comm.compute(700);
+                comm.store_f64(comm.private_base(), 1.25);
+                comm.flush_line(comm.private_base());
+                comm.barrier();
+                let v = comm.recv_f64(Rank::new(1));
                 assert_eq!(v[0], 2.5);
             }),
             Box::new(|api: PeApi| {
-                empi::barrier(&api);
-                empi::send_f64(&api, Rank::new(0), &[2.5]);
+                let comm = Empi::new(api);
+                comm.barrier();
+                comm.send_f64(Rank::new(0), &[2.5]);
             }),
             Box::new(|api: PeApi| {
+                let comm = Empi::new(api);
                 for i in 0..8u32 {
-                    api.uncached_store_u32(0x400 + i * 4, i);
+                    comm.uncached_store_u32(0x400 + i * 4, i);
                 }
-                empi::barrier(&api);
+                comm.barrier();
             }),
         ]
     }
@@ -897,13 +908,14 @@ mod tests {
         let kernels: Vec<Kernel> = (0..20)
             .map(|r| {
                 Box::new(move |api: PeApi| {
-                    api.store_u32(api.private_base(), r as u32);
-                    api.flush_line(api.private_base());
-                    empi::barrier(&api);
+                    let comm = Empi::new(api);
+                    comm.store_u32(comm.private_base(), r as u32);
+                    comm.flush_line(comm.private_base());
+                    comm.barrier();
                     if r == 19 {
-                        empi::send(&api, Rank::new(0), &[4242]);
+                        comm.send(Rank::new(0), &[4242]);
                     } else if r == 0 {
-                        let got = empi::recv(&api, Rank::new(19));
+                        let got = comm.recv(Rank::new(19));
                         assert_eq!(got, vec![4242]);
                     }
                 }) as Kernel
@@ -921,7 +933,7 @@ mod tests {
             .build()
             .unwrap();
         let kernels: Vec<Kernel> =
-            (0..10).map(|_| Box::new(|api: PeApi| empi::barrier(&api)) as Kernel).collect();
+            (0..10).map(|_| Box::new(|api: PeApi| Empi::new(api).barrier()) as Kernel).collect();
         System::run(&cfg_rect, &[], kernels).unwrap();
     }
 
@@ -940,13 +952,14 @@ mod tests {
             (0..17)
                 .map(|r| {
                     Box::new(move |api: PeApi| {
-                        api.compute(40 + 11 * r as u64);
-                        empi::barrier(&api);
+                        let comm = Empi::new(api);
+                        comm.compute(40 + 11 * r as u64);
+                        comm.barrier();
                         if r > 0 {
-                            empi::send_f64(&api, Rank::new(0), &[r as f64]);
+                            comm.send_f64(Rank::new(0), &[r as f64]);
                         } else {
-                            for src in 1..api.ranks() {
-                                let v = empi::recv_f64(&api, Rank::new(src as u8));
+                            for src in 1..comm.ranks() {
+                                let v = comm.recv_f64(Rank::new(src as u8));
                                 assert_eq!(v[0], src as f64);
                             }
                         }
@@ -976,11 +989,12 @@ mod tests {
             (0..4)
                 .map(|_| {
                     Box::new(|api: PeApi| {
+                        let comm = Empi::new(api);
                         for i in 0..64u32 {
-                            api.store_u32(api.private_base() + i * 4, i);
-                            api.flush_line(api.private_base() + i * 4);
+                            comm.store_u32(comm.private_base() + i * 4, i);
+                            comm.flush_line(comm.private_base() + i * 4);
                         }
-                        empi::barrier(&api);
+                        comm.barrier();
                     }) as Kernel
                 })
                 .collect()

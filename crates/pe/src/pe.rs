@@ -300,7 +300,14 @@ impl ProcessingElement {
                 }
                 Exec::Fetch => match self.host.fetch() {
                     Fetched::Finished => {
-                        self.host.join();
+                        // Surface kernel panics on the engine thread:
+                        // swallowing one here would turn an eMPI protocol
+                        // diagnostic into a baffling downstream deadlock.
+                        assert!(
+                            !self.host.join(),
+                            "kernel on {} panicked; see the kernel thread's message above",
+                            self.cfg.node
+                        );
                         self.exec = Exec::Done;
                         false
                     }

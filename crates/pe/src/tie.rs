@@ -10,6 +10,12 @@
 //! [`TieReceiver::PARTIAL_BUFFERS`] in-flight partial packets (the double
 //! buffer). A flit joins the oldest partial packet from its source that
 //! still misses its sequence slot; completed packets queue for the PE.
+//! Single-flit packets (burst code 1 — eMPI credits and barrier tokens)
+//! are complete on arrival and bypass the reassembly buffers entirely:
+//! the seq-as-offset copy of a one-word burst needs no buffered state, so
+//! a credit can overtake two in-flight data packets from the same source
+//! without exhausting the double buffer — the property the full-duplex
+//! `Empi::sendrecv` exchange relies on.
 //!
 //! # Attribution assumption (inherited from the physical design)
 //!
@@ -19,7 +25,12 @@
 //! reorders two *same-sequence-number* flits of consecutive packets — a
 //! bounded-reorder assumption inherited from the eMPI credit window (at
 //! most two packets in flight, injected ≥ 16 cycles apart, while observed
-//! reorder is a few cycles). The physical seq-number-as-offset receiver
+//! reorder is a few cycles). The same assumption covers *completion*
+//! order: a single-flit packet (a token) injected after a multi-flit
+//! packet's last flit completes out of order only if deflections delay
+//! that tail by more than the injection gap — the same bounded-reorder
+//! window, and true before the burst-1 bypass too whenever a reassembly
+//! buffer was free. The physical seq-number-as-offset receiver
 //! has exactly the same contract. Because deflection pressure grows with
 //! torus size, the assumption is re-checked numerically rather than taken
 //! on faith: the 63-rank Jacobi test validates every grid cell bit-for-bit
@@ -107,15 +118,23 @@ impl TieReceiver {
 
     /// Deliver one message flit.
     ///
-    /// Flits beyond the double-buffer capacity are dropped and counted in
-    /// [`TieStats::buffer_overflows`] — software (eMPI) must not keep more
-    /// than two packets per source in flight, and our eMPI layer does not.
+    /// Multi-flit packets beyond the double-buffer capacity are dropped
+    /// and counted in [`TieStats::buffer_overflows`] — software (eMPI)
+    /// must not keep more than two *data* packets per source in flight,
+    /// and the eMPI credit window guarantees it. Single-flit packets are
+    /// complete on arrival and never occupy a reassembly buffer.
     pub fn deliver(&mut self, flit: Flit) {
         debug_assert!(!flit.kind().is_shared_memory(), "TIE receives message flits only");
         self.stats.flits_received.inc();
         let src = flit.src_id() as usize;
         let seq = flit.seq() as usize;
         let expect = flit.burst_flits();
+        if expect == 1 {
+            // Burst-1 packets (credits, tokens) need no reassembly state.
+            self.stats.packets_completed.inc();
+            self.completed.push_back(Packet { src: src as u8, data: vec![flit.payload()] });
+            return;
+        }
         if src >= self.partials.len() {
             self.partials.resize_with(src + 1, VecDeque::new);
         }
@@ -260,6 +279,21 @@ mod tests {
         rx.deliver(msg(2, 0, 2, 2));
         rx.deliver(msg(2, 0, 2, 3)); // third packet: beyond double buffer
         assert_eq!(rx.stats().buffer_overflows.get(), 1);
+    }
+
+    #[test]
+    fn single_flit_bypasses_full_double_buffer() {
+        // Two multi-flit packets from source 2 are mid-reassembly; a
+        // single-flit packet (an eMPI credit) from the same source must
+        // still complete — it carries no reassembly state.
+        let mut rx = TieReceiver::new();
+        rx.deliver(msg(2, 0, 2, 10)); // packet A assembling
+        rx.deliver(msg(2, 0, 2, 20)); // packet B assembling
+        rx.deliver(msg(2, 0, 0, 99)); // burst-1 credit
+        assert_eq!(rx.stats().buffer_overflows.get(), 0);
+        let credit = rx.take_packet(Some(2)).expect("credit completed");
+        assert_eq!(credit.data, vec![99]);
+        assert!(rx.has_partials(), "data packets still assembling");
     }
 
     #[test]

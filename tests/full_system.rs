@@ -7,7 +7,7 @@ use medea::apps::pingpong::{self, PingPongTransport};
 use medea::apps::reduce::{self, ReduceTransport};
 use medea::core::api::PeApi;
 use medea::core::system::{Kernel, System};
-use medea::core::{empi, CachePolicy, FabricKind, SystemConfig};
+use medea::core::{CachePolicy, CollectiveAlgo, Empi, FabricKind, SystemConfig};
 use medea::sim::ids::Rank;
 
 fn sys(pes: usize) -> SystemConfig {
@@ -142,27 +142,74 @@ fn microbenchmarks_confirm_mp_advantage() {
 
 #[test]
 fn empi_collectives_compose() {
-    // Ring pass-the-token followed by a barrier, across 5 ranks.
+    // Ring pass-the-token, then the full collective surface back to back
+    // across 5 ranks: barrier, bcast, scatter, gather, allreduce.
     let pes = 5;
     let kernels: Vec<Kernel> = (0..pes)
         .map(|r| {
             Box::new(move |api: PeApi| {
-                let ranks = api.ranks();
+                let comm = Empi::new(api);
+                let ranks = comm.ranks();
                 let next = Rank::new(((r + 1) % ranks) as u8);
                 let prev = Rank::new(((r + ranks - 1) % ranks) as u8);
                 if r == 0 {
-                    empi::send(&api, next, &[1]);
-                    let token = empi::recv(&api, prev);
+                    comm.send(next, &[1]);
+                    let token = comm.recv(prev);
                     assert_eq!(token[0] as usize, ranks, "token incremented once per hop");
                 } else {
-                    let token = empi::recv(&api, prev);
-                    empi::send(&api, next, &[token[0] + 1]);
+                    let token = comm.recv(prev);
+                    comm.send(next, &[token[0] + 1]);
                 }
-                empi::barrier(&api);
+                comm.barrier();
+                let root = Rank::new(2);
+                let plan = comm.bcast(root, if comm.rank() == root { &[7, 8, 9] } else { &[] });
+                assert_eq!(plan, vec![7, 8, 9]);
+                let chunks: Vec<Vec<u32>> = (0..ranks).map(|k| vec![k as u32 * 11]).collect();
+                let mine = comm.scatter(root, if comm.rank() == root { &chunks } else { &[] });
+                assert_eq!(mine, vec![r as u32 * 11]);
+                let gathered = comm.gather(root, &[mine[0] + 1]);
+                if let Some(rows) = gathered {
+                    for (k, row) in rows.iter().enumerate() {
+                        assert_eq!(row, &vec![k as u32 * 11 + 1], "gather from {k}");
+                    }
+                }
+                let sum = comm.allreduce(r as f64);
+                assert_eq!(sum, (0..ranks).map(|k| k as f64).sum::<f64>());
             }) as Kernel
         })
         .collect();
     System::run(&sys(pes), &[], kernels).expect("ring");
+}
+
+#[test]
+fn tree_collectives_run_the_full_stack() {
+    // The non-default algorithms drive the same composed surface.
+    for algo in [CollectiveAlgo::BinomialTree, CollectiveAlgo::RecursiveDoubling] {
+        let cfg = SystemConfig::builder()
+            .compute_pes(6)
+            .collective_algo(algo)
+            .cycle_limit(400_000_000)
+            .build()
+            .unwrap();
+        let kernels: Vec<Kernel> = (0..6)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    let comm = Empi::new(api);
+                    comm.barrier();
+                    let root = Rank::new(3);
+                    let msg = comm.bcast(root, if comm.rank() == root { &[42] } else { &[] });
+                    assert_eq!(msg, vec![42]);
+                    let sum = comm.reduce(root, 1.5);
+                    if comm.rank() == root {
+                        assert_eq!(sum.unwrap(), 9.0);
+                    }
+                    assert_eq!(comm.allreduce(r as f64 + 0.5), 18.0);
+                    comm.barrier();
+                }) as Kernel
+            })
+            .collect();
+        System::run(&cfg, &[], kernels).unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
 }
 
 #[test]

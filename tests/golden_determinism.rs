@@ -3,14 +3,20 @@
 //! Committed *before* the zero-allocation/activity-scheduled rewrite of
 //! the router, network and cycle engine: these tests pin the observable
 //! behavior of full-system runs — exact cycle counts, delivered-flit
-//! counts and deflection counts — so the rewrite is provably
+//! counts and deflection counts — so engine work is provably
 //! behavior-preserving. Any optimization that changes one of these
 //! numbers is a functional change, not an optimization.
+//!
+//! The workloads run through the `Empi` communicator with its default
+//! `Linear` algorithm, which reproduces the seed's rank-0-centred message
+//! patterns — keeping `Linear` the default is precisely what pins the
+//! paper-4×4 fingerprints. The tree algorithms get their own stability
+//! pins below.
 
 use medea::apps::jacobi::{self, JacobiConfig, JacobiVariant};
 use medea::core::api::PeApi;
 use medea::core::system::{Kernel, RunResult, System};
-use medea::core::{empi, SystemConfig, Topology};
+use medea::core::{CollectiveAlgo, Empi, SystemConfig, Topology};
 use medea::sim::ids::Rank;
 
 fn cfg(pes: usize) -> SystemConfig {
@@ -41,29 +47,52 @@ fn pingpong_kernels() -> Vec<Kernel> {
     vec![ping, pong]
 }
 
-/// Gather-to-root + broadcast all-reduce over eMPI on six ranks, with a
-/// compute phase so timed stalls and traffic interleave.
+/// Gather-to-root + broadcast all-reduce, hand-rolled on the
+/// communicator's point-to-point ops with a compute phase so timed stalls
+/// and traffic interleave. Deliberately NOT `Empi::allreduce`: this is
+/// the seed's exact call sequence (barrier, then per-rank send/recv
+/// pairs), kept verbatim so the fingerprint pins the same behavior the
+/// pre-communicator engine produced. The library collectives get their
+/// own per-algorithm fingerprints below.
 fn reduce_kernels(ranks: usize) -> Vec<Kernel> {
     (0..ranks)
         .map(|r| {
             Box::new(move |api: PeApi| {
-                api.compute(50 + 137 * r as u64);
-                empi::barrier(&api);
+                let comm = Empi::new(api);
+                comm.compute(50 + 137 * r as u64);
+                comm.barrier();
                 let mine = r as f64 + 0.5;
-                let total = if api.rank().is_master() {
+                let total = if comm.rank().is_master() {
                     let mut acc = mine;
-                    for src in 1..api.ranks() {
-                        acc = api.fadd(acc, empi::recv_f64(&api, Rank::new(src as u8))[0]);
+                    for src in 1..comm.ranks() {
+                        acc = comm.fadd(acc, comm.recv_f64(Rank::new(src as u8))[0]);
                     }
-                    for dst in 1..api.ranks() {
-                        empi::send_f64(&api, Rank::new(dst as u8), &[acc]);
+                    for dst in 1..comm.ranks() {
+                        comm.send_f64(Rank::new(dst as u8), &[acc]);
                     }
                     acc
                 } else {
-                    empi::send_f64(&api, Rank::new(0), &[mine]);
-                    empi::recv_f64(&api, Rank::new(0))[0]
+                    comm.send_f64(Rank::new(0), &[mine]);
+                    comm.recv_f64(Rank::new(0))[0]
                 };
-                let expect = (0..api.ranks()).map(|k| k as f64 + 0.5).sum::<f64>();
+                let expect = (0..comm.ranks()).map(|k| k as f64 + 0.5).sum::<f64>();
+                assert_eq!(total.to_bits(), expect.to_bits());
+            }) as Kernel
+        })
+        .collect()
+}
+
+/// The same reduction through the library collective — the surface the
+/// per-algorithm fingerprint test pins.
+fn allreduce_kernels(ranks: usize) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                let comm = Empi::new(api);
+                comm.compute(50 + 137 * r as u64);
+                comm.barrier();
+                let total = comm.allreduce(r as f64 + 0.5);
+                let expect = (0..comm.ranks()).map(|k| k as f64 + 0.5).sum::<f64>();
                 assert_eq!(total.to_bits(), expect.to_bits());
             }) as Kernel
         })
@@ -77,14 +106,15 @@ fn gather_kernels(ranks: usize) -> Vec<Kernel> {
     (0..ranks)
         .map(|r| {
             Box::new(move |api: PeApi| {
+                let comm = Empi::new(api);
                 if r == 0 {
-                    for src in 1..api.ranks() {
-                        let got = empi::recv(&api, Rank::new(src as u8));
+                    for src in 1..comm.ranks() {
+                        let got = comm.recv(Rank::new(src as u8));
                         assert_eq!(got.len(), 40);
                     }
                 } else {
                     let payload: Vec<u32> = (0..40).map(|i| (r * 1000 + i) as u32).collect();
-                    empi::send(&api, Rank::new(0), &payload);
+                    comm.send(Rank::new(0), &payload);
                 }
             }) as Kernel
         })
@@ -118,6 +148,63 @@ fn gather_fingerprint_stable_and_deflecting() {
     // Seven concurrent senders into one ejection channel: the deflection
     // path must actually fire, and its count must be reproduced exactly.
     assert!(a.fabric_deflections > 0, "gather must exercise deflection");
+}
+
+#[test]
+fn collective_fingerprints_stable_per_algorithm_and_distinct() {
+    // Each algorithm is bit-deterministic run over run, and the three
+    // genuinely schedule different traffic (if two fingerprints collided
+    // the "pluggable" dispatch would not be doing anything).
+    let run = |algo: CollectiveAlgo| {
+        let cfg = SystemConfig::builder()
+            .compute_pes(7)
+            .collective_algo(algo)
+            .cycle_limit(50_000_000)
+            .build()
+            .unwrap();
+        System::run(&cfg, &[], allreduce_kernels(7)).expect("collective run")
+    };
+    let mut prints = Vec::new();
+    for algo in CollectiveAlgo::ALL {
+        let a = run(algo);
+        let b = run(algo);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{algo} not deterministic");
+        prints.push(fingerprint(&a));
+    }
+    assert_ne!(prints[0], prints[1], "linear and binomial must differ");
+    assert_ne!(prints[0], prints[2], "linear and doubling must differ");
+    assert_ne!(prints[1], prints[2], "binomial and doubling must differ");
+}
+
+#[test]
+fn duplex_exchange_fingerprint_stable_across_runs() {
+    // The full-duplex sendrecv engine (polling included) must be exactly
+    // as deterministic as plain send/recv: a windowed symmetric exchange
+    // plus a chained halo shape, fingerprinted run over run.
+    let kernels = || -> Vec<Kernel> {
+        (0..4)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    let comm = Empi::new(api);
+                    let payload: Vec<u32> = (0..64).map(|i| (r * 100 + i) as u32).collect();
+                    // Symmetric pairwise exchange: 0<->1, 2<->3.
+                    let peer = Some(Rank::new((r ^ 1) as u8));
+                    let got = comm.sendrecv(peer, &payload, peer).expect("duplex");
+                    assert_eq!(got.len(), 64);
+                    // Chained exchange: r -> r+1.
+                    let ranks = comm.ranks();
+                    let next = (r + 1 < ranks).then(|| Rank::new((r + 1) as u8));
+                    let prev = (r > 0).then(|| Rank::new((r - 1) as u8));
+                    let _ = comm.sendrecv(next, &payload, prev);
+                }) as Kernel
+            })
+            .collect()
+    };
+    let run = || System::run(&cfg(4), &[], kernels()).expect("duplex run");
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(a.fabric_delivered > 0);
 }
 
 #[test]
