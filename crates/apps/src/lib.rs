@@ -11,9 +11,13 @@
 //!   the paper's core motivation;
 //! * [`matmul`] — a block-row matrix multiply, the first of the "standard
 //!   parallel benchmarks" the paper lists as future work;
-//! * [`reduce`] — an all-reduce kernel in MP and SM flavours.
+//! * [`reduce`] — an all-reduce kernel in MP and SM flavours;
+//! * [`hotspot`] — a shared-memory hotspot microbenchmark (every rank
+//!   hammers the MPMMU with uncached transactions), the workload behind
+//!   the `memory_banks` scaling section.
 
 pub mod grid;
+pub mod hotspot;
 pub mod jacobi;
 pub mod matmul;
 pub mod pingpong;

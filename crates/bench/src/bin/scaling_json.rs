@@ -20,13 +20,26 @@
 //! barrier must complete in at least 4× fewer simulated cycles than the
 //! linear one (asserted).
 //!
+//! And the **memory-banks microbench**: the shared-memory hotspot
+//! workload (`medea_apps::hotspot`) on fully populated 8×8 and 16×16
+//! tori with 1, 2 and 4 address-interleaved MPMMU banks (each bank
+//! occupies a node, so the populations are 255/254/252 on 16×16). This
+//! records the serialization relief of distributing the MPMMU — on the
+//! full 16×16 point, 4 banks must beat the single-bank 255-PE baseline
+//! by ≥ 2× (asserted; ≥ 1× at CI smoke scale).
+//!
 //! ```text
 //! cargo run --release -p medea-bench --bin scaling_json -- [--smoke] [OUT_PATH]
 //! ```
 //!
 //! `--smoke` shrinks grids and PE counts to CI scale while still covering
-//! all three topologies.
+//! all three topologies. Exception: the memory-banks sweep keeps its
+//! fully populated tori even in smoke mode — the MPMMU serialization it
+//! measures only exists under full population — and shrinks the per-rank
+//! op count instead (the hotspot windows are tens of thousands of
+//! simulated cycles, a few wall seconds total).
 
+use medea_apps::hotspot::{self, HotspotConfig};
 use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
 use medea_bench::sweep_threads;
 use medea_core::api::PeApi;
@@ -257,6 +270,59 @@ fn run_collectives(tiers: &[Tier]) -> Vec<CollectiveRow> {
     rows
 }
 
+// ---- memory-banks microbench ----
+
+/// Bank counts swept per topology.
+const BANK_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One row of the memory-banks microbench.
+struct BankRow {
+    topology: String,
+    label: String,
+    pes: usize,
+    banks: usize,
+    hotspot_cycles: u64,
+    speedup_vs_single_bank: f64,
+}
+
+/// The shared-memory hotspot on fully populated 8×8/16×16 tori for each
+/// bank count. Every node not hosting a bank hosts a PE, so the
+/// single-bank row is the 255-PE (63-PE) status quo and the multi-bank
+/// rows trade one PE per extra bank for N-way memory parallelism.
+/// Per-rank work (`ops` store+load round trips) is fixed; the window is
+/// rank 0's barrier-to-barrier time, i.e. whole-system completion.
+fn run_memory_banks(tiers: &[Tier], ops: usize) -> Vec<BankRow> {
+    let mut rows = Vec::new();
+    for tier in tiers.iter().filter(|t| t.side >= 8) {
+        let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+        let mut single = 0u64;
+        for banks in BANK_COUNTS {
+            let pes = topology.nodes() - banks;
+            let sys = base_builder()
+                .topology(topology)
+                .compute_pes(pes)
+                .cache_bytes(CACHE_BYTES)
+                .memory_banks(banks)
+                .build()
+                .expect("bank bench configuration");
+            let outcome =
+                hotspot::run(&sys, &HotspotConfig { ops_per_rank: ops }).expect("hotspot run");
+            if banks == 1 {
+                single = outcome.cycles;
+            }
+            rows.push(BankRow {
+                topology: format!("{}x{}", tier.side, tier.side),
+                label: sys.label(),
+                pes,
+                banks,
+                hotspot_cycles: outcome.cycles,
+                speedup_vs_single_bank: single as f64 / outcome.cycles.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
+
 /// Re-run the most-populated point of the largest tier with validation:
 /// every interior cell of the final grid must match the sequential
 /// reference bit-for-bit, so the 255-PE configuration is numerically
@@ -301,6 +367,8 @@ fn main() {
     let started = Instant::now();
     let reports = run_ladder(tiers, threads);
     let collectives = run_collectives(tiers);
+    let hotspot_ops = if smoke { 6 } else { 16 };
+    let bank_rows = run_memory_banks(tiers, hotspot_ops);
     // Smoke mode skips the ~half-minute 255-PE validation pass; the
     // 63-rank validated run in the apps test suite covers CI.
     let validated = (!smoke).then(|| validate_largest(tiers));
@@ -364,6 +432,24 @@ fn main() {
             if i + 1 < collectives.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"memory_banks\": {{\"workload\": \"hotspot uncached store+load, line-strided \
+         shared walk\", \"ops_per_rank\": {hotspot_ops}, \"rows\": [\n"
+    ));
+    for (i, r) in bank_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"label\": \"{}\", \"pes\": {}, \"banks\": {}, \
+             \"hotspot_cycles\": {}, \"speedup_vs_single_bank\": {:.2}}}{}\n",
+            r.topology,
+            r.label,
+            r.pes,
+            r.banks,
+            r.hotspot_cycles,
+            r.speedup_vs_single_bank,
+            if i + 1 < bank_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]}\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
@@ -385,6 +471,12 @@ fn main() {
             c.algo.to_string(),
             c.cycles_per_op,
             c.speedup_vs_linear
+        );
+    }
+    for r in &bank_rows {
+        println!(
+            "{:<6} {:>22} {:>2} bank(s)  {:>9} hotspot cycles  vs 1 bank {:>6.2}x",
+            r.topology, r.label, r.banks, r.hotspot_cycles, r.speedup_vs_single_bank
         );
     }
     if let Some((label, _)) = &validated {
@@ -424,6 +516,22 @@ fn main() {
         tree_factor >= required,
         "binomial barrier at {} PEs must be >= {required}x cheaper than linear, got {tree_factor:.2}x",
         largest.pes
+    );
+    // The distributed-memory acceptance gate: on the largest torus, the
+    // 4-bank system must beat the single-bank baseline (the 255-PE
+    // status quo on a full 16×16 run) under the memory-hot workload.
+    let bank_best = bank_rows
+        .iter()
+        .filter(|r| r.banks == 4)
+        .max_by(|a, b| a.pes.cmp(&b.pes))
+        .expect("bank sweep measured");
+    let bank_required = if smoke { 1.0 } else { 2.0 };
+    assert!(
+        bank_best.speedup_vs_single_bank >= bank_required,
+        "{}: 4 banks must be >= {bank_required}x faster than the single-bank baseline on the \
+         hotspot workload, got {:.2}x",
+        bank_best.label,
+        bank_best.speedup_vs_single_bank
     );
     println!("wrote {out_path}");
 }

@@ -66,6 +66,19 @@ impl CacheStats {
         let total = hits + misses;
         (total > 0).then(|| misses as f64 / total as f64)
     }
+
+    /// Accumulate another cache's counters into this one (e.g. the
+    /// per-bank → aggregate reduction over MPMMU-local caches).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.load_hits.add(other.load_hits.get());
+        self.load_misses.add(other.load_misses.get());
+        self.store_hits.add(other.store_hits.get());
+        self.store_misses.add(other.store_misses.get());
+        self.evictions.add(other.evictions.get());
+        self.writebacks.add(other.writebacks.get());
+        self.flushes.add(other.flushes.get());
+        self.invalidations.add(other.invalidations.get());
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

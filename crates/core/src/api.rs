@@ -11,6 +11,7 @@
 //! runs (cycle limit or deadlock) — the kernel thread unwinds and the
 //! engine reports the underlying [`crate::RunError`] instead.
 
+use crate::config::NodePlan;
 use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use medea_cache::{line_of, Addr, LINE_BYTES};
@@ -27,6 +28,7 @@ pub struct PeApi {
     rank: Rank,
     ranks: usize,
     layout: MemoryMap,
+    plan: NodePlan,
     collective_algo: CollectiveAlgo,
 }
 
@@ -38,9 +40,10 @@ impl PeApi {
         rank: Rank,
         ranks: usize,
         layout: MemoryMap,
+        plan: NodePlan,
         collective_algo: CollectiveAlgo,
     ) -> Self {
-        PeApi { port, rank, ranks, layout, collective_algo }
+        PeApi { port, rank, ranks, layout, plan, collective_algo }
     }
 
     /// The collective algorithm configured on the system — adopted by
@@ -87,10 +90,10 @@ impl PeApi {
         self.layout.private_base(self.rank)
     }
 
-    /// The node hosting `rank` (PEs occupy nodes 1..=N).
+    /// The node hosting `rank` (PEs occupy the non-bank nodes in
+    /// ascending order; nodes 1..=N on a single-bank system).
     pub fn node_of_rank(&self, rank: Rank) -> NodeId {
-        assert!(rank.index() < self.ranks, "{rank} outside {}-rank system", self.ranks);
-        NodeId::new(rank.index() as u16 + 1)
+        self.plan.node_of_rank(rank)
     }
 
     /// The application-level source id `rank`'s messages carry: the full
@@ -262,8 +265,11 @@ impl PeApi {
     pub fn recv_any(&self) -> (Rank, Vec<u32>) {
         match self.call(PeRequest::Recv { from: None }) {
             PeResponse::Packet(Packet { src, data }) => {
-                assert!(src >= 1, "message from non-PE node {src}");
-                (Rank::new(src - 1), data)
+                let rank = self
+                    .plan
+                    .rank_of_node(NodeId::new(src as u16))
+                    .unwrap_or_else(|| panic!("message from non-PE node {src}"));
+                (rank, data)
             }
             other => unreachable!("expected Packet, got {other:?}"),
         }
@@ -291,12 +297,13 @@ mod tests {
         // Construct the mapping logic without a live port via a tiny probe:
         // node_of_rank/src_id_of_rank depend only on rank arithmetic.
         let layout = MemoryMap::new(4, 1024, 1024).unwrap();
+        let plan = crate::SystemConfig::builder().compute_pes(4).build().unwrap().node_plan();
         // PeApi requires a port; spawn a dummy host pair.
         let host: medea_sim::coroutine::KernelHost<PeRequest, PeResponse>;
         let (api, h) = {
             let (tx, rx) = std::sync::mpsc::channel();
             let h = medea_sim::coroutine::KernelHost::spawn("t", move |port| {
-                let api = PeApi::new(port, Rank::new(2), 4, layout, CollectiveAlgo::Linear);
+                let api = PeApi::new(port, Rank::new(2), 4, layout, plan, CollectiveAlgo::Linear);
                 tx.send((
                     api.node_of_rank(Rank::new(0)),
                     api.node_of_rank(Rank::new(3)),

@@ -5,8 +5,8 @@ use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use crate::FabricKind;
 use medea_cache::{CacheConfig, CachePolicy};
-use medea_mem::{DdrModel, MpmmuConfig};
-use medea_noc::coord::Topology;
+use medea_mem::{BankMap, DdrModel, MpmmuConfig, MAX_BANKS};
+use medea_noc::coord::{Coord, Topology};
 use medea_pe::arbiter::ArbiterConfig;
 use medea_pe::bridge::BridgeConfig;
 use medea_pe::fpu::{FpModel, MulOption};
@@ -30,15 +30,18 @@ impl std::error::Error for BuildConfigError {}
 /// A fully validated MEDEA system configuration.
 ///
 /// The system is assembled on any supported torus (2×2 up to 16×16,
-/// default: the paper's 4×4 folded torus): the MPMMU occupies node 0 and
-/// compute PEs occupy nodes 1..=N, so N is bounded by `nodes − 1` of the
-/// configured topology — 15 on the paper instance (matching its "number
-/// of processor cores between 3 and 16, 1 of which is the MPMMU"), up to
-/// 255 on a 16×16 torus.
+/// default: the paper's 4×4 folded torus). Shared memory is served by
+/// `memory_banks` address-interleaved MPMMU banks spread across the torus
+/// (default 1, at node 0 — the paper's instance); compute PEs occupy the
+/// remaining nodes in ascending order, so the PE count is bounded by
+/// `nodes − banks` — 15 on the paper instance (matching its "number of
+/// processor cores between 3 and 16, 1 of which is the MPMMU"), up to 255
+/// on a single-bank 16×16 torus.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemConfig {
     topology: Topology,
     compute_pes: usize,
+    memory_banks: usize,
     cache: CacheConfig,
     arbiter: ArbiterConfig,
     mul: MulOption,
@@ -103,7 +106,31 @@ impl SystemConfig {
         self.collective_algo
     }
 
-    /// The MPMMU's node.
+    /// Number of address-interleaved MPMMU banks (1 = the paper's single
+    /// node-0 MPMMU).
+    pub const fn memory_banks(&self) -> usize {
+        self.memory_banks
+    }
+
+    /// The nodes hosting the MPMMU banks, in bank-index order (bank 0 is
+    /// always node 0; further banks are spread across the torus).
+    pub fn bank_nodes(&self) -> Vec<NodeId> {
+        bank_placement(self.topology, self.memory_banks)
+    }
+
+    /// The address → bank lookup table shared by every bridge.
+    pub fn bank_map(&self) -> BankMap {
+        BankMap::new(self.topology, &self.bank_nodes())
+            .expect("validated configurations have valid bank maps")
+    }
+
+    /// The node-role plan: which nodes host banks, which host ranks.
+    pub fn node_plan(&self) -> NodePlan {
+        NodePlan::new(&self.bank_nodes(), self.compute_pes)
+    }
+
+    /// The node of bank 0 — the paper's single MPMMU location (always
+    /// node 0).
     pub fn mpmmu_node(&self) -> NodeId {
         NodeId::new(0)
     }
@@ -114,14 +141,12 @@ impl SystemConfig {
     ///
     /// Panics if `rank` exceeds the configured PE count.
     pub fn node_of_rank(&self, rank: Rank) -> NodeId {
-        assert!(rank.index() < self.compute_pes, "{rank} outside {}-PE system", self.compute_pes);
-        NodeId::new(rank.index() as u16 + 1)
+        self.node_plan().node_of_rank(rank)
     }
 
     /// The rank hosted on `node`, if it is a PE node.
     pub fn rank_of_node(&self, node: NodeId) -> Option<Rank> {
-        let idx = node.index();
-        (1..=self.compute_pes).contains(&idx).then(|| Rank::new((idx - 1) as u8))
+        self.node_plan().rank_of_node(node)
     }
 
     /// The per-PE hardware configuration for `rank`.
@@ -151,19 +176,22 @@ impl SystemConfig {
 
     /// Short label in the paper's figure style, e.g. `11P_16k$_WB`.
     /// Non-paper topologies are called out with an `@WxH` suffix
-    /// (e.g. `63P_16k$_WB@8x8`).
+    /// (e.g. `63P_16k$_WB@8x8`), multi-bank memory with an `xNB` suffix
+    /// (e.g. `252P_16k$_WB@16x16x4B`).
     pub fn label(&self) -> String {
-        let base = format!(
+        let mut label = format!(
             "{}P_{}k$_{}",
             self.compute_pes,
             self.cache.total_bytes() / 1024,
             self.cache.policy()
         );
-        if self.topology == Topology::paper_4x4() {
-            base
-        } else {
-            format!("{base}@{}x{}", self.topology.width(), self.topology.height())
+        if self.topology != Topology::paper_4x4() {
+            label.push_str(&format!("@{}x{}", self.topology.width(), self.topology.height()));
         }
+        if self.memory_banks > 1 {
+            label.push_str(&format!("x{}B", self.memory_banks));
+        }
+        label
     }
 }
 
@@ -180,11 +208,112 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+/// Where the MPMMU banks of a `banks`-bank system live on `topology`:
+/// bank `k` sits on a regular `nx × ny` sub-grid of the torus (the wider
+/// torus axis gets the larger factor), so banks are spread across both
+/// dimensions and bank 0 is always node 0 — the paper's MPMMU location.
+fn bank_placement(topology: Topology, banks: usize) -> Vec<NodeId> {
+    debug_assert!(banks.is_power_of_two() && banks <= MAX_BANKS);
+    let (nx, ny) = bank_grid(topology, banks);
+    let (w, h) = (topology.width() as usize, topology.height() as usize);
+    (0..banks)
+        .map(|k| {
+            let x = (k % nx) * w / nx;
+            let y = (k / nx) * h / ny;
+            topology.node_of(Coord::new(x as u8, y as u8))
+        })
+        .collect()
+}
+
+/// The `nx × ny` placement sub-grid for `banks` banks (see
+/// [`bank_placement`]).
+fn bank_grid(topology: Topology, banks: usize) -> (usize, usize) {
+    let bits = banks.trailing_zeros();
+    let (mut xb, mut yb) = (bits.div_ceil(2), bits / 2);
+    if topology.width() < topology.height() {
+        std::mem::swap(&mut xb, &mut yb);
+    }
+    (1usize << xb, 1usize << yb)
+}
+
+/// Which node plays which role: the bank-node set plus the rank → node
+/// assignment (compute PEs occupy the non-bank nodes in ascending order).
+///
+/// A small `Copy` value so every kernel's [`crate::api::PeApi`] can carry
+/// it; with one bank at node 0 it reproduces the original `rank + 1`
+/// mapping exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Bank nodes in ascending node order (placement is ascending, and
+    /// the skip arithmetic below depends on it).
+    bank_nodes: [u16; MAX_BANKS],
+    banks: u8,
+    pes: u16,
+}
+
+impl NodePlan {
+    fn new(bank_nodes: &[NodeId], pes: usize) -> Self {
+        assert!(!bank_nodes.is_empty() && bank_nodes.len() <= MAX_BANKS);
+        let mut nodes = [0u16; MAX_BANKS];
+        for (slot, node) in nodes.iter_mut().zip(bank_nodes) {
+            *slot = node.index() as u16;
+        }
+        nodes[..bank_nodes.len()].sort_unstable();
+        NodePlan { bank_nodes: nodes, banks: bank_nodes.len() as u8, pes: pes as u16 }
+    }
+
+    /// Number of banks.
+    pub const fn banks(&self) -> usize {
+        self.banks as usize
+    }
+
+    /// Number of compute ranks.
+    pub const fn ranks(&self) -> usize {
+        self.pes as usize
+    }
+
+    /// Whether `node` hosts an MPMMU bank.
+    pub fn is_bank_node(&self, node: NodeId) -> bool {
+        self.bank_nodes[..self.banks()].contains(&(node.index() as u16))
+    }
+
+    /// The node hosting `rank`: the `rank`-th non-bank node in ascending
+    /// node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the PE count.
+    pub fn node_of_rank(&self, rank: Rank) -> NodeId {
+        assert!(rank.index() < self.ranks(), "{rank} outside {}-PE system", self.ranks());
+        let mut node = rank.index();
+        for bank in &self.bank_nodes[..self.banks()] {
+            if *bank as usize <= node {
+                node += 1;
+            }
+        }
+        NodeId::new(node as u16)
+    }
+
+    /// The rank hosted on `node`, if it is a PE node.
+    pub fn rank_of_node(&self, node: NodeId) -> Option<Rank> {
+        if self.is_bank_node(node) {
+            return None;
+        }
+        let below = self.bank_nodes[..self.banks()]
+            .iter()
+            .filter(|b| (**b as usize) < node.index())
+            .count();
+        let rank = node.index() - below;
+        (rank < self.ranks()).then(|| Rank::new(rank as u8))
+    }
+}
+
 /// Builder for [`SystemConfig`].
 #[derive(Debug, Clone)]
 pub struct SystemConfigBuilder {
     topology: Topology,
     compute_pes: usize,
+    memory_banks: usize,
     cache_bytes: usize,
     cache_ways: usize,
     cache_policy: CachePolicy,
@@ -205,6 +334,7 @@ impl Default for SystemConfigBuilder {
         SystemConfigBuilder {
             topology: Topology::paper_4x4(),
             compute_pes: 4,
+            memory_banks: 1,
             cache_bytes: 16 * 1024,
             cache_ways: CacheConfig::DEFAULT_WAYS,
             cache_policy: CachePolicy::WriteBack,
@@ -230,10 +360,20 @@ impl SystemConfigBuilder {
         self
     }
 
-    /// Number of compute PEs (`1..=nodes − 1` of the configured topology;
-    /// 1..=15 on the default 4×4 torus).
+    /// Number of compute PEs (`1..=nodes − memory_banks` of the configured
+    /// topology; 1..=15 on the default 4×4 torus).
     pub fn compute_pes(mut self, n: usize) -> Self {
         self.compute_pes = n;
+        self
+    }
+
+    /// Number of address-interleaved MPMMU banks (a power of two,
+    /// default 1). The shared address space is interleaved over the banks
+    /// at cache-line granularity and the bank nodes are spread across the
+    /// torus; `1` is the paper's single node-0 MPMMU and reproduces its
+    /// behavior bit-for-bit.
+    pub fn memory_banks(mut self, n: usize) -> Self {
+        self.memory_banks = n;
         self
     }
 
@@ -323,16 +463,30 @@ impl SystemConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildConfigError`] when the PE count exceeds the
-    /// configured torus (`nodes − 1`, one node being the MPMMU), when
-    /// cache geometry is invalid, or when the memory layout is malformed.
+    /// Returns [`BuildConfigError`] when the bank count is not a power of
+    /// two that fits the topology, when the PE count exceeds the nodes
+    /// left over by the banks, when cache geometry is invalid, or when
+    /// the memory layout is malformed.
     pub fn build(self) -> Result<SystemConfig, BuildConfigError> {
-        let max_pes = self.topology.max_compute_pes();
+        if !self.memory_banks.is_power_of_two() || self.memory_banks > MAX_BANKS {
+            return Err(BuildConfigError(format!(
+                "memory_banks must be a power of two in 1..={MAX_BANKS}, got {}",
+                self.memory_banks
+            )));
+        }
+        let (nx, ny) = bank_grid(self.topology, self.memory_banks);
+        if nx > self.topology.width() as usize || ny > self.topology.height() as usize {
+            return Err(BuildConfigError(format!(
+                "{} banks do not spread over the {} ({nx}x{ny} placement grid needed)",
+                self.memory_banks, self.topology
+            )));
+        }
+        let max_pes = self.topology.nodes() - self.memory_banks;
         if !(1..=max_pes).contains(&self.compute_pes) {
             return Err(BuildConfigError(format!(
-                "compute_pes must be 1..={max_pes} on the {} (nodes − 1, one node is the \
-                 MPMMU), got {}",
-                self.topology, self.compute_pes
+                "compute_pes must be 1..={max_pes} on the {} with {} memory bank(s) (each \
+                 bank occupies a node), got {}",
+                self.topology, self.memory_banks, self.compute_pes
             )));
         }
         let cache = CacheConfig::with_ways(self.cache_bytes, self.cache_ways, self.cache_policy)
@@ -347,6 +501,7 @@ impl SystemConfigBuilder {
         Ok(SystemConfig {
             topology: self.topology,
             compute_pes: self.compute_pes,
+            memory_banks: self.memory_banks,
             cache,
             arbiter: self.arbiter,
             mul: self.mul,
@@ -464,5 +619,97 @@ mod tests {
     fn node_of_bad_rank_panics() {
         let cfg = SystemConfig::builder().compute_pes(2).build().unwrap();
         cfg.node_of_rank(Rank::new(5));
+    }
+
+    #[test]
+    fn single_bank_default_is_node_zero() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert_eq!(cfg.memory_banks(), 1);
+        assert_eq!(cfg.bank_nodes(), vec![NodeId::new(0)]);
+        assert_eq!(cfg.bank_map().banks(), 1);
+        assert_eq!(cfg.mpmmu_node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn bank_placement_spreads_over_the_torus() {
+        let t16 = Topology::new(16, 16).unwrap();
+        let cfg =
+            SystemConfig::builder().topology(t16).compute_pes(252).memory_banks(4).build().unwrap();
+        // 2×2 sub-grid: half-torus strides on both axes, bank 0 at node 0.
+        let nodes: Vec<usize> = cfg.bank_nodes().iter().map(|n| n.index()).collect();
+        assert_eq!(nodes, vec![0, 8, 16 * 8, 16 * 8 + 8]);
+        let map = cfg.bank_map();
+        assert_eq!(map.banks(), 4);
+        assert_eq!(map.bank_of(0x00), 0);
+        assert_eq!(map.bank_of(0x10), 1);
+        assert_eq!(map.bank_of(0x20), 2);
+        assert_eq!(map.bank_of(0x30), 3);
+        assert_eq!(map.bank_of(0x40), 0);
+    }
+
+    #[test]
+    fn ranks_skip_bank_nodes() {
+        // Two banks on the 4×4 torus occupy nodes 0 and 2; ranks fill the
+        // remaining nodes in ascending order.
+        let cfg = SystemConfig::builder().compute_pes(5).memory_banks(2).build().unwrap();
+        assert_eq!(cfg.bank_nodes(), vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(cfg.node_of_rank(Rank::new(0)), NodeId::new(1));
+        assert_eq!(cfg.node_of_rank(Rank::new(1)), NodeId::new(3));
+        assert_eq!(cfg.node_of_rank(Rank::new(2)), NodeId::new(4));
+        assert_eq!(cfg.rank_of_node(NodeId::new(0)), None, "bank node");
+        assert_eq!(cfg.rank_of_node(NodeId::new(2)), None, "bank node");
+        assert_eq!(cfg.rank_of_node(NodeId::new(3)), Some(Rank::new(1)));
+        assert_eq!(cfg.rank_of_node(NodeId::new(7)), None, "beyond PE count");
+    }
+
+    #[test]
+    fn node_plan_inverts_everywhere() {
+        for (w, h, banks) in [(4u8, 4u8, 1usize), (4, 4, 4), (8, 8, 2), (16, 16, 8), (8, 2, 4)] {
+            let topo = Topology::new(w, h).unwrap();
+            let pes = topo.nodes() - banks;
+            let cfg = SystemConfig::builder()
+                .topology(topo)
+                .compute_pes(pes)
+                .memory_banks(banks)
+                .build()
+                .unwrap();
+            let plan = cfg.node_plan();
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..pes {
+                let node = plan.node_of_rank(Rank::new(r as u8));
+                assert!(!plan.is_bank_node(node), "{w}x{h}/{banks}: rank {r} on a bank node");
+                assert!(seen.insert(node), "{w}x{h}/{banks}: node {node} double-assigned");
+                assert_eq!(plan.rank_of_node(node), Some(Rank::new(r as u8)));
+            }
+            for bank in cfg.bank_nodes() {
+                assert_eq!(plan.rank_of_node(bank), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_count_validation() {
+        assert!(SystemConfig::builder().memory_banks(0).build().is_err(), "zero");
+        assert!(SystemConfig::builder().memory_banks(3).build().is_err(), "not a power of two");
+        assert!(SystemConfig::builder().memory_banks(32).build().is_err(), "beyond MAX_BANKS");
+        // 16 banks fill the whole 4×4 torus: no node left for a PE.
+        assert!(SystemConfig::builder().memory_banks(16).compute_pes(1).build().is_err());
+        // The PE bound is nodes − banks.
+        assert!(SystemConfig::builder().memory_banks(2).compute_pes(14).build().is_ok());
+        assert!(SystemConfig::builder().memory_banks(2).compute_pes(15).build().is_err());
+        // 8 banks need a 4×2 placement grid; it fits 4×4 but not 2×2.
+        let t2 = Topology::new(2, 2).unwrap();
+        assert!(SystemConfig::builder().topology(t2).memory_banks(8).build().is_err());
+        assert!(SystemConfig::builder().memory_banks(8).compute_pes(8).build().is_ok());
+    }
+
+    #[test]
+    fn label_carries_bank_count() {
+        let cfg = SystemConfig::builder().compute_pes(5).memory_banks(2).build().unwrap();
+        assert_eq!(cfg.label(), "5P_16k$_WBx2B");
+        let t8 = Topology::new(8, 8).unwrap();
+        let cfg =
+            SystemConfig::builder().topology(t8).compute_pes(60).memory_banks(4).build().unwrap();
+        assert_eq!(cfg.label(), "60P_16k$_WB@8x8x4B");
     }
 }

@@ -27,23 +27,31 @@ use std::sync::{mpsc, Arc};
 pub struct SweepPoint {
     /// The torus the system is assembled on.
     pub topology: Topology,
-    /// Compute PEs (`1..=topology.nodes() − 1`).
+    /// Compute PEs (`1..=topology.nodes() − memory_banks`).
     pub pes: usize,
     /// L1 size in bytes.
     pub cache_bytes: usize,
     /// L1 write policy.
     pub policy: CachePolicy,
+    /// Address-interleaved MPMMU banks (1 = the paper's single MPMMU).
+    pub banks: usize,
 }
 
 impl SweepPoint {
-    /// A point on the paper's 4×4 folded torus.
+    /// A point on the paper's 4×4 folded torus (single memory bank).
     pub fn new(pes: usize, cache_bytes: usize, policy: CachePolicy) -> Self {
-        SweepPoint { topology: Topology::paper_4x4(), pes, cache_bytes, policy }
+        SweepPoint { topology: Topology::paper_4x4(), pes, cache_bytes, policy, banks: 1 }
     }
 
-    /// A point on an explicit torus.
+    /// A point on an explicit torus (single memory bank).
     pub fn on(topology: Topology, pes: usize, cache_bytes: usize, policy: CachePolicy) -> Self {
-        SweepPoint { topology, pes, cache_bytes, policy }
+        SweepPoint { topology, pes, cache_bytes, policy, banks: 1 }
+    }
+
+    /// The same point with `banks` address-interleaved MPMMU banks.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        self.banks = banks;
+        self
     }
 
     /// Materialize the point into a full system configuration, starting
@@ -54,6 +62,7 @@ impl SweepPoint {
             .compute_pes(self.pes)
             .cache_bytes(self.cache_bytes)
             .cache_policy(self.policy)
+            .memory_banks(self.banks)
             .build()
             .expect("sweep points are pre-validated")
     }
@@ -285,6 +294,23 @@ mod tests {
         }
         assert_eq!(outcomes[1].label, "20P_4k$_WB@8x8");
         assert_eq!(outcomes[2].label, "15P_4k$_WB@8x2");
+    }
+
+    #[test]
+    fn sweep_spans_bank_counts() {
+        let workload = ComputeOnlyWorkload { cycles_per_rank: 120 };
+        let t8 = Topology::new(8, 8).unwrap();
+        let points = vec![
+            SweepPoint::on(t8, 10, 4096, CachePolicy::WriteBack),
+            SweepPoint::on(t8, 10, 4096, CachePolicy::WriteBack).with_banks(4),
+        ];
+        let base = SystemConfig::builder().cycle_limit(1_000_000);
+        let outcomes = run_sweep(&workload, &points, &base, 2);
+        for o in &outcomes {
+            assert!(o.measured().is_some(), "{}: run failed", o.label);
+        }
+        assert_eq!(outcomes[0].label, "10P_4k$_WB@8x8");
+        assert_eq!(outcomes[1].label, "10P_4k$_WB@8x8x4B");
     }
 
     #[test]

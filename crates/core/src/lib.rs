@@ -7,7 +7,10 @@
 //! cycle-accurate full-system simulator, and provides:
 //!
 //! * [`SystemConfig`] — the design-space knobs the paper sweeps (number of
-//!   cores, cache size/policy, arbiter option, FP option);
+//!   cores, cache size/policy, arbiter option, FP option) plus the
+//!   beyond-the-paper `memory_banks` knob: N address-interleaved MPMMU
+//!   banks spread across the torus (default 1 at node 0 — the paper's
+//!   single-slave instance, reproduced bit-for-bit);
 //! * [`System`](system::System) — the cycle engine with idle fast-forward;
 //! * [`PeApi`](api::PeApi) — the architectural-operation interface kernels
 //!   program against (loads/stores through the cache, §II-E coherence
@@ -63,9 +66,10 @@ pub mod layout;
 pub mod report;
 pub mod system;
 
-pub use config::{BuildConfigError, SystemConfig, SystemConfigBuilder};
+pub use config::{BuildConfigError, NodePlan, SystemConfig, SystemConfigBuilder};
 pub use empi::{CollectiveAlgo, Empi};
 pub use medea_cache::CachePolicy;
+pub use medea_mem::BankMap;
 pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};
 pub use medea_pe::fpu::MulOption;

@@ -1,13 +1,20 @@
 //! The full-system cycle engine.
 //!
-//! Assembles the fabric, the MPMMU and the processing elements, then runs
-//! the single-clock cycle loop:
+//! Assembles the fabric, the MPMMU bank(s) and the processing elements,
+//! then runs the single-clock cycle loop:
 //!
-//! 1. deliver flits ejected by the fabric to their node interfaces;
-//! 2. tick every *runnable* PE and the MPMMU;
+//! 1. deliver flits ejected by the fabric to their node interfaces (PEs
+//!    first, then every memory bank in bank order);
+//! 2. tick every *runnable* PE and bank;
 //! 3. inject at most one flit per node into the fabric;
 //! 4. tick the fabric;
 //! 5. terminate when every kernel has returned.
+//!
+//! Shared memory is served by `cfg.memory_banks()` address-interleaved
+//! MPMMU banks (default 1 at node 0 — the paper's single-slave instance,
+//! reproduced bit-for-bit). The eject→hold→inject plumbing each bank
+//! needs is one set of helpers ([`banks_deliver`], [`banks_tick`],
+//! [`banks_inject`], [`banks_quiet`]) shared by both engines below.
 //!
 //! Two engines implement that loop:
 //!
@@ -39,7 +46,7 @@ use medea_noc::{AnyFabric, Fabric};
 use medea_pe::bridge::BridgeStats;
 use medea_pe::pe::{PeStats, ProcessingElement, Wakeup};
 use medea_pe::tie::TieStats;
-use medea_sim::ids::Rank;
+use medea_sim::ids::{NodeId, Rank};
 use medea_sim::Cycle;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -103,6 +110,17 @@ pub struct PeSummary {
     pub tie: TieStats,
 }
 
+/// Per-bank statistics bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct BankSummary {
+    /// The node this bank occupies.
+    pub node: NodeId,
+    /// Transaction counters of this bank.
+    pub mpmmu: MpmmuStats,
+    /// This bank's local-cache statistics.
+    pub cache: CacheStats,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -118,10 +136,12 @@ pub struct RunResult {
     pub fabric_mean_latency: Option<f64>,
     /// Maximum flit latency — the hot-potato tail.
     pub fabric_max_latency: Option<u64>,
-    /// MPMMU transaction counters.
+    /// MPMMU transaction counters, aggregated over all banks.
     pub mpmmu: MpmmuStats,
-    /// MPMMU local-cache statistics.
+    /// MPMMU local-cache statistics, aggregated over all banks.
     pub mpmmu_cache: CacheStats,
+    /// Per-bank statistics, indexed by bank.
+    pub banks: Vec<BankSummary>,
     /// Host wall-clock time of the run.
     pub wall: Duration,
 }
@@ -176,12 +196,10 @@ impl System {
             FabricKind::Deflection => Network::new(topo).into(),
             FabricKind::Ideal => IdealNetwork::new(topo).into(),
         };
-        let mut mpmmu = build_mpmmu(cfg, preload);
+        let mut banks = build_banks(cfg, preload);
         let mut pes = build_pes(cfg, kernels);
 
         let wall_start = Instant::now();
-        let mpmmu_node = cfg.mpmmu_node();
-        let mut mpmmu_hold: Option<Flit> = None;
         // Per-PE wake schedule: the cycle at which each PE must next be
         // ticked. A PE parked in a pure time stall (drained bridge and
         // arbiter — see `ProcessingElement::sleep_until`) is skipped
@@ -203,24 +221,10 @@ impl System {
                     }
                 }
             }
-            if let Some(flit) = mpmmu_hold.take() {
-                if let Err(back) = mpmmu.handle_incoming(flit) {
-                    mpmmu_hold = Some(back);
-                }
-            }
-            while mpmmu_hold.is_none() && fabric.in_flight() > 0 {
-                match fabric.eject(mpmmu_node) {
-                    Some(flit) => {
-                        if let Err(back) = mpmmu.handle_incoming(flit) {
-                            mpmmu_hold = Some(back);
-                        }
-                    }
-                    None => break,
-                }
-            }
+            banks_deliver(&mut fabric, &mut banks);
 
-            // 2. Tick runnable components (the MPMMU's tick is a no-op
-            // while it is idle, so it is skipped then too).
+            // 2. Tick runnable components (a bank's tick is a no-op while
+            // it is idle, so it is skipped then too).
             for (i, pe) in pes.iter_mut().enumerate() {
                 if wake[i] > now {
                     ticked[i] = false;
@@ -237,9 +241,7 @@ impl System {
                     None => now + 1,
                 };
             }
-            if !mpmmu.is_idle() {
-                mpmmu.tick(now);
-            }
+            banks_tick(&mut banks, now, true);
 
             // 3. Inject (one flit per node per cycle). A skipped PE has a
             // drained arbiter by construction, so only ticked PEs can
@@ -254,11 +256,7 @@ impl System {
                     }
                 }
             }
-            if let Some(flit) = mpmmu.pop_outgoing() {
-                if let Err(back) = fabric.try_inject(mpmmu_node, flit, now) {
-                    mpmmu.return_outgoing(back);
-                }
-            }
+            banks_inject(&mut fabric, &mut banks, now);
 
             // 4. Fabric (activity-scheduled internally; a drained fabric
             // ticks in constant time).
@@ -271,7 +269,7 @@ impl System {
             if now >= cfg.cycle_limit() {
                 return Err(RunError::CycleLimit { limit: cfg.cycle_limit() });
             }
-            let quiet = fabric.in_flight() == 0 && mpmmu.is_idle() && mpmmu_hold.is_none();
+            let quiet = fabric.in_flight() == 0 && banks_quiet(&banks);
             if quiet {
                 match classify_quiet(&pes) {
                     QuietState::AllTimed { min_wake } => {
@@ -292,7 +290,7 @@ impl System {
             now += 1;
         }
 
-        Ok(finish_result(now, &pes, fabric.stats(), &mpmmu, wall_start))
+        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start))
     }
 
     /// Run `kernels` on the naive reference engine: the frozen seed
@@ -318,12 +316,10 @@ impl System {
             FabricKind::Deflection => Box::new(ReferenceNetwork::new(topo)),
             FabricKind::Ideal => Box::new(IdealNetwork::new(topo)),
         };
-        let mut mpmmu = build_mpmmu(cfg, preload);
+        let mut banks = build_banks(cfg, preload);
         let mut pes = build_pes(cfg, kernels);
 
         let wall_start = Instant::now();
-        let mpmmu_node = cfg.mpmmu_node();
-        let mut mpmmu_hold: Option<Flit> = None;
         let mut now: Cycle = 0;
         loop {
             // 1. Deliver ejections.
@@ -333,27 +329,13 @@ impl System {
                     pe.deliver(flit, now);
                 }
             }
-            if let Some(flit) = mpmmu_hold.take() {
-                if let Err(back) = mpmmu.handle_incoming(flit) {
-                    mpmmu_hold = Some(back);
-                }
-            }
-            while mpmmu_hold.is_none() {
-                match fabric.eject(mpmmu_node) {
-                    Some(flit) => {
-                        if let Err(back) = mpmmu.handle_incoming(flit) {
-                            mpmmu_hold = Some(back);
-                        }
-                    }
-                    None => break,
-                }
-            }
+            banks_deliver(&mut *fabric, &mut banks);
 
             // 2. Tick components.
             for pe in &mut pes {
                 pe.tick(now);
             }
-            mpmmu.tick(now);
+            banks_tick(&mut banks, now, false);
 
             // 3. Inject (one flit per node per cycle).
             for pe in &mut pes {
@@ -363,11 +345,7 @@ impl System {
                     }
                 }
             }
-            if let Some(flit) = mpmmu.pop_outgoing() {
-                if let Err(back) = fabric.try_inject(mpmmu_node, flit, now) {
-                    mpmmu.return_outgoing(back);
-                }
-            }
+            banks_inject(&mut *fabric, &mut banks, now);
 
             // 4. Fabric.
             fabric.tick(now);
@@ -379,7 +357,7 @@ impl System {
             if now >= cfg.cycle_limit() {
                 return Err(RunError::CycleLimit { limit: cfg.cycle_limit() });
             }
-            let quiet = fabric.in_flight() == 0 && mpmmu.is_idle() && mpmmu_hold.is_none();
+            let quiet = fabric.in_flight() == 0 && banks_quiet(&banks);
             if quiet {
                 match classify_quiet(&pes) {
                     QuietState::AllTimed { min_wake } => {
@@ -398,7 +376,7 @@ impl System {
             now += 1;
         }
 
-        Ok(finish_result(now, &pes, fabric.stats(), &mpmmu, wall_start))
+        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start))
     }
 }
 
@@ -412,26 +390,99 @@ fn check_kernel_count(cfg: &SystemConfig, kernels: &[Kernel]) -> Result<(), RunE
     Ok(())
 }
 
-fn build_mpmmu(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Mpmmu {
-    let mut mpmmu = Mpmmu::new(cfg.topology(), cfg.mpmmu_node(), cfg.mpmmu_config());
+/// One MPMMU bank wired into the cycle loop: the unit itself, its node,
+/// and the one-flit hold latch for FIFO back-pressure (a flit the bank
+/// refused stays at the node interface and is retried next cycle).
+struct Bank {
+    unit: Mpmmu,
+    node: NodeId,
+    hold: Option<Flit>,
+}
+
+/// Build the bank vector and route every preload word to its owning bank.
+fn build_banks(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Vec<Bank> {
+    let map = cfg.bank_map();
+    let mut banks: Vec<Bank> = cfg
+        .bank_nodes()
+        .into_iter()
+        .map(|node| Bank {
+            unit: Mpmmu::new(cfg.topology(), node, cfg.mpmmu_config()),
+            node,
+            hold: None,
+        })
+        .collect();
     for (addr, value) in preload {
-        mpmmu.debug_store().write_word(*addr, *value);
+        banks[map.bank_of(*addr)].unit.debug_store().write_word(*addr, *value);
     }
-    mpmmu
+    banks
+}
+
+/// Deliver ejections to every bank: retry the held flit first, then drain
+/// the node's ejection queue until the bank back-pressures. Shared by both
+/// engines — with a drained fabric (`in_flight() == 0`) the eject loop is
+/// a no-op either way, so the census gate is a pure optimization.
+fn banks_deliver<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank]) {
+    for bank in banks {
+        if let Some(flit) = bank.hold.take() {
+            if let Err(back) = bank.unit.handle_incoming(flit) {
+                bank.hold = Some(back);
+            }
+        }
+        while bank.hold.is_none() && fabric.in_flight() > 0 {
+            match fabric.eject(bank.node) {
+                Some(flit) => {
+                    if let Err(back) = bank.unit.handle_incoming(flit) {
+                        bank.hold = Some(back);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Tick every bank. With `skip_idle` (the scheduled engine) an idle bank
+/// is not ticked — its tick is provably a no-op; the reference engine
+/// ticks everything every cycle.
+fn banks_tick(banks: &mut [Bank], now: Cycle, skip_idle: bool) {
+    for bank in banks {
+        if !skip_idle || !bank.unit.is_idle() {
+            bank.unit.tick(now);
+        }
+    }
+}
+
+/// Inject at most one response flit per bank (one flit per node per
+/// cycle); a refused flit goes back to the front of the bank's out FIFO.
+fn banks_inject<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank], now: Cycle) {
+    for bank in banks {
+        if let Some(flit) = bank.unit.pop_outgoing() {
+            if let Err(back) = fabric.try_inject(bank.node, flit, now) {
+                bank.unit.return_outgoing(back);
+            }
+        }
+    }
+}
+
+/// Whether every bank is drained (the fast-forward / deadlock predicate).
+fn banks_quiet(banks: &[Bank]) -> bool {
+    banks.iter().all(|b| b.unit.is_idle() && b.hold.is_none())
 }
 
 fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement> {
     let topo = cfg.topology();
     let ranks = cfg.compute_pes();
     let layout = cfg.layout();
+    let plan = cfg.node_plan();
+    let bank_map = cfg.bank_map();
     let algo = cfg.collective_algo();
     kernels
         .into_iter()
         .enumerate()
         .map(|(i, kernel)| {
             let rank = Rank::new(i as u8);
-            ProcessingElement::new(cfg.pe_config(rank), topo, cfg.mpmmu_node(), move |port| {
-                kernel(PeApi::new(port, rank, ranks, layout, algo))
+            ProcessingElement::new(cfg.pe_config(rank), topo, bank_map, move |port| {
+                kernel(PeApi::new(port, rank, ranks, layout, plan, algo))
             })
         })
         .collect()
@@ -489,9 +540,19 @@ fn finish_result(
     now: Cycle,
     pes: &[ProcessingElement],
     fstats: &medea_noc::FabricStats,
-    mpmmu: &Mpmmu,
+    banks: &[Bank],
     wall_start: Instant,
 ) -> RunResult {
+    let per_bank: Vec<BankSummary> = banks
+        .iter()
+        .map(|b| BankSummary { node: b.node, mpmmu: *b.unit.stats(), cache: *b.unit.cache_stats() })
+        .collect();
+    let mut mpmmu = MpmmuStats::default();
+    let mut mpmmu_cache = CacheStats::default();
+    for b in &per_bank {
+        mpmmu.merge(&b.mpmmu);
+        mpmmu_cache.merge(&b.cache);
+    }
     RunResult {
         cycles: now,
         pe: pes
@@ -507,8 +568,9 @@ fn finish_result(
         fabric_deflections: fstats.deflections,
         fabric_mean_latency: fstats.latency.summary().mean(),
         fabric_max_latency: fstats.latency.summary().max(),
-        mpmmu: *mpmmu.stats(),
-        mpmmu_cache: *mpmmu.cache_stats(),
+        mpmmu,
+        mpmmu_cache,
+        banks: per_bank,
         wall: wall_start.elapsed(),
     }
 }
@@ -973,6 +1035,160 @@ mod tests {
         assert_eq!(fast.fabric_delivered, slow.fabric_delivered);
         assert_eq!(fast.fabric_deflections, slow.fabric_deflections);
         assert_eq!(fast.fabric_mean_latency, slow.fabric_mean_latency);
+    }
+
+    #[test]
+    fn banked_memory_roundtrip_and_per_bank_stats() {
+        // Two banks: even lines at node 0, odd lines at node 2. A single
+        // kernel walks lines of both parities; both banks must serve
+        // traffic and the aggregate must equal the per-bank sum.
+        let cfg = SystemConfig::builder()
+            .compute_pes(3)
+            .memory_banks(2)
+            .cycle_limit(5_000_000)
+            .build()
+            .unwrap();
+        let result = System::run(
+            &cfg,
+            &[(0x10, 71)],
+            vec![
+                Box::new(|api: PeApi| {
+                    // Preload on an odd line (bank 1) is visible.
+                    assert_eq!(api.uncached_load_u32(0x10), 71);
+                    for line in 0..8u32 {
+                        let addr = line * 16;
+                        api.uncached_store_u32(addr, 1000 + line);
+                    }
+                    for line in 0..8u32 {
+                        let addr = line * 16;
+                        assert_eq!(api.uncached_load_u32(addr), 1000 + line);
+                    }
+                }),
+                Box::new(|api: PeApi| {
+                    // Cached traffic crosses banks too: f64 spanning one
+                    // line each on both parities, flushed and reloaded.
+                    api.store_f64(0x40, 2.5); // even line → bank 0
+                    api.store_f64(0x50, 3.5); // odd line → bank 1
+                    api.flush_line(0x40);
+                    api.flush_line(0x50);
+                    api.invalidate_line(0x40);
+                    api.invalidate_line(0x50);
+                    assert_eq!(api.load_f64(0x40), 2.5);
+                    assert_eq!(api.load_f64(0x50), 3.5);
+                }),
+                Box::new(|api: PeApi| {
+                    api.compute(100);
+                }),
+            ],
+        )
+        .unwrap();
+        assert_eq!(result.banks.len(), 2);
+        assert_eq!(result.banks[0].node, NodeId::new(0));
+        assert_eq!(result.banks[1].node, NodeId::new(2));
+        for bank in &result.banks {
+            assert!(
+                bank.mpmmu.single_reads.get() + bank.mpmmu.block_reads.get() > 0,
+                "bank {} served no reads",
+                bank.node
+            );
+        }
+        let summed: u64 = result.banks.iter().map(|b| b.mpmmu.single_writes.get()).sum();
+        assert_eq!(result.mpmmu.single_writes.get(), summed, "aggregate = per-bank sum");
+    }
+
+    #[test]
+    fn banked_locks_are_per_word_atomic() {
+        // Lock words on different banks guard independent counters; the
+        // mutual exclusion of each must hold exactly as with one MPMMU.
+        const COUNTER_A: u32 = 0x100; // even line → bank 0
+        const LOCK_A: u32 = 0x200;
+        const COUNTER_B: u32 = 0x110; // odd line → bank 1
+        const LOCK_B: u32 = 0x210;
+        let cfg = SystemConfig::builder()
+            .compute_pes(4)
+            .memory_banks(2)
+            .cycle_limit(5_000_000)
+            .build()
+            .unwrap();
+        let kernel = || {
+            Box::new(move |api: PeApi| {
+                for _ in 0..5 {
+                    api.lock(LOCK_A);
+                    let v = api.uncached_load_u32(COUNTER_A);
+                    api.uncached_store_u32(COUNTER_A, v + 1);
+                    api.unlock(LOCK_A);
+                    api.lock(LOCK_B);
+                    let v = api.uncached_load_u32(COUNTER_B);
+                    api.uncached_store_u32(COUNTER_B, v + 1);
+                    api.unlock(LOCK_B);
+                }
+            }) as Kernel
+        };
+        let result = System::run(&cfg, &[], vec![kernel(), kernel(), kernel(), kernel()]).unwrap();
+        assert_eq!(result.mpmmu.locks_granted.get(), 40);
+        assert_eq!(result.mpmmu.unlocks.get(), 40);
+        // Each lock word is owned by exactly one bank.
+        assert_eq!(result.banks[0].mpmmu.locks_granted.get(), 20);
+        assert_eq!(result.banks[1].mpmmu.locks_granted.get(), 20);
+    }
+
+    #[test]
+    fn engine_equivalence_on_banked_memory() {
+        // The scheduled engine and the reference engine must agree
+        // bit-for-bit on a multi-bank system too.
+        let mk = || {
+            SystemConfig::builder()
+                .compute_pes(5)
+                .memory_banks(4)
+                .cycle_limit(5_000_000)
+                .build()
+                .unwrap()
+        };
+        let kernels = || -> Vec<Kernel> {
+            (0..5)
+                .map(|r| {
+                    Box::new(move |api: PeApi| {
+                        let comm = Empi::new(api);
+                        comm.compute(30 + 17 * r as u64);
+                        for i in 0..6u32 {
+                            let addr = (r as u32 * 6 + i) * 16;
+                            comm.uncached_store_u32(addr, r as u32 * 100 + i);
+                        }
+                        comm.barrier();
+                        let peer = (r + 1) % 5;
+                        let addr = (peer as u32 * 6) * 16;
+                        assert_eq!(comm.uncached_load_u32(addr), peer as u32 * 100);
+                    }) as Kernel
+                })
+                .collect()
+        };
+        let fast = System::run(&mk(), &[], kernels()).unwrap();
+        let slow = System::run_reference(&mk(), &[], kernels()).unwrap();
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.fabric_delivered, slow.fabric_delivered);
+        assert_eq!(fast.fabric_deflections, slow.fabric_deflections);
+        assert_eq!(fast.fabric_mean_latency, slow.fabric_mean_latency);
+        for (a, b) in fast.banks.iter().zip(&slow.banks) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.mpmmu.single_reads.get(), b.mpmmu.single_reads.get());
+            assert_eq!(a.mpmmu.single_writes.get(), b.mpmmu.single_writes.get());
+            assert_eq!(a.mpmmu.busy_cycles.get(), b.mpmmu.busy_cycles.get());
+        }
+    }
+
+    #[test]
+    fn single_bank_result_has_one_bank_summary() {
+        let result = System::run(
+            &cfg(1),
+            &[],
+            vec![Box::new(|api: PeApi| {
+                api.uncached_store_u32(0x40, 9);
+            })],
+        )
+        .unwrap();
+        assert_eq!(result.banks.len(), 1);
+        assert_eq!(result.banks[0].node, NodeId::new(0));
+        assert_eq!(result.banks[0].mpmmu.single_writes.get(), result.mpmmu.single_writes.get());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Address-interleaved distribution of the shared address space over N
+//! MPMMU banks.
+//!
+//! The paper's simplest MEDEA implementation hardwires all memory-mapped
+//! address space to the single MPMMU at node 0 (§II-B). The [`BankMap`]
+//! generalizes that configuration memory: the 32-bit address space is
+//! interleaved at cache-line granularity over `N` banks (`N` a power of
+//! two), so consecutive lines land on different banks and any dense access
+//! stream spreads evenly. `N = 1` degenerates to the paper's hardwired
+//! single-slave lookup bit-for-bit.
+//!
+//! The map is a small `Copy` value shared by every pif2NoC bridge (to pick
+//! the destination NoC address of a transaction) and by the system
+//! assembler (to place one [`crate::Mpmmu`] per bank and route preloads).
+
+use medea_cache::{line_of, Addr, LINE_BYTES};
+use medea_noc::coord::{Coord, Topology};
+use medea_sim::ids::NodeId;
+use std::fmt;
+
+/// Hard upper bound on the number of banks a [`BankMap`] can describe.
+///
+/// Sixteen single-ported slaves is already beyond any sensible fraction of
+/// the largest (16×16) torus; the bound is what lets the map stay a flat
+/// `Copy` value inside every bridge.
+pub const MAX_BANKS: usize = 16;
+
+/// Error constructing a [`BankMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidBankMapError(String);
+
+impl fmt::Display for InvalidBankMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bank map: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBankMapError {}
+
+/// Line-interleaved address → bank lookup table.
+///
+/// Bank selection is pure address arithmetic: line index modulo the
+/// (power-of-two) bank count. Every address therefore maps to exactly one
+/// bank, the mapping is stateless and stable, and all four words of a
+/// cache line share a bank — block transfers never straddle banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankMap {
+    count: u8,
+    nodes: [u16; MAX_BANKS],
+    coords: [Coord; MAX_BANKS],
+}
+
+impl BankMap {
+    /// Build the map for banks living at `nodes` of `topo`, in bank-index
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The bank count must be a power of two in `1..=MAX_BANKS` and the
+    /// nodes must be distinct and on the torus.
+    pub fn new(topo: Topology, nodes: &[NodeId]) -> Result<Self, InvalidBankMapError> {
+        let count = nodes.len();
+        if count == 0 || count > MAX_BANKS || !count.is_power_of_two() {
+            return Err(InvalidBankMapError(format!(
+                "bank count must be a power of two in 1..={MAX_BANKS}, got {count}"
+            )));
+        }
+        let mut node_idx = [0u16; MAX_BANKS];
+        let mut coords = [Coord::new(0, 0); MAX_BANKS];
+        for (i, node) in nodes.iter().enumerate() {
+            if node.index() >= topo.nodes() {
+                return Err(InvalidBankMapError(format!("bank node {node} outside {topo}")));
+            }
+            if nodes[..i].contains(node) {
+                return Err(InvalidBankMapError(format!("bank node {node} listed twice")));
+            }
+            node_idx[i] = node.index() as u16;
+            coords[i] = topo.coord_of(*node);
+        }
+        Ok(BankMap { count: count as u8, nodes: node_idx, coords })
+    }
+
+    /// The paper's degenerate map: every address owned by the single bank
+    /// at `node`.
+    pub fn single(topo: Topology, node: NodeId) -> Self {
+        BankMap::new(topo, &[node]).expect("a single bank is always a valid map")
+    }
+
+    /// Number of banks.
+    pub const fn banks(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The bank owning `addr` (line-granularity interleave).
+    pub const fn bank_of(&self, addr: Addr) -> usize {
+        (line_of(addr) / LINE_BYTES as Addr) as usize & (self.count as usize - 1)
+    }
+
+    /// The node hosting bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn node_of_bank(&self, bank: usize) -> NodeId {
+        assert!(bank < self.banks(), "bank {bank} outside {}-bank map", self.banks());
+        NodeId::new(self.nodes[bank])
+    }
+
+    /// The torus coordinate of bank `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn coord_of_bank(&self, bank: usize) -> Coord {
+        assert!(bank < self.banks(), "bank {bank} outside {}-bank map", self.banks());
+        self.coords[bank]
+    }
+
+    /// The NoC coordinate a transaction on `addr` must be sent to.
+    pub fn home_coord(&self, addr: Addr) -> Coord {
+        self.coords[self.bank_of(addr)]
+    }
+
+    /// The node owning `addr`.
+    pub fn home_node(&self, addr: Addr) -> NodeId {
+        NodeId::new(self.nodes[self.bank_of(addr)])
+    }
+
+    /// The application-level source id responses from `addr`'s bank carry
+    /// (its node index) — what a reorder buffer keys on.
+    pub fn home_src_id(&self, addr: Addr) -> u8 {
+        self.nodes[self.bank_of(addr)] as u8
+    }
+
+    /// Whether `node` hosts one of the banks.
+    pub fn is_bank_node(&self, node: NodeId) -> bool {
+        self.nodes[..self.banks()].contains(&(node.index() as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map2() -> BankMap {
+        let topo = Topology::paper_4x4();
+        BankMap::new(topo, &[NodeId::new(0), NodeId::new(8)]).unwrap()
+    }
+
+    #[test]
+    fn single_bank_owns_everything() {
+        let m = BankMap::single(Topology::paper_4x4(), NodeId::new(0));
+        assert_eq!(m.banks(), 1);
+        for addr in [0u32, 4, 16, 1024, 0xFFFF_FFF0] {
+            assert_eq!(m.bank_of(addr), 0);
+            assert_eq!(m.home_coord(addr), Coord::new(0, 0));
+            assert_eq!(m.home_node(addr), NodeId::new(0));
+        }
+        assert!(m.is_bank_node(NodeId::new(0)));
+        assert!(!m.is_bank_node(NodeId::new(1)));
+    }
+
+    #[test]
+    fn lines_interleave_across_two_banks() {
+        let m = map2();
+        // Line 0 (bytes 0..16) → bank 0; line 1 (16..32) → bank 1.
+        assert_eq!(m.bank_of(0x00), 0);
+        assert_eq!(m.bank_of(0x0C), 0);
+        assert_eq!(m.bank_of(0x10), 1);
+        assert_eq!(m.bank_of(0x1C), 1);
+        assert_eq!(m.bank_of(0x20), 0);
+        assert_eq!(m.home_node(0x10), NodeId::new(8));
+        assert_eq!(m.home_coord(0x10), Coord::new(0, 2));
+        assert_eq!(m.home_src_id(0x10), 8);
+    }
+
+    #[test]
+    fn words_of_a_line_share_a_bank() {
+        let m = map2();
+        for line in 0..64u32 {
+            let base = line * LINE_BYTES as u32;
+            let owner = m.bank_of(base);
+            for w in 0..4u32 {
+                assert_eq!(m.bank_of(base + w * 4), owner);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_maps() {
+        let topo = Topology::paper_4x4();
+        assert!(BankMap::new(topo, &[]).is_err(), "empty");
+        let three = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        assert!(BankMap::new(topo, &three).is_err(), "not a power of two");
+        assert!(BankMap::new(topo, &[NodeId::new(0), NodeId::new(0)]).is_err(), "duplicate");
+        assert!(BankMap::new(topo, &[NodeId::new(0), NodeId::new(16)]).is_err(), "off torus");
+        let big16 = Topology::new(16, 16).unwrap();
+        let too_many: Vec<NodeId> = (0..32u16).map(NodeId::new).collect();
+        assert!(BankMap::new(big16, &too_many).is_err(), "beyond MAX_BANKS");
+    }
+}

@@ -1,5 +1,6 @@
 //! Memory subsystem of the MEDEA reproduction: backing store, DDR timing,
-//! lock table and the **Multiprocessor Memory Management Unit** (MPMMU).
+//! bank map, lock table and the **Multiprocessor Memory Management Unit**
+//! (MPMMU).
 //!
 //! §II-C of the paper: the MPMMU is "a special processor which handles
 //! shared-memory transactions (reads/writes) using a protocol defined by
@@ -14,6 +15,26 @@
 //!   ("the latency of read operations strongly depends on the availability
 //!   of the given word inside the cache").
 //!
+//! # Banked distributed shared memory
+//!
+//! Beyond the paper's single-slave instance, the shared address space can
+//! be **distributed over N MPMMU banks** (N a power of two):
+//!
+//! * the [`BankMap`] interleaves addresses at cache-line granularity, so
+//!   every address is owned by exactly one bank and block transfers never
+//!   straddle banks;
+//! * each bank is a full [`Mpmmu`] — its own FIFOs, local cache, DDR slice
+//!   and [`LockTable`]. A lock word lives on exactly one bank, so per-bank
+//!   tables preserve the single table's atomicity while lock traffic to
+//!   different banks proceeds in parallel;
+//! * responses carry the owning bank's node index in the `src-id` field,
+//!   which is how a requester's reorder buffer keys data to the
+//!   transaction it issued.
+//!
+//! With `N = 1` (the default everywhere) the bank map degenerates to the
+//! paper's hardwired node-0 lookup and the system is bit-for-bit the
+//! single-MPMMU instance.
+//!
 //! # Example
 //!
 //! ```
@@ -27,11 +48,13 @@
 //! ```
 
 mod backing;
+mod bank;
 mod ddr;
 mod lock;
 mod mpmmu;
 
 pub use backing::BackingStore;
+pub use bank::{BankMap, InvalidBankMapError, MAX_BANKS};
 pub use ddr::DdrModel;
 pub use lock::{LockTable, UnlockError};
 pub use mpmmu::{Mpmmu, MpmmuConfig, MpmmuStats};

@@ -5,11 +5,19 @@
 //! implemented. Every processor which aims to access the shared memory
 //! segment for read/write operations must first request lock."
 //!
+//! Each MPMMU bank owns one table covering the words interleaved onto it
+//! (see [`crate::BankMap`]); a lock word never migrates between banks, so
+//! per-bank tables are exactly as atomic as the paper's single one.
+//! Requesters are identified by their full [`NodeId`] — on a 16×16 torus
+//! node indices occupy the whole 0..=255 range, so the table must carry a
+//! genuine node index, not a narrower application-level id.
+//!
 //! The paper does not specify what happens when a lock is busy; this
 //! reproduction answers busy lock requests with a Nack and lets the
 //! requesting bridge retry after a backoff (DESIGN.md §3.3).
 
 use medea_cache::Addr;
+use medea_sim::ids::NodeId;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -19,9 +27,9 @@ pub struct UnlockError {
     /// The word address involved.
     pub addr: Addr,
     /// The requester.
-    pub requester: u8,
+    pub requester: NodeId,
     /// Current owner, if any.
-    pub owner: Option<u8>,
+    pub owner: Option<NodeId>,
 }
 
 impl fmt::Display for UnlockError {
@@ -44,7 +52,7 @@ impl std::error::Error for UnlockError {}
 /// Table of locked shared-memory words, keyed by word address.
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    owners: HashMap<Addr, u8>,
+    owners: HashMap<Addr, NodeId>,
 }
 
 impl LockTable {
@@ -56,7 +64,7 @@ impl LockTable {
     /// Try to lock `addr` for `requester`. Granted when the word is free or
     /// already held by the same requester (idempotent re-lock); denied
     /// otherwise.
-    pub fn try_lock(&mut self, addr: Addr, requester: u8) -> bool {
+    pub fn try_lock(&mut self, addr: Addr, requester: NodeId) -> bool {
         match self.owners.get(&addr) {
             Some(&owner) => owner == requester,
             None => {
@@ -72,7 +80,7 @@ impl LockTable {
     ///
     /// Returns [`UnlockError`] if `requester` does not hold the lock —
     /// a software protocol violation the MPMMU answers with a Nack.
-    pub fn unlock(&mut self, addr: Addr, requester: u8) -> Result<(), UnlockError> {
+    pub fn unlock(&mut self, addr: Addr, requester: NodeId) -> Result<(), UnlockError> {
         match self.owners.get(&addr) {
             Some(&owner) if owner == requester => {
                 self.owners.remove(&addr);
@@ -83,7 +91,7 @@ impl LockTable {
     }
 
     /// Current owner of `addr`, if locked.
-    pub fn owner(&self, addr: Addr) -> Option<u8> {
+    pub fn owner(&self, addr: Addr) -> Option<NodeId> {
         self.owners.get(&addr).copied()
     }
 
@@ -97,50 +105,68 @@ impl LockTable {
 mod tests {
     use super::*;
 
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
     #[test]
     fn lock_grant_and_deny() {
         let mut t = LockTable::new();
-        assert!(t.try_lock(0x100, 1));
-        assert!(!t.try_lock(0x100, 2));
-        assert_eq!(t.owner(0x100), Some(1));
+        assert!(t.try_lock(0x100, n(1)));
+        assert!(!t.try_lock(0x100, n(2)));
+        assert_eq!(t.owner(0x100), Some(n(1)));
         assert_eq!(t.locked_count(), 1);
     }
 
     #[test]
     fn relock_by_owner_is_idempotent() {
         let mut t = LockTable::new();
-        assert!(t.try_lock(0x100, 1));
-        assert!(t.try_lock(0x100, 1));
+        assert!(t.try_lock(0x100, n(1)));
+        assert!(t.try_lock(0x100, n(1)));
         assert_eq!(t.locked_count(), 1);
     }
 
     #[test]
     fn unlock_by_owner() {
         let mut t = LockTable::new();
-        t.try_lock(0x100, 1);
-        t.unlock(0x100, 1).unwrap();
+        t.try_lock(0x100, n(1));
+        t.unlock(0x100, n(1)).unwrap();
         assert_eq!(t.owner(0x100), None);
-        assert!(t.try_lock(0x100, 2));
+        assert!(t.try_lock(0x100, n(2)));
     }
 
     #[test]
     fn unlock_violations() {
         let mut t = LockTable::new();
-        t.try_lock(0x100, 1);
-        let err = t.unlock(0x100, 2).unwrap_err();
-        assert_eq!(err.owner, Some(1));
-        assert!(err.to_string().contains("held by source 1"));
-        let err = t.unlock(0x200, 2).unwrap_err();
+        t.try_lock(0x100, n(1));
+        let err = t.unlock(0x100, n(2)).unwrap_err();
+        assert_eq!(err.owner, Some(n(1)));
+        assert!(err.to_string().contains("held by source n1"));
+        let err = t.unlock(0x200, n(2)).unwrap_err();
         assert_eq!(err.owner, None);
         // Violation must not disturb the table.
-        assert_eq!(t.owner(0x100), Some(1));
+        assert_eq!(t.owner(0x100), Some(n(1)));
     }
 
     #[test]
     fn independent_words() {
         let mut t = LockTable::new();
-        assert!(t.try_lock(0x100, 1));
-        assert!(t.try_lock(0x104, 2));
+        assert!(t.try_lock(0x100, n(1)));
+        assert!(t.try_lock(0x104, n(2)));
         assert_eq!(t.locked_count(), 2);
+    }
+
+    #[test]
+    fn full_node_range_distinguished() {
+        // The 16×16 torus uses node indices up to 255: the table must key
+        // the full range without truncation or aliasing.
+        let mut t = LockTable::new();
+        assert!(t.try_lock(0x100, n(255)));
+        assert!(!t.try_lock(0x100, n(254)), "distinct high indices must not alias");
+        assert_eq!(t.owner(0x100), Some(n(255)));
+        assert!(t.unlock(0x100, n(254)).is_err(), "wrong owner rejected");
+        t.unlock(0x100, n(255)).unwrap();
+        assert_eq!(t.owner(0x100), None);
+        assert!(t.try_lock(0x100, n(254)));
     }
 }

@@ -98,6 +98,23 @@ pub struct MpmmuStats {
     pub protocol_drops: Counter,
 }
 
+impl MpmmuStats {
+    /// Accumulate another bank's counters into this one (the per-bank →
+    /// aggregate reduction of a banked system's run report).
+    pub fn merge(&mut self, other: &MpmmuStats) {
+        self.single_reads.add(other.single_reads.get());
+        self.block_reads.add(other.block_reads.get());
+        self.single_writes.add(other.single_writes.get());
+        self.block_writes.add(other.block_writes.get());
+        self.locks_granted.add(other.locks_granted.get());
+        self.lock_nacks.add(other.lock_nacks.get());
+        self.unlocks.add(other.unlocks.get());
+        self.unlock_errors.add(other.unlock_errors.get());
+        self.busy_cycles.add(other.busy_cycles.get());
+        self.protocol_drops.add(other.protocol_drops.get());
+    }
+}
+
 #[derive(Debug, Clone)]
 enum State {
     Idle,
@@ -353,7 +370,7 @@ impl Mpmmu {
                 };
             }
             PacketKind::Lock => {
-                let granted = self.locks.try_lock(addr, src);
+                let granted = self.locks.try_lock(addr, NodeId::new(src as u16));
                 let sub = if granted {
                     self.stats.locks_granted.inc();
                     SubKind::Ack
@@ -366,7 +383,7 @@ impl Mpmmu {
                     State::Busy { until: now + overhead, then: Completion::Respond(vec![resp]) };
             }
             PacketKind::Unlock => {
-                let sub = match self.locks.unlock(addr, src) {
+                let sub = match self.locks.unlock(addr, NodeId::new(src as u16)) {
                     Ok(()) => {
                         self.stats.unlocks.inc();
                         SubKind::Ack

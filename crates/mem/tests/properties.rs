@@ -1,9 +1,11 @@
 //! Property-based tests for the memory subsystem: the MPMMU must be
 //! observationally equivalent to a flat memory under any interleaving of
-//! single/block reads and writes, and the lock table must behave like a
-//! map of owners.
+//! single/block reads and writes, the bank map must be a stable
+//! line-granularity partition of the address space, and the lock table
+//! must behave like a map of owners over the full node-index range.
 
-use medea_mem::{LockTable, Mpmmu, MpmmuConfig};
+use medea_cache::LINE_BYTES;
+use medea_mem::{BankMap, LockTable, Mpmmu, MpmmuConfig};
 use medea_noc::coord::{Coord, Topology};
 use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
 use medea_sim::ids::NodeId;
@@ -151,22 +153,23 @@ proptest! {
     }
 
     /// Lock table: at most one owner per word; unlock only by the owner;
-    /// count is exact.
+    /// count is exact. Requesters span the full 16×16-torus node-index
+    /// range (0..=255), which a narrower id type would truncate.
     #[test]
-    fn lock_table_owner_map(ops in proptest::collection::vec((0u32..16, 0u8..4, any::<bool>()), 1..200)) {
+    fn lock_table_owner_map(ops in proptest::collection::vec((0u32..16, prop_oneof![0u16..4, 252u16..=255], any::<bool>()), 1..200)) {
         let mut table = LockTable::new();
-        let mut model: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+        let mut model: std::collections::HashMap<u32, u16> = std::collections::HashMap::new();
         for (word, who, is_lock) in ops {
             let addr = word * 4;
             if is_lock {
-                let granted = table.try_lock(addr, who);
+                let granted = table.try_lock(addr, NodeId::new(who));
                 let expect = match model.get(&addr) {
                     None => { model.insert(addr, who); true }
                     Some(&owner) => owner == who,
                 };
                 prop_assert_eq!(granted, expect);
             } else {
-                let result = table.unlock(addr, who);
+                let result = table.unlock(addr, NodeId::new(who));
                 match model.get(&addr) {
                     Some(&owner) if owner == who => {
                         model.remove(&addr);
@@ -176,6 +179,44 @@ proptest! {
                 }
             }
             prop_assert_eq!(table.locked_count(), model.len());
+        }
+    }
+
+    /// Every address maps to exactly one bank, and the mapping is a pure
+    /// function: repeated lookups agree, the bank index is in range, and
+    /// the owning node/coordinate are consistent with the bank index.
+    #[test]
+    fn bank_map_is_a_stable_partition(addr in any::<u32>(), banks_log2 in 0u32..3) {
+        let topo = Topology::new(8, 8).unwrap();
+        let nodes: Vec<NodeId> = (0..1u16 << banks_log2).map(|k| NodeId::new(k * 9)).collect();
+        let map = BankMap::new(topo, &nodes).unwrap();
+        let bank = map.bank_of(addr);
+        prop_assert!(bank < map.banks());
+        prop_assert_eq!(map.bank_of(addr), bank, "mapping must be stable across calls");
+        prop_assert_eq!(map.home_node(addr), map.node_of_bank(bank));
+        prop_assert_eq!(map.home_coord(addr), map.coord_of_bank(bank));
+        prop_assert_eq!(map.home_src_id(addr), map.node_of_bank(bank).index() as u8);
+        // Line granularity: all four words of the line share the bank.
+        let line = addr & !(LINE_BYTES as u32 - 1);
+        for w in 0..4u32 {
+            prop_assert_eq!(map.bank_of(line + w * 4), map.bank_of(line));
+        }
+    }
+
+    /// A dense line range touches every bank, and evenly: line-granularity
+    /// interleaving over a power-of-two count is a perfect round-robin.
+    #[test]
+    fn bank_map_dense_range_hits_all_banks(start_line in 0u32..1024, banks_log2 in 0u32..5) {
+        let topo = Topology::new(16, 16).unwrap();
+        let count = 1usize << banks_log2;
+        let nodes: Vec<NodeId> = (0..count as u16).map(|k| NodeId::new(k * 16)).collect();
+        let map = BankMap::new(topo, &nodes).unwrap();
+        let mut hits = vec![0u32; count];
+        for line in start_line..start_line + 4 * count as u32 {
+            hits[map.bank_of(line * LINE_BYTES as u32)] += 1;
+        }
+        for (bank, h) in hits.iter().enumerate() {
+            prop_assert_eq!(*h, 4, "bank {} not hit evenly by a dense range", bank);
         }
     }
 }

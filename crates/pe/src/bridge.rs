@@ -6,12 +6,17 @@
 //! NoC address depends on a configuration memory inside the bridge [...]
 //! In the simplest Medea implementation, all the memory mapped address
 //! space is located at the unique MPMMU of the system, thus the
-//! corresponding NoC address is hardwired." We model exactly that simplest
-//! implementation: one MPMMU, hardwired coordinate.
+//! corresponding NoC address is hardwired." We model that configuration
+//! memory as a [`BankMap`]: each transaction is routed to the NoC address
+//! of the MPMMU bank owning its line. A single-bank map reproduces the
+//! paper's hardwired lookup exactly; multi-bank maps distribute the
+//! shared-memory traffic.
 //!
 //! Block-read responses "may arrive out-of-order", so the bridge contains a
 //! reorder buffer "which currently has a depth of four words" — one cache
-//! line.
+//! line. Responses are keyed by their source bank (the `src-id` a bank
+//! stamps on every response is its node index): data from any bank other
+//! than the one the in-flight transaction targets is a protocol violation.
 //!
 //! Lock transactions answered with a Nack (lock busy) are retried
 //! automatically after a configurable backoff; the PE stays blocked, which
@@ -19,6 +24,7 @@
 //! paper measures against message passing.
 
 use medea_cache::{Addr, WORDS_PER_LINE};
+use medea_mem::BankMap;
 use medea_noc::coord::Coord;
 use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
 use medea_sim::stats::Counter;
@@ -121,7 +127,13 @@ enum State {
 /// The pif2NoC bridge of one processing element.
 #[derive(Debug, Clone)]
 pub struct Pif2NocBridge {
-    mpmmu: Coord,
+    banks: BankMap,
+    /// Destination of the in-flight transaction (the owning bank's NoC
+    /// coordinate); meaningless while idle.
+    home: Coord,
+    /// Source id the in-flight transaction's responses must carry (the
+    /// owning bank's node index) — the reorder-buffer key.
+    home_src: u8,
     src_id: u8,
     cfg: BridgeConfig,
     state: State,
@@ -132,10 +144,12 @@ pub struct Pif2NocBridge {
 
 impl Pif2NocBridge {
     /// Build a bridge for the PE with application-level id `src_id`
-    /// (its node index), talking to the MPMMU at `mpmmu`.
-    pub fn new(mpmmu: Coord, src_id: u8, cfg: BridgeConfig) -> Self {
+    /// (its node index), routing transactions through `banks`.
+    pub fn new(banks: BankMap, src_id: u8, cfg: BridgeConfig) -> Self {
         Pif2NocBridge {
-            mpmmu,
+            banks,
+            home: banks.coord_of_bank(0),
+            home_src: banks.node_of_bank(0).index() as u8,
             src_id,
             cfg,
             state: State::Idle,
@@ -172,7 +186,16 @@ impl Pif2NocBridge {
     /// bridge, so overlap is an engine bug.
     pub fn start(&mut self, op: BridgeOp) {
         assert!(!self.is_busy(), "bridge transaction overlap");
-        let req = |kind: PacketKind, addr: Addr| Flit::request(self.mpmmu, kind, self.src_id, addr);
+        let target = match op {
+            BridgeOp::SingleRead { addr }
+            | BridgeOp::SingleWrite { addr, .. }
+            | BridgeOp::Lock { addr }
+            | BridgeOp::Unlock { addr } => addr,
+            BridgeOp::BlockRead { line } | BridgeOp::BlockWrite { line, .. } => line,
+        };
+        self.home = self.banks.home_coord(target);
+        self.home_src = self.banks.home_src_id(target);
+        let req = |kind: PacketKind, addr: Addr| Flit::request(self.home, kind, self.src_id, addr);
         match op {
             BridgeOp::SingleRead { addr } => {
                 self.out_slot = Some(req(PacketKind::SingleRead, addr));
@@ -215,7 +238,7 @@ impl Pif2NocBridge {
     }
 
     fn data_flit(&self, kind: PacketKind, seq: u8, total: usize, value: u32) -> Flit {
-        Flit::new(self.mpmmu, kind, SubKind::Data, seq, burst_code(total), self.src_id, value)
+        Flit::new(self.home, kind, SubKind::Data, seq, burst_code(total), self.src_id, value)
     }
 
     /// Take the flit waiting at the arbiter-facing output latch, if any.
@@ -250,8 +273,7 @@ impl Pif2NocBridge {
         match &mut self.state {
             State::LockBackoff { until, addr } if now >= *until && self.out_slot.is_none() => {
                 let addr = *addr;
-                self.out_slot =
-                    Some(Flit::request(self.mpmmu, PacketKind::Lock, self.src_id, addr));
+                self.out_slot = Some(Flit::request(self.home, PacketKind::Lock, self.src_id, addr));
                 self.state = State::AwaitLockAck { addr };
             }
             State::Streaming { data } if self.out_slot.is_none() => match data.pop_front() {
@@ -265,6 +287,11 @@ impl Pif2NocBridge {
     /// Deliver a shared-memory response flit ejected at this node.
     pub fn handle_response(&mut self, flit: Flit, now: Cycle) {
         debug_assert!(flit.kind().is_shared_memory(), "bridge receives SM flits only");
+        debug_assert_eq!(
+            flit.src_id(),
+            self.home_src,
+            "response from a bank other than the transaction's home"
+        );
         match std::mem::replace(&mut self.state, State::Idle) {
             State::AwaitSingleData => {
                 debug_assert_eq!(flit.kind(), PacketKind::SingleRead);
@@ -273,6 +300,15 @@ impl Pif2NocBridge {
             }
             State::AwaitBlockData { mut reorder, mut got, mut next_expected } => {
                 debug_assert_eq!(flit.kind(), PacketKind::BlockRead);
+                // The reorder buffer is keyed by source bank: block data
+                // must come from the bank the read targeted.
+                assert_eq!(
+                    flit.src_id(),
+                    self.home_src,
+                    "block-read data from bank src {} while awaiting src {}",
+                    flit.src_id(),
+                    self.home_src
+                );
                 let seq = flit.seq() as usize;
                 assert!(seq < WORDS_PER_LINE, "block-read seq {seq} beyond line");
                 assert!(reorder[seq].is_none(), "duplicate block-read word {seq}");
@@ -331,14 +367,12 @@ impl Pif2NocBridge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medea_noc::coord::Coord;
-
-    fn mpmmu() -> Coord {
-        Coord::new(0, 0)
-    }
+    use medea_noc::coord::{Coord, Topology};
+    use medea_sim::ids::NodeId;
 
     fn bridge() -> Pif2NocBridge {
-        Pif2NocBridge::new(mpmmu(), 5, BridgeConfig::default())
+        let banks = BankMap::single(Topology::paper_4x4(), NodeId::new(0));
+        Pif2NocBridge::new(banks, 5, BridgeConfig::default())
     }
 
     fn resp(kind: PacketKind, sub: SubKind, seq: u8, data: u32) -> Flit {
@@ -448,6 +482,56 @@ mod tests {
         drain(&mut b);
         b.handle_response(resp(PacketKind::Unlock, SubKind::Nack, 0, 0), 0);
         assert_eq!(b.take_result(), Some(BridgeResult::UnlockRejected));
+    }
+
+    #[test]
+    fn transactions_route_to_their_owning_bank() {
+        // Two banks on the 4×4 torus: node 0 at (0,0) and node 10 at
+        // (2,2). Even lines go to bank 0, odd lines to bank 1.
+        let topo = Topology::paper_4x4();
+        let banks = BankMap::new(topo, &[NodeId::new(0), NodeId::new(10)]).unwrap();
+        let mut b = Pif2NocBridge::new(banks, 5, BridgeConfig::default());
+
+        b.start(BridgeOp::SingleRead { addr: 0x08 }); // line 0 → bank 0
+        let req = b.take_output().unwrap();
+        assert_eq!(req.dest(), Coord::new(0, 0));
+        b.handle_response(resp(PacketKind::SingleRead, SubKind::Data, 0, 1), 0);
+        assert_eq!(b.take_result(), Some(BridgeResult::Word(1)));
+
+        b.start(BridgeOp::BlockRead { line: 0x10 }); // line 1 → bank 1
+        let req = b.take_output().unwrap();
+        assert_eq!(req.dest(), Coord::new(2, 2));
+        for seq in 0..4u8 {
+            // Responses from bank 1 carry its node index as src id.
+            let f =
+                Flit::new(Coord::new(1, 1), PacketKind::BlockRead, SubKind::Data, seq, 0, 10, 7);
+            b.handle_response(f, 0);
+        }
+        assert_eq!(b.take_result(), Some(BridgeResult::Line([7; 4])));
+
+        // Lock/unlock follow the word's bank, including the Nack retry.
+        b.start(BridgeOp::Lock { addr: 0x14 }); // line 1 → bank 1
+        let req = b.take_output().unwrap();
+        assert_eq!(req.dest(), Coord::new(2, 2));
+        let nack = Flit::new(Coord::new(1, 1), PacketKind::Lock, SubKind::Nack, 0, 0, 10, 0);
+        b.handle_response(nack, 0);
+        for now in 1..=16 {
+            b.tick(now);
+        }
+        let retry = b.take_output().expect("retry after backoff");
+        assert_eq!(retry.dest(), Coord::new(2, 2), "retry must target the same bank");
+    }
+
+    #[test]
+    #[should_panic(expected = "bank")]
+    fn block_data_from_wrong_bank_panics() {
+        let topo = Topology::paper_4x4();
+        let banks = BankMap::new(topo, &[NodeId::new(0), NodeId::new(10)]).unwrap();
+        let mut b = Pif2NocBridge::new(banks, 5, BridgeConfig::default());
+        b.start(BridgeOp::BlockRead { line: 0x10 }); // bank 1 (src 10)
+        drain(&mut b);
+        let stray = Flit::new(Coord::new(1, 1), PacketKind::BlockRead, SubKind::Data, 0, 0, 0, 9);
+        b.handle_response(stray, 0);
     }
 
     #[test]

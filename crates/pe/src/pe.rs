@@ -23,6 +23,7 @@ use crate::fpu::FpModel;
 use crate::kernel_if::{f64_to_words, words_to_f64, PeRequest, PeResponse};
 use crate::tie::{packetize, TieReceiver};
 use medea_cache::{line_of, Addr, CacheConfig, SetAssocCache, StoreOutcome, WORDS_PER_LINE};
+use medea_mem::BankMap;
 use medea_noc::coord::Topology;
 use medea_noc::flit::Flit;
 use medea_sim::coroutine::{Fetched, KernelHost, KernelPort};
@@ -150,8 +151,9 @@ pub struct ProcessingElement {
 }
 
 impl ProcessingElement {
-    /// Build the PE and spawn its kernel thread.
-    pub fn new<F>(cfg: PeConfig, topo: Topology, mpmmu: NodeId, kernel: F) -> Self
+    /// Build the PE and spawn its kernel thread. Shared-memory
+    /// transactions are routed to their owning MPMMU bank via `banks`.
+    pub fn new<F>(cfg: PeConfig, topo: Topology, banks: BankMap, kernel: F) -> Self
     where
         F: FnOnce(PePort) + Send + 'static,
     {
@@ -164,7 +166,7 @@ impl ProcessingElement {
             src_id,
             host,
             cache: SetAssocCache::new(cfg.cache),
-            bridge: Pif2NocBridge::new(topo.coord_of(mpmmu), src_id, cfg.bridge),
+            bridge: Pif2NocBridge::new(banks, src_id, cfg.bridge),
             rx: TieReceiver::new(),
             arbiter: NocArbiter::new(cfg.arbiter),
             exec: Exec::Fetch,
@@ -626,6 +628,11 @@ mod tests {
         Topology::paper_4x4()
     }
 
+    /// The paper's single-bank map: everything at node 0.
+    fn bank0() -> BankMap {
+        BankMap::single(topo(), NodeId::new(0))
+    }
+
     /// Tick `pe` until it is done, answering bridge traffic with a trivial
     /// "magic memory" that reflects flits back instantly (zero-latency
     /// MPMMU). Returns elapsed cycles.
@@ -716,7 +723,7 @@ mod tests {
 
     #[test]
     fn compute_costs_its_cycles() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::Compute { cycles: 50 }).unwrap();
         });
         let t = run_with_magic_memory(&mut pe, 200);
@@ -726,7 +733,7 @@ mod tests {
 
     #[test]
     fn fp_costs_match_model() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             match port.call(PeRequest::FpAdd { a: 1.5, b: 2.25 }).unwrap() {
                 PeResponse::F64(v) => assert_eq!(v, 3.75),
                 other => panic!("{other:?}"),
@@ -743,7 +750,7 @@ mod tests {
 
     #[test]
     fn store_then_load_roundtrips_through_cache() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::StoreF64 { addr: 0x100, value: 6.5 }).unwrap();
             match port.call(PeRequest::LoadF64 { addr: 0x100 }).unwrap() {
                 PeResponse::F64(v) => assert_eq!(v, 6.5),
@@ -756,7 +763,7 @@ mod tests {
 
     #[test]
     fn wb_miss_goes_through_memory() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             match port.call(PeRequest::LoadWord { addr: 0x40 }).unwrap() {
                 PeResponse::Word(w) => assert_eq!(w, 0),
                 other => panic!("{other:?}"),
@@ -775,7 +782,7 @@ mod tests {
     fn wt_store_writes_through_every_time() {
         let mut c = cfg(1);
         c.cache = CacheConfig::new(2048, CachePolicy::WriteThrough).unwrap();
-        let mut pe = ProcessingElement::new(c, topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(c, topo(), bank0(), |port: PePort| {
             for i in 0..4u32 {
                 port.call(PeRequest::StoreWord { addr: 0x80, value: i }).unwrap();
             }
@@ -787,7 +794,7 @@ mod tests {
 
     #[test]
     fn flush_writes_dirty_line_back() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::StoreWord { addr: 0x200, value: 7 }).unwrap();
             port.call(PeRequest::FlushLine { addr: 0x200 }).unwrap();
             // Clean flush afterwards is free of traffic.
@@ -799,7 +806,7 @@ mod tests {
 
     #[test]
     fn lock_unlock_sequence() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::Lock { addr: 0x300 }).unwrap();
             port.call(PeRequest::Unlock { addr: 0x300 }).unwrap();
         });
@@ -810,7 +817,7 @@ mod tests {
     #[test]
     fn message_loopback_via_manual_delivery() {
         // Kernel sends to itself; the test delivers the flits back.
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::Send { dest: NodeId::new(1), payload: vec![5, 6, 7] }).unwrap();
             match port.call(PeRequest::Recv { from: None }).unwrap() {
                 PeResponse::Packet(p) => {
@@ -836,7 +843,7 @@ mod tests {
 
     #[test]
     fn try_recv_empty_returns_none() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             match port.call(PeRequest::TryRecv { from: None }).unwrap() {
                 PeResponse::MaybePacket(None) => {}
                 other => panic!("{other:?}"),
@@ -847,7 +854,7 @@ mod tests {
 
     #[test]
     fn now_reports_cycle() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::Compute { cycles: 30 }).unwrap();
             match port.call(PeRequest::Now).unwrap() {
                 PeResponse::Time(t) => assert!(t >= 30, "clock must have advanced, got {t}"),
@@ -859,7 +866,7 @@ mod tests {
 
     #[test]
     fn wakeup_hints() {
-        let mut pe = ProcessingElement::new(cfg(1), topo(), NodeId::new(0), |port: PePort| {
+        let mut pe = ProcessingElement::new(cfg(1), topo(), bank0(), |port: PePort| {
             port.call(PeRequest::Compute { cycles: 100 }).unwrap();
         });
         pe.tick(0);

@@ -10,7 +10,9 @@ use std::fmt;
 ///
 /// Node 0 is conventionally the MPMMU in the simplest MEDEA configuration
 /// ("all the memory mapped address space is located at the unique MPMMU",
-/// §II-B); the remaining nodes host processing elements.
+/// §II-B). In a banked configuration further MPMMU banks occupy nodes
+/// spread across the torus; every remaining node hosts a processing
+/// element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u16);
 

@@ -13,6 +13,7 @@
 //! paper-4×4 fingerprints. The tree algorithms get their own stability
 //! pins below.
 
+use medea::apps::hotspot::{self, HotspotConfig};
 use medea::apps::jacobi::{self, JacobiConfig, JacobiVariant};
 use medea::core::api::PeApi;
 use medea::core::system::{Kernel, RunResult, System};
@@ -23,9 +24,24 @@ fn cfg(pes: usize) -> SystemConfig {
     SystemConfig::builder().compute_pes(pes).cycle_limit(50_000_000).build().unwrap()
 }
 
+/// Like [`cfg`] but with the bank count written out explicitly.
+fn cfg_banked(pes: usize, banks: usize) -> SystemConfig {
+    SystemConfig::builder()
+        .compute_pes(pes)
+        .memory_banks(banks)
+        .cycle_limit(50_000_000)
+        .build()
+        .unwrap()
+}
+
 /// The fields of [`RunResult`] every engine variant must reproduce
 /// bit-identically.
-fn fingerprint(r: &RunResult) -> (u64, u64, u64, Option<u64>) {
+type Fingerprint = (u64, u64, u64, Option<u64>);
+
+/// A pinned workload: name, kernel factory, PE count, expected print.
+type PinnedWorkload = (&'static str, fn() -> Vec<Kernel>, usize, Fingerprint);
+
+fn fingerprint(r: &RunResult) -> Fingerprint {
     (r.cycles, r.fabric_delivered, r.fabric_deflections, r.fabric_max_latency)
 }
 
@@ -120,6 +136,101 @@ fn gather_kernels(ranks: usize) -> Vec<Kernel> {
         })
         .collect()
 }
+
+/// Shared-memory traffic through locks, uncached accesses and flushes —
+/// the MPMMU-heavy counterpart of the message workloads above.
+fn sharedmem_kernels(ranks: usize) -> Vec<Kernel> {
+    (0..ranks)
+        .map(|r| {
+            Box::new(move |api: PeApi| {
+                const COUNTER: u32 = 0x100;
+                const LOCK: u32 = 0x200;
+                for _ in 0..6 {
+                    api.lock(LOCK);
+                    let v = api.uncached_load_u32(COUNTER);
+                    api.uncached_store_u32(COUNTER, v + 1);
+                    api.unlock(LOCK);
+                }
+                api.store_f64(api.private_base(), r as f64);
+                api.flush_line(api.private_base());
+            }) as Kernel
+        })
+        .collect()
+}
+
+/// The paper-4×4 fingerprints, pinned as literal values captured from the
+/// pre-bank single-MPMMU engine. The banked refactor (and any future
+/// engine work) must reproduce them bit-for-bit with the default
+/// configuration AND with an explicit `memory_banks(1)` — the single-bank
+/// system IS the paper's system, not an approximation of it.
+#[test]
+fn paper_4x4_fingerprints_pinned_bit_for_bit() {
+    let pins: [PinnedWorkload; 4] = [
+        ("pingpong", || pingpong_kernels(), 2, (320, 80, 0, Some(1))),
+        ("reduce", || reduce_kernels(6), 6, (960, 50, 0, Some(3))),
+        ("gather", || gather_kernels(8), 8, (695, 343, 5081, Some(187))),
+        ("sharedmem", || sharedmem_kernels(5), 5, (2263, 704, 17, Some(5))),
+    ];
+    for (name, kernels, pes, pin) in pins {
+        let default_run = System::run(&cfg(pes), &[], kernels()).expect(name);
+        assert_eq!(fingerprint(&default_run), pin, "{name}: default configuration drifted");
+        let one_bank = System::run(&cfg_banked(pes, 1), &[], kernels()).expect(name);
+        assert_eq!(
+            fingerprint(&one_bank),
+            pin,
+            "{name}: memory_banks(1) must reproduce the paper fingerprint"
+        );
+    }
+    // The shared-memory pin extends to the MPMMU counters themselves.
+    let run = System::run(&cfg_banked(5, 1), &[], sharedmem_kernels(5)).unwrap();
+    assert_eq!(run.mpmmu.single_writes.get(), 30);
+    assert_eq!(run.mpmmu.locks_granted.get(), 30);
+    assert_eq!(run.banks.len(), 1);
+}
+
+#[test]
+fn two_bank_8x8_fingerprint_pinned_bit_for_bit() {
+    // The banked counterpart of the paper-4×4 literal pins: a fully
+    // populated 8×8 torus with two MPMMU banks under the memory-hot
+    // hotspot workload, pinned to exact cycle, delivery, deflection and
+    // per-bank transaction counts — bank placement and interleaving
+    // cannot drift silently, even by a change that shifts every run of a
+    // rebuilt binary the same way.
+    let run = || {
+        let sys = SystemConfig::builder()
+            .topology(Topology::new(8, 8).expect("8x8 torus"))
+            .compute_pes(62)
+            .memory_banks(2)
+            .cycle_limit(200_000_000)
+            .build()
+            .expect("62-PE 2-bank configuration");
+        hotspot::run(&sys, &HotspotConfig { ops_per_rank: 6 }).expect("2-bank hotspot run")
+    };
+    let a = run();
+    assert_eq!(fingerprint(&a.run), PIN_2BANK_8X8, "2-bank 8x8 fingerprint drifted");
+    assert_eq!(a.cycles, PIN_2BANK_8X8_WINDOW, "hotspot window drifted");
+    assert_eq!(a.run.banks.len(), 2);
+    for (bank, pin) in a.run.banks.iter().zip(PIN_2BANK_8X8_PER_BANK) {
+        assert_eq!(bank.node.index(), pin.0, "bank placement drifted");
+        assert_eq!(bank.mpmmu.single_reads.get(), pin.1, "bank {} reads drifted", bank.node);
+        assert_eq!(bank.mpmmu.single_writes.get(), pin.2, "bank {} writes drifted", bank.node);
+    }
+    // The interleave splits the strided traffic evenly over both banks.
+    let (w0, w1) =
+        (a.run.banks[0].mpmmu.single_writes.get(), a.run.banks[1].mpmmu.single_writes.get());
+    assert_eq!(w0 + w1, 62 * 6);
+    assert_eq!(w0, w1, "even/odd line split must be exact for a line-strided walk");
+    // And run-over-run determinism still holds.
+    let b = run();
+    assert_eq!(fingerprint(&b.run), PIN_2BANK_8X8);
+}
+
+/// Literal 2-bank 8×8 hotspot fingerprint (captured at introduction).
+const PIN_2BANK_8X8: Fingerprint = (11417, 2476, 936, Some(62));
+/// Rank 0's measured hotspot window for the same run.
+const PIN_2BANK_8X8_WINDOW: u64 = 10735;
+/// Per-bank `(node, single_reads, single_writes)` for the same run.
+const PIN_2BANK_8X8_PER_BANK: [(usize, u64, u64); 2] = [(0, 186, 186), (4, 186, 186)];
 
 #[test]
 fn pingpong_fingerprint_stable_across_runs() {
