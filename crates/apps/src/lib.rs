@@ -23,6 +23,7 @@ pub mod matmul;
 pub mod pingpong;
 pub mod reduce;
 pub mod sm;
+pub mod workloads;
 
 use std::sync::{Arc, Mutex};
 

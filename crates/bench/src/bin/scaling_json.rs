@@ -124,6 +124,12 @@ struct Row {
     wall_s: f64,
     cycles_per_sec: f64,
     speedup: f64,
+    /// Flit-latency percentiles (bucket-granular upper estimates) and the
+    /// deflection pressure of the same run — the `noc` section's data.
+    lat_p50: Option<u64>,
+    lat_p99: Option<u64>,
+    lat_max: Option<u64>,
+    defl_per_flit: Option<f64>,
 }
 
 struct TierReport {
@@ -170,6 +176,10 @@ fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
                     wall_s: result.wall.as_secs_f64(),
                     cycles_per_sec: result.sim_rate(),
                     speedup: baseline / o.measured_cycles.max(1) as f64,
+                    lat_p50: result.flit_latency_p50(),
+                    lat_p99: result.flit_latency_p99(),
+                    lat_max: result.fabric_max_latency,
+                    defl_per_flit: result.deflections_per_delivered(),
                 }
             })
             .collect();
@@ -416,6 +426,33 @@ fn main() {
         json.push_str(&format!("    ]}}{}\n", if i + 1 < reports.len() { "," } else { "" }));
     }
     json.push_str("  ],\n");
+    // The NoC latency/deflection surface of the same Jacobi runs — the
+    // FabricStats histogram finally reported instead of dropped. p50/p99
+    // are bucket-granular upper estimates (Log2Histogram::percentile);
+    // max is exact.
+    json.push_str(
+        "  \"noc\": {\"workload\": \"jacobi ladder rows above\", \"percentile_note\": \
+         \"p50/p99 are log2-bucket upper estimates, max exact\", \"rows\": [\n",
+    );
+    let noc_rows: Vec<(&TierReport, &Row)> =
+        reports.iter().flat_map(|t| t.rows.iter().map(move |r| (t, r))).collect();
+    for (i, (t, r)) in noc_rows.iter().enumerate() {
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |v| v.to_string());
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"label\": \"{}\", \"pes\": {}, \
+             \"flit_latency_p50\": {}, \"flit_latency_p99\": {}, \"flit_latency_max\": {}, \
+             \"deflections_per_delivered_flit\": {}}}{}\n",
+            t.topology,
+            r.label,
+            r.pes,
+            opt(r.lat_p50),
+            opt(r.lat_p99),
+            opt(r.lat_max),
+            r.defl_per_flit.map_or_else(|| "null".to_owned(), |d| format!("{d:.4}")),
+            if i + 1 < noc_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
     json.push_str(&format!(
         "  \"collectives\": {{\"iters_per_op\": {COLLECTIVE_ITERS}, \"rows\": [\n"
     ));
@@ -462,6 +499,13 @@ fn main() {
             );
         }
     }
+    let latency_rows: Vec<medea_core::report::LatencyRow> = reports
+        .iter()
+        .flat_map(|t| t.rows.iter())
+        .map(|r| (r.label.clone(), r.lat_p50, r.lat_p99, r.lat_max, r.defl_per_flit))
+        .collect();
+    println!("flit latency (cycles):");
+    print!("{}", medea_core::report::format_latency_table(&latency_rows));
     for c in &collectives {
         println!(
             "{:<6} {:>4} PEs  {:<9} {:<18} {:>9} cycles/op  vs linear {:>6.2}x",

@@ -20,6 +20,7 @@ use medea_pe::pe::PePort;
 use medea_pe::tie::Packet;
 use medea_sim::ids::{NodeId, Rank};
 use medea_sim::Cycle;
+use medea_trace::KernelOp;
 
 /// Per-kernel handle to the simulated processing element.
 #[derive(Debug)]
@@ -30,11 +31,13 @@ pub struct PeApi {
     layout: MemoryMap,
     plan: NodePlan,
     collective_algo: CollectiveAlgo,
+    trace_spans: bool,
 }
 
 impl PeApi {
     /// Wrap a raw PE port. Called by the system assembler; kernels receive
-    /// the ready-made value.
+    /// the ready-made value. `trace_spans` enables the zero-cost eMPI span
+    /// markers (`SystemConfig::trace_kernel_spans`).
     pub fn new(
         port: PePort,
         rank: Rank,
@@ -42,8 +45,9 @@ impl PeApi {
         layout: MemoryMap,
         plan: NodePlan,
         collective_algo: CollectiveAlgo,
+        trace_spans: bool,
     ) -> Self {
-        PeApi { port, rank, ranks, layout, plan, collective_algo }
+        PeApi { port, rank, ranks, layout, plan, collective_algo, trace_spans }
     }
 
     /// The collective algorithm configured on the system — adopted by
@@ -275,6 +279,28 @@ impl PeApi {
         }
     }
 
+    // ---- tracing markers ----
+
+    /// Open a kernel-level trace span for `op`.
+    ///
+    /// A no-op unless the system was built with the `KERNEL` trace class
+    /// (`SystemConfigBuilder::trace`); when active, the marker crosses to
+    /// the engine in zero simulated cycles and updates no statistic, so
+    /// spans never perturb a run. The eMPI layer calls this around its
+    /// collectives; kernels may delimit their own phases too.
+    pub fn trace_span_begin(&self, op: KernelOp) {
+        if self.trace_spans {
+            self.unit(PeRequest::TraceSpan { op, begin: true });
+        }
+    }
+
+    /// Close the innermost kernel-level trace span for `op`.
+    pub fn trace_span_end(&self, op: KernelOp) {
+        if self.trace_spans {
+            self.unit(PeRequest::TraceSpan { op, begin: false });
+        }
+    }
+
     /// Non-blocking receive from `rank`.
     pub fn try_recv_from_rank(&self, rank: Rank) -> Option<Vec<u32>> {
         let src = self.src_id_of_rank(rank);
@@ -303,7 +329,8 @@ mod tests {
         let (api, h) = {
             let (tx, rx) = std::sync::mpsc::channel();
             let h = medea_sim::coroutine::KernelHost::spawn("t", move |port| {
-                let api = PeApi::new(port, Rank::new(2), 4, layout, plan, CollectiveAlgo::Linear);
+                let api =
+                    PeApi::new(port, Rank::new(2), 4, layout, plan, CollectiveAlgo::Linear, false);
                 tx.send((
                     api.node_of_rank(Rank::new(0)),
                     api.node_of_rank(Rank::new(3)),

@@ -13,6 +13,7 @@ use medea_pe::fpu::{FpModel, MulOption};
 use medea_pe::pe::PeConfig;
 use medea_sim::ids::{NodeId, Rank};
 use medea_sim::Cycle;
+use medea_trace::{EventClass, TraceConfig};
 use std::fmt;
 
 /// Error from [`SystemConfigBuilder::build`].
@@ -52,6 +53,7 @@ pub struct SystemConfig {
     lock_retry_backoff: Cycle,
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
+    trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -110,6 +112,21 @@ impl SystemConfig {
     /// node-0 MPMMU).
     pub const fn memory_banks(&self) -> usize {
         self.memory_banks
+    }
+
+    /// The tracing configuration (default off). Tracing never changes a
+    /// run's architectural results; see
+    /// [`SystemConfigBuilder::trace`] for exactly what this knob
+    /// controls (kernel-side span markers — sink-side class filtering
+    /// belongs to the sink).
+    pub const fn trace(&self) -> TraceConfig {
+        self.trace
+    }
+
+    /// Whether kernels should issue eMPI span markers (the one event
+    /// source originating on kernel threads).
+    pub const fn trace_kernel_spans(&self) -> bool {
+        self.trace.captures(EventClass::KERNEL)
     }
 
     /// The nodes hosting the MPMMU banks, in bank-index order (bank 0 is
@@ -327,6 +344,7 @@ pub struct SystemConfigBuilder {
     lock_retry_backoff: Cycle,
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
+    trace: TraceConfig,
 }
 
 impl Default for SystemConfigBuilder {
@@ -348,6 +366,7 @@ impl Default for SystemConfigBuilder {
             lock_retry_backoff: calib::LOCK_RETRY_BACKOFF,
             cycle_limit: 2_000_000_000,
             collective_algo: CollectiveAlgo::Linear,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -459,6 +478,20 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// The system-side tracing knob (default: [`TraceConfig::off`]).
+    ///
+    /// Its engine-side effect is the `KERNEL` class bit: when set,
+    /// kernels and the eMPI layer issue span markers (zero simulated
+    /// cycles, so architectural results never change — only
+    /// observability). Engine-emitted events (NoC, cache, memory) flow
+    /// to whatever sink `System::run_traced` is given regardless;
+    /// *which classes a capture keeps* is the sink's decision — use
+    /// `RingSink::with_classes` to capture a subset.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -512,6 +545,7 @@ impl SystemConfigBuilder {
             lock_retry_backoff: self.lock_retry_backoff,
             cycle_limit: self.cycle_limit,
             collective_algo: self.collective_algo,
+            trace: self.trace,
         })
     }
 }
@@ -530,6 +564,19 @@ mod tests {
         // The default algorithm is the deliberate fingerprint-preserving
         // choice; trees are opt-in.
         assert_eq!(cfg.collective_algo(), CollectiveAlgo::Linear);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_is_configurable() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert!(cfg.trace().is_off());
+        assert!(!cfg.trace_kernel_spans());
+        let traced = SystemConfig::builder().trace(TraceConfig::all()).build().unwrap();
+        assert!(traced.trace().captures(EventClass::NOC));
+        assert!(traced.trace_kernel_spans());
+        let noc_only =
+            SystemConfig::builder().trace(TraceConfig::classes(EventClass::NOC)).build().unwrap();
+        assert!(!noc_only.trace_kernel_spans(), "kernel markers follow the KERNEL class only");
     }
 
     #[test]

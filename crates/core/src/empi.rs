@@ -85,6 +85,7 @@ use crate::api::PeApi;
 use crate::calib::CALL_OVERHEAD_CYCLES;
 use medea_pe::kernel_if::{f64_to_words, words_to_f64};
 use medea_sim::ids::Rank;
+use medea_trace::KernelOp;
 use std::cell::RefCell;
 use std::fmt;
 
@@ -200,6 +201,16 @@ impl Empi {
         &self.api
     }
 
+    /// Delimit `f` with kernel-level trace span markers for `op` — a
+    /// no-op (and zero simulated cycles regardless) unless the system
+    /// traces the `KERNEL` event class.
+    fn span<R>(&self, op: KernelOp, f: impl FnOnce(&Self) -> R) -> R {
+        self.api.trace_span_begin(op);
+        let result = f(self);
+        self.api.trace_span_end(op);
+        result
+    }
+
     // ---- point to point ----
 
     /// MPI_send: transmit `words` to `to`, blocking until the last flit
@@ -212,8 +223,10 @@ impl Empi {
     /// packet arrives while awaiting a credit (opposite-direction sends —
     /// use [`Empi::sendrecv`] for symmetric exchanges).
     pub fn send(&self, to: Rank, words: &[u32]) {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        self.send_inner(to, words);
+        self.span(KernelOp::MsgSend, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            s.send_inner(to, words);
+        });
     }
 
     fn send_inner(&self, to: Rank, words: &[u32]) {
@@ -265,8 +278,10 @@ impl Empi {
     /// the same destination without an intervening `recv` pairing) and on
     /// unexpected credit packets.
     pub fn recv(&self, from: Rank) -> Vec<u32> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        self.recv_inner(from)
+        self.span(KernelOp::MsgRecv, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            s.recv_inner(from)
+        })
     }
 
     fn recv_inner(&self, from: Rank) -> Vec<u32> {
@@ -297,16 +312,18 @@ impl Empi {
         words: &[u32],
         from: Option<Rank>,
     ) -> Option<Vec<u32>> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        match (to, from) {
-            (None, None) => None,
-            (Some(to), None) => {
-                self.send_inner(to, words);
-                None
+        self.span(KernelOp::Sendrecv, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            match (to, from) {
+                (None, None) => None,
+                (Some(to), None) => {
+                    s.send_inner(to, words);
+                    None
+                }
+                (None, Some(from)) => Some(s.recv_inner(from)),
+                (Some(to), Some(from)) => Some(s.duplex(to, words, from)),
             }
-            (None, Some(from)) => Some(self.recv_inner(from)),
-            (Some(to), Some(from)) => Some(self.duplex(to, words, from)),
-        }
+        })
     }
 
     /// The full-duplex engine behind [`Empi::sendrecv`]: one transmit
@@ -388,8 +405,10 @@ impl Empi {
     /// Send a slice of doubles (two words each).
     pub fn send_f64(&self, to: Rank, values: &[f64]) {
         let stage = self.stage_f64(values);
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        self.send_inner(to, &stage);
+        self.span(KernelOp::MsgSend, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            s.send_inner(to, &stage);
+        });
     }
 
     /// Receive a slice of doubles.
@@ -434,34 +453,38 @@ impl Empi {
     /// MPI_barrier: synchronization-token exchange over the NoC — the
     /// hybrid model's key primitive, no shared memory touched.
     pub fn barrier(&self) {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        let ranks = self.api.ranks();
-        if ranks == 1 {
-            return;
-        }
-        match self.algo {
-            CollectiveAlgo::Linear => self.linear_barrier(),
-            CollectiveAlgo::BinomialTree => {
-                self.binomial_reduce_tokens();
-                let _ = self.binomial_bcast(Rank::new(0), &[]);
+        self.span(KernelOp::Barrier, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            let ranks = s.api.ranks();
+            if ranks == 1 {
+                return;
             }
-            CollectiveAlgo::RecursiveDoubling => self.doubling_barrier(),
-        }
+            match s.algo {
+                CollectiveAlgo::Linear => s.linear_barrier(),
+                CollectiveAlgo::BinomialTree => {
+                    s.binomial_reduce_tokens();
+                    let _ = s.binomial_bcast(Rank::new(0), &[]);
+                }
+                CollectiveAlgo::RecursiveDoubling => s.doubling_barrier(),
+            }
+        });
     }
 
     /// Broadcast `words` from `root` to every rank; every rank returns the
     /// message. Non-root callers' `words` are ignored (pass `&[]`).
     pub fn bcast(&self, root: Rank, words: &[u32]) -> Vec<u32> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        if self.api.ranks() == 1 {
-            return words.to_vec();
-        }
-        match self.algo {
-            CollectiveAlgo::Linear => self.linear_bcast(root, words),
-            CollectiveAlgo::BinomialTree | CollectiveAlgo::RecursiveDoubling => {
-                self.binomial_bcast(root, words)
+        self.span(KernelOp::Bcast, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            if s.api.ranks() == 1 {
+                return words.to_vec();
             }
-        }
+            match s.algo {
+                CollectiveAlgo::Linear => s.linear_bcast(root, words),
+                CollectiveAlgo::BinomialTree | CollectiveAlgo::RecursiveDoubling => {
+                    s.binomial_bcast(root, words)
+                }
+            }
+        })
     }
 
     /// Broadcast doubles from `root`.
@@ -477,47 +500,51 @@ impl Empi {
     /// elsewhere. The accumulation order is fixed per algorithm, so the
     /// result is bit-deterministic run over run.
     pub fn reduce(&self, root: Rank, value: f64) -> Option<f64> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        if self.api.ranks() == 1 {
-            return (self.api.rank() == root).then_some(value);
-        }
-        match self.algo {
-            CollectiveAlgo::Linear => self.linear_reduce(root, value),
-            CollectiveAlgo::BinomialTree => self.binomial_reduce(root, value),
-            CollectiveAlgo::RecursiveDoubling => {
-                let sum = self.doubling_allreduce(value);
-                (self.api.rank() == root).then_some(sum)
+        self.span(KernelOp::Reduce, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            if s.api.ranks() == 1 {
+                return (s.api.rank() == root).then_some(value);
             }
-        }
+            match s.algo {
+                CollectiveAlgo::Linear => s.linear_reduce(root, value),
+                CollectiveAlgo::BinomialTree => s.binomial_reduce(root, value),
+                CollectiveAlgo::RecursiveDoubling => {
+                    let sum = s.doubling_allreduce(value);
+                    (s.api.rank() == root).then_some(sum)
+                }
+            }
+        })
     }
 
     /// Sum-reduce one double per rank; every rank returns the sum.
     pub fn allreduce(&self, value: f64) -> f64 {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        if self.api.ranks() == 1 {
-            return value;
-        }
-        let root = Rank::new(0);
-        match self.algo {
-            CollectiveAlgo::Linear => {
-                let sum = self.linear_reduce(root, value);
-                self.linear_bcast_f64_scalar(root, sum)
+        self.span(KernelOp::Allreduce, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            if s.api.ranks() == 1 {
+                return value;
             }
-            CollectiveAlgo::BinomialTree => {
-                let sum = self.binomial_reduce(root, value);
-                match sum {
-                    Some(s) => {
-                        self.binomial_bcast(root, &self.stage_f64(&[s]));
-                        s
-                    }
-                    None => {
-                        let words = self.binomial_bcast(root, &[]);
-                        words_to_f64_vec(&words)[0]
+            let root = Rank::new(0);
+            match s.algo {
+                CollectiveAlgo::Linear => {
+                    let sum = s.linear_reduce(root, value);
+                    s.linear_bcast_f64_scalar(root, sum)
+                }
+                CollectiveAlgo::BinomialTree => {
+                    let sum = s.binomial_reduce(root, value);
+                    match sum {
+                        Some(total) => {
+                            s.binomial_bcast(root, &s.stage_f64(&[total]));
+                            total
+                        }
+                        None => {
+                            let words = s.binomial_bcast(root, &[]);
+                            words_to_f64_vec(&words)[0]
+                        }
                     }
                 }
+                CollectiveAlgo::RecursiveDoubling => s.doubling_allreduce(value),
             }
-            CollectiveAlgo::RecursiveDoubling => self.doubling_allreduce(value),
-        }
+        })
     }
 
     /// Gather each rank's `words` to `root` (rank-indexed). Returns
@@ -525,19 +552,21 @@ impl Empi {
     /// algorithm — each rank contributes distinct data, so a tree cannot
     /// reduce the volume through the root's ejection port.
     pub fn gather(&self, root: Rank, words: &[u32]) -> Option<Vec<Vec<u32>>> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        let ranks = self.api.ranks();
-        if self.api.rank() == root {
-            let mut out: Vec<Vec<u32>> = vec![Vec::new(); ranks];
-            out[root.index()] = words.to_vec();
-            for src in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
-                out[src.index()] = self.recv(src);
+        self.span(KernelOp::Gather, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            let ranks = s.api.ranks();
+            if s.api.rank() == root {
+                let mut out: Vec<Vec<u32>> = vec![Vec::new(); ranks];
+                out[root.index()] = words.to_vec();
+                for src in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                    out[src.index()] = s.recv(src);
+                }
+                Some(out)
+            } else {
+                s.send(root, words);
+                None
             }
-            Some(out)
-        } else {
-            self.send(root, words);
-            None
-        }
+        })
     }
 
     /// Scatter `chunks[rank]` from `root` to each rank; every rank returns
@@ -548,17 +577,19 @@ impl Empi {
     ///
     /// Panics at the root if `chunks.len()` differs from the rank count.
     pub fn scatter(&self, root: Rank, chunks: &[Vec<u32>]) -> Vec<u32> {
-        self.api.compute(CALL_OVERHEAD_CYCLES);
-        let ranks = self.api.ranks();
-        if self.api.rank() == root {
-            assert_eq!(chunks.len(), ranks, "scatter needs one chunk per rank");
-            for dst in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
-                self.send(dst, &chunks[dst.index()]);
+        self.span(KernelOp::Scatter, |s| {
+            s.api.compute(CALL_OVERHEAD_CYCLES);
+            let ranks = s.api.ranks();
+            if s.api.rank() == root {
+                assert_eq!(chunks.len(), ranks, "scatter needs one chunk per rank");
+                for dst in (0..ranks).map(|r| Rank::new(r as u8)).filter(|r| *r != root) {
+                    s.send(dst, &chunks[dst.index()]);
+                }
+                chunks[root.index()].clone()
+            } else {
+                s.recv(root)
             }
-            chunks[root.index()].clone()
-        } else {
-            self.recv(root)
-        }
+        })
     }
 
     // ---- linear algorithms (the seed's message patterns) ----

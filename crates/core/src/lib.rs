@@ -73,6 +73,7 @@ pub use medea_mem::BankMap;
 pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};
 pub use medea_pe::fpu::MulOption;
+pub use medea_trace::{EventClass, KernelOp, NullSink, RingSink, TraceConfig, TraceSink};
 pub use system::{RunError, RunResult};
 
 /// Which fabric carries the traffic (A2 ablation knob).

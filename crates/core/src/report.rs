@@ -35,11 +35,13 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Render a named (x, y) series as gnuplot-pasteable columns.
+/// Render a named (x, y) series as gnuplot-pasteable columns. Values are
+/// printed with the same `.3` precision as [`format_labeled_series`], so
+/// mixed plots line up column-for-column.
 pub fn format_series(name: &str, points: &[(f64, f64)]) -> String {
     let mut out = format!("# {name}\n");
     for (x, y) in points {
-        out.push_str(&format!("{x} {y}\n"));
+        out.push_str(&format!("{x:.3} {y:.3}\n"));
     }
     out
 }
@@ -51,6 +53,33 @@ pub fn format_labeled_series(name: &str, points: &[(String, f64, f64)]) -> Strin
         out.push_str(&format!("{x:.3} {y:.3}  # {label}\n"));
     }
     out
+}
+
+/// One row of a latency-percentile summary: a label plus the
+/// `(p50, p99, max)` triple and the deflections-per-delivered-flit ratio
+/// (`RunResult::flit_latency_p50` and friends).
+pub type LatencyRow = (String, Option<u64>, Option<u64>, Option<u64>, Option<f64>);
+
+/// Render latency-percentile summaries (one [`LatencyRow`] per
+/// configuration) as an aligned table — the renderer behind the `noc`
+/// reporting of the scaling harness and the `trace_json` binary.
+pub fn format_latency_table(rows: &[LatencyRow]) -> String {
+    fn cell<T: std::fmt::Display>(v: &Option<T>) -> String {
+        v.as_ref().map_or_else(|| "-".into(), T::to_string)
+    }
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, p50, p99, max, defl)| {
+            vec![
+                label.clone(),
+                cell(p50),
+                cell(p99),
+                cell(max),
+                defl.map_or_else(|| "-".into(), |d| format!("{d:.3}")),
+            ]
+        })
+        .collect();
+    format_table(&["config", "p50", "p99", "max", "defl/flit"], &table_rows)
 }
 
 #[cfg(test)]
@@ -78,10 +107,25 @@ mod tests {
     }
 
     #[test]
-    fn series_format() {
+    fn series_format_uses_unified_precision() {
         let s = format_series("fig6", &[(2.0, 100.0), (4.0, 50.0)]);
         assert!(s.starts_with("# fig6\n"));
-        assert!(s.contains("2 100\n"));
+        // Same .3 precision as the labeled renderer, not raw {x} {y}.
+        assert!(s.contains("2.000 100.000\n"), "{s}");
+        assert!(s.contains("4.000 50.000\n"));
+    }
+
+    #[test]
+    fn latency_table_renders_missing_as_dash() {
+        let rows: Vec<LatencyRow> = vec![
+            ("4x4".into(), Some(3), Some(63), Some(187), Some(1.234_5)),
+            ("ideal".into(), None, None, None, None),
+        ];
+        let t = format_latency_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("p50") && lines[0].contains("defl/flit"));
+        assert!(lines[2].contains("187") && lines[2].contains("1.234"), "{t}");
+        assert!(lines[3].contains('-'), "missing values render as dashes: {t}");
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //!   must produce bit-identical results (`tests/golden_determinism.rs`,
 //!   `engine_equivalence` below), and the pair is the before/after
 //!   baseline of the `BENCH_sim_speed.json` harness.
+//!
+//! The production engine is generic over a `medea_trace::TraceSink`
+//! ([`System::run_traced`]): every layer emits typed, timestamped events
+//! (NoC flit movement and link load, cache and coherence activity, MPMMU
+//! transactions and lock traffic, kernel-level operation spans) behind
+//! `S::ACTIVE` guards, so the `NullSink` instantiation that
+//! [`System::run`] delegates to monomorphizes to exactly the untraced
+//! hot path — tracing off costs nothing and changes nothing.
 
 use crate::api::PeApi;
 use crate::config::SystemConfig;
@@ -47,7 +55,9 @@ use medea_pe::bridge::BridgeStats;
 use medea_pe::pe::{PeStats, ProcessingElement, Wakeup};
 use medea_pe::tie::TieStats;
 use medea_sim::ids::{NodeId, Rank};
+use medea_sim::stats::Log2Histogram;
 use medea_sim::Cycle;
+use medea_trace::{NullSink, TraceEvent, TraceSink};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -136,6 +146,10 @@ pub struct RunResult {
     pub fabric_mean_latency: Option<f64>,
     /// Maximum flit latency — the hot-potato tail.
     pub fabric_max_latency: Option<u64>,
+    /// The full in-network latency distribution (inject→eject per flit),
+    /// as recorded by the fabric — the histogram behind the percentile
+    /// accessors and the `noc` section of `BENCH_scaling.json`.
+    pub fabric_latency: Log2Histogram,
     /// MPMMU transaction counters, aggregated over all banks.
     pub mpmmu: MpmmuStats,
     /// MPMMU local-cache statistics, aggregated over all banks.
@@ -155,6 +169,24 @@ impl RunResult {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Median flit latency (bucket-granular upper estimate; see
+    /// `Log2Histogram::percentile`), if any flits flew.
+    pub fn flit_latency_p50(&self) -> Option<u64> {
+        self.fabric_latency.percentile(0.5)
+    }
+
+    /// 99th-percentile flit latency — the "sporadic cases of single flits
+    /// delivered with high latency" tail the paper reports (§II-A).
+    pub fn flit_latency_p99(&self) -> Option<u64> {
+        self.fabric_latency.percentile(0.99)
+    }
+
+    /// Deflections per delivered flit — the hot-potato pressure gauge.
+    pub fn deflections_per_delivered(&self) -> Option<f64> {
+        (self.fabric_delivered > 0)
+            .then(|| self.fabric_deflections as f64 / self.fabric_delivered as f64)
     }
 
     /// Aggregate L1 miss rate across all PEs.
@@ -190,6 +222,27 @@ impl System {
         preload: &[(Addr, u32)],
         kernels: Vec<Kernel>,
     ) -> Result<RunResult, RunError> {
+        Self::run_traced(cfg, preload, kernels, &mut NullSink)
+    }
+
+    /// [`System::run`] with cross-layer events delivered to `sink` (see
+    /// the `medea-trace` crate). The engine — and every instrumented
+    /// component under it — is generic over the sink, and every emission
+    /// site is guarded by the compile-time constant `S::ACTIVE`, so the
+    /// [`NullSink`] instantiation [`System::run`] delegates to
+    /// monomorphizes to exactly the untraced engine: tracing off costs
+    /// nothing, and traced runs produce bit-identical [`RunResult`]s
+    /// (pinned by the golden suite and `tests/trace_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_traced<S: TraceSink>(
+        cfg: &SystemConfig,
+        preload: &[(Addr, u32)],
+        kernels: Vec<Kernel>,
+        sink: &mut S,
+    ) -> Result<RunResult, RunError> {
         check_kernel_count(cfg, &kernels)?;
         let topo = cfg.topology();
         let mut fabric: AnyFabric = match cfg.fabric() {
@@ -217,11 +270,14 @@ impl System {
                 for pe in &mut pes {
                     let node = pe.node();
                     while let Some(flit) = fabric.eject(node) {
-                        pe.deliver(flit, now);
+                        if S::ACTIVE {
+                            sink.record(now, delivered_event(node, &flit, now));
+                        }
+                        pe.deliver_traced(flit, now, sink);
                     }
                 }
             }
-            banks_deliver(&mut fabric, &mut banks);
+            banks_deliver(&mut fabric, &mut banks, now, sink);
 
             // 2. Tick runnable components (a bank's tick is a no-op while
             // it is idle, so it is skipped then too).
@@ -232,7 +288,7 @@ impl System {
                 }
                 ticked[i] = true;
                 let was_done = pe.is_done();
-                pe.tick(now);
+                pe.tick_traced(now, sink);
                 if !was_done && pe.is_done() {
                     live -= 1;
                 }
@@ -241,7 +297,7 @@ impl System {
                     None => now + 1,
                 };
             }
-            banks_tick(&mut banks, now, true);
+            banks_tick(&mut banks, now, true, sink);
 
             // 3. Inject (one flit per node per cycle). A skipped PE has a
             // drained arbiter by construction, so only ticked PEs can
@@ -251,16 +307,23 @@ impl System {
                     continue;
                 }
                 if let Some(flit) = pe.select_inject() {
-                    if let Err(back) = fabric.try_inject(pe.node(), flit, now) {
-                        pe.restore_inject(back);
+                    let kind = flit.kind().code();
+                    match fabric.try_inject(pe.node(), flit, now) {
+                        Ok(()) => {
+                            if S::ACTIVE {
+                                let node = pe.node().index() as u16;
+                                sink.record(now, TraceEvent::FlitInjected { node, kind });
+                            }
+                        }
+                        Err(back) => pe.restore_inject(back),
                     }
                 }
             }
-            banks_inject(&mut fabric, &mut banks, now);
+            banks_inject(&mut fabric, &mut banks, now, sink);
 
             // 4. Fabric (activity-scheduled internally; a drained fabric
             // ticks in constant time).
-            fabric.tick(now);
+            fabric.tick_traced(now, sink);
 
             // 5. Termination, limits, fast-forward.
             if live == 0 {
@@ -329,13 +392,13 @@ impl System {
                     pe.deliver(flit, now);
                 }
             }
-            banks_deliver(&mut *fabric, &mut banks);
+            banks_deliver(&mut *fabric, &mut banks, now, &mut NullSink);
 
             // 2. Tick components.
             for pe in &mut pes {
                 pe.tick(now);
             }
-            banks_tick(&mut banks, now, false);
+            banks_tick(&mut banks, now, false, &mut NullSink);
 
             // 3. Inject (one flit per node per cycle).
             for pe in &mut pes {
@@ -345,7 +408,7 @@ impl System {
                     }
                 }
             }
-            banks_inject(&mut *fabric, &mut banks, now);
+            banks_inject(&mut *fabric, &mut banks, now, &mut NullSink);
 
             // 4. Fabric.
             fabric.tick(now);
@@ -417,11 +480,28 @@ fn build_banks(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Vec<Bank> {
     banks
 }
 
+/// The engine-side flit-delivery event: ejection at `node`'s interface,
+/// with the flit's whole fabric history attached.
+fn delivered_event(node: NodeId, flit: &Flit, now: Cycle) -> TraceEvent {
+    TraceEvent::FlitDelivered {
+        node: node.index() as u16,
+        uid: flit.meta.uid,
+        latency: now.saturating_sub(flit.meta.injected_at),
+        hops: flit.meta.hops,
+        deflections: flit.meta.deflections,
+    }
+}
+
 /// Deliver ejections to every bank: retry the held flit first, then drain
 /// the node's ejection queue until the bank back-pressures. Shared by both
 /// engines — with a drained fabric (`in_flight() == 0`) the eject loop is
 /// a no-op either way, so the census gate is a pure optimization.
-fn banks_deliver<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank]) {
+fn banks_deliver<F: Fabric + ?Sized, S: TraceSink>(
+    fabric: &mut F,
+    banks: &mut [Bank],
+    now: Cycle,
+    sink: &mut S,
+) {
     for bank in banks {
         if let Some(flit) = bank.hold.take() {
             if let Err(back) = bank.unit.handle_incoming(flit) {
@@ -431,6 +511,9 @@ fn banks_deliver<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank]) {
         while bank.hold.is_none() && fabric.in_flight() > 0 {
             match fabric.eject(bank.node) {
                 Some(flit) => {
+                    if S::ACTIVE {
+                        sink.record(now, delivered_event(bank.node, &flit, now));
+                    }
                     if let Err(back) = bank.unit.handle_incoming(flit) {
                         bank.hold = Some(back);
                     }
@@ -444,21 +527,33 @@ fn banks_deliver<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank]) {
 /// Tick every bank. With `skip_idle` (the scheduled engine) an idle bank
 /// is not ticked — its tick is provably a no-op; the reference engine
 /// ticks everything every cycle.
-fn banks_tick(banks: &mut [Bank], now: Cycle, skip_idle: bool) {
+fn banks_tick<S: TraceSink>(banks: &mut [Bank], now: Cycle, skip_idle: bool, sink: &mut S) {
     for bank in banks {
         if !skip_idle || !bank.unit.is_idle() {
-            bank.unit.tick(now);
+            bank.unit.tick_traced(now, sink);
         }
     }
 }
 
 /// Inject at most one response flit per bank (one flit per node per
 /// cycle); a refused flit goes back to the front of the bank's out FIFO.
-fn banks_inject<F: Fabric + ?Sized>(fabric: &mut F, banks: &mut [Bank], now: Cycle) {
+fn banks_inject<F: Fabric + ?Sized, S: TraceSink>(
+    fabric: &mut F,
+    banks: &mut [Bank],
+    now: Cycle,
+    sink: &mut S,
+) {
     for bank in banks {
         if let Some(flit) = bank.unit.pop_outgoing() {
-            if let Err(back) = fabric.try_inject(bank.node, flit, now) {
-                bank.unit.return_outgoing(back);
+            let kind = flit.kind().code();
+            match fabric.try_inject(bank.node, flit, now) {
+                Ok(()) => {
+                    if S::ACTIVE {
+                        let node = bank.node.index() as u16;
+                        sink.record(now, TraceEvent::FlitInjected { node, kind });
+                    }
+                }
+                Err(back) => bank.unit.return_outgoing(back),
             }
         }
     }
@@ -476,13 +571,14 @@ fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement>
     let plan = cfg.node_plan();
     let bank_map = cfg.bank_map();
     let algo = cfg.collective_algo();
+    let trace_spans = cfg.trace_kernel_spans();
     kernels
         .into_iter()
         .enumerate()
         .map(|(i, kernel)| {
             let rank = Rank::new(i as u8);
             ProcessingElement::new(cfg.pe_config(rank), topo, bank_map, move |port| {
-                kernel(PeApi::new(port, rank, ranks, layout, plan, algo))
+                kernel(PeApi::new(port, rank, ranks, layout, plan, algo, trace_spans))
             })
         })
         .collect()
@@ -568,6 +664,7 @@ fn finish_result(
         fabric_deflections: fstats.deflections,
         fabric_mean_latency: fstats.latency.summary().mean(),
         fabric_max_latency: fstats.latency.summary().max(),
+        fabric_latency: fstats.latency.clone(),
         mpmmu,
         mpmmu_cache,
         banks: per_bank,

@@ -30,6 +30,7 @@ use medea_sim::fifo::Fifo;
 use medea_sim::ids::NodeId;
 use medea_sim::stats::Counter;
 use medea_sim::Cycle;
+use medea_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// MPMMU configuration.
@@ -274,6 +275,13 @@ impl Mpmmu {
 
     /// Advance one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_traced(now, &mut NullSink);
+    }
+
+    /// [`tick`](Mpmmu::tick) with per-bank transaction and lock events
+    /// reported to `sink` (emitted at request dispatch). With an inactive
+    /// sink every emission site constant-folds away.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
         // Move staged responses into the bounded outgoing FIFO.
         while let Some(&f) = self.staging.front() {
             match self.out_fifo.push(f) {
@@ -289,7 +297,7 @@ impl Mpmmu {
         }
 
         match std::mem::replace(&mut self.state, State::Idle) {
-            State::Idle => self.dispatch(now),
+            State::Idle => self.dispatch(now, sink),
             State::Busy { until, then } => {
                 if now >= until {
                     self.complete(then);
@@ -319,7 +327,7 @@ impl Mpmmu {
         }
     }
 
-    fn dispatch(&mut self, now: Cycle) {
+    fn dispatch<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
         let Some(req) = self.req_fifo.pop() else {
             return;
         };
@@ -327,6 +335,17 @@ impl Mpmmu {
         let src = req.src_id();
         let addr = req.payload();
         let overhead = self.cfg.service_overhead;
+        if S::ACTIVE && !matches!(req.kind(), PacketKind::Lock | PacketKind::Unlock) {
+            sink.record(
+                now,
+                TraceEvent::MemTxn {
+                    bank: self.node.index() as u16,
+                    src: src as u16,
+                    kind: req.kind().code(),
+                    addr,
+                },
+            );
+        }
         match req.kind() {
             PacketKind::SingleRead => {
                 let (value, lat) = self.mem_read_word(addr);
@@ -371,6 +390,17 @@ impl Mpmmu {
             }
             PacketKind::Lock => {
                 let granted = self.locks.try_lock(addr, NodeId::new(src as u16));
+                if S::ACTIVE {
+                    let (bank, src) = (self.node.index() as u16, src as u16);
+                    sink.record(
+                        now,
+                        if granted {
+                            TraceEvent::LockAcquired { bank, src, addr }
+                        } else {
+                            TraceEvent::LockContended { bank, src, addr }
+                        },
+                    );
+                }
                 let sub = if granted {
                     self.stats.locks_granted.inc();
                     SubKind::Ack
@@ -385,6 +415,16 @@ impl Mpmmu {
             PacketKind::Unlock => {
                 let sub = match self.locks.unlock(addr, NodeId::new(src as u16)) {
                     Ok(()) => {
+                        if S::ACTIVE {
+                            sink.record(
+                                now,
+                                TraceEvent::LockReleased {
+                                    bank: self.node.index() as u16,
+                                    src: src as u16,
+                                    addr,
+                                },
+                            );
+                        }
                         self.stats.unlocks.inc();
                         SubKind::Ack
                     }

@@ -115,6 +115,19 @@ pub enum AnyFabric {
     Ideal(ideal::IdealNetwork),
 }
 
+impl AnyFabric {
+    /// [`Fabric::tick`] with NoC events (deflections, per-router link
+    /// load) reported to `sink`. The ideal fabric is contention-free —
+    /// no switches, no deflections — so it has nothing to report beyond
+    /// the engine-side inject/deliver events, and ticks untraced.
+    pub fn tick_traced<S: medea_trace::TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        match self {
+            AnyFabric::Deflection(net) => net.tick_traced(now, sink),
+            AnyFabric::Ideal(net) => net.tick(now),
+        }
+    }
+}
+
 impl From<network::Network> for AnyFabric {
     fn from(net: network::Network) -> Self {
         AnyFabric::Deflection(net)

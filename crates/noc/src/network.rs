@@ -23,6 +23,7 @@ use crate::flit::Flit;
 use crate::router::DeflectionRouter;
 use crate::{Fabric, FabricStats};
 use medea_sim::{ids::NodeId, Cycle};
+use medea_trace::{NullSink, TraceEvent, TraceSink};
 
 /// Deflection-routed folded-torus network (§II-A).
 #[derive(Debug, Clone)]
@@ -79,6 +80,59 @@ impl Network {
             self.active.push(idx as u16);
         }
     }
+
+    /// [`Fabric::tick`] with NoC events reported to `sink`: per-router
+    /// deflections (from [`DeflectionRouter::route_traced`]) and the
+    /// per-cycle output-link occupancy of every active router — the raw
+    /// series behind per-link heatmaps. With an inactive sink this
+    /// monomorphizes to exactly the untraced tick.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        // This cycle's working set, moved out so the `active` field can
+        // start accumulating the next cycle's set into the spare buffer
+        // (both buffers are retained — steady state allocates nothing).
+        let mut work = std::mem::replace(&mut self.active, std::mem::take(&mut self.retired));
+        for &i in &work {
+            self.is_active[i as usize] = false;
+        }
+
+        // Phase 1: every active router routes its latched flits into the
+        // persistent link latches.
+        for &i in &work {
+            self.latches[i as usize] =
+                self.routers[i as usize].route_traced(now, &mut self.stats, sink);
+        }
+
+        // Phase 2: deliver over the (single-cycle) links; receiving
+        // switches and switches with an undrained injection register form
+        // the next working set.
+        for &i in &work {
+            let i = i as usize;
+            if S::ACTIVE {
+                // Every *active* router reports its occupancy — zeros
+                // included, so a draining router's counter series returns
+                // to zero instead of freezing at its last busy value.
+                // Idle routers are not in the working set and emit
+                // nothing.
+                let links = self.latches[i].iter().flatten().count() as u8;
+                sink.record(now, TraceEvent::LinkLoad { node: i as u16, links });
+            }
+            let from = self.topo.coord_of(NodeId::new(i as u16));
+            for dir in Dir::ALL {
+                if let Some(flit) = self.latches[i][dir.index()].take() {
+                    let to = self.topo.neighbor(from, dir);
+                    let to_idx = self.topo.node_of(to).index();
+                    self.routers[to_idx].accept(dir.opposite(), flit);
+                    self.mark_active(to_idx);
+                }
+            }
+            if self.routers[i].has_pending_inject() {
+                self.mark_active(i);
+            }
+        }
+
+        work.clear();
+        self.retired = work;
+    }
 }
 
 impl Fabric for Network {
@@ -109,41 +163,7 @@ impl Fabric for Network {
     }
 
     fn tick(&mut self, now: Cycle) {
-        // This cycle's working set, moved out so the `active` field can
-        // start accumulating the next cycle's set into the spare buffer
-        // (both buffers are retained — steady state allocates nothing).
-        let mut work = std::mem::replace(&mut self.active, std::mem::take(&mut self.retired));
-        for &i in &work {
-            self.is_active[i as usize] = false;
-        }
-
-        // Phase 1: every active router routes its latched flits into the
-        // persistent link latches.
-        for &i in &work {
-            self.latches[i as usize] = self.routers[i as usize].route(now, &mut self.stats);
-        }
-
-        // Phase 2: deliver over the (single-cycle) links; receiving
-        // switches and switches with an undrained injection register form
-        // the next working set.
-        for &i in &work {
-            let i = i as usize;
-            let from = self.topo.coord_of(NodeId::new(i as u16));
-            for dir in Dir::ALL {
-                if let Some(flit) = self.latches[i][dir.index()].take() {
-                    let to = self.topo.neighbor(from, dir);
-                    let to_idx = self.topo.node_of(to).index();
-                    self.routers[to_idx].accept(dir.opposite(), flit);
-                    self.mark_active(to_idx);
-                }
-            }
-            if self.routers[i].has_pending_inject() {
-                self.mark_active(i);
-            }
-        }
-
-        work.clear();
-        self.retired = work;
+        self.tick_traced(now, &mut NullSink);
     }
 
     fn in_flight(&self) -> usize {

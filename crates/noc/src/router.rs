@@ -24,6 +24,7 @@ use crate::flit::Flit;
 use crate::FabricStats;
 use medea_sim::fifo::Fifo;
 use medea_sim::Cycle;
+use medea_trace::{NullSink, TraceEvent, TraceSink};
 
 /// Default depth of the ejection queue between router and node interface.
 pub const DEFAULT_EJECT_QUEUE: usize = 8;
@@ -118,6 +119,18 @@ impl DeflectionRouter {
     /// heap allocation: residents are gathered into a fixed scratch array
     /// and ordered with an insertion sort (at most four elements).
     pub fn route(&mut self, now: Cycle, stats: &mut FabricStats) -> [Option<Flit>; 4] {
+        self.route_traced(now, stats, &mut NullSink)
+    }
+
+    /// [`route`](DeflectionRouter::route) with deflection events reported
+    /// to `sink`. With an inactive sink every emission site constant-folds
+    /// away, so `route` monomorphizes to exactly the untraced hot path.
+    pub fn route_traced<S: TraceSink>(
+        &mut self,
+        now: Cycle,
+        stats: &mut FabricStats,
+        sink: &mut S,
+    ) -> [Option<Flit>; 4] {
         let mut resident: [Option<Flit>; 4] = [None; 4];
         let mut count = 0;
         for slot in &mut self.inputs {
@@ -166,6 +179,10 @@ impl DeflectionRouter {
                     // most four through-flits compete for four ports.
                     flit.meta.deflections += 1;
                     stats.deflections += 1;
+                    if S::ACTIVE {
+                        let node = self.topo.node_of(self.coord).index() as u16;
+                        sink.record(now, TraceEvent::FlitDeflected { node });
+                    }
                     Dir::ALL
                         .into_iter()
                         .find(|d| outputs[d.index()].is_none())

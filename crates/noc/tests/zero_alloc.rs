@@ -2,6 +2,12 @@
 //! global allocator observes `try_inject` → `tick` → `eject` cycles under
 //! sustained contended traffic and must see no heap activity once the
 //! network has been constructed.
+//!
+//! The counter is **thread-scoped**: it is armed only on the driving
+//! thread for the measured window. A process-global count was flaky —
+//! the libtest harness thread occasionally allocates (timer/bookkeeping)
+//! concurrently with the measured drive, producing spurious failures
+//! unrelated to the fabric (observed at the seed commit too).
 
 use medea_noc::coord::Topology;
 use medea_noc::flit::Flit;
@@ -9,25 +15,46 @@ use medea_noc::network::Network;
 use medea_noc::Fabric;
 use medea_sim::ids::NodeId;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Whether allocations on *this* thread count (armed by the test
+    /// around its measured window). Const-initialized so reading it from
+    /// inside the allocator never itself allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is inside a measured window. `try_with`:
+/// allocator calls can arrive during TLS teardown, where access would
+/// otherwise panic.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -70,7 +97,9 @@ fn fabric_steady_state_is_allocation_free() {
     drive(&mut net, 0, 200);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
     let ejected = drive(&mut net, 200, 500);
+    COUNTING.with(|c| c.set(false));
     let after = ALLOCATIONS.load(Ordering::Relaxed);
 
     assert!(ejected > 1000, "sanity: traffic actually flowed ({ejected} ejected)");

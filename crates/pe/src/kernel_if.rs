@@ -11,6 +11,7 @@
 use crate::tie::Packet;
 use medea_cache::Addr;
 use medea_sim::{ids::NodeId, Cycle};
+use medea_trace::KernelOp;
 
 /// One architectural operation issued by a kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +132,19 @@ pub enum PeRequest {
     },
     /// Read the current cycle counter (the CCOUNT register equivalent).
     Now,
+    /// Kernel-level trace marker delimiting an eMPI operation span.
+    ///
+    /// Consumed by the engine in **zero simulated cycles** and counted in
+    /// **no statistic** — a run's architectural results are bit-identical
+    /// whether markers flow or not (pinned by the golden suite and the
+    /// trace-equivalence property tests). The engine forwards the marker
+    /// to the active trace sink; with tracing off it is discarded.
+    TraceSpan {
+        /// The operation being delimited.
+        op: KernelOp,
+        /// `true` opens the span, `false` closes it.
+        begin: bool,
+    },
 }
 
 /// Engine answer to a [`PeRequest`].

@@ -30,6 +30,7 @@ use medea_sim::coroutine::{Fetched, KernelHost, KernelPort};
 use medea_sim::ids::NodeId;
 use medea_sim::stats::Counter;
 use medea_sim::Cycle;
+use medea_trace::{CacheEventKind, KernelOp, NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// The port type kernels receive: issue [`PeRequest`]s, get
@@ -261,8 +262,22 @@ impl ProcessingElement {
 
     /// Deliver a flit ejected from the NoC at this node.
     pub fn deliver(&mut self, flit: Flit, now: Cycle) {
+        self.deliver_traced(flit, now, &mut NullSink);
+    }
+
+    /// [`deliver`](ProcessingElement::deliver) with reorder-buffer slips
+    /// (block-read data arriving out of address order) reported to `sink`.
+    pub fn deliver_traced<S: TraceSink>(&mut self, flit: Flit, now: Cycle, sink: &mut S) {
         if flit.kind().is_shared_memory() {
-            self.bridge.handle_response(flit, now);
+            if S::ACTIVE {
+                let before = self.bridge.stats().out_of_order_flits.get();
+                self.bridge.handle_response(flit, now);
+                if self.bridge.stats().out_of_order_flits.get() > before {
+                    sink.record(now, TraceEvent::ReorderSlip { node: self.src_id as u16 });
+                }
+            } else {
+                self.bridge.handle_response(flit, now);
+            }
         } else {
             self.rx.deliver(flit);
         }
@@ -280,6 +295,14 @@ impl ProcessingElement {
 
     /// Advance the PE by one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_traced(now, &mut NullSink);
+    }
+
+    /// [`tick`](ProcessingElement::tick) with cache accesses, coherence
+    /// operations and packet-span events reported to `sink`. With an
+    /// inactive sink every emission site constant-folds away, so `tick`
+    /// monomorphizes to exactly the untraced engine.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
         self.bridge.tick(now);
         // Move at most one bridge flit into the arbiter per cycle (the
         // bridge's output latch drains at link rate).
@@ -287,10 +310,10 @@ impl ProcessingElement {
             let flit = self.bridge.take_output().expect("has_output");
             self.arbiter.accept_bridge(flit);
         }
-        self.step(now);
+        self.step(now, sink);
     }
 
-    fn step(&mut self, now: Cycle) {
+    fn step<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
         // A tick may chain reply→fetch→begin so back-to-back operations
         // lose no cycles; every iteration either blocks or consumes a
         // kernel request, so the loop terminates.
@@ -313,9 +336,27 @@ impl ProcessingElement {
                         self.exec = Exec::Done;
                         false
                     }
+                    Fetched::Request(PeRequest::TraceSpan { op, begin }) => {
+                        // Markers consume zero simulated cycles and update
+                        // no statistic (not even `requests`): the run must
+                        // be bit-identical whether they flow or not.
+                        if S::ACTIVE {
+                            let node = self.src_id as u16;
+                            sink.record(
+                                now,
+                                if begin {
+                                    TraceEvent::SpanBegin { node, op }
+                                } else {
+                                    TraceEvent::SpanEnd { node, op }
+                                },
+                            );
+                        }
+                        self.host.reply(PeResponse::Unit);
+                        true
+                    }
                     Fetched::Request(req) => {
                         self.stats.requests.inc();
-                        self.begin(req, now);
+                        self.begin(req, now, sink);
                         false
                     }
                 },
@@ -331,7 +372,7 @@ impl ProcessingElement {
                 }
                 Exec::Mem(m) => {
                     self.stats.mem_cycles.inc();
-                    self.step_mem(m, now)
+                    self.step_mem(m, now, sink)
                 }
                 Exec::BridgeWait { shape } => {
                     self.stats.mem_cycles.inc();
@@ -357,6 +398,10 @@ impl ProcessingElement {
                     }
                     if flits.is_empty() {
                         self.stats.packets_sent.inc();
+                        if S::ACTIVE {
+                            let node = self.src_id as u16;
+                            sink.record(now, TraceEvent::SpanEnd { node, op: KernelOp::Send });
+                        }
                         self.host.reply(PeResponse::Unit);
                         self.exec = Exec::Fetch;
                         true
@@ -368,6 +413,10 @@ impl ProcessingElement {
                 Exec::Recv { from } => match self.rx.take_packet(from) {
                     Some(packet) => {
                         self.stats.packets_received.inc();
+                        if S::ACTIVE {
+                            let node = self.src_id as u16;
+                            sink.record(now, TraceEvent::SpanEnd { node, op: KernelOp::Recv });
+                        }
                         // One cycle per word for the seq-indexed copy into
                         // local memory (Fig. 2-b).
                         let cost = packet.data.len() as Cycle;
@@ -388,8 +437,9 @@ impl ProcessingElement {
         }
     }
 
-    fn begin(&mut self, req: PeRequest, now: Cycle) {
+    fn begin<S: TraceSink>(&mut self, req: PeRequest, now: Cycle, sink: &mut S) {
         let fp = self.cfg.fp;
+        let node = self.src_id as u16;
         let stall = |until: Cycle, resp: PeResponse| Exec::Stall { until, resp };
         self.exec = match req {
             PeRequest::Compute { cycles } => {
@@ -452,14 +502,28 @@ impl ProcessingElement {
                 })
             }
             PeRequest::FlushLine { addr } => match self.cache.flush_line(addr) {
-                medea_cache::FlushOutcome::Clean => stall(now + 1, PeResponse::Unit),
+                medea_cache::FlushOutcome::Clean => {
+                    if S::ACTIVE {
+                        let kind = CacheEventKind::Flush;
+                        sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
+                    }
+                    stall(now + 1, PeResponse::Unit)
+                }
                 medea_cache::FlushOutcome::Writeback(v) => {
+                    if S::ACTIVE {
+                        let kind = CacheEventKind::FlushWriteback;
+                        sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
+                    }
                     self.bridge.start(BridgeOp::BlockWrite { line: v.line, data: v.data });
                     Exec::BridgeWait { shape: DirectShape::FlushWriteback }
                 }
             },
             PeRequest::InvalidateLine { addr } => {
                 self.cache.invalidate_line(addr);
+                if S::ACTIVE {
+                    let kind = CacheEventKind::Invalidate;
+                    sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
+                }
                 stall(now + 1, PeResponse::Unit)
             }
             PeRequest::UncachedLoad { addr } => {
@@ -479,10 +543,18 @@ impl ProcessingElement {
                 Exec::BridgeWait { shape: DirectShape::Unlock }
             }
             PeRequest::Send { dest, payload } => {
+                if S::ACTIVE {
+                    sink.record(now, TraceEvent::SpanBegin { node, op: KernelOp::Send });
+                }
                 let flits = packetize(self.topo.coord_of(dest), self.src_id, &payload);
                 Exec::Send { flits: flits.into() }
             }
-            PeRequest::Recv { from } => Exec::Recv { from },
+            PeRequest::Recv { from } => {
+                if S::ACTIVE {
+                    sink.record(now, TraceEvent::SpanBegin { node, op: KernelOp::Recv });
+                }
+                Exec::Recv { from }
+            }
             PeRequest::TryRecv { from } => {
                 let packet = self.rx.take_packet(from);
                 let cost = 1 + packet.as_ref().map(|p| p.data.len() as Cycle).unwrap_or(0);
@@ -492,6 +564,9 @@ impl ProcessingElement {
                 stall(now + cost, PeResponse::MaybePacket(packet))
             }
             PeRequest::Now => stall(now + 1, PeResponse::Time(now)),
+            PeRequest::TraceSpan { .. } => {
+                unreachable!("trace markers are consumed in the fetch loop")
+            }
         };
     }
 
@@ -513,29 +588,44 @@ impl ProcessingElement {
 
     /// Process one cycle of a cached memory operation. Returns whether the
     /// step loop should continue (a reply was issued).
-    fn step_mem(&mut self, mut m: MemExec, now: Cycle) -> bool {
+    fn step_mem<S: TraceSink>(&mut self, mut m: MemExec, now: Cycle, sink: &mut S) -> bool {
+        let node = self.src_id as u16;
+        let cache_event = |sink: &mut S, kind: CacheEventKind, addr: Addr| {
+            if S::ACTIVE {
+                sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
+            }
+        };
         match m.phase {
             MemPhase::Access => {
                 let word = m.words[m.idx];
                 match word.store {
                     None => match self.cache.load_word(word.addr) {
                         Some(v) => {
+                            cache_event(sink, CacheEventKind::LoadHit, word.addr);
                             m.acc[m.idx] = v;
                             m.idx += 1;
                             return self.word_done(m, now);
                         }
-                        None => self.start_allocate(&mut m, word.addr),
+                        None => {
+                            cache_event(sink, CacheEventKind::LoadMiss, word.addr);
+                            self.start_allocate(&mut m, word.addr);
+                        }
                     },
                     Some(value) => match self.cache.store_word(word.addr, value) {
                         StoreOutcome::Absorbed => {
+                            cache_event(sink, CacheEventKind::StoreHit, word.addr);
                             m.idx += 1;
                             return self.word_done(m, now);
                         }
                         StoreOutcome::WriteThrough => {
+                            cache_event(sink, CacheEventKind::StoreThrough, word.addr);
                             self.bridge.start(BridgeOp::SingleWrite { addr: word.addr, value });
                             m.phase = MemPhase::WriteThrough;
                         }
-                        StoreOutcome::NeedsAllocate => self.start_allocate(&mut m, word.addr),
+                        StoreOutcome::NeedsAllocate => {
+                            cache_event(sink, CacheEventKind::StoreMiss, word.addr);
+                            self.start_allocate(&mut m, word.addr);
+                        }
                     },
                 }
                 self.exec = Exec::Mem(m);

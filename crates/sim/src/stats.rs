@@ -150,6 +150,41 @@ impl Log2Histogram {
         &self.summary
     }
 
+    /// Approximate `p`-quantile (`p` in `[0, 1]`) from bucket granularity:
+    /// the inclusive upper bound of the bucket holding the `⌈p·n⌉`-th
+    /// smallest sample, clamped to the exact observed maximum (so
+    /// `percentile(1.0)` *is* the max). `None` if no samples were
+    /// recorded.
+    ///
+    /// The power-of-two buckets make this an upper estimate within 2× of
+    /// the true quantile — the right fidelity for the latency-tail
+    /// reporting the paper does ("sporadic cases of single flits delivered
+    /// with high latency", §II-A).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let n = self.summary.count();
+        if n == 0 {
+            return None;
+        }
+        let max = self.summary.max().expect("non-empty");
+        let rank = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                // The final bucket is open-ended: its only known upper
+                // bound is the observed maximum itself.
+                if i + 1 == self.buckets.len() {
+                    return Some(max);
+                }
+                // Bucket 0 holds exactly {0}; bucket i>0 covers
+                // [2^(i-1), 2^i).
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(upper.min(max));
+            }
+        }
+        Some(max)
+    }
+
     /// Fraction of samples at or above `threshold` approximated from bucket
     /// granularity (exact if `threshold` is a power of two).
     pub fn tail_fraction(&self, threshold: u64) -> f64 {
@@ -231,6 +266,32 @@ mod tests {
         assert_eq!(h.buckets()[2], 1);
         assert_eq!(h.buckets()[5], 1);
         assert_eq!(h.summary().count(), 4);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Log2Histogram::new(10);
+        for _ in 0..98 {
+            h.record(3); // bucket 2: [2, 4)
+        }
+        h.record(40); // bucket 6: [32, 64)
+        h.record(100); // bucket 7: [64, 128)
+        assert_eq!(h.percentile(0.5), Some(3), "p50 is bucket [2,4)'s upper bound");
+        assert_eq!(h.percentile(0.98), Some(3));
+        assert_eq!(h.percentile(0.99), Some(63));
+        assert_eq!(h.percentile(1.0), Some(100), "p100 is the exact max");
+        assert_eq!(Log2Histogram::default().percentile(0.5), None);
+        // Single sample: every percentile is that sample.
+        let mut one = Log2Histogram::new(6);
+        one.record(7);
+        assert_eq!(one.percentile(0.0), Some(7));
+        assert_eq!(one.percentile(0.5), Some(7));
+        // Samples overflowing into the open-ended final bucket report
+        // the observed max, not the truncated 2^(levels-1)-1 bound.
+        let mut clamped = Log2Histogram::new(4);
+        clamped.record(100);
+        assert_eq!(clamped.percentile(0.5), Some(100));
+        assert_eq!(clamped.percentile(1.0), Some(100));
     }
 
     #[test]

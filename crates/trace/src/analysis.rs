@@ -1,0 +1,166 @@
+//! Summary analytics over a captured trace.
+//!
+//! The end-of-run counters on `RunResult` answer *how much*; the trace
+//! answers *where and when*. [`TraceAnalysis`] reduces a captured event
+//! stream to the per-run observables the issue tracker asks every
+//! scheduling/placement experiment to report:
+//!
+//! * NoC: injected / delivered / deflected flit counts and the
+//!   **per-router maximum link occupancy** (which links saturate);
+//! * locks: **contention cycles** — for every `(requester, lock word)`
+//!   pair, the span from its first Nack to its eventual grant — plus the
+//!   contended-acquire count;
+//! * kernel spans: completed-span count and total in-span cycles per
+//!   [`KernelOp`].
+
+use crate::event::{KernelOp, TimedEvent, TraceEvent};
+use medea_sim::Cycle;
+use std::collections::BTreeMap;
+
+/// Aggregates computed from one captured event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceAnalysis {
+    /// Events analysed.
+    pub events: usize,
+    /// Flits injected.
+    pub injected: u64,
+    /// Flits delivered.
+    pub delivered: u64,
+    /// Deflection events.
+    pub deflected: u64,
+    /// Per-router maximum output-link occupancy `(node, max links busy)`,
+    /// ascending by node; routers that were never active are absent (an
+    /// active router that only ejected locally reports 0).
+    pub max_link_load: Vec<(u16, u8)>,
+    /// Lock acquisitions that were granted.
+    pub lock_acquires: u64,
+    /// Lock acquisitions preceded by at least one Nack.
+    pub contended_acquires: u64,
+    /// Total cycles spent between a requester's first Nack on a lock word
+    /// and its eventual grant, summed over all contended acquisitions.
+    pub lock_contention_cycles: u64,
+    /// Completed spans and their total cycles, per operation:
+    /// `(op, count, cycles)`, in first-seen order.
+    pub spans: Vec<(KernelOp, u64, u64)>,
+}
+
+impl TraceAnalysis {
+    /// Reduce `events` (any order-preserving capture, e.g.
+    /// [`crate::RingSink::to_vec`]).
+    pub fn from_events(events: &[TimedEvent]) -> Self {
+        let mut a = TraceAnalysis { events: events.len(), ..TraceAnalysis::default() };
+        let mut link_load: BTreeMap<u16, u8> = BTreeMap::new();
+        // (src, addr) → cycle of the first Nack since the last grant.
+        let mut first_contend: BTreeMap<(u16, u32), Cycle> = BTreeMap::new();
+        // (node, op) → begin cycle of the innermost open span.
+        let mut open_spans: BTreeMap<(u16, KernelOp), Vec<Cycle>> = BTreeMap::new();
+        let mut spans: Vec<(KernelOp, u64, u64)> = Vec::new();
+
+        for &TimedEvent { at, event } in events {
+            match event {
+                TraceEvent::FlitInjected { .. } => a.injected += 1,
+                TraceEvent::FlitDelivered { .. } => a.delivered += 1,
+                TraceEvent::FlitDeflected { .. } => a.deflected += 1,
+                TraceEvent::LinkLoad { node, links } => {
+                    let max = link_load.entry(node).or_insert(0);
+                    *max = (*max).max(links);
+                }
+                TraceEvent::LockContended { src, addr, .. } => {
+                    first_contend.entry((src, addr)).or_insert(at);
+                }
+                TraceEvent::LockAcquired { src, addr, .. } => {
+                    a.lock_acquires += 1;
+                    if let Some(t0) = first_contend.remove(&(src, addr)) {
+                        a.contended_acquires += 1;
+                        a.lock_contention_cycles += at.saturating_sub(t0);
+                    }
+                }
+                TraceEvent::SpanBegin { node, op } => {
+                    open_spans.entry((node, op)).or_default().push(at);
+                }
+                TraceEvent::SpanEnd { node, op } => {
+                    // A ring that wrapped may have dropped the begin;
+                    // unmatched ends are skipped, like the viewers do.
+                    if let Some(t0) = open_spans.get_mut(&(node, op)).and_then(Vec::pop) {
+                        match spans.iter_mut().find(|(o, _, _)| *o == op) {
+                            Some(row) => {
+                                row.1 += 1;
+                                row.2 += at.saturating_sub(t0);
+                            }
+                            None => spans.push((op, 1, at.saturating_sub(t0))),
+                        }
+                    }
+                }
+                TraceEvent::LockReleased { .. }
+                | TraceEvent::CacheAccess { .. }
+                | TraceEvent::ReorderSlip { .. }
+                | TraceEvent::MemTxn { .. } => {}
+            }
+        }
+        a.max_link_load = link_load.into_iter().collect();
+        a.spans = spans;
+        a
+    }
+
+    /// The busiest router's peak link occupancy, if any traffic flowed.
+    pub fn peak_link_load(&self) -> Option<(u16, u8)> {
+        self.max_link_load.iter().copied().max_by_key(|(_, links)| *links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(at: Cycle, event: TraceEvent) -> TimedEvent {
+        TimedEvent { at, event }
+    }
+
+    #[test]
+    fn counts_and_link_peaks() {
+        let events = vec![
+            t(0, TraceEvent::FlitInjected { node: 1, kind: 6 }),
+            t(1, TraceEvent::LinkLoad { node: 1, links: 2 }),
+            t(2, TraceEvent::LinkLoad { node: 1, links: 4 }),
+            t(2, TraceEvent::LinkLoad { node: 2, links: 1 }),
+            t(3, TraceEvent::FlitDeflected { node: 2 }),
+            t(
+                5,
+                TraceEvent::FlitDelivered { node: 3, uid: 1, latency: 5, hops: 2, deflections: 1 },
+            ),
+        ];
+        let a = TraceAnalysis::from_events(&events);
+        assert_eq!((a.injected, a.delivered, a.deflected), (1, 1, 1));
+        assert_eq!(a.max_link_load, vec![(1, 4), (2, 1)]);
+        assert_eq!(a.peak_link_load(), Some((1, 4)));
+    }
+
+    #[test]
+    fn lock_contention_spans_first_nack_to_grant() {
+        let events = vec![
+            t(10, TraceEvent::LockAcquired { bank: 0, src: 1, addr: 512 }),
+            t(12, TraceEvent::LockContended { bank: 0, src: 2, addr: 512 }),
+            t(20, TraceEvent::LockContended { bank: 0, src: 2, addr: 512 }),
+            t(30, TraceEvent::LockReleased { bank: 0, src: 1, addr: 512 }),
+            t(34, TraceEvent::LockAcquired { bank: 0, src: 2, addr: 512 }),
+        ];
+        let a = TraceAnalysis::from_events(&events);
+        assert_eq!(a.lock_acquires, 2);
+        assert_eq!(a.contended_acquires, 1);
+        assert_eq!(a.lock_contention_cycles, 34 - 12);
+    }
+
+    #[test]
+    fn spans_aggregate_per_op_and_tolerate_truncation() {
+        let events = vec![
+            t(0, TraceEvent::SpanBegin { node: 1, op: KernelOp::Barrier }),
+            t(8, TraceEvent::SpanEnd { node: 1, op: KernelOp::Barrier }),
+            t(10, TraceEvent::SpanBegin { node: 2, op: KernelOp::Barrier }),
+            t(13, TraceEvent::SpanEnd { node: 2, op: KernelOp::Barrier }),
+            // Truncated: end without a begin (ring wrapped).
+            t(20, TraceEvent::SpanEnd { node: 3, op: KernelOp::Send }),
+        ];
+        let a = TraceAnalysis::from_events(&events);
+        assert_eq!(a.spans, vec![(KernelOp::Barrier, 2, 11)]);
+    }
+}

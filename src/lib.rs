@@ -7,6 +7,8 @@
 //! This crate re-exports the public API of the individual subsystem crates:
 //!
 //! * [`sim`] — cycle-stepped simulation kernel and kernel-thread coroutines;
+//! * [`trace`] — zero-overhead cross-layer event tracing with Chrome-trace
+//!   and CSV export;
 //! * [`noc`] — folded-torus network-on-chip with deflection routing;
 //! * [`cache`] — write-back / write-through L1 cache models;
 //! * [`mem`] — MPMMU, lock table and DDR model;
@@ -46,3 +48,4 @@ pub use medea_mem as mem;
 pub use medea_noc as noc;
 pub use medea_pe as pe;
 pub use medea_sim as sim;
+pub use medea_trace as trace;

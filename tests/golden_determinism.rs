@@ -19,6 +19,7 @@ use medea::core::api::PeApi;
 use medea::core::system::{Kernel, RunResult, System};
 use medea::core::{CollectiveAlgo, Empi, SystemConfig, Topology};
 use medea::sim::ids::Rank;
+use medea::trace::{NullSink, RingSink, TraceConfig};
 
 fn cfg(pes: usize) -> SystemConfig {
     SystemConfig::builder().compute_pes(pes).cycle_limit(50_000_000).build().unwrap()
@@ -158,6 +159,17 @@ fn sharedmem_kernels(ranks: usize) -> Vec<Kernel> {
         .collect()
 }
 
+/// The four pinned paper-4×4 workloads with their literal fingerprints
+/// (captured from the pre-bank single-MPMMU engine).
+fn paper_pins() -> [PinnedWorkload; 4] {
+    [
+        ("pingpong", || pingpong_kernels(), 2, (320, 80, 0, Some(1))),
+        ("reduce", || reduce_kernels(6), 6, (960, 50, 0, Some(3))),
+        ("gather", || gather_kernels(8), 8, (695, 343, 5081, Some(187))),
+        ("sharedmem", || sharedmem_kernels(5), 5, (2263, 704, 17, Some(5))),
+    ]
+}
+
 /// The paper-4×4 fingerprints, pinned as literal values captured from the
 /// pre-bank single-MPMMU engine. The banked refactor (and any future
 /// engine work) must reproduce them bit-for-bit with the default
@@ -165,13 +177,7 @@ fn sharedmem_kernels(ranks: usize) -> Vec<Kernel> {
 /// system IS the paper's system, not an approximation of it.
 #[test]
 fn paper_4x4_fingerprints_pinned_bit_for_bit() {
-    let pins: [PinnedWorkload; 4] = [
-        ("pingpong", || pingpong_kernels(), 2, (320, 80, 0, Some(1))),
-        ("reduce", || reduce_kernels(6), 6, (960, 50, 0, Some(3))),
-        ("gather", || gather_kernels(8), 8, (695, 343, 5081, Some(187))),
-        ("sharedmem", || sharedmem_kernels(5), 5, (2263, 704, 17, Some(5))),
-    ];
-    for (name, kernels, pes, pin) in pins {
+    for (name, kernels, pes, pin) in paper_pins() {
         let default_run = System::run(&cfg(pes), &[], kernels()).expect(name);
         assert_eq!(fingerprint(&default_run), pin, "{name}: default configuration drifted");
         let one_bank = System::run(&cfg_banked(pes, 1), &[], kernels()).expect(name);
@@ -186,6 +192,35 @@ fn paper_4x4_fingerprints_pinned_bit_for_bit() {
     assert_eq!(run.mpmmu.single_writes.get(), 30);
     assert_eq!(run.mpmmu.locks_granted.get(), 30);
     assert_eq!(run.banks.len(), 1);
+}
+
+/// Tracing must be free: every paper-4×4 fingerprint is reproduced
+/// bit-for-bit by `run_traced` with a `NullSink` (tracing compiled away)
+/// AND with a live `RingSink` on a fully trace-enabled configuration
+/// (kernel span markers included). Events are observations, never
+/// actors.
+#[test]
+fn tracing_reproduces_paper_fingerprints_bit_for_bit() {
+    for (name, kernels, pes, pin) in paper_pins() {
+        let off = System::run_traced(&cfg(pes), &[], kernels(), &mut NullSink).expect(name);
+        assert_eq!(fingerprint(&off), pin, "{name}: NullSink perturbed the engine");
+
+        let traced_cfg = SystemConfig::builder()
+            .compute_pes(pes)
+            .cycle_limit(50_000_000)
+            .trace(TraceConfig::all())
+            .build()
+            .unwrap();
+        let mut sink = RingSink::new(1 << 20);
+        let on = System::run_traced(&traced_cfg, &[], kernels(), &mut sink).expect(name);
+        assert_eq!(fingerprint(&on), pin, "{name}: live tracing perturbed the engine");
+        assert!(!sink.is_empty(), "{name}: a traced run must capture events");
+
+        // And a trace-enabled config run *untraced* is unperturbed too
+        // (markers flow, cost zero cycles, and are discarded).
+        let markers_only = System::run(&traced_cfg, &[], kernels()).expect(name);
+        assert_eq!(fingerprint(&markers_only), pin, "{name}: span markers cost cycles");
+    }
 }
 
 #[test]
