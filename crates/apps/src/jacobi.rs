@@ -29,7 +29,7 @@ use medea_core::api::PeApi;
 use medea_core::calib::LOOP_OVERHEAD_CYCLES;
 use medea_core::explore::{PreparedWorkload, Workload};
 use medea_core::system::{Kernel, RunError, RunResult, System};
-use medea_core::{Empi, SystemConfig};
+use medea_core::{Empi, FaultInjector, NullInjector, NullSink, SystemConfig, TraceSink};
 use medea_pe::kernel_if::f64_to_words;
 use medea_sim::ids::Rank;
 use medea_sim::Cycle;
@@ -399,6 +399,30 @@ pub fn preload_for(sys: &SystemConfig, jcfg: &JacobiConfig) -> Vec<(Addr, u32)> 
 /// Panics if the configured PE count exceeds [`max_ranks`] for the grid or
 /// the grid slice does not fit the private segment.
 pub fn run(sys: &SystemConfig, jcfg: &JacobiConfig) -> Result<JacobiOutcome, RunError> {
+    run_faulted(sys, jcfg, &mut NullSink, &mut NullInjector)
+}
+
+/// [`run`] with deterministic faults drawn from `injector` and trace
+/// events delivered to `sink` — the workload side of the resilience
+/// experiments: inject link kills or flit corruption under a live Jacobi
+/// solve, then check completion, numerical correctness (via
+/// [`JacobiConfig::with_validation`]) and the recovery counters on
+/// [`RunResult`].
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the engine.
+///
+/// # Panics
+///
+/// Panics if the configured PE count exceeds [`max_ranks`] for the grid or
+/// the grid slice does not fit the private segment.
+pub fn run_faulted<S: TraceSink, I: FaultInjector>(
+    sys: &SystemConfig,
+    jcfg: &JacobiConfig,
+    sink: &mut S,
+    injector: &mut I,
+) -> Result<JacobiOutcome, RunError> {
     assert!(
         sys.compute_pes() <= max_ranks(jcfg.n),
         "{} PEs exceed the {} interior rows of a {0}x{0} grid",
@@ -425,7 +449,7 @@ pub fn run(sys: &SystemConfig, jcfg: &JacobiConfig) -> Result<JacobiOutcome, Run
         })
         .collect();
     let preload = preload_for(sys, jcfg);
-    let run = System::run(sys, &preload, kernels)?;
+    let run = System::run_faulted(sys, &preload, kernels, sink, injector)?;
     Ok(JacobiOutcome {
         run,
         cycles_per_iter: measured.load(Ordering::SeqCst),

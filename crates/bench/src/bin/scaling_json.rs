@@ -28,6 +28,13 @@
 //! full 16×16 point, 4 banks must beat the single-bank 255-PE baseline
 //! by ≥ 2× (asserted; ≥ 1× at CI smoke scale).
 //!
+//! And the **resilience sweep**: seeded fault injection (Message-flit
+//! corruption, a mid-run dead torus link, MPMMU response drops/delays)
+//! against the standard recovery configuration. Every scenario must
+//! complete — Jacobi scenarios validated bit-exactly against the
+//! sequential reference — with nonzero recovery counters (deflection
+//! reroutes, eMPI retransmissions, bridge retries), asserted.
+//!
 //! ```text
 //! cargo run --release -p medea-bench --bin scaling_json -- [--smoke] [OUT_PATH]
 //! ```
@@ -45,7 +52,10 @@ use medea_bench::sweep_threads;
 use medea_core::api::PeApi;
 use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
 use medea_core::system::{Kernel, System};
-use medea_core::{CachePolicy, CollectiveAlgo, Empi, SystemConfig, SystemConfigBuilder, Topology};
+use medea_core::{
+    CachePolicy, CollectiveAlgo, DeadLink, Empi, FaultConfig, NullSink, ResilienceConfig,
+    ScheduledInjector, SystemConfig, SystemConfigBuilder, Topology,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -333,6 +343,137 @@ fn run_memory_banks(tiers: &[Tier], ops: usize) -> Vec<BankRow> {
     rows
 }
 
+// ---- resilience microbench ----
+
+/// The fault-injection sweep behind the `resilience` section: every
+/// scenario runs with [`ResilienceConfig::standard`] (retransmission,
+/// bridge retry, watchdog) against a seeded [`ScheduledInjector`] and
+/// must finish — validated bit-exactly for the Jacobi scenarios — while
+/// the recovery counters show the faults were really absorbed, not
+/// merely absent. Smoke mode shrinks grids and op counts, never the
+/// fault rates.
+fn run_resilience(smoke: bool) -> Vec<medea_core::report::ResilienceRow> {
+    // The 16-PE scenarios need one interior row per rank: grid >= 18.
+    let grid = if smoke { 18 } else { 24 };
+    let iters = if smoke { 1 } else { 2 };
+
+    let short = |e: &medea_core::system::RunError| -> String {
+        use medea_core::system::RunError;
+        match e {
+            RunError::CycleLimit { .. } => "cycle-limit".into(),
+            RunError::Watchdog { .. } => "watchdog".into(),
+            RunError::Deadlock { .. } => "deadlock".into(),
+            other => format!("{other}"),
+        }
+    };
+
+    // Jacobi under fire: the solve must still validate bit-exactly
+    // against the sequential reference after every recovery.
+    let jacobi_scenario = |name: &str, side: u8, pes: usize, schedule: FaultConfig| {
+        let sys = base_builder()
+            .topology(Topology::new(side, side).expect("valid square torus"))
+            .compute_pes(pes)
+            .cache_bytes(CACHE_BYTES)
+            .resilience(ResilienceConfig::standard())
+            .build()
+            .expect("resilience bench configuration");
+        let jcfg = JacobiConfig::new(grid, JacobiVariant::HybridFullMp)
+            .with_warmup_iters(0)
+            .with_measured_iters(iters)
+            .with_validation();
+        let mut injector = ScheduledInjector::new(schedule);
+        match jacobi::run_faulted(&sys, &jcfg, &mut NullSink, &mut injector) {
+            Ok(outcome) => {
+                jacobi::validate_against_reference(&jcfg, &outcome)
+                    .expect("faulted jacobi must still match the sequential reference");
+                let r = &outcome.run;
+                (
+                    name.to_owned(),
+                    r.fault.total(),
+                    r.fabric_reroutes,
+                    r.retransmits(),
+                    r.nacks_sent(),
+                    r.bridge_retries(),
+                    "ok".to_owned(),
+                )
+            }
+            Err(e) => (name.to_owned(), 0, 0, 0, 0, 0, short(&e)),
+        }
+    };
+
+    let mut rows = Vec::new();
+    rows.push(jacobi_scenario(
+        "4x4 jacobi corrupt=10000ppm",
+        4,
+        8,
+        FaultConfig { seed: 0xFA_001, flit_corrupt_ppm: 10_000, ..FaultConfig::default() },
+    ));
+    rows.push(jacobi_scenario(
+        "8x8 jacobi dead-link@400",
+        8,
+        16,
+        FaultConfig { seed: 0xFA_002, ..FaultConfig::default() }.kill_link(DeadLink {
+            node: 0,
+            dir: 1,
+            at: 400,
+        }),
+    ));
+    rows.push(jacobi_scenario(
+        "8x8 jacobi dead-link+corrupt",
+        8,
+        16,
+        FaultConfig { seed: 0xFA_003, flit_corrupt_ppm: 1_000, ..FaultConfig::default() }
+            .kill_link(DeadLink { node: 0, dir: 1, at: 400 }),
+    ));
+
+    // Bank-hammer: uncached read round trips under response drops and
+    // service delays — recovery is the pif2NoC bridge's read retry.
+    {
+        let ops = if smoke { 64 } else { 256 };
+        let pes = 4usize;
+        let sys = base_builder()
+            .compute_pes(pes)
+            .cache_bytes(CACHE_BYTES)
+            .resilience(ResilienceConfig::standard())
+            .build()
+            .expect("bank-hammer configuration");
+        let kernels: Vec<Kernel> = (0..pes)
+            .map(|r| {
+                Box::new(move |api: PeApi| {
+                    let comm = Empi::new(api);
+                    for i in 0..ops {
+                        let addr = 0x100 + ((r * ops + i) as u32 % 64) * 4;
+                        comm.uncached_store_u32(addr, i as u32);
+                        let _ = comm.uncached_load_u32(addr);
+                    }
+                }) as Kernel
+            })
+            .collect();
+        let schedule = FaultConfig {
+            seed: 0xFA_004,
+            bank_drop_ppm: 20_000,
+            bank_delay_ppm: 20_000,
+            bank_delay_cycles: 200,
+            ..FaultConfig::default()
+        };
+        let mut injector = ScheduledInjector::new(schedule);
+        let name = "4x4 bank-hammer drop+delay";
+        rows.push(match System::run_faulted(&sys, &[], kernels, &mut NullSink, &mut injector) {
+            Ok(r) => (
+                name.to_owned(),
+                r.fault.total(),
+                r.fabric_reroutes,
+                r.retransmits(),
+                r.nacks_sent(),
+                r.bridge_retries(),
+                "ok".to_owned(),
+            ),
+            Err(e) => (name.to_owned(), 0, 0, 0, 0, 0, short(&e)),
+        });
+    }
+    rows
+}
+
 /// Re-run the most-populated point of the largest tier with validation:
 /// every interior cell of the final grid must match the sequential
 /// reference bit-for-bit, so the 255-PE configuration is numerically
@@ -379,6 +520,7 @@ fn main() {
     let collectives = run_collectives(tiers);
     let hotspot_ops = if smoke { 6 } else { 16 };
     let bank_rows = run_memory_banks(tiers, hotspot_ops);
+    let resilience_rows = run_resilience(smoke);
     // Smoke mode skips the ~half-minute 255-PE validation pass; the
     // 63-rank validated run in the apps test suite covers CI.
     let validated = (!smoke).then(|| validate_largest(tiers));
@@ -487,6 +629,25 @@ fn main() {
             if i + 1 < bank_rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ]},\n");
+    // The fault-injection sweep: seeded faults against the standard
+    // resilience configuration, Jacobi scenarios validated bit-exactly
+    // after recovery.
+    json.push_str(
+        "  \"resilience\": {\"config\": \"ResilienceConfig::standard (retransmit + bridge \
+         retry + watchdog)\", \"rows\": [\n",
+    );
+    for (i, (label, faults, reroutes, retransmits, nacks, bridge, outcome)) in
+        resilience_rows.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{label}\", \"faults_injected\": {faults}, \
+             \"fabric_reroutes\": {reroutes}, \"empi_retransmits\": {retransmits}, \
+             \"empi_nacks\": {nacks}, \"bridge_retries\": {bridge}, \
+             \"outcome\": \"{outcome}\"}}{}\n",
+            if i + 1 < resilience_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]}\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
@@ -523,6 +684,8 @@ fn main() {
             r.topology, r.label, r.banks, r.hotspot_cycles, r.speedup_vs_single_bank
         );
     }
+    println!("resilience sweep (standard recovery config):");
+    print!("{}", medea_core::report::format_resilience_table(&resilience_rows));
     if let Some((label, _)) = &validated {
         println!("validated {label} against the sequential reference");
     }
@@ -577,5 +740,16 @@ fn main() {
         bank_best.label,
         bank_best.speedup_vs_single_bank
     );
+    // The resilience acceptance gate: every fault scenario must complete
+    // ("ok" outcome, validated where applicable) and every scenario must
+    // both inject real faults and exercise the matching recovery path.
+    for (label, faults, reroutes, retransmits, _nacks, bridge, outcome) in &resilience_rows {
+        assert_eq!(outcome, "ok", "{label}: faulted run must recover, got {outcome}");
+        assert!(*faults > 0, "{label}: the schedule must actually inject faults");
+        assert!(
+            reroutes + retransmits + bridge > 0,
+            "{label}: recovery counters must show the faults were absorbed"
+        );
+    }
     println!("wrote {out_path}");
 }

@@ -11,7 +11,7 @@
 //! runs (cycle limit or deadlock) — the kernel thread unwinds and the
 //! engine reports the underlying [`crate::RunError`] instead.
 
-use crate::config::NodePlan;
+use crate::config::{NodePlan, ResilienceConfig};
 use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use medea_cache::{line_of, Addr, LINE_BYTES};
@@ -32,12 +32,14 @@ pub struct PeApi {
     plan: NodePlan,
     collective_algo: CollectiveAlgo,
     trace_spans: bool,
+    resilience: ResilienceConfig,
 }
 
 impl PeApi {
     /// Wrap a raw PE port. Called by the system assembler; kernels receive
     /// the ready-made value. `trace_spans` enables the zero-cost eMPI span
     /// markers (`SystemConfig::trace_kernel_spans`).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         port: PePort,
         rank: Rank,
@@ -46,8 +48,15 @@ impl PeApi {
         plan: NodePlan,
         collective_algo: CollectiveAlgo,
         trace_spans: bool,
+        resilience: ResilienceConfig,
     ) -> Self {
-        PeApi { port, rank, ranks, layout, plan, collective_algo, trace_spans }
+        PeApi { port, rank, ranks, layout, plan, collective_algo, trace_spans, resilience }
+    }
+
+    /// The resilient-delivery knobs configured on the system — adopted by
+    /// [`crate::empi::Empi::new`].
+    pub const fn resilience(&self) -> ResilienceConfig {
+        self.resilience
     }
 
     /// The collective algorithm configured on the system — adopted by
@@ -268,7 +277,7 @@ impl PeApi {
     /// Block until a packet from anyone arrives.
     pub fn recv_any(&self) -> (Rank, Vec<u32>) {
         match self.call(PeRequest::Recv { from: None }) {
-            PeResponse::Packet(Packet { src, data }) => {
+            PeResponse::Packet(Packet { src, data, .. }) => {
                 let rank = self
                     .plan
                     .rank_of_node(NodeId::new(src as u16))
@@ -309,6 +318,34 @@ impl PeApi {
             other => unreachable!("expected MaybePacket, got {other:?}"),
         }
     }
+
+    // ---- resilient delivery ----
+
+    /// Blocking receive from `rank` that also reports whether the packet's
+    /// payload checksum failed. Fault-free packets always return
+    /// `corrupt == false`; only the resilient eMPI path inspects the flag.
+    pub fn recv_from_rank_flagged(&self, rank: Rank) -> (Vec<u32>, bool) {
+        let src = self.src_id_of_rank(rank);
+        match self.call(PeRequest::Recv { from: Some(src) }) {
+            PeResponse::Packet(p) => (p.data, p.corrupt),
+            other => unreachable!("expected Packet, got {other:?}"),
+        }
+    }
+
+    /// Non-blocking variant of [`PeApi::recv_from_rank_flagged`].
+    pub fn try_recv_from_rank_flagged(&self, rank: Rank) -> Option<(Vec<u32>, bool)> {
+        let src = self.src_id_of_rank(rank);
+        match self.call(PeRequest::TryRecv { from: Some(src) }) {
+            PeResponse::MaybePacket(p) => p.map(|p| (p.data, p.corrupt)),
+            other => unreachable!("expected MaybePacket, got {other:?}"),
+        }
+    }
+
+    /// Report resilience-protocol activity (retransmitted chunks, NACKs
+    /// sent) to the engine's per-PE statistics. Zero simulated cycles.
+    pub fn fault_note(&self, retransmits: u32, nacks: u32) {
+        self.unit(PeRequest::FaultNote { retransmits, nacks });
+    }
 }
 
 #[cfg(test)]
@@ -329,8 +366,16 @@ mod tests {
         let (api, h) = {
             let (tx, rx) = std::sync::mpsc::channel();
             let h = medea_sim::coroutine::KernelHost::spawn("t", move |port| {
-                let api =
-                    PeApi::new(port, Rank::new(2), 4, layout, plan, CollectiveAlgo::Linear, false);
+                let api = PeApi::new(
+                    port,
+                    Rank::new(2),
+                    4,
+                    layout,
+                    plan,
+                    CollectiveAlgo::Linear,
+                    false,
+                    ResilienceConfig::off(),
+                );
                 tx.send((
                     api.node_of_rank(Rank::new(0)),
                     api.node_of_rank(Rank::new(3)),

@@ -28,6 +28,79 @@ impl fmt::Display for BuildConfigError {
 
 impl std::error::Error for BuildConfigError {}
 
+/// Resilient-delivery knobs — all **off** by default, because recovery
+/// machinery changes timing even when no fault ever fires (resilient eMPI
+/// polls with `TryRecv` instead of blocking in `Recv`). The golden
+/// paper-4×4 fingerprints are pinned with resilience off; turning any
+/// knob on is an explicit, observable configuration change.
+///
+/// The knobs are deliberately independent of fault *injection*
+/// (`medea_fault::FaultConfig`, passed to `System::run_faulted`): one can
+/// inject faults against a non-resilient system to measure raw damage, or
+/// enable resilience without injection to measure the protocol overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// End-to-end eMPI retransmission: receivers discard corrupt packets
+    /// and NACK missing chunks; senders cache the last message per
+    /// destination, service NACKs, and block on a delivery ACK.
+    pub empi_retransmit: bool,
+    /// Base eMPI recovery timeout in cycles: a receiver missing chunks
+    /// NACKs after this long without progress (exponential backoff after
+    /// repeats), and a sender re-pokes an unacknowledged final chunk on
+    /// the same schedule.
+    pub empi_timeout: Cycle,
+    /// Bound on consecutive recovery attempts for one message before the
+    /// receiver panics (unrecoverable loss) or the sender optimistically
+    /// proceeds without its ACK.
+    pub empi_max_attempts: u32,
+    /// pif2NoC bridge read-response timeout in cycles (0 = off): a
+    /// single/block read with no response by the deadline is re-issued —
+    /// reads are idempotent, so retry is safe (see
+    /// `medea_pe::bridge::BridgeConfig::response_timeout`).
+    pub bridge_timeout: Cycle,
+    /// Hang watchdog (0 = off): abort the run with a structured
+    /// `RunError::Watchdog` when no PE exchanges a packet, no bank serves
+    /// a transaction and the fabric delivers nothing for this many
+    /// consecutive cycles. Catches the livelocks that resilient polling
+    /// hides from ordinary deadlock detection.
+    pub watchdog_cycles: Cycle,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            empi_retransmit: false,
+            empi_timeout: 50_000,
+            empi_max_attempts: 10,
+            bridge_timeout: 0,
+            watchdog_cycles: 0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Everything off — the paper-exact configuration (the default).
+    pub fn off() -> Self {
+        ResilienceConfig::default()
+    }
+
+    /// Every recovery mechanism on, with the default timeouts: eMPI
+    /// retransmission, bridge read retry, and a 2M-cycle watchdog.
+    pub fn standard() -> Self {
+        ResilienceConfig {
+            empi_retransmit: true,
+            bridge_timeout: 20_000,
+            watchdog_cycles: 2_000_000,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    /// Whether every knob is off (the bit-for-bit paper path).
+    pub const fn is_off(&self) -> bool {
+        !self.empi_retransmit && self.bridge_timeout == 0 && self.watchdog_cycles == 0
+    }
+}
+
 /// A fully validated MEDEA system configuration.
 ///
 /// The system is assembled on any supported torus (2×2 up to 16×16,
@@ -54,6 +127,7 @@ pub struct SystemConfig {
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
+    resilience: ResilienceConfig,
 }
 
 impl SystemConfig {
@@ -129,6 +203,12 @@ impl SystemConfig {
         self.trace.captures(EventClass::KERNEL)
     }
 
+    /// The resilient-delivery knobs (default: everything off — see
+    /// [`ResilienceConfig`]).
+    pub const fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
     /// The nodes hosting the MPMMU banks, in bank-index order (bank 0 is
     /// always node 0; further banks are spread across the torus).
     pub fn bank_nodes(&self) -> Vec<NodeId> {
@@ -173,7 +253,10 @@ impl SystemConfig {
             cache: self.cache,
             fp: FpModel::new(self.mul),
             arbiter: self.arbiter,
-            bridge: BridgeConfig { lock_retry_backoff: self.lock_retry_backoff },
+            bridge: BridgeConfig {
+                lock_retry_backoff: self.lock_retry_backoff,
+                response_timeout: self.resilience.bridge_timeout,
+            },
         }
     }
 
@@ -345,6 +428,7 @@ pub struct SystemConfigBuilder {
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
+    resilience: ResilienceConfig,
 }
 
 impl Default for SystemConfigBuilder {
@@ -367,6 +451,7 @@ impl Default for SystemConfigBuilder {
             cycle_limit: 2_000_000_000,
             collective_algo: CollectiveAlgo::Linear,
             trace: TraceConfig::off(),
+            resilience: ResilienceConfig::off(),
         }
     }
 }
@@ -492,6 +577,17 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Resilient-delivery knobs (default: [`ResilienceConfig::off`]).
+    ///
+    /// Turning anything on changes timing even without injected faults
+    /// (resilient eMPI polls instead of blocking), so this is never
+    /// implied by fault injection — pair it with `System::run_faulted`
+    /// deliberately.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -531,6 +627,13 @@ impl SystemConfigBuilder {
         if self.cycle_limit == 0 {
             return Err(BuildConfigError("cycle limit must be positive".into()));
         }
+        if self.resilience.empi_retransmit
+            && (self.resilience.empi_timeout == 0 || self.resilience.empi_max_attempts == 0)
+        {
+            return Err(BuildConfigError(
+                "empi_retransmit needs a positive empi_timeout and empi_max_attempts".into(),
+            ));
+        }
         Ok(SystemConfig {
             topology: self.topology,
             compute_pes: self.compute_pes,
@@ -546,6 +649,7 @@ impl SystemConfigBuilder {
             cycle_limit: self.cycle_limit,
             collective_algo: self.collective_algo,
             trace: self.trace,
+            resilience: self.resilience,
         })
     }
 }

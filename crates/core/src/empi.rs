@@ -80,6 +80,36 @@
 //! through rank 0; both tree algorithms cost O(log ranks) rounds — the
 //! difference the `scaling_json` collectives microbench records at up to
 //! 255 ranks.
+//!
+//! # Resilient delivery (beyond the paper)
+//!
+//! When the system is built with `ResilienceConfig::empi_retransmit`,
+//! every point-to-point path switches to an end-to-end ARQ engine that
+//! survives in-flight payload corruption (`medea-fault` flit faults):
+//!
+//! - The header gains a 2-bit kind (adding `NACK` and `ACK`) and an
+//!   alternating-bit **serial** (bit 30) that pairs every control packet
+//!   with the message generation it refers to, so a stale retransmit can
+//!   never corrupt the next message between the same pair of ranks.
+//! - Packets whose flit checksum failed arrive with `corrupt = true`
+//!   (`Packet::corrupt`); the receiver discards them and NACKs its
+//!   lowest missing chunk. Receivers also NACK on a timeout with bounded
+//!   exponential backoff, which doubles as the lost-credit recovery: a
+//!   NACK *pulls* the sender's window forward (`next = max(next, c+1)`)
+//!   even when the credit it replaces was corrupted.
+//! - The sender keeps the last message per destination and blocks (by
+//!   polling) for an `ACK` after the final chunk, re-poking the last
+//!   chunk on timeout; receivers re-`ACK` stale-serial data so a
+//!   corrupted `ACK` is always recoverable. After
+//!   `empi_max_attempts` unanswered pokes the sender proceeds
+//!   optimistically — the engine watchdog is the backstop for the
+//!   (astronomically unlikely) case that this was wrong.
+//!
+//! The fault-free wire traffic of a resilient run differs from the
+//! default protocol (ACK round-trips, polling instead of blocking), so
+//! resilience is a deliberate system-level knob, never implied by fault
+//! injection; with it off, every path below is byte-identical to the
+//! pinned golden behavior.
 
 use crate::api::PeApi;
 use crate::calib::CALL_OVERHEAD_CYCLES;
@@ -87,6 +117,7 @@ use medea_pe::kernel_if::{f64_to_words, words_to_f64};
 use medea_sim::ids::Rank;
 use medea_trace::KernelOp;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Data words per chunk (16-word packet minus the frame header).
@@ -104,6 +135,11 @@ pub const MAX_MESSAGE_WORDS: usize = MAX_CHUNKS * CHUNK_DATA_WORDS;
 
 const KIND_DATA: u32 = 0;
 const KIND_CREDIT: u32 = 1;
+/// Resilient-mode retransmission request (header-only packet; the chunk
+/// field names the lowest missing chunk).
+const KIND_NACK: u32 = 2;
+/// Resilient-mode end-to-end delivery confirmation (header-only packet).
+const KIND_ACK: u32 = 3;
 
 fn header(kind: u32, len: usize, chunk: usize) -> u32 {
     debug_assert!(len <= MAX_MESSAGE_WORDS);
@@ -111,8 +147,61 @@ fn header(kind: u32, len: usize, chunk: usize) -> u32 {
     (kind << 28) | ((len as u32) << 8) | chunk as u32
 }
 
+/// Resilient-mode header: `header` plus the alternating-bit serial in
+/// bit 30. The default protocol only ever emits serial 0, so its wire
+/// format is unchanged.
+fn header_r(kind: u32, serial: u32, len: usize, chunk: usize) -> u32 {
+    debug_assert!(serial <= 1);
+    header(kind, len, chunk) | (serial << 30)
+}
+
 fn parse_header(word: u32) -> (u32, usize, usize) {
-    (word >> 28, ((word >> 8) & 0xF_FFFF) as usize, (word & 0xFF) as usize)
+    ((word >> 28) & 0x3, ((word >> 8) & 0xF_FFFF) as usize, (word & 0xFF) as usize)
+}
+
+/// One classified incoming packet of the resilient protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Intake {
+    /// Checksum failure — the header itself is untrustworthy.
+    Corrupt,
+    /// Clean data chunk carrying this serial.
+    Data(u32),
+    /// Flow-control credit for the send with this serial.
+    Credit(u32),
+    /// Retransmission request: (serial, missing chunk).
+    Nack(u32, usize),
+    /// End-to-end confirmation of the send with this serial.
+    Ack(u32),
+}
+
+fn classify(packet: &[u32], corrupt: bool) -> Intake {
+    if corrupt {
+        return Intake::Corrupt;
+    }
+    let (kind, _, chunk) = parse_header(packet[0]);
+    let serial = (packet[0] >> 30) & 1;
+    match kind {
+        KIND_DATA => Intake::Data(serial),
+        KIND_CREDIT => Intake::Credit(serial),
+        KIND_NACK => Intake::Nack(serial, chunk),
+        KIND_ACK => Intake::Ack(serial),
+        _ => unreachable!("kind is a 2-bit field"),
+    }
+}
+
+fn chunks_of(words: &[u32]) -> usize {
+    if words.is_empty() {
+        1
+    } else {
+        words.len().div_ceil(CHUNK_DATA_WORDS)
+    }
+}
+
+/// The retransmission cache: the last message sent to one destination.
+#[derive(Debug)]
+struct SentMsg {
+    serial: u32,
+    words: Vec<u32>,
 }
 
 /// Which algorithm the communicator's collectives run (see the module
@@ -163,6 +252,18 @@ pub struct Empi {
     packet: RefCell<Vec<u32>>,
     /// Reusable staging buffer for f64 → word conversion on the send side.
     staging: RefCell<Vec<u32>>,
+    /// Resilient-delivery knobs (`ResilienceConfig` on the system). All
+    /// three maps below stay empty when retransmission is off.
+    resilience: crate::config::ResilienceConfig,
+    /// Last message per destination, kept for NACK-driven retransmission
+    /// until overwritten by the next send to the same rank.
+    sent_cache: RefCell<HashMap<u8, SentMsg>>,
+    /// Alternating-bit serial of the *latest* message sent per
+    /// destination.
+    send_serials: RefCell<HashMap<u8, u32>>,
+    /// Alternating-bit serial of the *last completed* message received
+    /// per source (the next expected serial is its complement).
+    recv_serials: RefCell<HashMap<u8, u32>>,
 }
 
 impl std::ops::Deref for Empi {
@@ -183,12 +284,22 @@ impl Empi {
 
     /// Wrap a kernel's [`PeApi`] with an explicit algorithm override.
     pub fn with_algo(api: PeApi, algo: CollectiveAlgo) -> Self {
+        let resilience = api.resilience();
         Empi {
             api,
             algo,
             packet: RefCell::new(Vec::with_capacity(1 + CHUNK_DATA_WORDS)),
             staging: RefCell::new(Vec::with_capacity(64)),
+            resilience,
+            sent_cache: RefCell::new(HashMap::new()),
+            send_serials: RefCell::new(HashMap::new()),
+            recv_serials: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Whether the end-to-end retransmission protocol is active.
+    const fn resilient(&self) -> bool {
+        self.resilience.empi_retransmit
     }
 
     /// The algorithm this communicator's collectives run.
@@ -225,7 +336,11 @@ impl Empi {
     pub fn send(&self, to: Rank, words: &[u32]) {
         self.span(KernelOp::MsgSend, |s| {
             s.api.compute(CALL_OVERHEAD_CYCLES);
-            s.send_inner(to, words);
+            if s.resilient() {
+                s.resilient_engine(Some(to), words, None);
+            } else {
+                s.send_inner(to, words);
+            }
         });
     }
 
@@ -280,7 +395,11 @@ impl Empi {
     pub fn recv(&self, from: Rank) -> Vec<u32> {
         self.span(KernelOp::MsgRecv, |s| {
             s.api.compute(CALL_OVERHEAD_CYCLES);
-            s.recv_inner(from)
+            if s.resilient() {
+                s.resilient_engine(None, &[], Some(from)).expect("recv direction present")
+            } else {
+                s.recv_inner(from)
+            }
         })
     }
 
@@ -314,6 +433,9 @@ impl Empi {
     ) -> Option<Vec<u32>> {
         self.span(KernelOp::Sendrecv, |s| {
             s.api.compute(CALL_OVERHEAD_CYCLES);
+            if s.resilient() {
+                return s.resilient_engine(to, words, from);
+            }
             match (to, from) {
                 (None, None) => None,
                 (Some(to), None) => {
@@ -400,6 +522,233 @@ impl Empi {
         rx.data
     }
 
+    // ---- resilient delivery (ARQ engine) ----
+
+    /// The resilient counterpart of `send_inner`/`recv_inner`/`duplex`,
+    /// unified: transmit `words` to `to` (if present) while receiving one
+    /// message from `from` (if present), tolerating corrupt packets via
+    /// NACK-driven retransmission and confirming delivery end-to-end (see
+    /// the module's *Resilient delivery* section for the protocol).
+    ///
+    /// Every wait polls (`TryRecv` costs at least one cycle, so the
+    /// simulation always advances); timeouts back off exponentially,
+    /// capped at 16× `empi_timeout`.
+    fn resilient_engine(
+        &self,
+        to: Option<Rank>,
+        words: &[u32],
+        from: Option<Rank>,
+    ) -> Option<Vec<u32>> {
+        let cfg = self.resilience;
+        let (tx_serial, total_tx) = match to {
+            Some(to) => {
+                assert!(
+                    words.len() <= MAX_MESSAGE_WORDS,
+                    "message of {} words exceeds the {MAX_MESSAGE_WORDS}-word eMPI limit",
+                    words.len()
+                );
+                let serial = self.next_send_serial(to);
+                self.sent_cache
+                    .borrow_mut()
+                    .insert(to.index() as u8, SentMsg { serial, words: words.to_vec() });
+                (serial, chunks_of(words))
+            }
+            None => (0, 0),
+        };
+        let rx_serial = from.map_or(0, |f| self.expected_recv_serial(f));
+        let mut next = 0usize; // next chunk to transmit
+        let mut allowance = EAGER_CHUNKS; // chunks the credit window permits
+        let mut tx_acked = to.is_none();
+        let mut rx = RxState::new();
+        let mut retransmits = 0u32;
+        let mut nacks = 0u32;
+        let mut attempt = 0u32;
+        let mut deadline = self.api.now() + cfg.empi_timeout;
+        loop {
+            let rx_done = from.is_none() || rx.done();
+            if tx_acked && rx_done {
+                break;
+            }
+            if next < total_tx && next < allowance {
+                let to = to.expect("transmitting implies a destination");
+                self.send_chunk_r(to, tx_serial, words, next);
+                next += 1;
+                continue;
+            }
+            // Poll the peers this exchange involves (one poll per
+            // iteration keeps the two directions fair).
+            let intake = match (to, from) {
+                (Some(t), Some(f)) if t != f => self
+                    .api
+                    .try_recv_from_rank_flagged(t)
+                    .map(|(w, c)| (t, w, c))
+                    .or_else(|| self.api.try_recv_from_rank_flagged(f).map(|(w, c)| (f, w, c))),
+                (Some(p), _) | (None, Some(p)) => {
+                    self.api.try_recv_from_rank_flagged(p).map(|(w, c)| (p, w, c))
+                }
+                (None, None) => unreachable!(),
+            };
+            if let Some((peer, pkt, corrupt)) = intake {
+                match classify(&pkt, corrupt) {
+                    Intake::Corrupt => {
+                        // The header is untrustworthy; if our receive is
+                        // incomplete this may have been a data chunk —
+                        // request the lowest missing one immediately.
+                        if from == Some(peer) && !rx.done() {
+                            self.send_nack(peer, rx_serial, rx.lowest_missing());
+                            nacks += 1;
+                        }
+                        // A corrupted credit/ACK recovers via our timeout
+                        // poke or the peer's timeout NACK.
+                    }
+                    Intake::Data(s) if from == Some(peer) && s == rx_serial => {
+                        rx.accept_r(&self.api, peer, &pkt, rx_serial);
+                        if rx.done() {
+                            self.send_ack(peer, rx_serial);
+                            self.commit_recv_serial(peer);
+                        }
+                    }
+                    Intake::Data(s) => {
+                        if s == self.expected_recv_serial(peer) {
+                            // Fresh data from the tx peer, pipelined ahead
+                            // of our matching receive: the peer completed
+                            // its side of this exchange and moved on to
+                            // its next send to us. Drop it — the message
+                            // stays in the peer's retransmission cache,
+                            // and our matching receive will NACK-pull the
+                            // chunks when it starts.
+                        } else {
+                            // Stale retransmit (poke) of a message we
+                            // already completed: the peer missed our ACK —
+                            // re-confirm.
+                            self.send_ack(peer, s);
+                        }
+                    }
+                    Intake::Credit(s) => {
+                        if to == Some(peer) && s == tx_serial {
+                            allowance += EAGER_CHUNKS;
+                        }
+                        // Stale credits (pre-corruption echoes) are inert.
+                    }
+                    Intake::Nack(s, c) => {
+                        if to == Some(peer) && s == tx_serial {
+                            // The peer is missing chunk `c` of the live
+                            // transmit. A NACK also *pulls* the window:
+                            // it substitutes for any credit lost to
+                            // corruption, so the transfer degrades to
+                            // NACK-paced lockstep instead of stalling.
+                            if c < total_tx {
+                                self.send_chunk_r(peer, tx_serial, words, c);
+                                if c < next {
+                                    retransmits += 1;
+                                }
+                            }
+                            next = next.max(c + 1);
+                            allowance = allowance.max(next);
+                        } else {
+                            // About an earlier, completed send to `peer`:
+                            // serve it from the retransmission cache.
+                            retransmits += self.service_cached_nack(peer, s, c);
+                        }
+                    }
+                    Intake::Ack(s) => {
+                        if to == Some(peer) && s == tx_serial {
+                            tx_acked = true;
+                        }
+                        // Stale ACKs (re-confirmations we no longer need)
+                        // are inert.
+                    }
+                }
+                attempt = 0;
+                deadline = self.api.now() + cfg.empi_timeout;
+            } else if self.api.now() >= deadline {
+                attempt += 1;
+                if !rx_done {
+                    let from = from.expect("rx pending implies a source");
+                    self.send_nack(from, rx_serial, rx.lowest_missing());
+                    nacks += 1;
+                }
+                if next >= total_tx && !tx_acked {
+                    if attempt > cfg.empi_max_attempts {
+                        // Optimistic proceed: every poke went unanswered.
+                        // Losing this race requires `empi_max_attempts`
+                        // consecutive corrupted control packets; the run
+                        // watchdog backstops the residual risk.
+                        tx_acked = true;
+                    } else {
+                        // Poke: resend the final chunk. A receiver that
+                        // completed re-ACKs it; one still missing data
+                        // NACKs what it needs.
+                        let to = to.expect("tx pending implies a destination");
+                        self.send_chunk_r(to, tx_serial, words, total_tx - 1);
+                        retransmits += 1;
+                    }
+                }
+                deadline = self.api.now() + (cfg.empi_timeout << attempt.min(4));
+            }
+        }
+        if retransmits > 0 || nacks > 0 {
+            self.api.fault_note(retransmits, nacks);
+        }
+        from.map(|_| rx.data)
+    }
+
+    /// `send_chunk` with the resilient header (serial bit).
+    fn send_chunk_r(&self, to: Rank, serial: u32, words: &[u32], idx: usize) {
+        let mut packet = self.packet.borrow_mut();
+        packet.clear();
+        packet.push(header_r(KIND_DATA, serial, words.len(), idx));
+        if !words.is_empty() {
+            let base = idx * CHUNK_DATA_WORDS;
+            let end = (base + CHUNK_DATA_WORDS).min(words.len());
+            packet.extend_from_slice(&words[base..end]);
+        }
+        self.api.send_to_rank(to, &packet);
+    }
+
+    fn send_nack(&self, peer: Rank, serial: u32, chunk: usize) {
+        self.api.send_to_rank(peer, &[header_r(KIND_NACK, serial, 0, chunk)]);
+    }
+
+    fn send_ack(&self, peer: Rank, serial: u32) {
+        self.api.send_to_rank(peer, &[header_r(KIND_ACK, serial, 0, 0)]);
+    }
+
+    /// Flip and return the serial for a new message to `to`.
+    fn next_send_serial(&self, to: Rank) -> u32 {
+        let mut serials = self.send_serials.borrow_mut();
+        let s = serials.entry(to.index() as u8).or_insert(0);
+        *s ^= 1;
+        *s
+    }
+
+    /// The serial the next message from `from` will carry.
+    fn expected_recv_serial(&self, from: Rank) -> u32 {
+        self.recv_serials.borrow().get(&(from.index() as u8)).copied().unwrap_or(0) ^ 1
+    }
+
+    /// Record that the expected message from `from` completed.
+    fn commit_recv_serial(&self, from: Rank) {
+        let mut serials = self.recv_serials.borrow_mut();
+        let s = serials.entry(from.index() as u8).or_insert(0);
+        *s ^= 1;
+    }
+
+    /// Serve a NACK that refers to an already-completed send to `peer`
+    /// from the retransmission cache. Returns the number of chunks
+    /// retransmitted (0 when the cache has moved past that serial — the
+    /// watchdog backstops that pathological interleaving).
+    fn service_cached_nack(&self, peer: Rank, serial: u32, chunk: usize) -> u32 {
+        let cache = self.sent_cache.borrow();
+        if let Some(msg) = cache.get(&(peer.index() as u8)) {
+            if msg.serial == serial && chunk < chunks_of(&msg.words) {
+                self.send_chunk_r(peer, serial, &msg.words, chunk);
+                return 1;
+            }
+        }
+        0
+    }
+
     // ---- f64 convenience ----
 
     /// Send a slice of doubles (two words each).
@@ -407,7 +756,11 @@ impl Empi {
         let stage = self.stage_f64(values);
         self.span(KernelOp::MsgSend, |s| {
             s.api.compute(CALL_OVERHEAD_CYCLES);
-            s.send_inner(to, &stage);
+            if s.resilient() {
+                s.resilient_engine(Some(to), &stage, None);
+            } else {
+                s.send_inner(to, &stage);
+            }
         });
     }
 
@@ -884,6 +1237,49 @@ impl RxState {
             api.send_to_rank(from, &[header(KIND_CREDIT, 0, 0)]);
         }
     }
+
+    /// The resilient variant of [`RxState::accept`]: duplicate chunks
+    /// (retransmissions racing a NACK, ACK-phase pokes) are benign and
+    /// dropped; credits carry the message serial. Returns whether the
+    /// chunk was new.
+    fn accept_r(&mut self, api: &PeApi, from: Rank, packet: &[u32], serial: u32) -> bool {
+        let (_, len, idx) = parse_header(packet[0]);
+        if !self.started {
+            self.started = true;
+            self.len = len;
+            self.total_chunks = if len == 0 { 1 } else { len.div_ceil(CHUNK_DATA_WORDS) };
+            self.data = vec![0u32; len];
+        } else {
+            assert_eq!(len, self.len, "interleaved eMPI messages from {from}");
+        }
+        let (word, bit) = (idx / 64, idx % 64);
+        if self.seen[word] & (1 << bit) != 0 {
+            return false;
+        }
+        self.seen[word] |= 1 << bit;
+        if self.len > 0 {
+            let base = idx * CHUNK_DATA_WORDS;
+            let n = (self.len - base).min(CHUNK_DATA_WORDS);
+            self.data[base..base + n].copy_from_slice(&packet[1..1 + n]);
+        }
+        self.count += 1;
+        if self.total_chunks > EAGER_CHUNKS
+            && self.count.is_multiple_of(EAGER_CHUNKS)
+            && self.count < self.total_chunks
+        {
+            api.send_to_rank(from, &[header_r(KIND_CREDIT, serial, 0, 0)]);
+        }
+        true
+    }
+
+    /// Lowest chunk index not yet received (0 before the first chunk) —
+    /// what a timeout or corruption NACK asks for.
+    fn lowest_missing(&self) -> usize {
+        if !self.started {
+            return 0;
+        }
+        (0..self.total_chunks).find(|i| self.seen[i / 64] & (1 << (i % 64)) == 0).unwrap_or(0)
+    }
 }
 
 fn words_to_f64_vec(words: &[u32]) -> Vec<f64> {
@@ -906,6 +1302,53 @@ mod tests {
             let (k, l, c) = parse_header(header(kind, len, chunk));
             assert_eq!((k, l, c), (kind, len, chunk));
         }
+    }
+
+    #[test]
+    fn resilient_header_roundtrip() {
+        for kind in [KIND_DATA, KIND_CREDIT, KIND_NACK, KIND_ACK] {
+            for serial in [0u32, 1] {
+                let w = header_r(kind, serial, 300, 17);
+                let (k, l, c) = parse_header(w);
+                assert_eq!((k, l, c), (kind, 300, 17));
+                assert_eq!((w >> 30) & 1, serial);
+            }
+        }
+        // The default protocol's header is bit-identical to a serial-0
+        // resilient header, so mixed parsing is impossible by design.
+        assert_eq!(header(KIND_DATA, 45, 2), header_r(KIND_DATA, 0, 45, 2));
+    }
+
+    #[test]
+    fn classify_discriminates() {
+        assert_eq!(classify(&[header_r(KIND_DATA, 1, 30, 1), 7], false), Intake::Data(1));
+        assert_eq!(classify(&[header_r(KIND_CREDIT, 0, 0, 0)], false), Intake::Credit(0));
+        assert_eq!(classify(&[header_r(KIND_NACK, 1, 0, 9)], false), Intake::Nack(1, 9));
+        assert_eq!(classify(&[header_r(KIND_ACK, 0, 0, 0)], false), Intake::Ack(0));
+        // A corrupt packet's header is never inspected.
+        assert_eq!(classify(&[header_r(KIND_ACK, 0, 0, 0)], true), Intake::Corrupt);
+    }
+
+    #[test]
+    fn lowest_missing_tracks_holes() {
+        let mut rx = RxState::new();
+        assert_eq!(rx.lowest_missing(), 0, "unstarted receives ask for chunk 0");
+        // 40-word message = 3 chunks; mark chunks 0 and 2 seen.
+        rx.started = true;
+        rx.len = 40;
+        rx.total_chunks = 3;
+        rx.seen[0] = 0b101;
+        assert_eq!(rx.lowest_missing(), 1);
+        rx.seen[0] = 0b111;
+        assert_eq!(rx.lowest_missing(), 0, "no hole left: fall back to 0");
+    }
+
+    #[test]
+    fn chunks_of_counts_empty_as_one() {
+        assert_eq!(chunks_of(&[]), 1);
+        assert_eq!(chunks_of(&[0; 15]), 1);
+        assert_eq!(chunks_of(&[0; 16]), 2);
+        assert_eq!(chunks_of(&[0; 3840]), MAX_CHUNKS);
     }
 
     #[test]

@@ -66,9 +66,12 @@ pub mod layout;
 pub mod report;
 pub mod system;
 
-pub use config::{BuildConfigError, NodePlan, SystemConfig, SystemConfigBuilder};
+pub use config::{BuildConfigError, NodePlan, ResilienceConfig, SystemConfig, SystemConfigBuilder};
 pub use empi::{CollectiveAlgo, Empi};
 pub use medea_cache::CachePolicy;
+pub use medea_fault::{
+    DeadLink, FaultConfig, FaultInjector, FaultStats, NullInjector, ScheduledInjector,
+};
 pub use medea_mem::BankMap;
 pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};

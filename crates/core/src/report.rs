@@ -82,6 +82,36 @@ pub fn format_latency_table(rows: &[LatencyRow]) -> String {
     format_table(&["config", "p50", "p99", "max", "defl/flit"], &table_rows)
 }
 
+/// One row of a resilience-sweep summary: a config label, the faults the
+/// injector delivered, the recovery counters each layer reports
+/// (dead-link reroutes, eMPI retransmissions, receiver NACKs, bridge
+/// retries) and the run outcome (`"ok"` or the `RunError` kind).
+pub type ResilienceRow = (String, u64, u64, u64, u64, u64, String);
+
+/// Render a resilience sweep (one [`ResilienceRow`] per fault scenario)
+/// as an aligned table — the renderer behind the `resilience` section of
+/// the scaling harness.
+pub fn format_resilience_table(rows: &[ResilienceRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, faults, reroutes, retransmits, nacks, bridge, outcome)| {
+            vec![
+                label.clone(),
+                faults.to_string(),
+                reroutes.to_string(),
+                retransmits.to_string(),
+                nacks.to_string(),
+                bridge.to_string(),
+                outcome.clone(),
+            ]
+        })
+        .collect();
+    format_table(
+        &["config", "faults", "reroutes", "retransmits", "nacks", "bridge_retries", "outcome"],
+        &table_rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +156,19 @@ mod tests {
         assert!(lines[0].contains("p50") && lines[0].contains("defl/flit"));
         assert!(lines[2].contains("187") && lines[2].contains("1.234"), "{t}");
         assert!(lines[3].contains('-'), "missing values render as dashes: {t}");
+    }
+
+    #[test]
+    fn resilience_table_renders_counters_and_outcome() {
+        let rows: Vec<ResilienceRow> = vec![
+            ("4x4 corrupt=1000ppm".into(), 12, 0, 12, 12, 0, "ok".into()),
+            ("8x8 dead-link".into(), 1, 345, 0, 0, 0, "ok".into()),
+        ];
+        let t = format_resilience_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("retransmits") && lines[0].contains("outcome"));
+        assert!(lines[2].contains("12") && lines[2].contains("ok"), "{t}");
+        assert!(lines[3].contains("345"), "{t}");
     }
 
     #[test]

@@ -40,12 +40,27 @@
 //! `S::ACTIVE` guards, so the `NullSink` instantiation that
 //! [`System::run`] delegates to monomorphizes to exactly the untraced
 //! hot path — tracing off costs nothing and changes nothing.
+//!
+//! It is likewise generic over a `medea_fault::FaultInjector`
+//! ([`System::run_faulted`]): deterministic seeded faults — Message-flit
+//! payload corruption at ejection, permanently dead torus links, MPMMU
+//! read-response drops and service delays, PE stall windows — enter the
+//! system at exactly four engine-side hooks, each guarded by the
+//! compile-time constant `I::ACTIVE`, so the [`NullInjector`]
+//! instantiation behind [`System::run_traced`] monomorphizes to exactly
+//! the fault-free engine (pinned by `tests/fault_equivalence.rs`). A
+//! configurable watchdog ([`crate::ResilienceConfig::watchdog_cycles`])
+//! converts silent no-progress hangs into a structured
+//! [`RunError::Watchdog`] carrying per-PE blocked-state diagnostics and
+//! the tail of recent fault events.
 
 use crate::api::PeApi;
 use crate::config::SystemConfig;
 use crate::FabricKind;
 use medea_cache::{Addr, CacheStats};
+use medea_fault::{FaultInjector, FaultStats, NullInjector};
 use medea_mem::{Mpmmu, MpmmuStats};
+use medea_noc::coord::Dir;
 use medea_noc::flit::Flit;
 use medea_noc::ideal::IdealNetwork;
 use medea_noc::network::Network;
@@ -58,6 +73,7 @@ use medea_sim::ids::{NodeId, Rank};
 use medea_sim::stats::Log2Histogram;
 use medea_sim::Cycle;
 use medea_trace::{NullSink, TraceEvent, TraceSink};
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -71,6 +87,19 @@ pub enum RunError {
     CycleLimit {
         /// The configured limit.
         limit: Cycle,
+        /// Per-PE blocked-state diagnostics at the moment the limit hit.
+        detail: String,
+    },
+    /// The progress watchdog
+    /// ([`crate::ResilienceConfig::watchdog_cycles`]) saw no packet
+    /// delivered and no memory transaction served for its whole window —
+    /// the system is livelocked (e.g. resilient retransmission spinning
+    /// against a dead peer), not merely slow.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        at: Cycle,
+        /// Per-PE blocked-state diagnostics plus the recent-fault tail.
+        detail: String,
     },
     /// All remaining kernels were blocked in `Recv` with no traffic
     /// anywhere in the system.
@@ -92,8 +121,11 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::CycleLimit { limit } => {
-                write!(f, "simulation exceeded the cycle limit of {limit}")
+            RunError::CycleLimit { limit, detail } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}: {detail}")
+            }
+            RunError::Watchdog { at, detail } => {
+                write!(f, "watchdog fired at cycle {at}: no progress — {detail}")
             }
             RunError::Deadlock { at, detail } => {
                 write!(f, "deadlock detected at cycle {at}: {detail}")
@@ -142,6 +174,8 @@ pub struct RunResult {
     pub fabric_delivered: u64,
     /// Deflection events in the fabric.
     pub fabric_deflections: u64,
+    /// Flits re-routed around an injected dead link.
+    pub fabric_reroutes: u64,
     /// Mean flit latency (cycles), if any flits flew.
     pub fabric_mean_latency: Option<f64>,
     /// Maximum flit latency — the hot-potato tail.
@@ -156,6 +190,9 @@ pub struct RunResult {
     pub mpmmu_cache: CacheStats,
     /// Per-bank statistics, indexed by bank.
     pub banks: Vec<BankSummary>,
+    /// Faults the injector actually delivered during the run (all zero
+    /// for fault-free engines).
+    pub fault: FaultStats,
     /// Host wall-clock time of the run.
     pub wall: Duration,
 }
@@ -187,6 +224,22 @@ impl RunResult {
     pub fn deflections_per_delivered(&self) -> Option<f64> {
         (self.fabric_delivered > 0)
             .then(|| self.fabric_deflections as f64 / self.fabric_delivered as f64)
+    }
+
+    /// End-to-end eMPI chunk retransmissions across all PEs — nonzero
+    /// only when resilient delivery actually recovered from a loss.
+    pub fn retransmits(&self) -> u64 {
+        self.pe.iter().map(|p| p.engine.retransmits.get()).sum()
+    }
+
+    /// eMPI NACKs sent by receivers across all PEs.
+    pub fn nacks_sent(&self) -> u64 {
+        self.pe.iter().map(|p| p.engine.nacks_sent.get()).sum()
+    }
+
+    /// Bridge-level shared-memory request retries across all PEs.
+    pub fn bridge_retries(&self) -> u64 {
+        self.pe.iter().map(|p| p.bridge.retries.get()).sum()
     }
 
     /// Aggregate L1 miss rate across all PEs.
@@ -243,6 +296,49 @@ impl System {
         kernels: Vec<Kernel>,
         sink: &mut S,
     ) -> Result<RunResult, RunError> {
+        Self::run_faulted(cfg, preload, kernels, sink, &mut NullInjector)
+    }
+
+    /// [`System::run_traced`] with deterministic faults drawn from
+    /// `injector` (see the `medea-fault` crate). Faults enter at exactly
+    /// four engine hooks, each behind the compile-time constant
+    /// `I::ACTIVE`:
+    ///
+    /// * **link kills** — drained from the injector's schedule at the top
+    ///   of every cycle and applied to the fabric, which routes around
+    ///   the dead link from then on ([`medea_noc::Fabric::kill_link`]);
+    /// * **flit corruption** — one payload bit of a Message flit flipped
+    ///   at PE ejection, *without* refreshing the codec checksum, so the
+    ///   TIE flags the packet and resilient eMPI NACKs it (shared-memory
+    ///   flits are exempt: the paper's MPMMU protocol has no end-to-end
+    ///   retry, the bridge's timeout handles read loss instead);
+    /// * **bank faults** — read-response drops and service delays inside
+    ///   each MPMMU's tick ([`Mpmmu::tick_faulted`]);
+    /// * **PE stalls** — a runnable PE's wake cycle pushed `stall`
+    ///   cycles into the future, freezing its engine without touching
+    ///   its architectural state.
+    ///
+    /// With [`NullInjector`] every hook constant-folds away and this *is*
+    /// [`System::run_traced`] — fault-free results stay bit-identical
+    /// (`tests/fault_equivalence.rs`).
+    ///
+    /// When [`crate::ResilienceConfig::watchdog_cycles`] is nonzero, a
+    /// progress watchdog tracks a fingerprint of *served work* (packets
+    /// received by PEs + transactions completed by banks — deliberately
+    /// not packets *sent*, which retransmission livelock keeps
+    /// incrementing) and fails the run with [`RunError::Watchdog`] if a
+    /// whole window passes without it advancing.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_faulted<S: TraceSink, I: FaultInjector>(
+        cfg: &SystemConfig,
+        preload: &[(Addr, u32)],
+        kernels: Vec<Kernel>,
+        sink: &mut S,
+        injector: &mut I,
+    ) -> Result<RunResult, RunError> {
         check_kernel_count(cfg, &kernels)?;
         let topo = cfg.topology();
         let mut fabric: AnyFabric = match cfg.fabric() {
@@ -263,13 +359,45 @@ impl System {
         let mut ticked: Vec<bool> = vec![false; pes.len()];
         let mut live = pes.len();
         let mut now: Cycle = 0;
+        // Progress watchdog (off at 0) and the rolling tail of recent
+        // engine-side fault events, attached to hang diagnostics.
+        let watchdog = cfg.resilience().watchdog_cycles;
+        let mut last_fingerprint = progress_fingerprint(&pes, &banks);
+        let mut last_progress_at: Cycle = 0;
+        let mut fault_log: VecDeque<(Cycle, TraceEvent)> = VecDeque::new();
         loop {
+            // 0. Apply scheduled permanent faults before any traffic
+            // moves this cycle.
+            if I::ACTIVE {
+                while let Some(kill) = injector.take_link_kill(now) {
+                    fabric.kill_link(NodeId::new(kill.node), Dir::ALL[kill.dir as usize & 3]);
+                    let ev = TraceEvent::FaultLinkKilled { node: kill.node, dir: kill.dir & 3 };
+                    if S::ACTIVE {
+                        sink.record(now, ev);
+                    }
+                    push_fault(&mut fault_log, now, ev);
+                }
+            }
+
             // 1. Deliver ejections. With the O(1) flit census, a drained
             // fabric skips the per-node ejection polls outright.
             if fabric.in_flight() > 0 {
                 for pe in &mut pes {
                     let node = pe.node();
-                    while let Some(flit) = fabric.eject(node) {
+                    while let Some(mut flit) = fabric.eject(node) {
+                        if I::ACTIVE && !flit.kind().is_shared_memory() {
+                            if let Some(bit) = injector.corrupt_flit(now, node.index() as u16) {
+                                flit.corrupt_payload_bit(bit);
+                                let ev = TraceEvent::FaultFlitCorrupted {
+                                    node: node.index() as u16,
+                                    bit,
+                                };
+                                if S::ACTIVE {
+                                    sink.record(now, ev);
+                                }
+                                push_fault(&mut fault_log, now, ev);
+                            }
+                        }
                         if S::ACTIVE {
                             sink.record(now, delivered_event(node, &flit, now));
                         }
@@ -282,6 +410,20 @@ impl System {
             // 2. Tick runnable components (a bank's tick is a no-op while
             // it is idle, so it is skipped then too).
             for (i, pe) in pes.iter_mut().enumerate() {
+                if I::ACTIVE && wake[i] <= now && !pe.is_done() {
+                    let stall = injector.pe_stall(now, pe.node().index() as u16);
+                    if stall > 0 {
+                        wake[i] = now + Cycle::from(stall);
+                        let ev = TraceEvent::FaultPeStall {
+                            node: pe.node().index() as u16,
+                            cycles: stall,
+                        };
+                        if S::ACTIVE {
+                            sink.record(now, ev);
+                        }
+                        push_fault(&mut fault_log, now, ev);
+                    }
+                }
                 if wake[i] > now {
                     ticked[i] = false;
                     continue;
@@ -297,7 +439,7 @@ impl System {
                     None => now + 1,
                 };
             }
-            banks_tick(&mut banks, now, true, sink);
+            banks_tick(&mut banks, now, true, sink, injector);
 
             // 3. Inject (one flit per node per cycle). A skipped PE has a
             // drained arbiter by construction, so only ticked PEs can
@@ -330,7 +472,32 @@ impl System {
                 break;
             }
             if now >= cfg.cycle_limit() {
-                return Err(RunError::CycleLimit { limit: cfg.cycle_limit() });
+                return Err(RunError::CycleLimit {
+                    limit: cfg.cycle_limit(),
+                    detail: stall_detail(&pes, &banks, fabric.in_flight(), &fault_log),
+                });
+            }
+            if watchdog > 0 {
+                let fp = progress_fingerprint(&pes, &banks);
+                if fp != last_fingerprint {
+                    last_fingerprint = fp;
+                    last_progress_at = now;
+                } else if pes.iter().enumerate().any(|(i, pe)| !pe.is_done() && wake[i] > now + 1) {
+                    // A PE parked in a multi-cycle timed stall (a long
+                    // `compute`, a bridge backoff) is healthy, not hung —
+                    // it will produce work when it wakes, even though
+                    // another PE polling every cycle keeps the fast-
+                    // forward jump (which would reset the window) from
+                    // engaging. Keep the window open while the stall is
+                    // in flight; a livelock has every live PE spinning at
+                    // wake = now + 1, so this never masks one.
+                    last_progress_at = now;
+                } else if now - last_progress_at >= watchdog {
+                    return Err(RunError::Watchdog {
+                        at: now,
+                        detail: stall_detail(&pes, &banks, fabric.in_flight(), &fault_log),
+                    });
+                }
             }
             let quiet = fabric.in_flight() == 0 && banks_quiet(&banks);
             if quiet {
@@ -340,6 +507,10 @@ impl System {
                         // must still observe the overrun.
                         let t = min_wake.min(cfg.cycle_limit());
                         if t > now + 1 {
+                            // The jump is legitimate forward progress
+                            // (every PE is provably in a timed stall), so
+                            // it must not age the watchdog window.
+                            last_progress_at = t;
                             now = t;
                             continue;
                         }
@@ -353,7 +524,7 @@ impl System {
             now += 1;
         }
 
-        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start))
+        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start, injector.stats()))
     }
 
     /// Run `kernels` on the naive reference engine: the frozen seed
@@ -398,7 +569,7 @@ impl System {
             for pe in &mut pes {
                 pe.tick(now);
             }
-            banks_tick(&mut banks, now, false, &mut NullSink);
+            banks_tick(&mut banks, now, false, &mut NullSink, &mut NullInjector);
 
             // 3. Inject (one flit per node per cycle).
             for pe in &mut pes {
@@ -418,7 +589,10 @@ impl System {
                 break;
             }
             if now >= cfg.cycle_limit() {
-                return Err(RunError::CycleLimit { limit: cfg.cycle_limit() });
+                return Err(RunError::CycleLimit {
+                    limit: cfg.cycle_limit(),
+                    detail: stall_detail(&pes, &banks, fabric.in_flight(), &VecDeque::new()),
+                });
             }
             let quiet = fabric.in_flight() == 0 && banks_quiet(&banks);
             if quiet {
@@ -439,7 +613,7 @@ impl System {
             now += 1;
         }
 
-        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start))
+        Ok(finish_result(now, &pes, fabric.stats(), &banks, wall_start, FaultStats::default()))
     }
 }
 
@@ -527,10 +701,16 @@ fn banks_deliver<F: Fabric + ?Sized, S: TraceSink>(
 /// Tick every bank. With `skip_idle` (the scheduled engine) an idle bank
 /// is not ticked — its tick is provably a no-op; the reference engine
 /// ticks everything every cycle.
-fn banks_tick<S: TraceSink>(banks: &mut [Bank], now: Cycle, skip_idle: bool, sink: &mut S) {
+fn banks_tick<S: TraceSink, I: FaultInjector>(
+    banks: &mut [Bank],
+    now: Cycle,
+    skip_idle: bool,
+    sink: &mut S,
+    injector: &mut I,
+) {
     for bank in banks {
         if !skip_idle || !bank.unit.is_idle() {
-            bank.unit.tick_traced(now, sink);
+            bank.unit.tick_faulted(now, sink, injector);
         }
     }
 }
@@ -572,13 +752,14 @@ fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement>
     let bank_map = cfg.bank_map();
     let algo = cfg.collective_algo();
     let trace_spans = cfg.trace_kernel_spans();
+    let resilience = cfg.resilience();
     kernels
         .into_iter()
         .enumerate()
         .map(|(i, kernel)| {
             let rank = Rank::new(i as u8);
             ProcessingElement::new(cfg.pe_config(rank), topo, bank_map, move |port| {
-                kernel(PeApi::new(port, rank, ranks, layout, plan, algo, trace_spans))
+                kernel(PeApi::new(port, rank, ranks, layout, plan, algo, trace_spans, resilience))
             })
         })
         .collect()
@@ -632,12 +813,95 @@ fn deadlock_detail(pes: &[ProcessingElement]) -> String {
         .join(", ")
 }
 
+/// How many engine-side fault events the hang diagnostics keep.
+const FAULT_LOG_CAP: usize = 64;
+
+fn push_fault(log: &mut VecDeque<(Cycle, TraceEvent)>, now: Cycle, ev: TraceEvent) {
+    if log.len() == FAULT_LOG_CAP {
+        log.pop_front();
+    }
+    log.push_back((now, ev));
+}
+
+/// The watchdog's progress fingerprint: work *served*, not work
+/// *attempted*. Packets received by PEs plus transactions completed by
+/// banks — a sum of monotone counters, so equality means literally
+/// nothing was delivered. Deliberately excluded: `packets_sent` (a
+/// retransmission livelock keeps sending NACKs/pokes forever),
+/// `requests` (blocked kernels poll via `TryRecv`), `lock_nacks` and
+/// `busy_cycles` (a lock spin or a head-of-line stall is exactly the
+/// hang the watchdog must catch).
+fn progress_fingerprint(pes: &[ProcessingElement], banks: &[Bank]) -> u64 {
+    let mut fp = 0u64;
+    for pe in pes {
+        fp = fp.wrapping_add(pe.stats().packets_received.get());
+    }
+    for bank in banks {
+        let m = bank.unit.stats();
+        fp = fp
+            .wrapping_add(m.single_reads.get())
+            .wrapping_add(m.block_reads.get())
+            .wrapping_add(m.single_writes.get())
+            .wrapping_add(m.block_writes.get())
+            .wrapping_add(m.locks_granted.get())
+            .wrapping_add(m.unlocks.get());
+    }
+    fp
+}
+
+/// Per-PE blocked-state diagnostics for [`RunError::CycleLimit`] and
+/// [`RunError::Watchdog`]: what every unfinished rank is waiting on,
+/// its traffic counters, bank busyness, in-flight flits, and the tail
+/// of recent engine-side fault events.
+fn stall_detail(
+    pes: &[ProcessingElement],
+    banks: &[Bank],
+    in_flight: usize,
+    fault_log: &VecDeque<(Cycle, TraceEvent)>,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (i, pe) in pes.iter().enumerate() {
+        if pe.is_done() {
+            continue;
+        }
+        let state = match pe.wakeup() {
+            Wakeup::Done => "done".to_string(),
+            Wakeup::At(t) => format!("timed stall until cycle {t}"),
+            Wakeup::External if pe.is_recv_blocked() => "blocked in recv".to_string(),
+            Wakeup::External => "waiting on traffic".to_string(),
+        };
+        let s = pe.stats();
+        parts.push(format!(
+            "rank {i}: {state} (sent {}, received {}, retransmits {})",
+            s.packets_sent.get(),
+            s.packets_received.get(),
+            s.retransmits.get(),
+        ));
+    }
+    if parts.is_empty() {
+        parts.push("all kernels done".to_string());
+    }
+    let busy = banks.iter().filter(|b| !b.unit.is_idle() || b.hold.is_some()).count();
+    let mut detail = format!(
+        "{}; {busy}/{} banks busy; {in_flight} flits in flight",
+        parts.join(", "),
+        banks.len(),
+    );
+    if !fault_log.is_empty() {
+        let tail: Vec<String> =
+            fault_log.iter().map(|(cycle, ev)| format!("@{cycle} {ev:?}")).collect();
+        detail.push_str(&format!("; recent faults: [{}]", tail.join(", ")));
+    }
+    detail
+}
+
 fn finish_result(
     now: Cycle,
     pes: &[ProcessingElement],
     fstats: &medea_noc::FabricStats,
     banks: &[Bank],
     wall_start: Instant,
+    fault: FaultStats,
 ) -> RunResult {
     let per_bank: Vec<BankSummary> = banks
         .iter()
@@ -662,12 +926,14 @@ fn finish_result(
             .collect(),
         fabric_delivered: fstats.delivered,
         fabric_deflections: fstats.deflections,
+        fabric_reroutes: fstats.reroutes,
         fabric_mean_latency: fstats.latency.summary().mean(),
         fabric_max_latency: fstats.latency.summary().max(),
         fabric_latency: fstats.latency.clone(),
         mpmmu,
         mpmmu_cache,
         banks: per_bank,
+        fault,
         wall: wall_start.elapsed(),
     }
 }
@@ -937,7 +1203,7 @@ mod tests {
             })],
         )
         .unwrap_err();
-        assert_eq!(err, RunError::CycleLimit { limit: 100 });
+        assert!(matches!(err, RunError::CycleLimit { limit: 100, .. }), "{err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::lock::LockTable;
 use medea_cache::{
     line_of, Addr, CacheConfig, CachePolicy, SetAssocCache, StoreOutcome, WORDS_PER_LINE,
 };
+use medea_fault::{FaultInjector, NullInjector};
 use medea_noc::coord::Topology;
 use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
 use medea_sim::fifo::Fifo;
@@ -282,8 +283,38 @@ impl Mpmmu {
     /// reported to `sink` (emitted at request dispatch). With an inactive
     /// sink every emission site constant-folds away.
     pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        self.tick_faulted(now, sink, &mut NullInjector);
+    }
+
+    /// [`tick_traced`](Mpmmu::tick_traced) with bank faults drawn from
+    /// `injector`: read-response **drops** (SingleRead/BlockRead `Data`
+    /// flits discarded at the staging → out-FIFO boundary — write acks,
+    /// grants and lock traffic are exempt, mirroring the bridge's
+    /// reads-only retry) and service **delays** (extra cycles folded into
+    /// the dispatch overhead). The drop decision is rolled per (bank,
+    /// cycle): response flits staged in the same cycle share its fate, so
+    /// a lost block read loses the whole line — the coarsest loss the
+    /// bridge's timeout must recover from. With [`NullInjector`] every
+    /// site constant-folds away and this is exactly `tick_traced`.
+    pub fn tick_faulted<S: TraceSink, I: FaultInjector>(
+        &mut self,
+        now: Cycle,
+        sink: &mut S,
+        injector: &mut I,
+    ) {
         // Move staged responses into the bounded outgoing FIFO.
         while let Some(&f) = self.staging.front() {
+            if I::ACTIVE
+                && f.sub() == SubKind::Data
+                && matches!(f.kind(), PacketKind::SingleRead | PacketKind::BlockRead)
+                && injector.bank_drop(now, self.node.index() as u16)
+            {
+                self.staging.pop_front();
+                if S::ACTIVE {
+                    sink.record(now, TraceEvent::FaultBankDrop { bank: self.node.index() as u16 });
+                }
+                continue;
+            }
             match self.out_fifo.push(f) {
                 Ok(()) => {
                     self.staging.pop_front();
@@ -297,7 +328,7 @@ impl Mpmmu {
         }
 
         match std::mem::replace(&mut self.state, State::Idle) {
-            State::Idle => self.dispatch(now, sink),
+            State::Idle => self.dispatch(now, sink, injector),
             State::Busy { until, then } => {
                 if now >= until {
                     self.complete(then);
@@ -327,14 +358,36 @@ impl Mpmmu {
         }
     }
 
-    fn dispatch<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+    fn dispatch<S: TraceSink, I: FaultInjector>(
+        &mut self,
+        now: Cycle,
+        sink: &mut S,
+        injector: &mut I,
+    ) {
         let Some(req) = self.req_fifo.pop() else {
             return;
         };
         debug_assert_eq!(req.sub(), SubKind::Request);
         let src = req.src_id();
         let addr = req.payload();
-        let overhead = self.cfg.service_overhead;
+        let mut overhead = self.cfg.service_overhead;
+        if I::ACTIVE {
+            // A slow bank is slow for every transaction it serves: the
+            // injected delay rides the service overhead all kinds share.
+            let extra = injector.bank_delay(now, self.node.index() as u16);
+            if extra > 0 {
+                overhead += extra as Cycle;
+                if S::ACTIVE {
+                    sink.record(
+                        now,
+                        TraceEvent::FaultBankDelay {
+                            bank: self.node.index() as u16,
+                            cycles: extra,
+                        },
+                    );
+                }
+            }
+        }
         if S::ACTIVE && !matches!(req.kind(), PacketKind::Lock | PacketKind::Unlock) {
             sink.record(
                 now,
@@ -768,5 +821,62 @@ mod tests {
         m.return_outgoing(f);
         let again = m.pop_outgoing().unwrap();
         assert_eq!(again, f, "returned flit must come out first again");
+    }
+
+    #[test]
+    fn injected_drop_swallows_read_responses_only() {
+        use medea_fault::{FaultConfig, ScheduledInjector, PPM};
+        let mut inj = ScheduledInjector::new(FaultConfig {
+            bank_drop_ppm: PPM as u32, // every read response lost
+            ..FaultConfig::default()
+        });
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::SingleRead, 2, 0x40)).unwrap();
+        for now in 0..400 {
+            m.tick_faulted(now, &mut medea_trace::NullSink, &mut inj);
+            assert!(m.pop_outgoing().is_none(), "dropped response escaped at {now}");
+        }
+        assert!(inj.stats().bank_drops > 0);
+        // A lock ack is control traffic: never dropped.
+        m.handle_incoming(req(PacketKind::Lock, 2, 0x40)).unwrap();
+        let mut granted = false;
+        for now in 400..500 {
+            m.tick_faulted(now, &mut medea_trace::NullSink, &mut inj);
+            if let Some(f) = m.pop_outgoing() {
+                assert_eq!(f.kind(), PacketKind::Lock);
+                assert_eq!(f.sub(), SubKind::Ack);
+                granted = true;
+                break;
+            }
+        }
+        assert!(granted, "lock traffic must survive a drop-everything bank");
+    }
+
+    #[test]
+    fn injected_delay_slows_service() {
+        use medea_fault::{FaultConfig, ScheduledInjector, PPM};
+        let mut m = mk(4);
+        m.handle_incoming(req(PacketKind::SingleRead, 2, 0x40)).unwrap();
+        let (_, base) = run_until_response(&mut m, 0, 400);
+
+        let mut inj = ScheduledInjector::new(FaultConfig {
+            bank_delay_ppm: PPM as u32,
+            bank_delay_cycles: 64,
+            ..FaultConfig::default()
+        });
+        let mut slow = mk(4);
+        slow.handle_incoming(req(PacketKind::SingleRead, 2, 0x40)).unwrap();
+        let mut arrived = None;
+        for now in 0..1000 {
+            slow.tick_faulted(now, &mut medea_trace::NullSink, &mut inj);
+            if slow.pop_outgoing().is_some() {
+                arrived = Some(now);
+                break;
+            }
+        }
+        let slow_at = arrived.expect("delayed, not lost");
+        assert!(slow_at >= base + 64, "delay must defer the response: base {base}, slow {slow_at}");
+        assert_eq!(inj.stats().bank_delays, 1);
+        assert_eq!(inj.stats().bank_delay_cycles, 64);
     }
 }

@@ -5,21 +5,22 @@
 //! as:
 //!
 //! ```text
-//! | V(1) | X(xb) | Y(yb) | TYPE(3) | SUBTYPE(2) | SEQ(4) | BURST(2) | SRC(xb+yb) | DATA(32) |
+//! | V(1) | X(xb) | Y(yb) | TYPE(3) | SUBTYPE(2) | SEQ(4) | BURST(2) | SRC(xb+yb) | CKSUM(4) | DATA(32) |
 //! ```
 //!
 //! Every field width except the fixed protocol fields derives from the
 //! configured torus: `xb`/`yb` are the coordinate widths and the `SRC-ID`
 //! field is sized to hold a full linear node index (`xb + yb` bits). On
 //! the paper's 4×4 folded torus this reduces exactly to Fig. 5 — 2 bits
-//! per coordinate and the 4-bit `SRC-ID` — and on the largest supported
-//! 16×16 torus the format is 60 bits, still inside the 64-bit flit
-//! budget. The layout is the "RTL-faithfulness" surrogate of this
-//! reproduction and is property-tested for roundtripping on every
-//! topology.
+//! per coordinate and the 4-bit `SRC-ID` — plus the 4-bit `CKSUM`
+//! payload checksum this reproduction adds for fault detection (56 bits
+//! on the 4×4; exactly 64 on the largest supported 16×16 torus, still
+//! inside the 64-bit flit budget). The layout is the "RTL-faithfulness"
+//! surrogate of this reproduction and is property-tested for
+//! roundtripping on every topology.
 
 use crate::coord::{Coord, Topology};
-use crate::flit::{Flit, PacketKind, SubKind, BURST_BITS, SEQ_BITS};
+use crate::flit::{payload_checksum, Flit, PacketKind, SubKind, BURST_BITS, CKSUM_BITS, SEQ_BITS};
 use std::fmt;
 
 /// Error decoding a 64-bit word that is not a valid flit.
@@ -38,6 +39,14 @@ pub enum DecodeError {
     },
     /// Bits above the format width were set.
     TrailingBits,
+    /// The `CKSUM` field did not match the payload: the data word was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum carried on the wire.
+        stored: u8,
+        /// Checksum recomputed from the decoded payload.
+        computed: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -49,6 +58,9 @@ impl fmt::Display for DecodeError {
                 write!(f, "coordinate ({x},{y}) outside torus")
             }
             DecodeError::TrailingBits => write!(f, "bits set beyond the format width"),
+            DecodeError::ChecksumMismatch { stored, computed } => {
+                write!(f, "payload checksum {stored:#x} does not match computed {computed:#x}")
+            }
         }
     }
 }
@@ -86,6 +98,7 @@ impl FlitCodec {
             + SEQ_BITS
             + BURST_BITS
             + self.src_bits()
+            + CKSUM_BITS
             + DATA_BITS
     }
 
@@ -111,6 +124,7 @@ impl FlitCodec {
         w = (w << SEQ_BITS) | flit.seq() as u64;
         w = (w << BURST_BITS) | flit.burst() as u64;
         w = (w << self.src_bits()) | flit.src_id() as u64;
+        w = (w << CKSUM_BITS) | flit.checksum() as u64;
         (w << DATA_BITS) | flit.payload() as u64
     }
 
@@ -128,6 +142,8 @@ impl FlitCodec {
         let mut cursor = word;
         let data = (cursor & mask(DATA_BITS)) as u32;
         cursor >>= DATA_BITS;
+        let cksum = (cursor & mask(CKSUM_BITS)) as u8;
+        cursor >>= CKSUM_BITS;
         let src = (cursor & mask(self.src_bits())) as u8;
         cursor >>= self.src_bits();
         let burst = (cursor & mask(BURST_BITS)) as u8;
@@ -150,6 +166,10 @@ impl FlitCodec {
         if x >= self.topo.width() || y >= self.topo.height() {
             return Err(DecodeError::CoordOutOfRange { x, y });
         }
+        let computed = payload_checksum(data);
+        if cksum != computed {
+            return Err(DecodeError::ChecksumMismatch { stored: cksum, computed });
+        }
         Ok(Flit::new(Coord::new(x, y), kind, sub, seq, burst, src, data))
     }
 }
@@ -171,18 +191,19 @@ mod tests {
     }
 
     #[test]
-    fn paper_format_is_52_bits() {
-        // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 4 + 32 = 52 for the 4x4 torus.
-        assert_eq!(codec().width(), 52);
+    fn paper_format_is_56_bits() {
+        // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 4 + 4 + 32 = 56 for the 4x4 torus
+        // (Fig. 5's 52 bits plus the 4-bit CKSUM extension).
+        assert_eq!(codec().width(), 56);
         assert_eq!(codec().src_bits(), 4, "Fig. 5's 4-bit SRC-ID on the paper torus");
     }
 
     #[test]
     fn max_torus_format_fits_64_bit_flit() {
-        // 1 + 4 + 4 + 3 + 2 + 4 + 2 + 8 + 32 = 60 for the 16x16 torus.
+        // 1 + 4 + 4 + 3 + 2 + 4 + 2 + 8 + 4 + 32 = 64 for the 16x16 torus.
         let c = FlitCodec::new(Topology::new(16, 16).unwrap());
         assert_eq!(c.src_bits(), 8);
-        assert_eq!(c.width(), 60);
+        assert_eq!(c.width(), 64);
         // The highest node id roundtrips through the widened SRC field.
         let f = Flit::message(Coord::new(15, 15), 255, 3, 1, 0xDEAD_BEEF);
         assert_eq!(c.decode(c.encode(&f)).unwrap(), f);
@@ -233,8 +254,8 @@ mod tests {
     fn reserved_type_rejected() {
         let c = codec();
         let f = Flit::message(Coord::new(1, 1), 2, 3, 1, 77);
-        // TYPE sits just above SUB+SEQ+BURST+SRC+DATA = 44 bits.
-        let word = c.encode(&f) | (0b111 << 44);
+        // TYPE sits just above SUB+SEQ+BURST+SRC+CKSUM+DATA = 48 bits.
+        let word = c.encode(&f) | (0b111 << 48);
         assert_eq!(c.decode(word), Err(DecodeError::ReservedType));
     }
 
@@ -253,9 +274,21 @@ mod tests {
         let c = FlitCodec::new(topo);
         let f = Flit::message(Coord::new(2, 0), 0, 0, 0, 0);
         let word = c.encode(&f);
-        // Force x to 3 (both x bits set). X sits above Y(2)+rest(47) = 49.
-        let bad = word | (0b11 << 49);
+        // Force x to 3 (both x bits set). X sits above Y(2)+rest(51) = 53.
+        let bad = word | (0b11 << 53);
         assert!(matches!(c.decode(bad), Err(DecodeError::CoordOutOfRange { x: 3, .. })));
+    }
+
+    #[test]
+    fn corrupted_payload_rejected_by_checksum() {
+        let c = codec();
+        let mut f = Flit::message(Coord::new(2, 1), 3, 0, 0, 0xCAFE_BABE);
+        f.corrupt_payload_bit(7);
+        assert!(matches!(c.decode(c.encode(&f)), Err(DecodeError::ChecksumMismatch { .. })));
+        // Flipping the same wire bit after encoding is caught too.
+        let clean = Flit::message(Coord::new(2, 1), 3, 0, 0, 0xCAFE_BABE);
+        let word = c.encode(&clean) ^ (1 << 7);
+        assert!(matches!(c.decode(word), Err(DecodeError::ChecksumMismatch { .. })));
     }
 
     #[test]

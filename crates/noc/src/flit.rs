@@ -160,6 +160,26 @@ pub const MAX_LOGICAL_PACKET: usize = 1 << SEQ_BITS;
 /// Width of the burst-size field (§II-D: 2 bits).
 pub const BURST_BITS: u32 = 2;
 
+/// Width of the payload-checksum field.
+///
+/// Not part of Fig. 5 — a beyond-the-paper extension backing the fault
+/// model: the sender folds the 32-bit data word into a 4-bit checksum so
+/// receivers can detect in-flight payload corruption. Four bits keep the
+/// widest (16×16-torus) format at exactly 64 bits.
+pub const CKSUM_BITS: u32 = 4;
+
+/// Fold a 32-bit payload into its 4-bit XOR-nibble checksum.
+///
+/// Flipping any single payload bit flips exactly one bit of the fold, so
+/// every single-bit corruption is detected with certainty — the guarantee
+/// the fault-injection tests lean on.
+pub const fn payload_checksum(data: u32) -> u8 {
+    let x = data ^ (data >> 16);
+    let x = x ^ (x >> 8);
+    let x = x ^ (x >> 4);
+    (x & 0xF) as u8
+}
+
 /// Decode the 2-bit burst code into a flit count.
 ///
 /// The paper gives the field width (2 bits) but not its encoding; since the
@@ -215,6 +235,7 @@ pub struct Flit {
     burst: u8,
     src_id: u8,
     data: u32,
+    checksum: u8,
     /// Simulation bookkeeping; mutated by the fabric.
     pub meta: FlitMeta,
 }
@@ -242,7 +263,17 @@ impl Flit {
     ) -> Self {
         assert!(seq < (1 << SEQ_BITS), "seq {seq} exceeds 4-bit field");
         assert!(burst < (1 << BURST_BITS), "burst {burst} exceeds 2-bit field");
-        Flit { dest, kind, sub, seq, burst, src_id, data, meta: FlitMeta::default() }
+        Flit {
+            dest,
+            kind,
+            sub,
+            seq,
+            burst,
+            src_id,
+            data,
+            checksum: payload_checksum(data),
+            meta: FlitMeta::default(),
+        }
     }
 
     /// Convenience constructor for a message-passing data flit.
@@ -295,6 +326,30 @@ impl Flit {
     /// 32-bit payload word (address for requests, data otherwise).
     pub const fn payload(&self) -> u32 {
         self.data
+    }
+
+    /// The 4-bit payload checksum computed at construction (stale after
+    /// [`corrupt_payload_bit`](Flit::corrupt_payload_bit)).
+    pub const fn checksum(&self) -> u8 {
+        self.checksum
+    }
+
+    /// Whether the stored checksum still matches the payload. `false`
+    /// means the data word was corrupted in flight.
+    pub const fn checksum_ok(&self) -> bool {
+        self.checksum == payload_checksum(self.data)
+    }
+
+    /// Flip one payload bit *without* refreshing the checksum, modelling a
+    /// transient single-event upset on a link. Used by the fault injector;
+    /// [`checksum_ok`](Flit::checksum_ok) detects every such flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a payload bit index (0..32).
+    pub fn corrupt_payload_bit(&mut self, bit: u8) {
+        assert!(bit < 32, "payload bit {bit} out of range");
+        self.data ^= 1 << bit;
     }
 }
 
@@ -360,6 +415,22 @@ mod tests {
         // src ids cover the full u8 range: node 255 of a 16x16 torus.
         let f = Flit::new(d, PacketKind::Message, SubKind::Data, 0, 0, 255, 0);
         assert_eq!(f.src_id(), 255);
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        for &data in &[0u32, 1, 0xDEAD_BEEF, u32::MAX, 0x8000_0001] {
+            let f = Flit::message(Coord::new(0, 0), 0, 0, 0, data);
+            assert!(f.checksum_ok());
+            for bit in 0..32 {
+                let mut c = f;
+                c.corrupt_payload_bit(bit);
+                assert!(!c.checksum_ok(), "flip of bit {bit} in {data:#x} undetected");
+                // Flipping back restores a valid flit.
+                c.corrupt_payload_bit(bit);
+                assert!(c.checksum_ok());
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct FabricStats {
     pub deflections: u64,
     /// Injection attempts refused because no output slot was free.
     pub inject_refusals: u64,
+    /// Routing decisions diverted around a killed link (a productive port
+    /// was dead, so the flit left through another port). Zero unless
+    /// fault injection killed a link.
+    pub reroutes: u64,
 }
 
 /// A network fabric: anything that can carry MEDEA flits between nodes.
@@ -102,6 +106,12 @@ pub trait Fabric {
 
     /// Number of nodes addressable on this fabric.
     fn node_count(&self) -> usize;
+
+    /// Permanently kill the link leaving `node` toward `dir` (fault
+    /// injection). Implementations must disable *both* directions of the
+    /// physical link. The default is a no-op for fabrics without
+    /// contended links (the ideal fabric has nothing to kill).
+    fn kill_link(&mut self, _node: NodeId, _dir: coord::Dir) {}
 }
 
 /// Closed sum of the fabric implementations, for static dispatch in
@@ -180,6 +190,13 @@ impl Fabric for AnyFabric {
         match self {
             AnyFabric::Deflection(net) => net.node_count(),
             AnyFabric::Ideal(net) => net.node_count(),
+        }
+    }
+
+    fn kill_link(&mut self, node: NodeId, dir: coord::Dir) {
+        match self {
+            AnyFabric::Deflection(net) => net.kill_link(node, dir),
+            AnyFabric::Ideal(_) => {}
         }
     }
 }

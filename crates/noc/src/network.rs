@@ -70,6 +70,19 @@ impl Network {
         self.topo
     }
 
+    /// Kill the physical link between `node` and its `dir` neighbour, in
+    /// both directions: this switch's output port *and* the neighbour's
+    /// opposite output port go dead, so each affected switch keeps at
+    /// least as many live output ports as live input latches and the
+    /// deflection free-port invariant survives. Flits already in flight
+    /// are unaffected (they simply route around the gap from now on).
+    pub fn kill_link(&mut self, node: NodeId, dir: Dir) {
+        let from = self.topo.coord_of(node);
+        let to = self.topo.node_of(self.topo.neighbor(from, dir));
+        self.routers[node.index()].set_link_dead(dir);
+        self.routers[to.index()].set_link_dead(dir.opposite());
+    }
+
     fn router_mut(&mut self, node: NodeId) -> &mut DeflectionRouter {
         &mut self.routers[node.index()]
     }
@@ -176,6 +189,10 @@ impl Fabric for Network {
 
     fn node_count(&self) -> usize {
         self.topo.nodes()
+    }
+
+    fn kill_link(&mut self, node: NodeId, dir: Dir) {
+        Network::kill_link(self, node, dir);
     }
 }
 
@@ -317,6 +334,43 @@ mod tests {
         assert!(injected > 100, "sanity: {injected} injected");
         assert_eq!(delivered, injected, "hot-potato routing must be lossless");
         assert!(n.stats().deflections > 0, "contention must cause deflections");
+    }
+
+    #[test]
+    fn killed_link_is_routed_around_losslessly() {
+        let mut n = net();
+        let topo = n.topology();
+        // Kill (0,0)->East; traffic (0,0)->(2,0) would take it.
+        n.kill_link(NodeId::new(0), Dir::East);
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        for now in 0..600 {
+            if now < 50 {
+                for s in 0..topo.nodes() {
+                    let d = (s + 2) % topo.nodes();
+                    let f = Flit::message(
+                        topo.coord_of(NodeId::new(d as u16)),
+                        s as u8,
+                        0,
+                        0,
+                        now as u32,
+                    );
+                    if n.try_inject(NodeId::new(s as u16), f, now).is_ok() {
+                        injected += 1;
+                    }
+                }
+            }
+            n.tick(now);
+            for node in 0..topo.nodes() {
+                while n.eject(NodeId::new(node as u16)).is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        assert!(injected > 100, "sanity: {injected} injected");
+        assert_eq!(delivered, injected, "dead link must not lose flits");
+        assert!(n.stats().reroutes > 0, "traffic must have been diverted");
+        assert_eq!(n.in_flight(), 0);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct DeflectionRouter {
     inputs: [Option<Flit>; 4],
     inject_slot: Option<Flit>,
     eject_queue: Fifo<Flit>,
+    /// Output ports disabled by fault injection (a stuck-dead link). A
+    /// dead link is killed in *both* directions by the fabric, so the
+    /// matching input latch never receives a flit either — each affected
+    /// switch keeps at least as many live outputs as live inputs and the
+    /// deflection free-port guarantee is preserved.
+    dead: [bool; 4],
 }
 
 impl DeflectionRouter {
@@ -48,7 +54,21 @@ impl DeflectionRouter {
             inputs: [None; 4],
             inject_slot: None,
             eject_queue: Fifo::new("router-eject", DEFAULT_EJECT_QUEUE),
+            dead: [false; 4],
         }
+    }
+
+    /// Permanently disable the output port toward `dir` (stuck-dead link
+    /// fault). The caller must also kill the opposite port of the
+    /// neighbouring switch: the routing invariants assume a dead link
+    /// carries traffic in neither direction.
+    pub fn set_link_dead(&mut self, dir: Dir) {
+        self.dead[dir.index()] = true;
+    }
+
+    /// Whether the output port toward `dir` has been killed.
+    pub const fn link_dead(&self, dir: Dir) -> bool {
+        self.dead[dir.index()]
     }
 
     /// This switch's coordinate.
@@ -168,15 +188,27 @@ impl DeflectionRouter {
                 ejected_one = true;
                 continue;
             }
-            let assigned = self
-                .topo
-                .productive_dirs(self.coord, flit.dest())
-                .find(|d| outputs[d.index()].is_none());
+            // A dead productive port diverts the flit (counted as a
+            // reroute) but only if it would otherwise have been chosen —
+            // the search short-circuits on the first live free port.
+            let mut rerouted = false;
+            let assigned = self.topo.productive_dirs(self.coord, flit.dest()).find(|d| {
+                if self.dead[d.index()] {
+                    rerouted = true;
+                    return false;
+                }
+                outputs[d.index()].is_none()
+            });
+            if rerouted {
+                stats.reroutes += 1;
+            }
             let dir = match assigned {
                 Some(d) => d,
                 None => {
-                    // Deflect: any free port. One always exists because at
-                    // most four through-flits compete for four ports.
+                    // Deflect: any live free port. One always exists
+                    // because dead links carry no traffic in either
+                    // direction, so live through-flits never outnumber
+                    // live output ports.
                     flit.meta.deflections += 1;
                     stats.deflections += 1;
                     if S::ACTIVE {
@@ -185,7 +217,7 @@ impl DeflectionRouter {
                     }
                     Dir::ALL
                         .into_iter()
-                        .find(|d| outputs[d.index()].is_none())
+                        .find(|d| !self.dead[d.index()] && outputs[d.index()].is_none())
                         .expect("through-traffic can never exceed port count")
                 }
             };
@@ -209,14 +241,27 @@ impl DeflectionRouter {
                 }
                 return outputs;
             }
-            let free_productive = self
-                .topo
-                .productive_dirs(self.coord, flit.dest())
-                .find(|d| outputs[d.index()].is_none());
-            let free_any = free_productive
-                .or_else(|| Dir::ALL.into_iter().find(|d| outputs[d.index()].is_none()));
+            let mut rerouted = false;
+            let free_productive = self.topo.productive_dirs(self.coord, flit.dest()).find(|d| {
+                if self.dead[d.index()] {
+                    rerouted = true;
+                    return false;
+                }
+                outputs[d.index()].is_none()
+            });
+            let free_any = free_productive.or_else(|| {
+                Dir::ALL.into_iter().find(|d| !self.dead[d.index()] && outputs[d.index()].is_none())
+            });
             match free_any {
-                Some(d) => outputs[d.index()] = Some(flit),
+                Some(d) => {
+                    outputs[d.index()] = Some(flit);
+                    // Counted only when the flit actually leaves, so a
+                    // blocked injection does not inflate the counter
+                    // every cycle it waits.
+                    if rerouted {
+                        stats.reroutes += 1;
+                    }
+                }
                 None => self.inject_slot = Some(flit), // wait for a free slot
             }
         }
@@ -325,6 +370,47 @@ mod tests {
         let outs = r.route(3, &mut stats);
         assert_eq!(outs.iter().flatten().count(), 1);
         assert_eq!(outs.iter().flatten().next().unwrap().meta.uid, 99);
+    }
+
+    #[test]
+    fn dead_port_diverts_and_counts_reroute() {
+        let mut r = DeflectionRouter::new(topo(), Coord::new(0, 0));
+        let mut stats = FabricStats::default();
+        // (0,0)->(2,0): east is the sole productive port; kill it.
+        r.set_link_dead(Dir::East);
+        assert!(r.link_dead(Dir::East));
+        r.accept(Dir::West, flit_to(Coord::new(2, 0), 1, 0));
+        let outs = r.route(1, &mut stats);
+        assert!(outs[Dir::East.index()].is_none(), "dead port must stay silent");
+        assert_eq!(outs.iter().flatten().count(), 1, "flit still leaves on a live port");
+        assert_eq!(stats.reroutes, 1);
+        assert_eq!(stats.deflections, 1, "no live productive port means a deflection");
+    }
+
+    #[test]
+    fn injection_avoids_dead_port() {
+        let mut r = DeflectionRouter::new(topo(), Coord::new(0, 0));
+        let mut stats = FabricStats::default();
+        r.set_link_dead(Dir::East);
+        r.try_inject(flit_to(Coord::new(2, 0), 7, 0)).unwrap();
+        let outs = r.route(1, &mut stats);
+        assert!(outs[Dir::East.index()].is_none());
+        assert_eq!(outs.iter().flatten().count(), 1);
+        assert_eq!(stats.reroutes, 1);
+    }
+
+    #[test]
+    fn live_productive_port_is_not_a_reroute() {
+        let mut r = DeflectionRouter::new(topo(), Coord::new(0, 0));
+        let mut stats = FabricStats::default();
+        // (0,0)->(2,2) routes East/South; West is never productive for
+        // this destination, so killing it must not count a reroute.
+        r.set_link_dead(Dir::West);
+        r.accept(Dir::North, flit_to(Coord::new(2, 2), 1, 0));
+        let outs = r.route(1, &mut stats);
+        assert_eq!(outs.iter().flatten().count(), 1);
+        assert_eq!(stats.reroutes, 0);
+        assert_eq!(stats.deflections, 0);
     }
 
     #[test]

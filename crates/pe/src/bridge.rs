@@ -92,11 +92,21 @@ pub enum BridgeResult {
 pub struct BridgeConfig {
     /// Cycles to wait after a lock Nack before retrying.
     pub lock_retry_backoff: Cycle,
+    /// Cycles to wait for a read response before re-issuing the request
+    /// (0 disables the retry path — the default, matching the paper's
+    /// fault-free bridge exactly).
+    ///
+    /// Only *read* transactions retry: a re-issued read is idempotent,
+    /// while re-running a write or lock handshake could double-apply a
+    /// side effect. With retry enabled the bridge also tolerates stale
+    /// responses of a superseded attempt (counted, dropped) instead of
+    /// treating them as protocol violations.
+    pub response_timeout: Cycle,
 }
 
 impl Default for BridgeConfig {
     fn default() -> Self {
-        BridgeConfig { lock_retry_backoff: 16 }
+        BridgeConfig { lock_retry_backoff: 16, response_timeout: 0 }
     }
 }
 
@@ -109,6 +119,11 @@ pub struct BridgeStats {
     pub lock_retries: Counter,
     /// Block-read data flits that arrived out of address order.
     pub out_of_order_flits: Counter,
+    /// Read requests re-issued after a response timeout.
+    pub retries: Counter,
+    /// Response flits of a superseded read attempt, dropped benignly
+    /// (only possible while `response_timeout` is enabled).
+    pub stale_responses: Counter,
 }
 
 #[derive(Debug, Clone)]
@@ -139,6 +154,13 @@ pub struct Pif2NocBridge {
     state: State,
     out_slot: Option<Flit>,
     result: Option<BridgeResult>,
+    /// The in-flight *read* op, recorded only when `response_timeout` is
+    /// enabled, so a timed-out request can be re-issued verbatim.
+    retry_op: Option<BridgeOp>,
+    /// Cycle at which the in-flight read is declared lost; armed by
+    /// `tick` once the request has left the output latch, re-armed on
+    /// every block-read word (progress resets the clock).
+    deadline: Option<Cycle>,
     stats: BridgeStats,
 }
 
@@ -155,6 +177,8 @@ impl Pif2NocBridge {
             state: State::Idle,
             out_slot: None,
             result: None,
+            retry_op: None,
+            deadline: None,
             stats: BridgeStats::default(),
         }
     }
@@ -174,6 +198,13 @@ impl Pif2NocBridge {
     pub fn backoff_until(&self) -> Option<Cycle> {
         match self.state {
             State::LockBackoff { until, .. } if self.out_slot.is_none() => Some(until),
+            // A read waiting out its response timeout is also a pure
+            // timer once the system is otherwise quiet: if the response
+            // was dropped, nothing happens before the retry fires, so
+            // the engine may fast-forward to the deadline.
+            State::AwaitSingleData | State::AwaitBlockData { .. } if self.out_slot.is_none() => {
+                self.deadline
+            }
             _ => None,
         }
     }
@@ -186,6 +217,15 @@ impl Pif2NocBridge {
     /// bridge, so overlap is an engine bug.
     pub fn start(&mut self, op: BridgeOp) {
         assert!(!self.is_busy(), "bridge transaction overlap");
+        self.retry_op = match op {
+            BridgeOp::SingleRead { .. } | BridgeOp::BlockRead { .. }
+                if self.cfg.response_timeout > 0 =>
+            {
+                Some(op)
+            }
+            _ => None,
+        };
+        self.deadline = None;
         let target = match op {
             BridgeOp::SingleRead { addr }
             | BridgeOp::SingleWrite { addr, .. }
@@ -270,6 +310,24 @@ impl Pif2NocBridge {
 
     /// Advance internal timers and streaming: call once per cycle.
     pub fn tick(&mut self, now: Cycle) {
+        if self.retry_op.is_some() && self.out_slot.is_none() {
+            match self.deadline {
+                // The request is on the wire; start (or restart) the
+                // response clock.
+                None => self.deadline = Some(now + self.cfg.response_timeout),
+                Some(d) if now >= d => {
+                    self.stats.retries.inc();
+                    self.deadline = None;
+                    let op = self.retry_op.expect("checked above");
+                    // Re-issue from scratch: any partially filled reorder
+                    // buffer is abandoned (late words of the old attempt
+                    // are dropped as stale).
+                    self.state = State::Idle;
+                    self.start(op);
+                }
+                Some(_) => {}
+            }
+        }
         match &mut self.state {
             State::LockBackoff { until, addr } if now >= *until && self.out_slot.is_none() => {
                 let addr = *addr;
@@ -287,6 +345,17 @@ impl Pif2NocBridge {
     /// Deliver a shared-memory response flit ejected at this node.
     pub fn handle_response(&mut self, flit: Flit, now: Cycle) {
         debug_assert!(flit.kind().is_shared_memory(), "bridge receives SM flits only");
+        // With the retry path enabled, a response of a superseded read
+        // attempt can trail in at any point — from another bank, with the
+        // wrong kind, into a slot already filled, or after the
+        // transaction completed. Those are dropped as stale instead of
+        // treated as protocol violations; without retries every one of
+        // them still panics (a fault-free run must be protocol-exact).
+        let resilient = self.cfg.response_timeout > 0;
+        if resilient && flit.src_id() != self.home_src {
+            self.stats.stale_responses.inc();
+            return;
+        }
         debug_assert_eq!(
             flit.src_id(),
             self.home_src,
@@ -294,11 +363,23 @@ impl Pif2NocBridge {
         );
         match std::mem::replace(&mut self.state, State::Idle) {
             State::AwaitSingleData => {
+                if resilient
+                    && (flit.kind() != PacketKind::SingleRead || flit.sub() != SubKind::Data)
+                {
+                    self.stats.stale_responses.inc();
+                    self.state = State::AwaitSingleData;
+                    return;
+                }
                 debug_assert_eq!(flit.kind(), PacketKind::SingleRead);
                 debug_assert_eq!(flit.sub(), SubKind::Data);
                 self.finish(BridgeResult::Word(flit.payload()));
             }
             State::AwaitBlockData { mut reorder, mut got, mut next_expected } => {
+                if resilient && flit.kind() != PacketKind::BlockRead {
+                    self.stats.stale_responses.inc();
+                    self.state = State::AwaitBlockData { reorder, got, next_expected };
+                    return;
+                }
                 debug_assert_eq!(flit.kind(), PacketKind::BlockRead);
                 // The reorder buffer is keyed by source bank: block data
                 // must come from the bank the read targeted.
@@ -311,13 +392,23 @@ impl Pif2NocBridge {
                 );
                 let seq = flit.seq() as usize;
                 assert!(seq < WORDS_PER_LINE, "block-read seq {seq} beyond line");
-                assert!(reorder[seq].is_none(), "duplicate block-read word {seq}");
+                if reorder[seq].is_some() {
+                    assert!(resilient, "duplicate block-read word {seq}");
+                    // A word of the old attempt for a slot the new one
+                    // already filled (or vice versa) — same address, so
+                    // the value already latched is just as good.
+                    self.stats.stale_responses.inc();
+                    self.state = State::AwaitBlockData { reorder, got, next_expected };
+                    return;
+                }
                 if flit.seq() != next_expected {
                     self.stats.out_of_order_flits.inc();
                 }
                 next_expected = next_expected.saturating_add(1);
                 reorder[seq] = Some(flit.payload());
                 got += 1;
+                // Progress restarts the response clock.
+                self.deadline = None;
                 if got == WORDS_PER_LINE {
                     let mut line = [0u32; WORDS_PER_LINE];
                     for (i, w) in reorder.iter().enumerate() {
@@ -351,7 +442,18 @@ impl Pif2NocBridge {
                 SubKind::Nack => self.finish(BridgeResult::UnlockRejected),
                 other => panic!("unlock response with subtype {other}"),
             },
-            State::Idle | State::Streaming { .. } | State::LockBackoff { .. } => {
+            state @ (State::Idle | State::Streaming { .. } | State::LockBackoff { .. }) => {
+                // Only a trailing read response of a retried attempt is
+                // forgivable; anything else is a protocol violation even
+                // in resilient mode.
+                let trailing_read =
+                    matches!(flit.kind(), PacketKind::SingleRead | PacketKind::BlockRead)
+                        && flit.sub() == SubKind::Data;
+                if resilient && trailing_read {
+                    self.stats.stale_responses.inc();
+                    self.state = state;
+                    return;
+                }
                 panic!("unexpected shared-memory response {flit} while not awaiting one")
             }
         }
@@ -361,6 +463,8 @@ impl Pif2NocBridge {
         self.stats.transactions.inc();
         self.result = Some(result);
         self.state = State::Idle;
+        self.retry_op = None;
+        self.deadline = None;
     }
 }
 
@@ -482,6 +586,88 @@ mod tests {
         drain(&mut b);
         b.handle_response(resp(PacketKind::Unlock, SubKind::Nack, 0, 0), 0);
         assert_eq!(b.take_result(), Some(BridgeResult::UnlockRejected));
+    }
+
+    fn resilient_bridge(timeout: Cycle) -> Pif2NocBridge {
+        let banks = BankMap::single(Topology::paper_4x4(), NodeId::new(0));
+        let cfg = BridgeConfig { response_timeout: timeout, ..BridgeConfig::default() };
+        Pif2NocBridge::new(banks, 5, cfg)
+    }
+
+    #[test]
+    fn lost_single_read_response_is_retried() {
+        let mut b = resilient_bridge(20);
+        b.start(BridgeOp::SingleRead { addr: 0x40 });
+        assert_eq!(b.take_output().unwrap().kind(), PacketKind::SingleRead);
+        // Response dropped; the clock arms on the first post-send tick.
+        b.tick(5);
+        assert_eq!(b.backoff_until(), Some(25));
+        for now in 6..25 {
+            b.tick(now);
+            assert!(!b.has_output());
+        }
+        b.tick(25);
+        let retry = b.take_output().expect("request re-issued");
+        assert_eq!(retry.kind(), PacketKind::SingleRead);
+        assert_eq!(retry.payload(), 0x40);
+        assert_eq!(b.stats().retries.get(), 1);
+        // The retried response completes the transaction normally.
+        b.handle_response(resp(PacketKind::SingleRead, SubKind::Data, 0, 7), 30);
+        assert_eq!(b.take_result(), Some(BridgeResult::Word(7)));
+    }
+
+    #[test]
+    fn lost_block_word_is_retried_and_stale_words_dropped() {
+        let mut b = resilient_bridge(16);
+        b.start(BridgeOp::BlockRead { line: 0x80 });
+        drain(&mut b);
+        b.tick(0);
+        // Three of four words arrive; word 3 was dropped by the bank.
+        for seq in 0..3u8 {
+            b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, seq, seq as u32), 1);
+        }
+        // Progress re-armed the clock; time out and retry.
+        b.tick(2);
+        assert_eq!(b.backoff_until(), Some(18));
+        b.tick(18);
+        let retry = b.take_output().expect("block read re-issued");
+        assert_eq!(retry.kind(), PacketKind::BlockRead);
+        assert_eq!(b.stats().retries.get(), 1);
+        // The full fresh response completes it; a straggler duplicate of
+        // the old attempt in between is dropped as stale.
+        b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, 0, 0), 20);
+        b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, 0, 0), 21); // stale dup
+        for seq in 1..4u8 {
+            b.handle_response(resp(PacketKind::BlockRead, SubKind::Data, seq, seq as u32 * 10), 22);
+        }
+        assert_eq!(b.take_result(), Some(BridgeResult::Line([0, 10, 20, 30])));
+        assert_eq!(b.stats().stale_responses.get(), 1);
+    }
+
+    #[test]
+    fn trailing_response_after_completion_is_dropped_when_resilient() {
+        let mut b = resilient_bridge(100);
+        b.start(BridgeOp::SingleRead { addr: 0x40 });
+        drain(&mut b);
+        b.handle_response(resp(PacketKind::SingleRead, SubKind::Data, 0, 1), 1);
+        assert_eq!(b.take_result(), Some(BridgeResult::Word(1)));
+        // A late duplicate (delayed copy of the same response) arrives
+        // while idle: dropped, not a panic.
+        b.handle_response(resp(PacketKind::SingleRead, SubKind::Data, 0, 1), 9);
+        assert_eq!(b.stats().stale_responses.get(), 1);
+        assert!(!b.is_busy());
+    }
+
+    #[test]
+    fn timeout_zero_keeps_strict_protocol() {
+        let mut b = bridge();
+        b.start(BridgeOp::SingleRead { addr: 0x40 });
+        drain(&mut b);
+        for now in 0..10_000 {
+            b.tick(now);
+            assert!(!b.has_output(), "no retry without a timeout");
+        }
+        assert_eq!(b.stats().retries.get(), 0);
     }
 
     #[test]

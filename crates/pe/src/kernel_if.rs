@@ -145,6 +145,21 @@ pub enum PeRequest {
         /// `true` opens the span, `false` closes it.
         begin: bool,
     },
+    /// Kernel-level resilience counter update: the eMPI layer reports a
+    /// recovery action (a retransmitted message or a NACK sent) so the
+    /// engine can surface end-to-end recovery totals on `RunResult`.
+    ///
+    /// Like [`TraceSpan`](PeRequest::TraceSpan) this rides the existing
+    /// request/response rendezvous but is consumed by the engine in
+    /// **zero simulated cycles**; it touches only the dedicated
+    /// resilience counters, never an architectural statistic, so runs
+    /// without recovery events are bit-identical to the pre-fault engine.
+    FaultNote {
+        /// Messages retransmitted end-to-end after a NACK or timeout.
+        retransmits: u32,
+        /// Retransmission requests (NACKs) sent to a peer.
+        nacks: u32,
+    },
 }
 
 /// Engine answer to a [`PeRequest`].

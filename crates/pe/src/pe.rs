@@ -70,6 +70,11 @@ pub struct PeStats {
     pub packets_sent: Counter,
     /// Message packets received.
     pub packets_received: Counter,
+    /// Messages retransmitted end-to-end by the resilient eMPI layer
+    /// (reported via [`PeRequest::FaultNote`]).
+    pub retransmits: Counter,
+    /// Retransmission requests (NACKs) sent by the resilient eMPI layer.
+    pub nacks_sent: Counter,
 }
 
 /// Fast-forward hint: what the PE is waiting for.
@@ -354,6 +359,15 @@ impl ProcessingElement {
                         self.host.reply(PeResponse::Unit);
                         true
                     }
+                    Fetched::Request(PeRequest::FaultNote { retransmits, nacks }) => {
+                        // Resilience notes follow the TraceSpan contract:
+                        // zero simulated cycles, dedicated counters only,
+                        // so fault-free runs stay bit-identical.
+                        self.stats.retransmits.add(retransmits as u64);
+                        self.stats.nacks_sent.add(nacks as u64);
+                        self.host.reply(PeResponse::Unit);
+                        true
+                    }
                     Fetched::Request(req) => {
                         self.stats.requests.inc();
                         self.begin(req, now, sink);
@@ -564,8 +578,8 @@ impl ProcessingElement {
                 stall(now + cost, PeResponse::MaybePacket(packet))
             }
             PeRequest::Now => stall(now + 1, PeResponse::Time(now)),
-            PeRequest::TraceSpan { .. } => {
-                unreachable!("trace markers are consumed in the fetch loop")
+            PeRequest::TraceSpan { .. } | PeRequest::FaultNote { .. } => {
+                unreachable!("zero-cycle notes are consumed in the fetch loop")
             }
         };
     }

@@ -49,6 +49,12 @@ pub struct Packet {
     pub src: u8,
     /// Payload words, in sequence order.
     pub data: Vec<u32>,
+    /// Whether any constituent flit arrived with a failed payload
+    /// checksum (in-flight corruption). Resilient receivers (eMPI) must
+    /// discard such packets and request retransmission; the flag is
+    /// delivered rather than the packet dropped so non-resilient runs
+    /// keep the paper's semantics (data is used as-is).
+    pub corrupt: bool,
 }
 
 /// Receive-side statistics.
@@ -61,6 +67,9 @@ pub struct TieStats {
     /// Flits that could not be attributed to a partial packet (more than
     /// two packets from one source interleaved — beyond the double buffer).
     pub buffer_overflows: Counter,
+    /// Flits whose payload checksum failed on arrival (corrupted in
+    /// flight by fault injection).
+    pub corrupt_flits: Counter,
 }
 
 #[derive(Debug, Clone)]
@@ -68,11 +77,12 @@ struct Partial {
     slots: [Option<u32>; MAX_LOGICAL_PACKET],
     expect: usize,
     got: usize,
+    corrupt: bool,
 }
 
 impl Partial {
     fn new(expect: usize) -> Self {
-        Partial { slots: [None; MAX_LOGICAL_PACKET], expect, got: 0 }
+        Partial { slots: [None; MAX_LOGICAL_PACKET], expect, got: 0, corrupt: false }
     }
 
     fn accepts(&self, seq: usize, expect: usize) -> bool {
@@ -126,13 +136,21 @@ impl TieReceiver {
     pub fn deliver(&mut self, flit: Flit) {
         debug_assert!(!flit.kind().is_shared_memory(), "TIE receives message flits only");
         self.stats.flits_received.inc();
+        let corrupt = !flit.checksum_ok();
+        if corrupt {
+            self.stats.corrupt_flits.inc();
+        }
         let src = flit.src_id() as usize;
         let seq = flit.seq() as usize;
         let expect = flit.burst_flits();
         if expect == 1 {
             // Burst-1 packets (credits, tokens) need no reassembly state.
             self.stats.packets_completed.inc();
-            self.completed.push_back(Packet { src: src as u8, data: vec![flit.payload()] });
+            self.completed.push_back(Packet {
+                src: src as u8,
+                data: vec![flit.payload()],
+                corrupt,
+            });
             return;
         }
         if src >= self.partials.len() {
@@ -151,10 +169,12 @@ impl TieReceiver {
                 queue.len() - 1
             }
         };
+        queue[idx].corrupt |= corrupt;
         if queue[idx].insert(seq, flit.payload()) {
             let done = queue.remove(idx).expect("index valid");
             self.stats.packets_completed.inc();
-            self.completed.push_back(Packet { src: src as u8, data: done.into_words() });
+            let corrupt = done.corrupt;
+            self.completed.push_back(Packet { src: src as u8, data: done.into_words(), corrupt });
         }
     }
 
@@ -294,6 +314,27 @@ mod tests {
         let credit = rx.take_packet(Some(2)).expect("credit completed");
         assert_eq!(credit.data, vec![99]);
         assert!(rx.has_partials(), "data packets still assembling");
+    }
+
+    #[test]
+    fn corrupt_flit_taints_its_packet_only() {
+        let mut rx = TieReceiver::new();
+        // 4-flit packet with one corrupted flit.
+        for i in 0..4u8 {
+            let mut f = msg(5, i, 2, 40 + i as u32);
+            if i == 2 {
+                f.corrupt_payload_bit(11);
+            }
+            rx.deliver(f);
+        }
+        // A clean single-flit credit from the same source.
+        rx.deliver(msg(5, 0, 0, 1));
+        let tainted = rx.take_packet(Some(5)).unwrap();
+        assert!(tainted.corrupt);
+        assert_eq!(tainted.data.len(), 4);
+        let credit = rx.take_packet(Some(5)).unwrap();
+        assert!(!credit.corrupt);
+        assert_eq!(rx.stats().corrupt_flits.get(), 1);
     }
 
     #[test]

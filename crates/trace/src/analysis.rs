@@ -42,6 +42,8 @@ pub struct TraceAnalysis {
     /// Completed spans and their total cycles, per operation:
     /// `(op, count, cycles)`, in first-seen order.
     pub spans: Vec<(KernelOp, u64, u64)>,
+    /// Injected-fault events captured (all `FAULT`-class variants).
+    pub faults: u64,
 }
 
 impl TraceAnalysis {
@@ -91,6 +93,11 @@ impl TraceAnalysis {
                         }
                     }
                 }
+                TraceEvent::FaultFlitCorrupted { .. }
+                | TraceEvent::FaultLinkKilled { .. }
+                | TraceEvent::FaultBankDrop { .. }
+                | TraceEvent::FaultBankDelay { .. }
+                | TraceEvent::FaultPeStall { .. } => a.faults += 1,
                 TraceEvent::LockReleased { .. }
                 | TraceEvent::CacheAccess { .. }
                 | TraceEvent::ReorderSlip { .. }

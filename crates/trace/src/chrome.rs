@@ -149,6 +149,26 @@ where
                 push_common(&mut out, "lock:release", 'i', at, bank);
                 let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"src\":{src},\"addr\":{addr}}}}}");
             }
+            TraceEvent::FaultFlitCorrupted { node, bit } => {
+                push_common(&mut out, "fault:flit-corrupt", 'i', at, node);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"bit\":{bit}}}}}");
+            }
+            TraceEvent::FaultLinkKilled { node, dir } => {
+                push_common(&mut out, "fault:link-kill", 'i', at, node);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"dir\":{dir}}}}}");
+            }
+            TraceEvent::FaultBankDrop { bank } => {
+                push_common(&mut out, "fault:bank-drop", 'i', at, bank);
+                out.push_str(",\"s\":\"t\"}");
+            }
+            TraceEvent::FaultBankDelay { bank, cycles } => {
+                push_common(&mut out, "fault:bank-delay", 'i', at, bank);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"cycles\":{cycles}}}}}");
+            }
+            TraceEvent::FaultPeStall { node, cycles } => {
+                push_common(&mut out, "fault:pe-stall", 'i', at, node);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"cycles\":{cycles}}}}}");
+            }
         }
     }
     out.push_str("\n]}\n");

@@ -47,6 +47,19 @@ pub fn to_csv(events: &[TimedEvent]) -> String {
             }
             TraceEvent::SpanBegin { op, .. } => ("span-begin", op.name(), None, None, None),
             TraceEvent::SpanEnd { op, .. } => ("span-end", op.name(), None, None, None),
+            TraceEvent::FaultFlitCorrupted { bit, .. } => {
+                ("fault-flit-corrupt", "", None, None, Some(bit as u64))
+            }
+            TraceEvent::FaultLinkKilled { dir, .. } => {
+                ("fault-link-kill", "", None, None, Some(dir as u64))
+            }
+            TraceEvent::FaultBankDrop { .. } => ("fault-bank-drop", "", None, None, None),
+            TraceEvent::FaultBankDelay { cycles, .. } => {
+                ("fault-bank-delay", "", None, None, Some(cycles as u64))
+            }
+            TraceEvent::FaultPeStall { cycles, .. } => {
+                ("fault-pe-stall", "", None, None, Some(cycles as u64))
+            }
         };
         let _ = write!(out, "{at},{class},{name},{node},{kind},");
         if let Some(src) = src {

@@ -6,7 +6,7 @@
 //! hardware-model crate in the dependency graph and each layer can emit
 //! events without pulling its neighbours in.
 //!
-//! Events group into four [`EventClass`]es, mirroring the four layers the
+//! Events group into five [`EventClass`]es, mirroring the layers the
 //! engine instruments:
 //!
 //! | class    | events                                                     |
@@ -15,6 +15,7 @@
 //! | `CACHE`  | L1 hit/miss/write-through, flush, invalidate, reorder slips |
 //! | `MEM`    | per-bank MPMMU transactions, lock acquire/contend/release   |
 //! | `KERNEL` | send/recv packet spans and eMPI message/collective spans    |
+//! | `FAULT`  | injected faults: flit corruption, link kills, bank drops/delays, PE stalls |
 
 use medea_sim::Cycle;
 use std::fmt;
@@ -36,8 +37,11 @@ impl EventClass {
     pub const MEM: EventClass = EventClass(1 << 2);
     /// Kernel-level spans: packet send/recv and eMPI operations.
     pub const KERNEL: EventClass = EventClass(1 << 3);
+    /// Injected-fault events: flit corruption, link kills, bank
+    /// drops/delays, PE stall windows (the medea-fault subsystem).
+    pub const FAULT: EventClass = EventClass(1 << 4);
     /// Every class.
-    pub const ALL: EventClass = EventClass(0b1111);
+    pub const ALL: EventClass = EventClass(0b1_1111);
 
     /// Whether any class of `other` is present in `self`.
     pub const fn intersects(self, other: EventClass) -> bool {
@@ -61,6 +65,7 @@ impl EventClass {
             2 => "cache",
             4 => "mem",
             8 => "kernel",
+            16 => "fault",
             _ => "mixed",
         }
     }
@@ -290,6 +295,40 @@ pub enum TraceEvent {
         /// The operation.
         op: KernelOp,
     },
+    /// An injected transient fault flipped one payload bit of a message
+    /// flit delivered at `node`.
+    FaultFlitCorrupted {
+        /// The ejecting node.
+        node: u16,
+        /// Which payload bit was flipped (0..32).
+        bit: u8,
+    },
+    /// An injected permanent fault killed one torus link.
+    FaultLinkKilled {
+        /// The link's source router.
+        node: u16,
+        /// Output-port direction index of the dead link.
+        dir: u8,
+    },
+    /// An injected fault dropped an MPMMU read-response flit.
+    FaultBankDrop {
+        /// The bank's node.
+        bank: u16,
+    },
+    /// An injected fault delayed an MPMMU transaction's service.
+    FaultBankDelay {
+        /// The bank's node.
+        bank: u16,
+        /// Extra service cycles added.
+        cycles: u32,
+    },
+    /// An injected fault stalled a PE's execution engine.
+    FaultPeStall {
+        /// The PE's node.
+        node: u16,
+        /// Cycles the engine is frozen.
+        cycles: u32,
+    },
 }
 
 impl TraceEvent {
@@ -306,6 +345,11 @@ impl TraceEvent {
             | TraceEvent::LockContended { .. }
             | TraceEvent::LockReleased { .. } => EventClass::MEM,
             TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => EventClass::KERNEL,
+            TraceEvent::FaultFlitCorrupted { .. }
+            | TraceEvent::FaultLinkKilled { .. }
+            | TraceEvent::FaultBankDrop { .. }
+            | TraceEvent::FaultBankDelay { .. }
+            | TraceEvent::FaultPeStall { .. } => EventClass::FAULT,
         }
     }
 
@@ -319,11 +363,16 @@ impl TraceEvent {
             | TraceEvent::CacheAccess { node, .. }
             | TraceEvent::ReorderSlip { node }
             | TraceEvent::SpanBegin { node, .. }
-            | TraceEvent::SpanEnd { node, .. } => node,
+            | TraceEvent::SpanEnd { node, .. }
+            | TraceEvent::FaultFlitCorrupted { node, .. }
+            | TraceEvent::FaultLinkKilled { node, .. }
+            | TraceEvent::FaultPeStall { node, .. } => node,
             TraceEvent::MemTxn { bank, .. }
             | TraceEvent::LockAcquired { bank, .. }
             | TraceEvent::LockContended { bank, .. }
-            | TraceEvent::LockReleased { bank, .. } => bank,
+            | TraceEvent::LockReleased { bank, .. }
+            | TraceEvent::FaultBankDrop { bank }
+            | TraceEvent::FaultBankDelay { bank, .. } => bank,
         }
     }
 }
@@ -369,13 +418,24 @@ mod tests {
             TraceEvent::LockReleased { bank: 0, src: 1, addr: 0x200 },
             TraceEvent::SpanBegin { node: 1, op: KernelOp::Barrier },
             TraceEvent::SpanEnd { node: 1, op: KernelOp::Barrier },
+            TraceEvent::FaultFlitCorrupted { node: 1, bit: 7 },
+            TraceEvent::FaultLinkKilled { node: 1, dir: 2 },
+            TraceEvent::FaultBankDrop { bank: 0 },
+            TraceEvent::FaultBankDelay { bank: 0, cycles: 64 },
+            TraceEvent::FaultPeStall { node: 1, cycles: 32 },
         ];
         for ev in samples {
             let class = ev.class();
-            let single = [EventClass::NOC, EventClass::CACHE, EventClass::MEM, EventClass::KERNEL]
-                .into_iter()
-                .filter(|c| class.intersects(*c))
-                .count();
+            let single = [
+                EventClass::NOC,
+                EventClass::CACHE,
+                EventClass::MEM,
+                EventClass::KERNEL,
+                EventClass::FAULT,
+            ]
+            .into_iter()
+            .filter(|c| class.intersects(*c))
+            .count();
             assert_eq!(single, 1, "{ev:?}");
         }
     }

@@ -26,6 +26,7 @@
 //! | `CACHE`  | PE execution engine | L1 hit/miss/write-through, flush, invalidate, reorder-buffer slips |
 //! | `MEM`    | MPMMU banks | per-bank transactions, lock acquire/contend/release |
 //! | `KERNEL` | engine + eMPI markers | packet send/recv spans, message/collective phase spans |
+//! | `FAULT`  | medea-fault injector | flit corruption, link kills, bank drops/delays, PE stalls |
 //!
 //! # Exporters and the `chrome://tracing` workflow
 //!

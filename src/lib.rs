@@ -10,6 +10,7 @@
 //! * [`trace`] — zero-overhead cross-layer event tracing with Chrome-trace
 //!   and CSV export;
 //! * [`noc`] — folded-torus network-on-chip with deflection routing;
+//! * [`fault`] — deterministic seeded cross-layer fault injection;
 //! * [`cache`] — write-back / write-through L1 cache models;
 //! * [`mem`] — MPMMU, lock table and DDR model;
 //! * [`pe`] — processing element: TIE interface, pif2NoC bridge, arbiter;
@@ -44,6 +45,7 @@
 pub use medea_apps as apps;
 pub use medea_cache as cache;
 pub use medea_core as core;
+pub use medea_fault as fault;
 pub use medea_mem as mem;
 pub use medea_noc as noc;
 pub use medea_pe as pe;
