@@ -35,9 +35,23 @@
 //! sequential reference — with nonzero recovery counters (deflection
 //! reroutes, eMPI retransmissions, bridge retries), asserted.
 //!
+//! And the **parallel-engine microbench**: the most-populated Jacobi
+//! point of the 8×8 and 16×16 tiers (63 and 255 PEs in full mode), each
+//! re-run single-run at 1/2/4/8 host threads through the tiled cycle
+//! engine. Every multi-thread run must reproduce the single-thread
+//! `RunResult` bit-for-bit (asserted, always), and on hosts with enough
+//! cores the 255-PE point must reach ≥ 3× cycles/sec at 8 threads
+//! (≥ 1.5× at 4 threads at CI smoke scale).
+//!
 //! ```text
-//! cargo run --release -p medea-bench --bin scaling_json -- [--smoke] [OUT_PATH]
+//! cargo run --release -p medea-bench --bin scaling_json -- \
+//!     [--smoke] [--engine-threads N] [OUT_PATH]
 //! ```
+//!
+//! `--engine-threads N` runs every sweep point's cycle engine tiled over
+//! N host threads (`SystemConfigBuilder::host_threads`); the sweep's own
+//! worker count is then capped so sweep threads × engine threads never
+//! oversubscribes the host.
 //!
 //! `--smoke` shrinks grids and PE counts to CI scale while still covering
 //! all three topologies. Exception: the memory-banks sweep keeps its
@@ -51,7 +65,7 @@ use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
 use medea_bench::sweep_threads;
 use medea_core::api::PeApi;
 use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
-use medea_core::system::{Kernel, System};
+use medea_core::system::{Kernel, RunResult, System};
 use medea_core::{
     CachePolicy, CollectiveAlgo, DeadLink, Empi, FaultConfig, NullSink, ResilienceConfig,
     ScheduledInjector, SystemConfig, SystemConfigBuilder, Topology,
@@ -129,6 +143,9 @@ fn base_builder() -> SystemConfigBuilder {
 struct Row {
     label: String,
     pes: usize,
+    /// Host threads the point's own cycle engine ran on (1 = sequential
+    /// engine; the sweep's worker-pool parallelism is reported globally).
+    host_threads: usize,
     sim_cycles: u64,
     cycles_per_iter: u64,
     wall_s: f64,
@@ -148,7 +165,7 @@ struct TierReport {
     rows: Vec<Row>,
 }
 
-fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
+fn run_ladder(tiers: &[Tier], threads: usize, engine_threads: usize) -> Vec<TierReport> {
     let topo_of = |t: &Tier| Topology::new(t.side, t.side).expect("valid square torus");
     let workload =
         TieredJacobi { grid_by_topology: tiers.iter().map(|t| (topo_of(t), t.grid_n)).collect() };
@@ -162,7 +179,8 @@ fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
             points.push(SweepPoint::on(topology, pes, CACHE_BYTES, CachePolicy::WriteBack));
         }
     }
-    let outcomes = run_sweep(&workload, &points, &base_builder(), threads);
+    let outcomes =
+        run_sweep(&workload, &points, &base_builder().host_threads(engine_threads), threads);
 
     let mut reports = Vec::new();
     let mut cursor = outcomes.iter();
@@ -181,6 +199,7 @@ fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
                 Row {
                     label: o.label.clone(),
                     pes: o.point.pes,
+                    host_threads: engine_threads,
                     sim_cycles: result.cycles,
                     cycles_per_iter: o.measured_cycles,
                     wall_s: result.wall.as_secs_f64(),
@@ -196,6 +215,123 @@ fn run_ladder(tiers: &[Tier], threads: usize) -> Vec<TierReport> {
         reports.push(TierReport {
             topology: format!("{}x{}", tier.side, tier.side),
             grid_n: tier.grid_n,
+            rows,
+        });
+    }
+    reports
+}
+
+// ---- parallel engine microbench ----
+
+/// One thread count of one parallel-engine point.
+struct ParallelRow {
+    threads: usize,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    speedup_vs_1t: f64,
+}
+
+/// One benchmarked point: a fully populated Jacobi run re-executed at
+/// every thread count of the ladder.
+struct ParallelReport {
+    topology: String,
+    grid_n: usize,
+    pes: usize,
+    sim_cycles: u64,
+    rows: Vec<ParallelRow>,
+}
+
+/// Everything a tiled run must reproduce of the single-thread baseline:
+/// cycle count, every aggregate fabric counter, the full flit-latency
+/// histogram, every per-PE counter group and every per-bank counter.
+fn assert_run_identical(label: &str, tiled: &RunResult, seq: &RunResult) {
+    assert_eq!(tiled.cycles, seq.cycles, "{label}: cycles");
+    assert_eq!(tiled.fabric_delivered, seq.fabric_delivered, "{label}: delivered");
+    assert_eq!(tiled.fabric_deflections, seq.fabric_deflections, "{label}: deflections");
+    assert_eq!(tiled.fabric_mean_latency, seq.fabric_mean_latency, "{label}: mean latency");
+    assert_eq!(tiled.fabric_max_latency, seq.fabric_max_latency, "{label}: max latency");
+    assert_eq!(tiled.fabric_latency, seq.fabric_latency, "{label}: latency histogram");
+    assert_eq!(
+        tiled.mpmmu.single_reads.get(),
+        seq.mpmmu.single_reads.get(),
+        "{label}: mpmmu reads"
+    );
+    assert_eq!(
+        tiled.mpmmu.single_writes.get(),
+        seq.mpmmu.single_writes.get(),
+        "{label}: mpmmu writes"
+    );
+    assert_eq!(tiled.mpmmu.busy_cycles.get(), seq.mpmmu.busy_cycles.get(), "{label}: mpmmu busy");
+    for (i, (a, b)) in tiled.pe.iter().zip(&seq.pe).enumerate() {
+        assert_eq!(a.engine.requests.get(), b.engine.requests.get(), "{label}: pe{i} requests");
+        assert_eq!(a.engine.mem_cycles.get(), b.engine.mem_cycles.get(), "{label}: pe{i} mem");
+        assert_eq!(a.cache.load_hits.get(), b.cache.load_hits.get(), "{label}: pe{i} hits");
+        assert_eq!(
+            a.bridge.transactions.get(),
+            b.bridge.transactions.get(),
+            "{label}: pe{i} bridge"
+        );
+        assert_eq!(a.tie.flits_received.get(), b.tie.flits_received.get(), "{label}: pe{i} tie");
+    }
+    for (a, b) in tiled.banks.iter().zip(&seq.banks) {
+        assert_eq!(a.node, b.node, "{label}: bank node");
+        assert_eq!(
+            a.mpmmu.busy_cycles.get(),
+            b.mpmmu.busy_cycles.get(),
+            "{label}: bank {} busy",
+            a.node
+        );
+    }
+}
+
+/// Single-run scaling of the tiled cycle engine: the most-populated
+/// Jacobi point of every tier past 4×4, re-run at each thread count.
+/// The 1-thread run is the baseline for both the speedup column and the
+/// bit-identity assertion.
+fn run_parallel_engine(tiers: &[Tier], smoke: bool) -> Vec<ParallelReport> {
+    let thread_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut reports = Vec::new();
+    for tier in tiers.iter().filter(|t| t.side > 4) {
+        let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+        let pes = *tier.pe_counts.last().expect("tier has PE counts");
+        let jcfg = jacobi_config(tier.grid_n);
+        let mut baseline: Option<(f64, RunResult)> = None;
+        let mut rows = Vec::new();
+        let mut sim_cycles = 0;
+        for &threads in thread_counts {
+            let sys = base_builder()
+                .topology(topology)
+                .compute_pes(pes)
+                .cache_bytes(CACHE_BYTES)
+                .host_threads(threads)
+                .build()
+                .expect("parallel engine configuration");
+            let t0 = Instant::now();
+            let outcome = jacobi::run(&sys, &jcfg).expect("parallel engine run");
+            let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+            let cycles_per_sec = outcome.run.cycles as f64 / wall_s;
+            sim_cycles = outcome.run.cycles;
+            let speedup_vs_1t = match &baseline {
+                Some((base_rate, seq)) => {
+                    assert_run_identical(
+                        &format!("{}x{} {pes}PE @{threads}t", tier.side, tier.side),
+                        &outcome.run,
+                        seq,
+                    );
+                    cycles_per_sec / base_rate
+                }
+                None => {
+                    baseline = Some((cycles_per_sec, outcome.run));
+                    1.0
+                }
+            };
+            rows.push(ParallelRow { threads, wall_s, cycles_per_sec, speedup_vs_1t });
+        }
+        reports.push(ParallelReport {
+            topology: format!("{}x{}", tier.side, tier.side),
+            grid_n: tier.grid_n,
+            pes,
+            sim_cycles,
             rows,
         });
     }
@@ -501,12 +637,26 @@ fn validate_largest(tiers: &[Tier]) -> (String, usize) {
 
 fn main() {
     let mut smoke = false;
+    let mut engine_threads = 1usize;
     let mut out_path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--engine-threads" => {
+                engine_threads =
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--engine-threads needs a positive integer");
+                            std::process::exit(2);
+                        },
+                    );
+            }
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag {flag}; usage: scaling_json [--smoke] [OUT_PATH]");
+                eprintln!(
+                    "unknown flag {flag}; usage: scaling_json [--smoke] \
+                     [--engine-threads N] [OUT_PATH]"
+                );
                 std::process::exit(2);
             }
             path => out_path = Some(path.to_owned()),
@@ -516,7 +666,8 @@ fn main() {
     let tiers = if smoke { SMOKE } else { FULL };
     let threads = sweep_threads();
     let started = Instant::now();
-    let reports = run_ladder(tiers, threads);
+    let reports = run_ladder(tiers, threads, engine_threads);
+    let parallel = run_parallel_engine(tiers, smoke);
     let collectives = run_collectives(tiers);
     let hotspot_ops = if smoke { 6 } else { 16 };
     let bank_rows = run_memory_banks(tiers, hotspot_ops);
@@ -537,6 +688,7 @@ fn main() {
     );
     json.push_str("  \"workload\": \"jacobi hybrid-full-mp, 1 warmup + 1 measured iteration\",\n");
     json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!("  \"sweep_engine_threads\": {engine_threads},\n"));
     json.push_str(&format!("  \"total_wall_s\": {total_wall:.2},\n"));
     match &validated {
         Some((label, pes)) => json.push_str(&format!(
@@ -552,11 +704,13 @@ fn main() {
         ));
         for (j, r) in t.rows.iter().enumerate() {
             json.push_str(&format!(
-                "      {{\"label\": \"{}\", \"pes\": {}, \"sim_cycles\": {}, \
+                "      {{\"label\": \"{}\", \"pes\": {}, \"host_threads\": {}, \
+                 \"sim_cycles\": {}, \
                  \"cycles_per_iter\": {}, \"wall_s\": {:.3}, \"cycles_per_sec\": {:.0}, \
                  \"jacobi_speedup_vs_fewest_pes\": {:.2}}}{}\n",
                 r.label,
                 r.pes,
+                r.host_threads,
                 r.sim_cycles,
                 r.cycles_per_iter,
                 r.wall_s,
@@ -593,6 +747,35 @@ fn main() {
             r.defl_per_flit.map_or_else(|| "null".to_owned(), |d| format!("{d:.4}")),
             if i + 1 < noc_rows.len() { "," } else { "" }
         ));
+    }
+    json.push_str("  ]},\n");
+    // Single-run scaling of the tiled cycle engine. Multi-thread rows
+    // are asserted bit-identical to the 1-thread baseline before they
+    // are reported, so every speedup here is a determinism-preserving
+    // speedup by construction.
+    json.push_str(
+        "  \"parallel_engine\": {\"workload\": \"jacobi hybrid-full-mp, single run, tiled \
+         engine\", \"identity\": \"multi-thread RunResult asserted bit-identical to 1 \
+         thread\", \"points\": [\n",
+    );
+    for (i, p) in parallel.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"grid_n\": {}, \"pes\": {}, \"sim_cycles\": {}, \
+             \"rows\": [\n",
+            p.topology, p.grid_n, p.pes, p.sim_cycles
+        ));
+        for (j, r) in p.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"threads\": {}, \"wall_s\": {:.3}, \"cycles_per_sec\": {:.0}, \
+                 \"speedup_vs_1t\": {:.2}}}{}\n",
+                r.threads,
+                r.wall_s,
+                r.cycles_per_sec,
+                r.speedup_vs_1t,
+                if j + 1 < p.rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!("    ]}}{}\n", if i + 1 < parallel.len() { "," } else { "" }));
     }
     json.push_str("  ]},\n");
     json.push_str(&format!(
@@ -665,6 +848,14 @@ fn main() {
         .flat_map(|t| t.rows.iter())
         .map(|r| (r.label.clone(), r.lat_p50, r.lat_p99, r.lat_max, r.defl_per_flit))
         .collect();
+    for p in &parallel {
+        for r in &p.rows {
+            println!(
+                "{:<6} {:>3} PEs  tiled engine {:>2} thread(s)  {:>12.0} c/s  vs 1t {:>6.2}x",
+                p.topology, p.pes, r.threads, r.cycles_per_sec, r.speedup_vs_1t
+            );
+        }
+    }
     println!("flit latency (cycles):");
     print!("{}", medea_core::report::format_latency_table(&latency_rows));
     for c in &collectives {
@@ -740,6 +931,33 @@ fn main() {
         bank_best.label,
         bank_best.speedup_vs_single_bank
     );
+    // The parallel-engine acceptance gate: on a host with enough cores,
+    // the largest point must reach ≥ 3x cycles/sec at 8 threads (full)
+    // or ≥ 1.5x at 4 threads (smoke). Bit-identity was asserted during
+    // the measurement itself, ungated.
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let (gate_threads, gate_factor) = if smoke { (4, 1.5) } else { (8, 3.0) };
+    if cores >= gate_threads {
+        let largest = parallel.last().expect("parallel engine measured");
+        let gated = largest
+            .rows
+            .iter()
+            .find(|r| r.threads == gate_threads)
+            .expect("gated thread count measured");
+        assert!(
+            gated.speedup_vs_1t >= gate_factor,
+            "{} {} PEs: tiled engine at {gate_threads} threads must be >= {gate_factor}x \
+             vs 1 thread, got {:.2}x",
+            largest.topology,
+            largest.pes,
+            gated.speedup_vs_1t
+        );
+    } else {
+        println!(
+            "parallel-engine speedup gate skipped: host has {cores} core(s), \
+             gate needs {gate_threads}"
+        );
+    }
     // The resilience acceptance gate: every fault scenario must complete
     // ("ok" outcome, validated where applicable) and every scenario must
     // both inject real faults and exercise the matching recovery path.

@@ -128,6 +128,7 @@ pub struct SystemConfig {
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
     resilience: ResilienceConfig,
+    host_threads: usize,
 }
 
 impl SystemConfig {
@@ -207,6 +208,15 @@ impl SystemConfig {
     /// [`ResilienceConfig`]).
     pub const fn resilience(&self) -> ResilienceConfig {
         self.resilience
+    }
+
+    /// Host worker threads the cycle engine may use inside one run
+    /// (default 1 = the sequential engine). See
+    /// [`SystemConfigBuilder::host_threads`]; purely a host-side
+    /// execution knob, never part of the architectural configuration or
+    /// its label.
+    pub const fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// The nodes hosting the MPMMU banks, in bank-index order (bank 0 is
@@ -429,6 +439,7 @@ pub struct SystemConfigBuilder {
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
     resilience: ResilienceConfig,
+    host_threads: usize,
 }
 
 impl Default for SystemConfigBuilder {
@@ -452,6 +463,7 @@ impl Default for SystemConfigBuilder {
             collective_algo: CollectiveAlgo::Linear,
             trace: TraceConfig::off(),
             resilience: ResilienceConfig::off(),
+            host_threads: 1,
         }
     }
 }
@@ -588,6 +600,29 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Host worker threads the cycle engine may use *inside* one run
+    /// (default 1 = the sequential engine).
+    ///
+    /// With `n > 1` on a deflection fabric, `System::run` domain-
+    /// decomposes the torus into up to `n` contiguous node tiles and
+    /// advances them on a scoped worker pool in lockstep, one barrier per
+    /// simulated cycle; results are bit-identical to the sequential
+    /// engine at every thread count (see the parallel-engine notes in
+    /// `system.rs`). This is a host execution knob, not an architectural
+    /// parameter: it never affects [`SystemConfig::label`], and sweeps
+    /// cap their own worker count so sweep threads × engine threads stay
+    /// within the machine (`run_sweep`).
+    pub fn host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
+        self
+    }
+
+    /// The configured engine thread count (used by `run_sweep` to avoid
+    /// oversubscribing the host).
+    pub(crate) const fn configured_host_threads(&self) -> usize {
+        self.host_threads
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -627,6 +662,9 @@ impl SystemConfigBuilder {
         if self.cycle_limit == 0 {
             return Err(BuildConfigError("cycle limit must be positive".into()));
         }
+        if self.host_threads == 0 {
+            return Err(BuildConfigError("host_threads must be positive".into()));
+        }
         if self.resilience.empi_retransmit
             && (self.resilience.empi_timeout == 0 || self.resilience.empi_max_attempts == 0)
         {
@@ -650,6 +688,7 @@ impl SystemConfigBuilder {
             collective_algo: self.collective_algo,
             trace: self.trace,
             resilience: self.resilience,
+            host_threads: self.host_threads,
         })
     }
 }
@@ -657,6 +696,17 @@ impl SystemConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_threads_is_a_host_knob_not_an_architectural_one() {
+        let cfg = SystemConfig::builder().host_threads(8).build().unwrap();
+        assert_eq!(cfg.host_threads(), 8);
+        // The label identifies the *architecture*; the engine thread
+        // count must not leak into it.
+        assert_eq!(cfg.label(), SystemConfig::builder().build().unwrap().label());
+        assert_eq!(SystemConfig::builder().build().unwrap().host_threads(), 1);
+        assert!(SystemConfig::builder().host_threads(0).build().is_err());
+    }
 
     #[test]
     fn defaults_build() {

@@ -65,6 +65,7 @@ pub mod explore;
 pub mod layout;
 pub mod report;
 pub mod system;
+pub(crate) mod tiled;
 
 pub use config::{BuildConfigError, NodePlan, ResilienceConfig, SystemConfig, SystemConfigBuilder};
 pub use empi::{CollectiveAlgo, Empi};

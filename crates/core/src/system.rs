@@ -16,7 +16,7 @@
 //! needs is one set of helpers ([`banks_deliver`], [`banks_tick`],
 //! [`banks_inject`], [`banks_quiet`]) shared by both engines below.
 //!
-//! Two engines implement that loop:
+//! Three engines implement that loop:
 //!
 //! * [`System::run`] — the production engine. Statically dispatched
 //!   fabric ([`AnyFabric`]), per-PE wake scheduling (a PE parked in a
@@ -32,6 +32,16 @@
 //!   must produce bit-identical results (`tests/golden_determinism.rs`,
 //!   `engine_equivalence` below), and the pair is the before/after
 //!   baseline of the `BENCH_sim_speed.json` harness.
+//! * the **tiled parallel engine** ([`crate::tiled`]) — selected by
+//!   [`crate::config::SystemConfigBuilder::host_threads`] when more than
+//!   one thread is requested on a deflection fabric. The torus is
+//!   domain-decomposed into contiguous node tiles, one worker thread per
+//!   tile, with a per-cycle barrier exchanging only the boundary link
+//!   latches; every cross-tile effect is merged in fixed tile-index
+//!   order, so results stay **bit-identical** to this sequential engine
+//!   at every thread count (`tests/parallel_equivalence.rs`). The
+//!   helpers below are shared with it (`pub(crate)`) so both engines run
+//!   literally the same per-component code.
 //!
 //! The production engine is generic over a `medea_trace::TraceSink`
 //! ([`System::run_traced`]): every layer emits typed, timestamped events
@@ -340,6 +350,14 @@ impl System {
         injector: &mut I,
     ) -> Result<RunResult, RunError> {
         check_kernel_count(cfg, &kernels)?;
+        // The tiled parallel engine takes over whole runs when the
+        // configuration asks for it (and the injector can be forked);
+        // otherwise the kernels come back and the sequential path below
+        // runs unchanged.
+        let kernels = match crate::tiled::try_run_tiled(cfg, preload, kernels, sink, injector) {
+            Ok(outcome) => return outcome,
+            Err(kernels) => kernels,
+        };
         let topo = cfg.topology();
         let mut fabric: AnyFabric = match cfg.fabric() {
             FabricKind::Deflection => Network::new(topo).into(),
@@ -450,7 +468,7 @@ impl System {
                 }
                 if let Some(flit) = pe.select_inject() {
                     let kind = flit.kind().code();
-                    match fabric.try_inject(pe.node(), flit, now) {
+                    match fabric.try_inject_tagged(pe.node(), flit, now, false) {
                         Ok(()) => {
                             if S::ACTIVE {
                                 let node = pe.node().index() as u16;
@@ -617,7 +635,7 @@ impl System {
     }
 }
 
-fn check_kernel_count(cfg: &SystemConfig, kernels: &[Kernel]) -> Result<(), RunError> {
+pub(crate) fn check_kernel_count(cfg: &SystemConfig, kernels: &[Kernel]) -> Result<(), RunError> {
     if kernels.len() != cfg.compute_pes() {
         return Err(RunError::KernelCountMismatch {
             kernels: kernels.len(),
@@ -630,14 +648,14 @@ fn check_kernel_count(cfg: &SystemConfig, kernels: &[Kernel]) -> Result<(), RunE
 /// One MPMMU bank wired into the cycle loop: the unit itself, its node,
 /// and the one-flit hold latch for FIFO back-pressure (a flit the bank
 /// refused stays at the node interface and is retried next cycle).
-struct Bank {
-    unit: Mpmmu,
-    node: NodeId,
-    hold: Option<Flit>,
+pub(crate) struct Bank {
+    pub(crate) unit: Mpmmu,
+    pub(crate) node: NodeId,
+    pub(crate) hold: Option<Flit>,
 }
 
 /// Build the bank vector and route every preload word to its owning bank.
-fn build_banks(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Vec<Bank> {
+pub(crate) fn build_banks(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Vec<Bank> {
     let map = cfg.bank_map();
     let mut banks: Vec<Bank> = cfg
         .bank_nodes()
@@ -656,7 +674,7 @@ fn build_banks(cfg: &SystemConfig, preload: &[(Addr, u32)]) -> Vec<Bank> {
 
 /// The engine-side flit-delivery event: ejection at `node`'s interface,
 /// with the flit's whole fabric history attached.
-fn delivered_event(node: NodeId, flit: &Flit, now: Cycle) -> TraceEvent {
+pub(crate) fn delivered_event(node: NodeId, flit: &Flit, now: Cycle) -> TraceEvent {
     TraceEvent::FlitDelivered {
         node: node.index() as u16,
         uid: flit.meta.uid,
@@ -701,7 +719,7 @@ fn banks_deliver<F: Fabric + ?Sized, S: TraceSink>(
 /// Tick every bank. With `skip_idle` (the scheduled engine) an idle bank
 /// is not ticked — its tick is provably a no-op; the reference engine
 /// ticks everything every cycle.
-fn banks_tick<S: TraceSink, I: FaultInjector>(
+pub(crate) fn banks_tick<S: TraceSink, I: FaultInjector>(
     banks: &mut [Bank],
     now: Cycle,
     skip_idle: bool,
@@ -726,7 +744,7 @@ fn banks_inject<F: Fabric + ?Sized, S: TraceSink>(
     for bank in banks {
         if let Some(flit) = bank.unit.pop_outgoing() {
             let kind = flit.kind().code();
-            match fabric.try_inject(bank.node, flit, now) {
+            match fabric.try_inject_tagged(bank.node, flit, now, true) {
                 Ok(()) => {
                     if S::ACTIVE {
                         let node = bank.node.index() as u16;
@@ -740,11 +758,11 @@ fn banks_inject<F: Fabric + ?Sized, S: TraceSink>(
 }
 
 /// Whether every bank is drained (the fast-forward / deadlock predicate).
-fn banks_quiet(banks: &[Bank]) -> bool {
+pub(crate) fn banks_quiet(banks: &[Bank]) -> bool {
     banks.iter().all(|b| b.unit.is_idle() && b.hold.is_none())
 }
 
-fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement> {
+pub(crate) fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement> {
     let topo = cfg.topology();
     let ranks = cfg.compute_pes();
     let layout = cfg.layout();
@@ -766,7 +784,7 @@ fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<ProcessingElement>
 }
 
 /// What a drained-fabric, idle-MPMMU cycle looks like from the PEs.
-enum QuietState {
+pub(crate) enum QuietState {
     /// Every live PE is in a pure time stall; jump to the earliest wake.
     AllTimed {
         /// Earliest wake cycle among the stalled PEs.
@@ -778,7 +796,13 @@ enum QuietState {
     Mixed,
 }
 
-fn classify_quiet(pes: &[ProcessingElement]) -> QuietState {
+/// The commutative core of [`classify_quiet`]:
+/// `(all_timed AND, min_wake MIN, all_recv_blocked AND)` folded over a
+/// slice of PEs. The identity element is `(true, None, true)` (an empty
+/// tile constrains nothing), so the tiled engine can fold each tile's
+/// partial independently and merge them in any order — the merged triple
+/// is bit-identical to folding the whole rank-ordered PE list at once.
+pub(crate) fn quiet_fold(pes: &[ProcessingElement]) -> (bool, Option<Cycle>, bool) {
     let mut min_wake: Option<Cycle> = None;
     let mut all_timed = true;
     let mut all_recv_blocked = true;
@@ -797,6 +821,15 @@ fn classify_quiet(pes: &[ProcessingElement]) -> QuietState {
             }
         }
     }
+    (all_timed, min_wake, all_recv_blocked)
+}
+
+/// Turn the folded triple into the quiet-cycle verdict.
+pub(crate) fn classify_fold(
+    all_timed: bool,
+    min_wake: Option<Cycle>,
+    all_recv_blocked: bool,
+) -> QuietState {
     match (all_timed, min_wake) {
         (true, Some(min_wake)) => QuietState::AllTimed { min_wake },
         _ if all_recv_blocked && !all_timed => QuietState::Deadlocked,
@@ -804,7 +837,12 @@ fn classify_quiet(pes: &[ProcessingElement]) -> QuietState {
     }
 }
 
-fn deadlock_detail(pes: &[ProcessingElement]) -> String {
+fn classify_quiet(pes: &[ProcessingElement]) -> QuietState {
+    let (all_timed, min_wake, all_recv_blocked) = quiet_fold(pes);
+    classify_fold(all_timed, min_wake, all_recv_blocked)
+}
+
+pub(crate) fn deadlock_detail(pes: &[ProcessingElement]) -> String {
     pes.iter()
         .enumerate()
         .filter(|(_, p)| !p.is_done())
@@ -814,7 +852,7 @@ fn deadlock_detail(pes: &[ProcessingElement]) -> String {
 }
 
 /// How many engine-side fault events the hang diagnostics keep.
-const FAULT_LOG_CAP: usize = 64;
+pub(crate) const FAULT_LOG_CAP: usize = 64;
 
 fn push_fault(log: &mut VecDeque<(Cycle, TraceEvent)>, now: Cycle, ev: TraceEvent) {
     if log.len() == FAULT_LOG_CAP {
@@ -831,7 +869,7 @@ fn push_fault(log: &mut VecDeque<(Cycle, TraceEvent)>, now: Cycle, ev: TraceEven
 /// `requests` (blocked kernels poll via `TryRecv`), `lock_nacks` and
 /// `busy_cycles` (a lock spin or a head-of-line stall is exactly the
 /// hang the watchdog must catch).
-fn progress_fingerprint(pes: &[ProcessingElement], banks: &[Bank]) -> u64 {
+pub(crate) fn progress_fingerprint(pes: &[ProcessingElement], banks: &[Bank]) -> u64 {
     let mut fp = 0u64;
     for pe in pes {
         fp = fp.wrapping_add(pe.stats().packets_received.get());
@@ -853,7 +891,7 @@ fn progress_fingerprint(pes: &[ProcessingElement], banks: &[Bank]) -> u64 {
 /// [`RunError::Watchdog`]: what every unfinished rank is waiting on,
 /// its traffic counters, bank busyness, in-flight flits, and the tail
 /// of recent engine-side fault events.
-fn stall_detail(
+pub(crate) fn stall_detail(
     pes: &[ProcessingElement],
     banks: &[Bank],
     in_flight: usize,
@@ -895,7 +933,7 @@ fn stall_detail(
     detail
 }
 
-fn finish_result(
+pub(crate) fn finish_result(
     now: Cycle,
     pes: &[ProcessingElement],
     fstats: &medea_noc::FabricStats,

@@ -1,0 +1,798 @@
+//! The tiled parallel cycle engine: deterministic intra-run parallelism.
+//!
+//! [`try_run_tiled`] domain-decomposes the torus into `T` contiguous node
+//! ranges (tiles) and runs one worker thread per tile, each ticking only
+//! its own routers ([`NetworkShard`]), PEs and MPMMU banks. One spin
+//! barrier ([`Phaser`]) per simulated cycle separates the cycles; **the
+//! barrier is the clock edge**: everything a tile does between two
+//! barriers is the work the sequential engine does for the same
+//! components within one `now`, and the only cross-tile traffic is the
+//! boundary link latches, exchanged through per-directed-pair mailboxes.
+//!
+//! # Why the result is bit-identical to the sequential engine
+//!
+//! * **Flit arbitration does not need cross-tile coordination.** Routers
+//!   break same-age ties by flit uid, and
+//!   [`medea_noc::network::compose_uid`] derives the uid from
+//!   `(cycle, is_bank, node)` — locally computable, globally consistent,
+//!   and ordered exactly like the engine's sequential injection sweep.
+//! * **Each input latch has exactly one writer.** A router's `(dir)`
+//!   input is fed only by its unique neighbor on that link, so exporting
+//!   a boundary flit during tile A's tick and importing it into tile B
+//!   before B's next route phase reproduces the sequential two-phase
+//!   (route-all-then-deliver-all) tick exactly. Mailboxes are
+//!   double-buffered by round parity so a fast tile's cycle-`t` exports
+//!   can never be confused with its neighbor's still-pending cycle-`t−1`
+//!   imports.
+//! * **All folds are merged in fixed tile-index order.** Statistics
+//!   (bucket-wise histogram sums), the watchdog fingerprint (wrapping
+//!   sums), the quiet-cycle classification (AND/MIN folds with an
+//!   identity for empty tiles) and the fault-event tail (sorted by
+//!   `(cycle, phase, tile)`) are all order-insensitive or merged in tile
+//!   order, never in thread-completion order.
+//! * **One leader makes every global decision.** Tile 0 (on the calling
+//!   thread) replicates the sequential engine's end-of-cycle logic —
+//!   termination, cycle limit, watchdog, quiet-cycle fast-forward /
+//!   deadlock — from per-tile reports, and is the only agent that drains
+//!   the fault injector's link-kill schedule, so the scheduled-fault
+//!   stream is consumed in exactly the sequential order.
+//!
+//! `tests/parallel_equivalence.rs` pins all of this: identical
+//! [`RunResult`]s, error details and trace captures at every thread
+//! count, including the golden paper-4×4 fingerprints.
+
+use crate::config::SystemConfig;
+use crate::system::{
+    banks_quiet, banks_tick, build_banks, build_pes, classify_fold, deadlock_detail,
+    delivered_event, finish_result, progress_fingerprint, quiet_fold, stall_detail, Bank, Kernel,
+    QuietState, RunError, RunResult, FAULT_LOG_CAP,
+};
+use crate::FabricKind;
+use medea_cache::Addr;
+use medea_fault::FaultInjector;
+use medea_noc::coord::Dir;
+use medea_noc::flit::Flit;
+use medea_noc::network::NetworkShard;
+use medea_noc::FabricStats;
+use medea_pe::pe::ProcessingElement;
+use medea_sim::ids::NodeId;
+use medea_sim::par::Phaser;
+use medea_sim::Cycle;
+use medea_trace::{NullSink, TraceEvent, TraceSink};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Run `kernels` on the tiled engine if the configuration selects it,
+/// or hand the kernels back (`Err`) for the sequential path.
+///
+/// The tiled engine engages only when all of these hold:
+///
+/// * `cfg.host_threads() > 1` and at least two tiles fit the torus;
+/// * the fabric is the deflection torus (the ideal fabric is a
+///   contention-free ablation model with no shard decomposition);
+/// * the fault injector can be forked per tile
+///   ([`FaultInjector::fork_for_tile`]).
+pub(crate) fn try_run_tiled<S: TraceSink, I: FaultInjector>(
+    cfg: &SystemConfig,
+    preload: &[(Addr, u32)],
+    kernels: Vec<Kernel>,
+    sink: &mut S,
+    injector: &mut I,
+) -> Result<Result<RunResult, RunError>, Vec<Kernel>> {
+    let tiles = cfg.host_threads().min(cfg.topology().nodes());
+    if tiles < 2 || cfg.fabric() != FabricKind::Deflection {
+        return Err(kernels);
+    }
+    let mut forks = Vec::with_capacity(tiles);
+    for _ in 0..tiles {
+        match injector.fork_for_tile() {
+            Some(fork) => forks.push(fork),
+            None => return Err(kernels),
+        }
+    }
+    // Workers buffer trace events locally (the caller's sink cannot be
+    // shared across threads); the buffers are replayed into `sink` after
+    // the join, merged in (cycle, tile) order. The dispatch keeps the
+    // untraced instantiation free of buffering entirely.
+    let (result, trace) = if S::ACTIVE {
+        run_tiled::<BufSink, I>(cfg, preload, kernels, injector, forks)
+    } else {
+        run_tiled::<NullSink, I>(cfg, preload, kernels, injector, forks)
+    };
+    for (at, event) in trace {
+        sink.record(at, event);
+    }
+    Ok(result)
+}
+
+/// A tile-local trace sink that can surrender its buffered events.
+trait WorkerSink: TraceSink {
+    /// A fresh, empty sink.
+    fn fresh() -> Self;
+    /// The `(cycle, event)` stream recorded so far, cycles nondecreasing.
+    fn into_events(self) -> Vec<(Cycle, TraceEvent)>;
+}
+
+impl WorkerSink for NullSink {
+    fn fresh() -> Self {
+        NullSink
+    }
+    fn into_events(self) -> Vec<(Cycle, TraceEvent)> {
+        Vec::new()
+    }
+}
+
+/// Unbounded in-order event buffer for traced tiled runs.
+struct BufSink(Vec<(Cycle, TraceEvent)>);
+
+impl TraceSink for BufSink {
+    const ACTIVE: bool = true;
+    fn record(&mut self, at: Cycle, event: TraceEvent) {
+        self.0.push((at, event));
+    }
+}
+
+impl WorkerSink for BufSink {
+    fn fresh() -> Self {
+        BufSink(Vec::new())
+    }
+    fn into_events(self) -> Vec<(Cycle, TraceEvent)> {
+        self.0
+    }
+}
+
+/// Everything one worker owns: a contiguous shard of the fabric and the
+/// PEs/banks whose nodes fall inside it (rank→node and bank→node maps are
+/// monotone, so each tile's lists are contiguous runs of the global
+/// rank/bank order).
+struct Tile<I> {
+    index: usize,
+    shard: NetworkShard,
+    pes: Vec<ProcessingElement>,
+    banks: Vec<Bank>,
+    injector: I,
+    wake: Vec<Cycle>,
+    ticked: Vec<bool>,
+    live: usize,
+    /// `(cycle, phase, event)` with phase 0 = link kills, 1 = flit
+    /// corruptions, 2 = PE stalls — the sequential engine's within-cycle
+    /// hook order, so the merged log sorted by `(cycle, phase, tile)` is
+    /// the sequential push order. Capped at [`FAULT_LOG_CAP`] per tile,
+    /// which is provably a superset of the global last-`FAULT_LOG_CAP`.
+    fault_log: VecDeque<(Cycle, u8, TraceEvent)>,
+    trace: Vec<(Cycle, TraceEvent)>,
+}
+
+fn push_tile_fault(
+    log: &mut VecDeque<(Cycle, u8, TraceEvent)>,
+    now: Cycle,
+    phase: u8,
+    event: TraceEvent,
+) {
+    if log.len() == FAULT_LOG_CAP {
+        log.pop_front();
+    }
+    log.push_back((now, phase, event));
+}
+
+/// One boundary flit in transit: `(destination router, input direction,
+/// flit)`, exactly the triple `NetworkShard::import` consumes.
+type BoundaryFlit = (u16, u8, Flit);
+
+/// What a tile publishes at the barrier, for the leader's serial section.
+#[derive(Clone, Default)]
+struct TileReport {
+    live: usize,
+    in_flight: usize,
+    exported: usize,
+    banks_quiet: bool,
+    fp_partial: u64,
+    wake_guard: bool,
+    /// The tile's [`quiet_fold`] partial — `Some` exactly when the tile
+    /// is locally drained, which all tiles are whenever the system is
+    /// globally quiet (the only time the leader reads it).
+    quiet: Option<(bool, Option<Cycle>, bool)>,
+}
+
+/// The leader's verdict for the next round.
+#[derive(Clone)]
+enum Decision {
+    /// Simulate cycle `now`; apply `kills` (original `(node, dir)` pairs
+    /// drained from the injector schedule) before any traffic moves.
+    Go { now: Cycle, kills: Vec<(u16, u8)> },
+    /// The run is over; workers exit without running another cycle.
+    Stop,
+}
+
+/// Why the leader stopped the run (details are assembled post-join, when
+/// the main thread has every tile's PEs/banks/fault log back in hand).
+enum StopCause {
+    Done { at: Cycle },
+    CycleLimit { in_flight: usize },
+    Watchdog { at: Cycle, in_flight: usize },
+    Deadlock { at: Cycle },
+}
+
+/// Cross-thread coordination state, shared by reference into the scope.
+struct Shared {
+    phaser: Phaser,
+    decision: Mutex<Decision>,
+    reports: Vec<Mutex<TileReport>>,
+    /// Boundary-flit mailboxes, one per directed tile pair
+    /// (`[parity][from * tiles + to]`), double-buffered by round parity:
+    /// round `r` drains buffer `(r+1) & 1` and fills buffer `r & 1`, so
+    /// a tile racing ahead within the same barrier window can never push
+    /// into a mailbox its neighbor is still draining.
+    mailboxes: [Vec<Mutex<Vec<BoundaryFlit>>>; 2],
+    /// Tile boundaries: tile `i` owns nodes `starts[i]..starts[i+1]`.
+    starts: Vec<u16>,
+    /// First panic payload from any worker; rethrown after the join.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Shared {
+    fn tiles(&self) -> usize {
+        self.reports.len()
+    }
+
+    fn tile_of(&self, node: usize) -> usize {
+        self.starts.partition_point(|&s| (s as usize) <= node) - 1
+    }
+
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.phaser.poison();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker that panicked mid-push poisons the mutex; the payload is
+    // rethrown after the join, so the inner data is never trusted.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn run_tiled<LS: WorkerSink, I: FaultInjector>(
+    cfg: &SystemConfig,
+    preload: &[(Addr, u32)],
+    kernels: Vec<Kernel>,
+    injector: &mut I,
+    forks: Vec<I>,
+) -> (Result<RunResult, RunError>, Vec<(Cycle, TraceEvent)>) {
+    let topo = cfg.topology();
+    let nodes = topo.nodes();
+    let tiles = forks.len();
+
+    // Contiguous node ranges with sizes differing by at most one.
+    let (base, rem) = (nodes / tiles, nodes % tiles);
+    let mut starts: Vec<u16> = Vec::with_capacity(tiles + 1);
+    let mut acc = 0usize;
+    starts.push(0);
+    for i in 0..tiles {
+        acc += base + usize::from(i < rem);
+        starts.push(acc as u16);
+    }
+
+    let banks_all = build_banks(cfg, preload);
+    let pes_all = build_pes(cfg, kernels);
+    let wall_start = Instant::now();
+
+    let mut tile_vec: Vec<Tile<I>> = forks
+        .into_iter()
+        .enumerate()
+        .map(|(i, fork)| Tile {
+            index: i,
+            shard: NetworkShard::new(topo, starts[i] as usize, starts[i + 1] as usize),
+            pes: Vec::new(),
+            banks: Vec::new(),
+            injector: fork,
+            wake: Vec::new(),
+            ticked: Vec::new(),
+            live: 0,
+            fault_log: VecDeque::new(),
+            trace: Vec::new(),
+        })
+        .collect();
+    let tile_of = |node: usize| starts.partition_point(|&s| (s as usize) <= node) - 1;
+    for pe in pes_all {
+        let t = tile_of(pe.node().index());
+        tile_vec[t].pes.push(pe);
+    }
+    for bank in banks_all {
+        let t = tile_of(bank.node.index());
+        tile_vec[t].banks.push(bank);
+    }
+    for tile in &mut tile_vec {
+        tile.wake = vec![0; tile.pes.len()];
+        tile.ticked = vec![false; tile.pes.len()];
+        tile.live = tile.pes.len();
+    }
+
+    // Cycle 0's scheduled kills, drained exactly like the sequential
+    // engine's top-of-loop drain.
+    let mut kills = Vec::new();
+    if I::ACTIVE {
+        while let Some(kill) = injector.take_link_kill(0) {
+            kills.push((kill.node, kill.dir & 3));
+        }
+    }
+    let boxes = || (0..tiles * tiles).map(|_| Mutex::new(Vec::new())).collect::<Vec<_>>();
+    let shared = Shared {
+        phaser: Phaser::new(tiles),
+        decision: Mutex::new(Decision::Go { now: 0, kills }),
+        reports: (0..tiles).map(|_| Mutex::new(TileReport::default())).collect(),
+        mailboxes: [boxes(), boxes()],
+        starts,
+        panic: Mutex::new(None),
+    };
+
+    let mut tile_iter = tile_vec.into_iter();
+    let mut leader_tile = tile_iter.next().expect("tiles >= 2");
+    let followers: Vec<Tile<I>> = tile_iter.collect();
+
+    let mut cause: Option<StopCause> = None;
+    let mut joined: Vec<Tile<I>> = Vec::with_capacity(tiles - 1);
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = followers
+            .into_iter()
+            .map(|mut tile| {
+                scope.spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        follower_loop::<LS, I>(&mut tile, shared, cfg);
+                    }));
+                    if let Err(payload) = outcome {
+                        shared.store_panic(payload);
+                    }
+                    tile
+                })
+            })
+            .collect();
+
+        let leader_outcome = catch_unwind(AssertUnwindSafe(|| {
+            leader_loop::<LS, I>(&mut leader_tile, shared, cfg, injector)
+        }));
+        match leader_outcome {
+            Ok(stop) => cause = stop,
+            Err(payload) => shared.store_panic(payload),
+        }
+
+        for handle in handles {
+            match handle.join() {
+                Ok(tile) => joined.push(tile),
+                Err(payload) => shared.store_panic(payload),
+            }
+        }
+    });
+    if let Some(payload) = lock(&shared.panic).take() {
+        resume_unwind(payload);
+    }
+
+    // Reassemble global state in tile-index order — which *is* rank order
+    // for PEs and bank order for banks, because both maps are monotone in
+    // the node index the tiles partition.
+    let mut all_tiles = Vec::with_capacity(tiles);
+    all_tiles.push(leader_tile);
+    all_tiles.extend(joined);
+
+    let mut pes: Vec<ProcessingElement> = Vec::new();
+    let mut banks: Vec<Bank> = Vec::new();
+    let mut fstats = FabricStats::default();
+    let mut fault = injector.stats();
+    let mut log_entries: Vec<(Cycle, u8, usize, usize, TraceEvent)> = Vec::new();
+    let mut traces: Vec<Vec<(Cycle, TraceEvent)>> = Vec::new();
+    for (ti, tile) in all_tiles.into_iter().enumerate() {
+        fstats.merge(tile.shard.stats());
+        fault.merge(&tile.injector.stats());
+        for (seq, &(cycle, phase, event)) in tile.fault_log.iter().enumerate() {
+            log_entries.push((cycle, phase, ti, seq, event));
+        }
+        pes.extend(tile.pes);
+        banks.extend(tile.banks);
+        traces.push(tile.trace);
+    }
+    log_entries.sort_by_key(|&(cycle, phase, ti, seq, _)| (cycle, phase, ti, seq));
+    let fault_log: VecDeque<(Cycle, TraceEvent)> = log_entries
+        .iter()
+        .skip(log_entries.len().saturating_sub(FAULT_LOG_CAP))
+        .map(|&(cycle, _, _, _, event)| (cycle, event))
+        .collect();
+    let trace = merge_traces(traces);
+
+    let limit = cfg.cycle_limit();
+    let result = match cause.expect("tiled engine stopped without a cause or a panic") {
+        StopCause::Done { at } => Ok(finish_result(at, &pes, &fstats, &banks, wall_start, fault)),
+        StopCause::CycleLimit { in_flight } => Err(RunError::CycleLimit {
+            limit,
+            detail: stall_detail(&pes, &banks, in_flight, &fault_log),
+        }),
+        StopCause::Watchdog { at, in_flight } => Err(RunError::Watchdog {
+            at,
+            detail: stall_detail(&pes, &banks, in_flight, &fault_log),
+        }),
+        StopCause::Deadlock { at } => Err(RunError::Deadlock { at, detail: deadlock_detail(&pes) }),
+    };
+    (result, trace)
+}
+
+/// Merge per-tile trace buffers into one deterministic stream: cycles
+/// ascending, ties broken by tile index, each tile's within-cycle order
+/// preserved. (Within a cycle the sequential engine interleaves
+/// components phase-major, so cross-engine comparisons are per-cycle
+/// multiset equality — see `tests/parallel_equivalence.rs`.)
+fn merge_traces(per_tile: Vec<Vec<(Cycle, TraceEvent)>>) -> Vec<(Cycle, TraceEvent)> {
+    let mut out = Vec::with_capacity(per_tile.iter().map(Vec::len).sum());
+    let mut heads = vec![0usize; per_tile.len()];
+    loop {
+        let mut min_cycle: Option<Cycle> = None;
+        for (t, buf) in per_tile.iter().enumerate() {
+            if let Some(&(c, _)) = buf.get(heads[t]) {
+                min_cycle = Some(min_cycle.map_or(c, |m| m.min(c)));
+            }
+        }
+        let Some(cycle) = min_cycle else { break };
+        for (t, buf) in per_tile.iter().enumerate() {
+            while let Some(&(c, event)) = buf.get(heads[t]) {
+                if c != cycle {
+                    break;
+                }
+                out.push((c, event));
+                heads[t] += 1;
+            }
+        }
+    }
+    out
+}
+
+fn follower_loop<LS: WorkerSink, I: FaultInjector>(
+    tile: &mut Tile<I>,
+    shared: &Shared,
+    cfg: &SystemConfig,
+) {
+    let mut sink = LS::fresh();
+    let mut gen = shared.phaser.generation();
+    loop {
+        let decision = lock(&shared.decision).clone();
+        let Decision::Go { now, kills } = decision else { break };
+        execute_cycle(tile, shared, cfg, now, &kills, gen, &mut sink);
+        if !shared.phaser.arrive_and_wait(gen) {
+            break;
+        }
+        gen += 1;
+    }
+    tile.trace = sink.into_events();
+}
+
+fn leader_loop<LS: WorkerSink, I: FaultInjector>(
+    tile: &mut Tile<I>,
+    shared: &Shared,
+    cfg: &SystemConfig,
+    injector: &mut I,
+) -> Option<StopCause> {
+    let watchdog = cfg.resilience().watchdog_cycles;
+    let limit = cfg.cycle_limit();
+    let mut sink = LS::fresh();
+    let mut gen = shared.phaser.generation();
+    // The leader owns the sequential engine's cross-cycle decision state.
+    let mut last_fingerprint: u64 = 0;
+    let mut last_progress_at: Cycle = 0;
+    let mut cause: Option<StopCause> = None;
+    loop {
+        let decision = lock(&shared.decision).clone();
+        let Decision::Go { now, kills } = decision else { break };
+        execute_cycle(tile, shared, cfg, now, &kills, gen, &mut sink);
+        if !shared.phaser.wait_followers() {
+            break;
+        }
+
+        // Serial section: replicate the sequential engine's end-of-cycle
+        // decisions, in its exact order, from the folded tile reports.
+        let mut live = 0usize;
+        let mut in_flight = 0usize;
+        let mut all_banks_quiet = true;
+        let mut fp = 0u64;
+        let mut wake_guard = false;
+        let mut fold = (true, None::<Cycle>, true);
+        for report in &shared.reports {
+            let r = lock(report).clone();
+            live += r.live;
+            in_flight += r.in_flight + r.exported;
+            all_banks_quiet &= r.banks_quiet;
+            fp = fp.wrapping_add(r.fp_partial);
+            wake_guard |= r.wake_guard;
+            if let Some((timed, min_wake, recv_blocked)) = r.quiet {
+                fold.0 &= timed;
+                fold.1 = match (fold.1, min_wake) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                fold.2 &= recv_blocked;
+            }
+        }
+
+        let next = if live == 0 {
+            cause = Some(StopCause::Done { at: now });
+            Decision::Stop
+        } else if now >= limit {
+            cause = Some(StopCause::CycleLimit { in_flight });
+            Decision::Stop
+        } else {
+            let mut stalled = false;
+            if watchdog > 0 {
+                if fp != last_fingerprint {
+                    last_fingerprint = fp;
+                    last_progress_at = now;
+                } else if wake_guard {
+                    // Same healthy-timed-stall carve-out as the
+                    // sequential engine's watchdog.
+                    last_progress_at = now;
+                } else if now - last_progress_at >= watchdog {
+                    cause = Some(StopCause::Watchdog { at: now, in_flight });
+                    stalled = true;
+                }
+            }
+            if stalled {
+                Decision::Stop
+            } else {
+                let mut next_now = now + 1;
+                let mut deadlocked = false;
+                if in_flight == 0 && all_banks_quiet {
+                    match classify_fold(fold.0, fold.1, fold.2) {
+                        QuietState::AllTimed { min_wake } => {
+                            let t = min_wake.min(limit);
+                            if t > now + 1 {
+                                last_progress_at = t;
+                                next_now = t;
+                            }
+                        }
+                        QuietState::Deadlocked => {
+                            cause = Some(StopCause::Deadlock { at: now });
+                            deadlocked = true;
+                        }
+                        QuietState::Mixed => {}
+                    }
+                }
+                if deadlocked {
+                    Decision::Stop
+                } else {
+                    let mut kills = Vec::new();
+                    if I::ACTIVE {
+                        while let Some(kill) = injector.take_link_kill(next_now) {
+                            kills.push((kill.node, kill.dir & 3));
+                        }
+                    }
+                    Decision::Go { now: next_now, kills }
+                }
+            }
+        };
+        *lock(&shared.decision) = next;
+        shared.phaser.release();
+        gen += 1;
+    }
+    tile.trace = sink.into_events();
+    cause
+}
+
+/// One tile's share of one simulated cycle — the same phases, in the same
+/// order, as one iteration of the sequential engine's loop, restricted to
+/// the tile's components.
+fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
+    tile: &mut Tile<I>,
+    shared: &Shared,
+    cfg: &SystemConfig,
+    now: Cycle,
+    kills: &[(u16, u8)],
+    round: u64,
+    sink: &mut LS,
+) {
+    let tiles = shared.tiles();
+    let topo = cfg.topology();
+    let cur = (round & 1) as usize;
+    let prev = cur ^ 1;
+
+    // 0a. Import boundary flits the neighbors' phase 2 latched last
+    // cycle. Input latches are untouched until the route phase at the end
+    // of this cycle, so importing here is exactly the sequential phase-2
+    // delivery. Fixed from-tile order keeps the walk deterministic; the
+    // final latch state is order-independent anyway (one writer per
+    // (router, dir) input).
+    for from in 0..tiles {
+        let mut inbox = lock(&shared.mailboxes[prev][from * tiles + tile.index]);
+        for (to, from_dir, flit) in inbox.drain(..) {
+            tile.shard.import(to, from_dir, flit);
+        }
+    }
+
+    // 0b. Scheduled permanent faults. Every tile sees the same kill list;
+    // each applies the endpoints it owns (a dead link has a router on
+    // each side, possibly in different tiles), and the leader alone logs
+    // the event, once, like the sequential engine.
+    for &(node, dir) in kills {
+        if tile.index == 0 {
+            let event = TraceEvent::FaultLinkKilled { node, dir };
+            if LS::ACTIVE {
+                sink.record(now, event);
+            }
+            push_tile_fault(&mut tile.fault_log, now, 0, event);
+        }
+        let nid = NodeId::new(node);
+        let d = Dir::ALL[dir as usize & 3];
+        if tile.shard.owns(node as usize) {
+            tile.shard.kill_link_local(nid, d);
+        }
+        let neighbor = topo.node_of(topo.neighbor(topo.coord_of(nid), d));
+        if tile.shard.owns(neighbor.index()) {
+            tile.shard.kill_link_local(neighbor, d.opposite());
+        }
+    }
+
+    // 1. Deliver ejections (PEs first, then banks, as in the sequential
+    // engine; the census gate is tile-local, which is a pure optimization
+    // — a drained shard has nothing to eject).
+    if tile.shard.in_flight() > 0 {
+        for pe in &mut tile.pes {
+            let node = pe.node();
+            while let Some(mut flit) = tile.shard.eject(node) {
+                if I::ACTIVE && !flit.kind().is_shared_memory() {
+                    if let Some(bit) = tile.injector.corrupt_flit(now, node.index() as u16) {
+                        flit.corrupt_payload_bit(bit);
+                        let event =
+                            TraceEvent::FaultFlitCorrupted { node: node.index() as u16, bit };
+                        if LS::ACTIVE {
+                            sink.record(now, event);
+                        }
+                        push_tile_fault(&mut tile.fault_log, now, 1, event);
+                    }
+                }
+                if LS::ACTIVE {
+                    sink.record(now, delivered_event(node, &flit, now));
+                }
+                pe.deliver_traced(flit, now, sink);
+            }
+        }
+    }
+    tile_banks_deliver(&mut tile.shard, &mut tile.banks, now, sink);
+
+    // 2. Tick runnable components.
+    for (i, pe) in tile.pes.iter_mut().enumerate() {
+        if I::ACTIVE && tile.wake[i] <= now && !pe.is_done() {
+            let stall = tile.injector.pe_stall(now, pe.node().index() as u16);
+            if stall > 0 {
+                tile.wake[i] = now + Cycle::from(stall);
+                let event =
+                    TraceEvent::FaultPeStall { node: pe.node().index() as u16, cycles: stall };
+                if LS::ACTIVE {
+                    sink.record(now, event);
+                }
+                push_tile_fault(&mut tile.fault_log, now, 2, event);
+            }
+        }
+        if tile.wake[i] > now {
+            tile.ticked[i] = false;
+            continue;
+        }
+        tile.ticked[i] = true;
+        let was_done = pe.is_done();
+        pe.tick_traced(now, sink);
+        if !was_done && pe.is_done() {
+            tile.live -= 1;
+        }
+        tile.wake[i] = match pe.sleep_until() {
+            Some(t) => t.max(now + 1),
+            None => now + 1,
+        };
+    }
+    banks_tick(&mut tile.banks, now, true, sink, &mut tile.injector);
+
+    // 3. Inject (one flit per node per cycle). The composite uid stamped
+    // by the shard keeps arbitration identical to the sequential sweep
+    // without any cross-tile ordering.
+    for (i, pe) in tile.pes.iter_mut().enumerate() {
+        if !tile.ticked[i] {
+            continue;
+        }
+        if let Some(flit) = pe.select_inject() {
+            let kind = flit.kind().code();
+            match tile.shard.try_inject(pe.node(), flit, now, false) {
+                Ok(()) => {
+                    if LS::ACTIVE {
+                        let node = pe.node().index() as u16;
+                        sink.record(now, TraceEvent::FlitInjected { node, kind });
+                    }
+                }
+                Err(back) => pe.restore_inject(back),
+            }
+        }
+    }
+    tile_banks_inject(&mut tile.shard, &mut tile.banks, now, sink);
+
+    // 4. Fabric: route + deliver local latches; boundary latches become
+    // exports.
+    tile.shard.tick_traced(now, sink);
+
+    // 5. Publish boundary flits into this round's mailboxes and report.
+    let exports = tile.shard.take_exports();
+    let exported = exports.len();
+    for (to, from_dir, flit) in exports {
+        let dest = shared.tile_of(to as usize);
+        lock(&shared.mailboxes[cur][tile.index * tiles + dest]).push((to, from_dir, flit));
+    }
+
+    let quiet_local = tile.shard.in_flight() == 0 && exported == 0 && banks_quiet(&tile.banks);
+    let watchdog_on = cfg.resilience().watchdog_cycles > 0;
+    let (fp_partial, wake_guard) = if watchdog_on {
+        (
+            progress_fingerprint(&tile.pes, &tile.banks),
+            tile.pes.iter().enumerate().any(|(i, pe)| !pe.is_done() && tile.wake[i] > now + 1),
+        )
+    } else {
+        (0, false)
+    };
+    *lock(&shared.reports[tile.index]) = TileReport {
+        live: tile.live,
+        in_flight: tile.shard.in_flight(),
+        exported,
+        banks_quiet: banks_quiet(&tile.banks),
+        fp_partial,
+        wake_guard,
+        quiet: quiet_local.then(|| quiet_fold(&tile.pes)),
+    };
+}
+
+/// [`crate::system`]'s `banks_deliver`, restricted to a shard.
+fn tile_banks_deliver<LS: WorkerSink>(
+    shard: &mut NetworkShard,
+    banks: &mut [Bank],
+    now: Cycle,
+    sink: &mut LS,
+) {
+    for bank in banks {
+        if let Some(flit) = bank.hold.take() {
+            if let Err(back) = bank.unit.handle_incoming(flit) {
+                bank.hold = Some(back);
+            }
+        }
+        while bank.hold.is_none() && shard.in_flight() > 0 {
+            match shard.eject(bank.node) {
+                Some(flit) => {
+                    if LS::ACTIVE {
+                        sink.record(now, delivered_event(bank.node, &flit, now));
+                    }
+                    if let Err(back) = bank.unit.handle_incoming(flit) {
+                        bank.hold = Some(back);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// [`crate::system`]'s `banks_inject`, restricted to a shard (bank
+/// responses carry the `from_bank` uid tag, sorting them after every
+/// same-cycle PE injection exactly like the sequential sweep order).
+fn tile_banks_inject<LS: WorkerSink>(
+    shard: &mut NetworkShard,
+    banks: &mut [Bank],
+    now: Cycle,
+    sink: &mut LS,
+) {
+    for bank in banks {
+        if let Some(flit) = bank.unit.pop_outgoing() {
+            let kind = flit.kind().code();
+            match shard.try_inject(bank.node, flit, now, true) {
+                Ok(()) => {
+                    if LS::ACTIVE {
+                        let node = bank.node.index() as u16;
+                        sink.record(now, TraceEvent::FlitInjected { node, kind });
+                    }
+                }
+                Err(back) => bank.unit.return_outgoing(back),
+            }
+        }
+    }
+}

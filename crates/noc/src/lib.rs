@@ -72,6 +72,24 @@ pub struct FabricStats {
     pub reroutes: u64,
 }
 
+impl FabricStats {
+    /// Fold another fabric's statistics into this one.
+    ///
+    /// Every field is a sum (the latency histogram merges bucket-wise), so
+    /// the fold is commutative and merging per-tile shard stats in tile
+    /// order reproduces bit-for-bit what a single whole-fabric recorder
+    /// would have counted — the property the tiled cycle engine's stats
+    /// reduction depends on.
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.latency.merge(&other.latency);
+        self.delivered += other.delivered;
+        self.injected += other.injected;
+        self.deflections += other.deflections;
+        self.inject_refusals += other.inject_refusals;
+        self.reroutes += other.reroutes;
+    }
+}
+
 /// A network fabric: anything that can carry MEDEA flits between nodes.
 ///
 /// Two implementations exist: the paper's deflection-routed folded torus
@@ -89,6 +107,25 @@ pub trait Fabric {
     /// (hot-potato switches accept an injection only when an output slot
     /// remains after routing through-traffic).
     fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit>;
+
+    /// [`Fabric::try_inject`] with the injecting agent's class attached:
+    /// `from_bank` is true for MPMMU bank responses, false for PE traffic.
+    ///
+    /// Fabrics that derive the flit's arbitration uid from its injection
+    /// site (see [`network::compose_uid`]) use the tag to reproduce the
+    /// engine's intra-cycle injection order — PEs in rank order, then
+    /// banks in bank order — without a shared counter. The default simply
+    /// ignores the tag, which is correct for fabrics with their own uid
+    /// sequencing (the reference and ideal networks).
+    fn try_inject_tagged(
+        &mut self,
+        node: NodeId,
+        flit: Flit,
+        now: Cycle,
+        _from_bank: bool,
+    ) -> Result<(), Flit> {
+        self.try_inject(node, flit, now)
+    }
 
     /// Remove the oldest flit waiting in `node`'s ejection queue, if any.
     fn eject(&mut self, node: NodeId) -> Option<Flit>;
@@ -154,6 +191,19 @@ impl Fabric for AnyFabric {
     fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit> {
         match self {
             AnyFabric::Deflection(net) => net.try_inject(node, flit, now),
+            AnyFabric::Ideal(net) => net.try_inject(node, flit, now),
+        }
+    }
+
+    fn try_inject_tagged(
+        &mut self,
+        node: NodeId,
+        flit: Flit,
+        now: Cycle,
+        from_bank: bool,
+    ) -> Result<(), Flit> {
+        match self {
+            AnyFabric::Deflection(net) => net.try_inject_tagged(node, flit, now, from_bank),
             AnyFabric::Ideal(net) => net.try_inject(node, flit, now),
         }
     }

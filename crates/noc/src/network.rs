@@ -25,13 +25,34 @@ use crate::{Fabric, FabricStats};
 use medea_sim::{ids::NodeId, Cycle};
 use medea_trace::{NullSink, TraceEvent, TraceSink};
 
+/// Arbitration uid for a flit injected at `node` during cycle `now`.
+///
+/// Routers arbitrate same-age flits by uid (see
+/// [`DeflectionRouter::route`]: the sort key is `(injected_at, uid)`), so
+/// the uid must reproduce the cycle engine's intra-cycle injection order:
+/// within one cycle the engine offers PE flits in rank order, then bank
+/// responses in bank order, and both the rank→node and bank→node maps are
+/// strictly increasing. Encoding `(is_bank, node)` in the low 9 bits
+/// therefore sorts exactly like a shared injection counter would — but is
+/// locally computable, which is what lets the tiled parallel engine assign
+/// uids without any cross-tile coordination (and why the sequential engine
+/// uses the same scheme, keeping both engines bit-identical).
+///
+/// The uid is unique among concurrently-resident flits: a router accepts at
+/// most one injection per node per cycle, and no node hosts both a PE and a
+/// bank. `injected_at` occupies bits 9.., so cycle counts must stay below
+/// 2^55 — comfortably above the configurable cycle limit.
+#[inline]
+pub fn compose_uid(now: Cycle, from_bank: bool, node: NodeId) -> u64 {
+    (now << 9) | ((from_bank as u64) << 8) | node.index() as u64
+}
+
 /// Deflection-routed folded-torus network (§II-A).
 #[derive(Debug, Clone)]
 pub struct Network {
     topo: Topology,
     routers: Vec<DeflectionRouter>,
     stats: FabricStats,
-    next_uid: u64,
     /// Flits inside the fabric (latches + injection registers + ejection
     /// queues): +1 on accepted injection, -1 on ejection.
     in_flight: usize,
@@ -56,7 +77,6 @@ impl Network {
             topo,
             routers,
             stats: FabricStats::default(),
-            next_uid: 1,
             in_flight: 0,
             latches: vec![[None; 4]; nodes],
             active: Vec::with_capacity(nodes),
@@ -149,12 +169,21 @@ impl Network {
 }
 
 impl Fabric for Network {
-    fn try_inject(&mut self, node: NodeId, mut flit: Flit, now: Cycle) -> Result<(), Flit> {
+    fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit> {
+        self.try_inject_tagged(node, flit, now, false)
+    }
+
+    fn try_inject_tagged(
+        &mut self,
+        node: NodeId,
+        mut flit: Flit,
+        now: Cycle,
+        from_bank: bool,
+    ) -> Result<(), Flit> {
         flit.meta.injected_at = now;
-        flit.meta.uid = self.next_uid;
+        flit.meta.uid = compose_uid(now, from_bank, node);
         match self.router_mut(node).try_inject(flit) {
             Ok(()) => {
-                self.next_uid += 1;
                 self.stats.injected += 1;
                 self.in_flight += 1;
                 self.mark_active(node.index());
@@ -193,6 +222,210 @@ impl Fabric for Network {
 
     fn kill_link(&mut self, node: NodeId, dir: Dir) {
         Network::kill_link(self, node, dir);
+    }
+}
+
+/// One tile's slice of the deflection fabric, for the tiled parallel
+/// cycle engine: the routers of the contiguous node range `[lo, hi)`,
+/// with their own activity set, latches and statistics.
+///
+/// A shard ticks exactly like [`Network::tick_traced`] except in phase 2:
+/// a latched flit whose receiving switch lives in *another* tile is not
+/// delivered but pushed onto the `exports` list as
+/// `(destination node, receiving direction, flit)`. The engine moves
+/// exports into per-tile-pair mailboxes at the end of cycle `T`, and the
+/// destination shard imports them at the start of cycle `T + 1` — the
+/// same single-cycle link timing the sequential fabric implements by
+/// calling [`DeflectionRouter::accept`] directly. Because each
+/// `(router, direction)` input latch has exactly one possible writer (the
+/// unique neighbour on that link), boundary deliveries from different
+/// tiles can never collide, and import order cannot change the outcome.
+///
+/// Injection uses [`compose_uid`], so shards assign globally consistent
+/// arbitration uids without coordination; statistics are per-shard and
+/// merged in tile order at the end of the run ([`FabricStats::merge`]).
+#[derive(Debug)]
+pub struct NetworkShard {
+    topo: Topology,
+    lo: usize,
+    hi: usize,
+    routers: Vec<DeflectionRouter>,
+    stats: FabricStats,
+    /// Flits inside *this shard* (+1 inject/import, -1 eject/export).
+    in_flight: usize,
+    latches: Vec<[Option<Flit>; 4]>,
+    active: Vec<u16>,
+    is_active: Vec<bool>,
+    retired: Vec<u16>,
+    /// Boundary deliveries produced by the current tick:
+    /// `(destination node index, receiving direction index, flit)`.
+    exports: Vec<(u16, u8, Flit)>,
+}
+
+impl NetworkShard {
+    /// Shard of `topo` owning the node range `[lo, hi)`.
+    pub fn new(topo: Topology, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi && hi <= topo.nodes(), "invalid shard range {lo}..{hi}");
+        let routers = (lo..hi)
+            .map(|i| DeflectionRouter::new(topo, topo.coord_of(NodeId::new(i as u16))))
+            .collect();
+        let len = hi - lo;
+        NetworkShard {
+            topo,
+            lo,
+            hi,
+            routers,
+            stats: FabricStats::default(),
+            in_flight: 0,
+            latches: vec![[None; 4]; len],
+            active: Vec::with_capacity(len),
+            is_active: vec![false; len],
+            retired: Vec::with_capacity(len),
+            exports: Vec::new(),
+        }
+    }
+
+    /// First node index owned by this shard.
+    pub const fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// One past the last node index owned by this shard.
+    pub const fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Whether `node` belongs to this shard.
+    pub fn owns(&self, node: usize) -> bool {
+        (self.lo..self.hi).contains(&node)
+    }
+
+    /// Flits currently inside this shard.
+    pub const fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// This shard's statistics slice.
+    pub const fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    fn mark_active(&mut self, local: usize) {
+        if !self.is_active[local] {
+            self.is_active[local] = true;
+            self.active.push(local as u16);
+        }
+    }
+
+    /// [`Fabric::try_inject_tagged`] for a node owned by this shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flit back if the router cannot accept it this cycle.
+    pub fn try_inject(
+        &mut self,
+        node: NodeId,
+        mut flit: Flit,
+        now: Cycle,
+        from_bank: bool,
+    ) -> Result<(), Flit> {
+        flit.meta.injected_at = now;
+        flit.meta.uid = compose_uid(now, from_bank, node);
+        let local = node.index() - self.lo;
+        match self.routers[local].try_inject(flit) {
+            Ok(()) => {
+                self.stats.injected += 1;
+                self.in_flight += 1;
+                self.mark_active(local);
+                Ok(())
+            }
+            Err(flit) => {
+                self.stats.inject_refusals += 1;
+                Err(flit)
+            }
+        }
+    }
+
+    /// Remove the oldest flit waiting in `node`'s ejection queue, if any.
+    pub fn eject(&mut self, node: NodeId) -> Option<Flit> {
+        let flit = self.routers[node.index() - self.lo].eject();
+        if flit.is_some() {
+            self.in_flight -= 1;
+        }
+        flit
+    }
+
+    /// Kill *this side* of a physical link: `node`'s output port toward
+    /// `dir`. The engine calls this once per affected endpoint, so a link
+    /// crossing a tile boundary is disabled by the two shards that own its
+    /// ends (cf. [`Network::kill_link`], which does both sides itself).
+    pub fn kill_link_local(&mut self, node: NodeId, dir: Dir) {
+        self.routers[node.index() - self.lo].set_link_dead(dir);
+    }
+
+    /// Accept a boundary delivery produced by a neighbouring shard during
+    /// the previous cycle: the flit enters `to`'s input latch from
+    /// direction `from_dir`, exactly as [`DeflectionRouter::accept`] would
+    /// have during the sequential phase 2.
+    pub fn import(&mut self, to: u16, from_dir: u8, flit: Flit) {
+        let local = to as usize - self.lo;
+        self.routers[local].accept(Dir::ALL[from_dir as usize & 3], flit);
+        self.in_flight += 1;
+        self.mark_active(local);
+    }
+
+    /// Take the boundary deliveries produced by the latest tick.
+    pub fn take_exports(&mut self) -> Vec<(u16, u8, Flit)> {
+        std::mem::take(&mut self.exports)
+    }
+
+    /// Number of boundary deliveries produced by the latest tick that have
+    /// not yet been taken.
+    pub fn pending_exports(&self) -> usize {
+        self.exports.len()
+    }
+
+    /// [`Network::tick_traced`] restricted to this shard's routers;
+    /// cross-tile deliveries land in the export list instead of the
+    /// destination latch.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        let mut work = std::mem::replace(&mut self.active, std::mem::take(&mut self.retired));
+        for &i in &work {
+            self.is_active[i as usize] = false;
+        }
+
+        for &i in &work {
+            self.latches[i as usize] =
+                self.routers[i as usize].route_traced(now, &mut self.stats, sink);
+        }
+
+        for &i in &work {
+            let i = i as usize;
+            if S::ACTIVE {
+                let links = self.latches[i].iter().flatten().count() as u8;
+                sink.record(now, TraceEvent::LinkLoad { node: (self.lo + i) as u16, links });
+            }
+            let from = self.topo.coord_of(NodeId::new((self.lo + i) as u16));
+            for dir in Dir::ALL {
+                if let Some(flit) = self.latches[i][dir.index()].take() {
+                    let to = self.topo.neighbor(from, dir);
+                    let to_idx = self.topo.node_of(to).index();
+                    if self.owns(to_idx) {
+                        self.routers[to_idx - self.lo].accept(dir.opposite(), flit);
+                        self.mark_active(to_idx - self.lo);
+                    } else {
+                        self.exports.push((to_idx as u16, dir.opposite().index() as u8, flit));
+                        self.in_flight -= 1;
+                    }
+                }
+            }
+            if self.routers[i].has_pending_inject() {
+                self.mark_active(i);
+            }
+        }
+
+        work.clear();
+        self.retired = work;
     }
 }
 
@@ -371,6 +604,86 @@ mod tests {
         assert_eq!(delivered, injected, "dead link must not lose flits");
         assert!(n.stats().reroutes > 0, "traffic must have been diverted");
         assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn shard_pair_matches_whole_network() {
+        // Two shards exchanging exports through mailboxes must behave
+        // bit-identically to the whole fabric: same refusals, same
+        // deliveries (uid/hops included), same stats after a tile-order
+        // merge. This is the noc-layer half of the tiled engine's
+        // determinism argument.
+        let topo = Topology::paper_4x4();
+        let mut whole = Network::new(topo);
+        let mut shards = [NetworkShard::new(topo, 0, 8), NetworkShard::new(topo, 8, 16)];
+        let tile_of = |node: usize| usize::from(node >= 8);
+        // Boundary flits in flight between cycles, keyed by destination tile.
+        let mut mailboxes: [Vec<(u16, u8, Flit)>; 2] = [Vec::new(), Vec::new()];
+        for now in 0..400u64 {
+            for dest in 0..2 {
+                let batch: Vec<_> = mailboxes[dest].drain(..).collect();
+                for (to, from_dir, flit) in batch {
+                    shards[dest].import(to, from_dir, flit);
+                }
+            }
+            if now < 120 {
+                for s in 0..topo.nodes() {
+                    let d = (s * 7 + 3) % topo.nodes();
+                    if d == s {
+                        continue;
+                    }
+                    let flit = Flit::message(
+                        topo.coord_of(NodeId::new(d as u16)),
+                        s as u8,
+                        0,
+                        0,
+                        (now * 31 + s as u64) as u32,
+                    );
+                    let a = whole.try_inject(NodeId::new(s as u16), flit, now).is_ok();
+                    let b = shards[tile_of(s)]
+                        .try_inject(NodeId::new(s as u16), flit, now, false)
+                        .is_ok();
+                    assert_eq!(a, b, "inject divergence at node {s} cycle {now}");
+                }
+            }
+            whole.tick(now);
+            for shard in &mut shards {
+                shard.tick_traced(now, &mut NullSink);
+            }
+            for shard in &mut shards {
+                for export in shard.take_exports() {
+                    mailboxes[tile_of(export.0 as usize)].push(export);
+                }
+            }
+            for node in 0..topo.nodes() {
+                loop {
+                    let a = whole.eject(NodeId::new(node as u16));
+                    let b = shards[tile_of(node)].eject(NodeId::new(node as u16));
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.meta.uid, y.meta.uid);
+                            assert_eq!(x.meta.hops, y.meta.hops);
+                            assert_eq!(x.payload(), y.payload());
+                        }
+                        (None, None) => break,
+                        (a, b) => {
+                            panic!("eject divergence at node {node} cycle {now}: {a:?} vs {b:?}")
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(whole.in_flight(), 0, "whole fabric must drain");
+        assert_eq!(shards[0].in_flight() + shards[1].in_flight(), 0);
+        let mut merged = shards[0].stats().clone();
+        merged.merge(shards[1].stats());
+        assert!(whole.stats().delivered > 0);
+        assert_eq!(merged.delivered, whole.stats().delivered);
+        assert_eq!(merged.injected, whole.stats().injected);
+        assert_eq!(merged.deflections, whole.stats().deflections);
+        assert_eq!(merged.inject_refusals, whole.stats().inject_refusals);
+        assert_eq!(merged.reroutes, whole.stats().reroutes);
+        assert_eq!(&merged.latency, &whole.stats().latency);
     }
 
     #[test]

@@ -160,7 +160,6 @@ pub struct ReferenceNetwork {
     topo: Topology,
     routers: Vec<ReferenceRouter>,
     stats: FabricStats,
-    next_uid: u64,
 }
 
 impl ReferenceNetwork {
@@ -169,7 +168,7 @@ impl ReferenceNetwork {
         let routers = (0..topo.nodes())
             .map(|i| ReferenceRouter::new(topo, topo.coord_of(NodeId::new(i as u16))))
             .collect();
-        ReferenceNetwork { topo, routers, stats: FabricStats::default(), next_uid: 1 }
+        ReferenceNetwork { topo, routers, stats: FabricStats::default() }
     }
 
     /// The topology this network was built for.
@@ -183,12 +182,29 @@ impl ReferenceNetwork {
 }
 
 impl Fabric for ReferenceNetwork {
-    fn try_inject(&mut self, node: NodeId, mut flit: Flit, now: Cycle) -> Result<(), Flit> {
+    fn try_inject(&mut self, node: NodeId, flit: Flit, now: Cycle) -> Result<(), Flit> {
+        self.try_inject_tagged(node, flit, now, false)
+    }
+
+    // The seed fabric originally stamped flits from a shared `next_uid`
+    // counter; it now shares [`crate::network::compose_uid`] with the
+    // optimized fabric so the equivalence suites can compare ejected
+    // flits *bit for bit*, uid included. This is a pure relabeling, not
+    // an optimization: the uid only ever feeds the `(injected_at, uid)`
+    // arbitration sort above, and `compose_uid` orders same-cycle flits
+    // exactly as the engine's injection sequence (and therefore the old
+    // counter) did, so every routing decision is unchanged.
+    fn try_inject_tagged(
+        &mut self,
+        node: NodeId,
+        mut flit: Flit,
+        now: Cycle,
+        from_bank: bool,
+    ) -> Result<(), Flit> {
         flit.meta.injected_at = now;
-        flit.meta.uid = self.next_uid;
+        flit.meta.uid = crate::network::compose_uid(now, from_bank, node);
         match self.router_mut(node).try_inject(flit) {
             Ok(()) => {
-                self.next_uid += 1;
                 self.stats.injected += 1;
                 Ok(())
             }

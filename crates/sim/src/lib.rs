@@ -16,6 +16,8 @@
 //! * [`coroutine`] — the SC_THREAD replacement: application kernels run on
 //!   real OS threads and rendezvous with the cycle engine at every
 //!   architectural operation.
+//! * [`par`] — the spin phaser that keeps the tiled parallel cycle engine's
+//!   worker pool in lockstep, one barrier per simulated clock edge.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 pub mod coroutine;
 pub mod fifo;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

@@ -185,6 +185,25 @@ impl Log2Histogram {
         Some(max)
     }
 
+    /// Merge another histogram into this one, bucket by bucket.
+    ///
+    /// Used by the tiled cycle engine to fold per-tile latency histograms
+    /// into the single histogram the sequential engine would have produced:
+    /// bucket counts and the streaming summary are both plain sums/min/max,
+    /// so the merge is commutative and the merged result is bit-identical
+    /// to recording every sample into one histogram, whatever the tile
+    /// order. If bucket counts differ, the merged histogram keeps the finer
+    /// (longer) resolution.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.summary.merge(&other.summary);
+    }
+
     /// Fraction of samples at or above `threshold` approximated from bucket
     /// granularity (exact if `threshold` is a power of two).
     pub fn tail_fraction(&self, threshold: u64) -> f64 {
@@ -292,6 +311,40 @@ mod tests {
         clamped.record(100);
         assert_eq!(clamped.percentile(0.5), Some(100));
         assert_eq!(clamped.percentile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_recorder() {
+        // Recording a sample stream into one histogram must equal recording
+        // disjoint halves into two histograms and merging — the property the
+        // tiled engine's stats reduction relies on.
+        let samples = [0u64, 1, 3, 7, 40, 100, 1000, 2, 2, 65];
+        let mut whole = Log2Histogram::new(10);
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = Log2Histogram::new(10);
+        let mut right = Log2Histogram::new(10);
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(s)
+            } else {
+                right.record(s)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        // Merging an empty histogram is a no-op.
+        left.merge(&Log2Histogram::new(10));
+        assert_eq!(left, whole);
+        // A longer histogram on the right widens the left.
+        let mut short = Log2Histogram::new(4);
+        short.record(1);
+        let mut long = Log2Histogram::new(8);
+        long.record(200);
+        short.merge(&long);
+        assert_eq!(short.buckets().len(), 8);
+        assert_eq!(short.summary().count(), 2);
     }
 
     #[test]
