@@ -14,7 +14,11 @@
 //! * [`reduce`] — an all-reduce kernel in MP and SM flavours;
 //! * [`hotspot`] — a shared-memory hotspot microbenchmark (every rank
 //!   hammers the MPMMU with uncached transactions), the workload behind
-//!   the `memory_banks` scaling section.
+//!   the `memory_banks` scaling section;
+//! * [`sharing`] — a fine-grained-sharing microbenchmark (lock-guarded
+//!   read-modify-writes of line-interleaved counters), the workload
+//!   behind the `coherence` scaling section: software DII flushes and
+//!   invalidates unconditionally, directory MESI moves lines on demand.
 
 pub mod grid;
 pub mod hotspot;
@@ -22,6 +26,7 @@ pub mod jacobi;
 pub mod matmul;
 pub mod pingpong;
 pub mod reduce;
+pub mod sharing;
 pub mod sm;
 pub mod workloads;
 

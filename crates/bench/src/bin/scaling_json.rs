@@ -28,6 +28,14 @@
 //! full 16×16 point, 4 banks must beat the single-bank 255-PE baseline
 //! by ≥ 2× (asserted; ≥ 1× at CI smoke scale).
 //!
+//! And the **coherence microbench**: the fine-grained-sharing workload
+//! (`medea_apps::sharing`) on every tier under both coherence modes —
+//! the paper's software DII and the beyond-the-paper directory MESI
+//! (`SystemConfigBuilder::coherence`). Rows report simulated cycles and
+//! the directory's protocol counters; the mode contracts are asserted
+//! (DII protocol-silent, MESI demand-driven invalidations/fetches), and
+//! every run validates its shared counters in-kernel.
+//!
 //! And the **resilience sweep**: seeded fault injection (Message-flit
 //! corruption, a mid-run dead torus link, MPMMU response drops/delays)
 //! against the standard recovery configuration. Every scenario must
@@ -62,13 +70,14 @@
 
 use medea_apps::hotspot::{self, HotspotConfig};
 use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
+use medea_apps::sharing::{self, SharingConfig};
 use medea_bench::sweep_threads;
 use medea_core::api::PeApi;
 use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
 use medea_core::system::{Kernel, RunResult, System};
 use medea_core::{
-    CachePolicy, CollectiveAlgo, DeadLink, Empi, FaultConfig, NullSink, ResilienceConfig,
-    ScheduledInjector, SystemConfig, SystemConfigBuilder, Topology,
+    CachePolicy, Coherence, CollectiveAlgo, DeadLink, Empi, FaultConfig, NullSink,
+    ResilienceConfig, ScheduledInjector, SystemConfig, SystemConfigBuilder, Topology,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -479,6 +488,80 @@ fn run_memory_banks(tiers: &[Tier], ops: usize) -> Vec<BankRow> {
     rows
 }
 
+// ---- coherence microbench ----
+
+/// One row of the coherence microbench.
+struct CoherenceRow {
+    topology: String,
+    label: String,
+    pes: usize,
+    banks: usize,
+    mode: &'static str,
+    sharing_cycles: u64,
+    protocol_messages: u64,
+    invalidations: u64,
+    fetches: u64,
+    probe_writebacks: u64,
+    directory_lines_peak: u64,
+}
+
+/// The fine-grained-sharing workload (`medea_apps::sharing`) under both
+/// coherence modes on every tier: DII rows run the §II-E software
+/// discipline (invalidate before read, flush after write), MESI rows
+/// the plain-cached kernel with the MPMMU directory moving lines on
+/// demand. Every run validates its final counters in-kernel, so each
+/// row is a *correct* run, and the mode contracts are asserted on the
+/// counters: DII must report zero protocol messages, MESI real
+/// demand-driven invalidations and owner fetches. Deliberately no
+/// wall-clock gates — the comparison is simulated cycles and protocol
+/// traffic, both deterministic.
+fn run_coherence(tiers: &[Tier], rounds: usize) -> Vec<CoherenceRow> {
+    let mut rows = Vec::new();
+    for tier in tiers {
+        let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+        // 2×side ranks: enough contention to migrate every line each
+        // round, well clear of the node budget on every tier. The paper
+        // 4×4 keeps its single MPMMU; the larger tori spread the
+        // directory over 4 banks like the memory-banks sweep.
+        let pes = 2 * tier.side as usize;
+        let banks = if tier.side == 4 { 1 } else { 4 };
+        for mode in [Coherence::Dii, Coherence::MesiDirectory] {
+            let sys = base_builder()
+                .topology(topology)
+                .compute_pes(pes)
+                .cache_bytes(CACHE_BYTES)
+                .cache_policy(CachePolicy::WriteBack)
+                .memory_banks(banks)
+                .coherence(mode)
+                .build()
+                .expect("coherence bench configuration");
+            let out = sharing::run(&sys, &SharingConfig { rounds }).expect("sharing run");
+            assert_eq!(out.counters, vec![rounds as u32; pes], "sharing readback");
+            let coh = out.run.coherence;
+            if mode.is_hardware() {
+                assert!(coh.invalidations_sent > 0, "MESI must invalidate sharers: {coh:?}");
+                assert!(coh.fetches_sent > 0, "MESI must fetch from owners: {coh:?}");
+            } else {
+                assert_eq!(coh.protocol_messages(), 0, "DII must be protocol-silent: {coh:?}");
+            }
+            rows.push(CoherenceRow {
+                topology: format!("{}x{}", tier.side, tier.side),
+                label: sys.label(),
+                pes,
+                banks,
+                mode: if mode.is_hardware() { "mesi" } else { "dii" },
+                sharing_cycles: out.cycles,
+                protocol_messages: coh.protocol_messages(),
+                invalidations: coh.invalidations_sent,
+                fetches: coh.fetches_sent,
+                probe_writebacks: coh.probe_writebacks,
+                directory_lines_peak: coh.directory_lines_peak,
+            });
+        }
+    }
+    rows
+}
+
 // ---- resilience microbench ----
 
 /// The fault-injection sweep behind the `resilience` section: every
@@ -671,6 +754,8 @@ fn main() {
     let collectives = run_collectives(tiers);
     let hotspot_ops = if smoke { 6 } else { 16 };
     let bank_rows = run_memory_banks(tiers, hotspot_ops);
+    let coherence_rounds = if smoke { 4 } else { 8 };
+    let coherence_rows = run_coherence(tiers, coherence_rounds);
     let resilience_rows = run_resilience(smoke);
     // Smoke mode skips the ~half-minute 255-PE validation pass; the
     // 63-rank validated run in the apps test suite covers CI.
@@ -810,6 +895,35 @@ fn main() {
             r.hotspot_cycles,
             r.speedup_vs_single_bank,
             if i + 1 < bank_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    // The coherence-mode comparison: the same sharing workload under
+    // software DII and under the MESI directory, simulated cycles plus
+    // the directory's own traffic counters. Counts only — deterministic
+    // and host-independent.
+    json.push_str(&format!(
+        "  \"coherence\": {{\"workload\": \"fine-grained sharing: lock-guarded RMW rotation \
+         over line-interleaved counters\", \"rounds\": {coherence_rounds}, \"rows\": [\n"
+    ));
+    for (i, r) in coherence_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"label\": \"{}\", \"pes\": {}, \"banks\": {}, \
+             \"mode\": \"{}\", \"sharing_cycles\": {}, \"protocol_messages\": {}, \
+             \"invalidations\": {}, \"fetches\": {}, \"probe_writebacks\": {}, \
+             \"directory_lines_peak\": {}}}{}\n",
+            r.topology,
+            r.label,
+            r.pes,
+            r.banks,
+            r.mode,
+            r.sharing_cycles,
+            r.protocol_messages,
+            r.invalidations,
+            r.fetches,
+            r.probe_writebacks,
+            r.directory_lines_peak,
+            if i + 1 < coherence_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]},\n");

@@ -1,0 +1,149 @@
+//! Coherence-protocol types shared by the L1 (in `medea-pe`) and the
+//! MPMMU directory homes (in `medea-mem`).
+//!
+//! The paper's coherence is **software DII** (§II-E): producers flush,
+//! consumers invalidate, and hardware keeps no sharing state at all. This
+//! module adds the vocabulary for the beyond-the-paper alternative — a
+//! **directory-based MESI** in which each MPMMU bank tracks, per cache
+//! line it is home to, the set of sharers and the (single) owner, and
+//! keeps L1 copies coherent with real NoC packets
+//! (`PacketKind::Coherence` in `medea-noc`). Which protocol is active is
+//! a system-configuration axis; DII remains the bit-for-bit-faithful
+//! default and under it none of these types ever affect timing.
+
+use std::fmt;
+
+/// The coherence protocol a system is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoherenceMode {
+    /// The paper's software-managed scheme (§II-E): no hardware sharing
+    /// state; kernels call flush/invalidate explicitly. Bit-for-bit
+    /// faithful default.
+    #[default]
+    Dii,
+    /// Beyond-the-paper directory MESI: MPMMU banks are directory homes,
+    /// L1 lines carry MESI state, and invalidations/fetches travel the
+    /// NoC as `Coherence` packets.
+    MesiDirectory,
+}
+
+impl CoherenceMode {
+    /// Whether hardware coherence (the MESI directory) is active.
+    pub const fn is_hardware(self) -> bool {
+        matches!(self, CoherenceMode::MesiDirectory)
+    }
+}
+
+impl fmt::Display for CoherenceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CoherenceMode::Dii => "dii",
+            CoherenceMode::MesiDirectory => "mesi",
+        })
+    }
+}
+
+/// Per-line L1 state under [`CoherenceMode::MesiDirectory`].
+///
+/// The Invalid state is represented by absence (the line is simply not
+/// resident / has no entry), mirroring how `SetAssocCache` models
+/// residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Sole copy, dirty: memory is stale, this L1 owns the data.
+    Modified,
+    /// Sole copy, clean: may be written (silently upgrading to M)
+    /// without asking the home.
+    Exclusive,
+    /// One of possibly many clean copies; a store must first obtain M
+    /// via the home.
+    Shared,
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MesiState::Modified => "M",
+            MesiState::Exclusive => "E",
+            MesiState::Shared => "S",
+        })
+    }
+}
+
+/// Counters for directory-MESI activity, aggregated across banks (home
+/// side) and PEs (L1 responder side). All zero under DII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoherenceStats {
+    /// `GetS` read-miss requests served by directory homes.
+    pub gets: u64,
+    /// `GetM` write-miss/upgrade requests served by directory homes.
+    pub getm: u64,
+    /// `PutM` dirty-eviction writebacks received by directory homes
+    /// (including stale ones discarded without a memory write).
+    pub putm: u64,
+    /// `Inv` probes sent by directory homes.
+    pub invalidations_sent: u64,
+    /// `Inv` probes received and honoured by L1 responders.
+    pub invalidations_received: u64,
+    /// `Fetch`/`FetchInv` probes sent by directory homes.
+    pub fetches_sent: u64,
+    /// Downgrades performed by L1 responders (M/E→S on `Fetch`, any→I on
+    /// `FetchInv`), counted only when the line was actually resident.
+    pub downgrades: u64,
+    /// Dirty-data writebacks supplied by L1 responders to a probe.
+    pub probe_writebacks: u64,
+    /// Peak number of lines simultaneously tracked by a single bank's
+    /// directory (max over banks after merging).
+    pub directory_lines_peak: u64,
+}
+
+impl CoherenceStats {
+    /// Fold `other` into `self` (sums counters, maxes the peak).
+    pub fn merge(&mut self, other: &CoherenceStats) {
+        self.gets += other.gets;
+        self.getm += other.getm;
+        self.putm += other.putm;
+        self.invalidations_sent += other.invalidations_sent;
+        self.invalidations_received += other.invalidations_received;
+        self.fetches_sent += other.fetches_sent;
+        self.downgrades += other.downgrades;
+        self.probe_writebacks += other.probe_writebacks;
+        self.directory_lines_peak = self.directory_lines_peak.max(other.directory_lines_peak);
+    }
+
+    /// Total protocol messages that crossed the NoC because of coherence
+    /// (requests + probes; excludes data streams).
+    pub fn protocol_messages(&self) -> u64 {
+        self.gets + self.getm + self.putm + self.invalidations_sent + self.fetches_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_dii() {
+        assert_eq!(CoherenceMode::default(), CoherenceMode::Dii);
+        assert!(!CoherenceMode::Dii.is_hardware());
+        assert!(CoherenceMode::MesiDirectory.is_hardware());
+        assert_eq!(CoherenceMode::MesiDirectory.to_string(), "mesi");
+    }
+
+    #[test]
+    fn stats_merge_sums_and_maxes() {
+        let mut a = CoherenceStats {
+            gets: 1,
+            invalidations_sent: 2,
+            directory_lines_peak: 5,
+            ..Default::default()
+        };
+        let b = CoherenceStats { gets: 3, putm: 4, directory_lines_peak: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.gets, 4);
+        assert_eq!(a.putm, 4);
+        assert_eq!(a.invalidations_sent, 2);
+        assert_eq!(a.directory_lines_peak, 5);
+        assert_eq!(a.protocol_messages(), 4 + 4 + 2);
+    }
+}

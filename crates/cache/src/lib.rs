@@ -3,11 +3,14 @@
 //! §II-B/§II-E of the paper: each PE has an L1 cache with a 16-byte line
 //! (so a miss triggers a block read of four 32-bit words), configurable
 //! size (the exploration sweeps 2 kB–64 kB in powers of two) and a
-//! **write-back** or **write-through** policy. There is no hardware
+//! **write-back** or **write-through** policy. The paper has no hardware
 //! coherence: software keeps shared data coherent with explicit *flush*
 //! (write dirty line to memory) and *DII invalidate* (drop the line so the
 //! next access refetches) operations, which this crate models faithfully —
-//! including the stale-read hazard when software forgets them.
+//! including the stale-read hazard when software forgets them. The
+//! [`coherence`] module adds the shared vocabulary for the
+//! beyond-the-paper directory-MESI alternative selected by the system
+//! `coherence(...)` axis.
 //!
 //! The cache stores real data. Misses and evictions are *described* to the
 //! caller as [`MemSideOp`]s rather than performed, because in MEDEA every
@@ -30,9 +33,11 @@
 //! ```
 
 mod cache;
+pub mod coherence;
 mod config;
 
 pub use cache::{CacheStats, FlushOutcome, SetAssocCache, StoreOutcome, Victim};
+pub use coherence::{CoherenceMode, CoherenceStats, MesiState};
 pub use config::{CacheConfig, CachePolicy, InvalidCacheConfigError};
 
 /// Byte address in the global (MPMMU-backed) address space.

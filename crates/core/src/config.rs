@@ -4,7 +4,7 @@ use crate::calib;
 use crate::empi::CollectiveAlgo;
 use crate::layout::MemoryMap;
 use crate::FabricKind;
-use medea_cache::{CacheConfig, CachePolicy};
+use medea_cache::{CacheConfig, CachePolicy, CoherenceMode};
 use medea_mem::{BankMap, DdrModel, MpmmuConfig, MAX_BANKS};
 use medea_noc::coord::{Coord, Topology};
 use medea_pe::arbiter::ArbiterConfig;
@@ -128,6 +128,7 @@ pub struct SystemConfig {
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
     resilience: ResilienceConfig,
+    coherence: CoherenceMode,
     host_threads: usize,
 }
 
@@ -210,6 +211,13 @@ impl SystemConfig {
         self.resilience
     }
 
+    /// The coherence option: the paper's software DII (default) or the
+    /// beyond-the-paper hardware directory MESI (see
+    /// [`SystemConfigBuilder::coherence`]).
+    pub const fn coherence(&self) -> CoherenceMode {
+        self.coherence
+    }
+
     /// Host worker threads the cycle engine may use inside one run
     /// (default 1 = the sequential engine). See
     /// [`SystemConfigBuilder::host_threads`]; purely a host-side
@@ -267,6 +275,7 @@ impl SystemConfig {
                 lock_retry_backoff: self.lock_retry_backoff,
                 response_timeout: self.resilience.bridge_timeout,
             },
+            coherence: self.coherence,
         }
     }
 
@@ -281,6 +290,7 @@ impl SystemConfig {
             cache: self.mpmmu_cache,
             mem_bytes: self.layout.total_bytes(),
             ddr: self.ddr,
+            coherence: self.coherence,
         }
     }
 
@@ -300,6 +310,9 @@ impl SystemConfig {
         }
         if self.memory_banks > 1 {
             label.push_str(&format!("x{}B", self.memory_banks));
+        }
+        if self.coherence.is_hardware() {
+            label.push_str("_mesi");
         }
         label
     }
@@ -439,6 +452,7 @@ pub struct SystemConfigBuilder {
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
     resilience: ResilienceConfig,
+    coherence: CoherenceMode,
     host_threads: usize,
 }
 
@@ -463,6 +477,7 @@ impl Default for SystemConfigBuilder {
             collective_algo: CollectiveAlgo::Linear,
             trace: TraceConfig::off(),
             resilience: ResilienceConfig::off(),
+            coherence: CoherenceMode::Dii,
             host_threads: 1,
         }
     }
@@ -600,6 +615,19 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// The coherence option (default [`CoherenceMode::Dii`], the paper's
+    /// §II-E software flush/invalidate discipline — bit-for-bit faithful,
+    /// no `Coherence` flit ever exists). `MesiDirectory` enables the
+    /// beyond-the-paper hardware option: MPMMU banks keep a per-line
+    /// directory and invalidate/fetch L1 copies over the NoC, so kernels
+    /// may skip the DII operations entirely. Requires a write-back L1 and
+    /// is an *architectural* knob: it changes timing, traffic and the
+    /// label.
+    pub fn coherence(mut self, mode: CoherenceMode) -> Self {
+        self.coherence = mode;
+        self
+    }
+
     /// Host worker threads the cycle engine may use *inside* one run
     /// (default 1 = the sequential engine).
     ///
@@ -672,6 +700,20 @@ impl SystemConfigBuilder {
                 "empi_retransmit needs a positive empi_timeout and empi_max_attempts".into(),
             ));
         }
+        if self.coherence.is_hardware() {
+            if self.cache_policy != CachePolicy::WriteBack {
+                return Err(BuildConfigError(
+                    "directory MESI requires a write-back L1 (ownership lives in the cache)".into(),
+                ));
+            }
+            if self.resilience.bridge_timeout != 0 {
+                return Err(BuildConfigError(
+                    "directory MESI is incompatible with the bridge read-retry timeout \
+                     (coherence transactions are not idempotent)"
+                        .into(),
+                ));
+            }
+        }
         Ok(SystemConfig {
             topology: self.topology,
             compute_pes: self.compute_pes,
@@ -688,6 +730,7 @@ impl SystemConfigBuilder {
             collective_algo: self.collective_algo,
             trace: self.trace,
             resilience: self.resilience,
+            coherence: self.coherence,
             host_threads: self.host_threads,
         })
     }
@@ -749,6 +792,36 @@ mod tests {
         assert_eq!(cfg.rank_of_node(NodeId::new(1)), Some(Rank::new(0)));
         assert_eq!(cfg.rank_of_node(NodeId::new(0)), None, "MPMMU node");
         assert_eq!(cfg.rank_of_node(NodeId::new(4)), None, "beyond PE count");
+    }
+
+    #[test]
+    fn coherence_axis() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert_eq!(cfg.coherence(), CoherenceMode::Dii, "DII is the paper-faithful default");
+        assert_eq!(cfg.pe_config(Rank::new(0)).coherence, CoherenceMode::Dii);
+        assert_eq!(cfg.mpmmu_config().coherence, CoherenceMode::Dii);
+
+        let mesi = SystemConfig::builder().coherence(CoherenceMode::MesiDirectory).build().unwrap();
+        assert_eq!(mesi.coherence(), CoherenceMode::MesiDirectory);
+        assert_eq!(mesi.pe_config(Rank::new(0)).coherence, CoherenceMode::MesiDirectory);
+        assert_eq!(mesi.mpmmu_config().coherence, CoherenceMode::MesiDirectory);
+        // An architectural knob: it must show in the label.
+        assert_eq!(mesi.label(), "4P_16k$_WB_mesi");
+
+        // MESI needs a write-back L1 …
+        assert!(SystemConfig::builder()
+            .coherence(CoherenceMode::MesiDirectory)
+            .cache_policy(CachePolicy::WriteThrough)
+            .build()
+            .is_err());
+        // … and excludes the bridge read-retry resilience knob.
+        let retry = ResilienceConfig { bridge_timeout: 20_000, ..ResilienceConfig::off() };
+        assert!(SystemConfig::builder()
+            .coherence(CoherenceMode::MesiDirectory)
+            .resilience(retry)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder().resilience(retry).build().is_ok(), "fine under DII");
     }
 
     #[test]

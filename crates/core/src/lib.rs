@@ -70,6 +70,8 @@ pub(crate) mod tiled;
 pub use config::{BuildConfigError, NodePlan, ResilienceConfig, SystemConfig, SystemConfigBuilder};
 pub use empi::{CollectiveAlgo, Empi};
 pub use medea_cache::CachePolicy;
+pub use medea_cache::CoherenceMode as Coherence;
+pub use medea_cache::CoherenceStats;
 pub use medea_fault::{
     DeadLink, FaultConfig, FaultInjector, FaultStats, NullInjector, ScheduledInjector,
 };

@@ -67,11 +67,11 @@
 use crate::api::PeApi;
 use crate::config::SystemConfig;
 use crate::FabricKind;
-use medea_cache::{Addr, CacheStats};
+use medea_cache::{Addr, CacheStats, CoherenceStats};
 use medea_fault::{FaultInjector, FaultStats, NullInjector};
 use medea_mem::{Mpmmu, MpmmuStats};
 use medea_noc::coord::Dir;
-use medea_noc::flit::Flit;
+use medea_noc::flit::{Flit, PacketKind, SubKind};
 use medea_noc::ideal::IdealNetwork;
 use medea_noc::network::Network;
 use medea_noc::reference::ReferenceNetwork;
@@ -160,6 +160,8 @@ pub struct PeSummary {
     pub bridge: BridgeStats,
     /// TIE receive statistics.
     pub tie: TieStats,
+    /// L1-side coherence statistics (all zero under DII).
+    pub coherence: CoherenceStats,
 }
 
 /// Per-bank statistics bundle.
@@ -171,6 +173,8 @@ pub struct BankSummary {
     pub mpmmu: MpmmuStats,
     /// This bank's local-cache statistics.
     pub cache: CacheStats,
+    /// Directory-side coherence statistics (all zero under DII).
+    pub coherence: CoherenceStats,
 }
 
 /// Everything measured in one run.
@@ -203,6 +207,10 @@ pub struct RunResult {
     /// Faults the injector actually delivered during the run (all zero
     /// for fault-free engines).
     pub fault: FaultStats,
+    /// Coherence-protocol counters aggregated over every directory home
+    /// and every L1 probe responder (all zero under the DII default; see
+    /// [`CoherenceStats`] for which side feeds which counter).
+    pub coherence: CoherenceStats,
     /// Host wall-clock time of the run.
     pub wall: Duration,
 }
@@ -400,7 +408,7 @@ impl System {
             // 1. Deliver ejections. With the O(1) flit census, a drained
             // fabric skips the per-node ejection polls outright.
             if fabric.in_flight() > 0 {
-                for pe in &mut pes {
+                for (i, pe) in pes.iter_mut().enumerate() {
                     let node = pe.node();
                     while let Some(mut flit) = fabric.eject(node) {
                         if I::ACTIVE && !flit.kind().is_shared_memory() {
@@ -418,6 +426,12 @@ impl System {
                         }
                         if S::ACTIVE {
                             sink.record(now, delivered_event(node, &flit, now));
+                        }
+                        // A directory probe must wake even a parked or
+                        // retired PE: the home bank blocks until it is
+                        // answered.
+                        if flit.kind() == PacketKind::Coherence && flit.sub() == SubKind::Request {
+                            wake[i] = now;
                         }
                         pe.deliver_traced(flit, now, sink);
                     }
@@ -943,13 +957,23 @@ pub(crate) fn finish_result(
 ) -> RunResult {
     let per_bank: Vec<BankSummary> = banks
         .iter()
-        .map(|b| BankSummary { node: b.node, mpmmu: *b.unit.stats(), cache: *b.unit.cache_stats() })
+        .map(|b| BankSummary {
+            node: b.node,
+            mpmmu: *b.unit.stats(),
+            cache: *b.unit.cache_stats(),
+            coherence: *b.unit.coherence_stats(),
+        })
         .collect();
     let mut mpmmu = MpmmuStats::default();
     let mut mpmmu_cache = CacheStats::default();
+    let mut coherence = CoherenceStats::default();
     for b in &per_bank {
         mpmmu.merge(&b.mpmmu);
         mpmmu_cache.merge(&b.cache);
+        coherence.merge(&b.coherence);
+    }
+    for p in pes {
+        coherence.merge(p.coherence_stats());
     }
     RunResult {
         cycles: now,
@@ -960,6 +984,7 @@ pub(crate) fn finish_result(
                 cache: *p.cache_stats(),
                 bridge: *p.bridge_stats(),
                 tie: *p.tie_stats(),
+                coherence: *p.coherence_stats(),
             })
             .collect(),
         fabric_delivered: fstats.delivered,
@@ -972,6 +997,7 @@ pub(crate) fn finish_result(
         mpmmu_cache,
         banks: per_bank,
         fault,
+        coherence,
         wall: wall_start.elapsed(),
     }
 }

@@ -51,7 +51,7 @@ use crate::FabricKind;
 use medea_cache::Addr;
 use medea_fault::FaultInjector;
 use medea_noc::coord::Dir;
-use medea_noc::flit::Flit;
+use medea_noc::flit::{Flit, PacketKind, SubKind};
 use medea_noc::network::NetworkShard;
 use medea_noc::FabricStats;
 use medea_pe::pe::ProcessingElement;
@@ -264,18 +264,8 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
     forks: Vec<I>,
 ) -> (Result<RunResult, RunError>, Vec<(Cycle, TraceEvent)>) {
     let topo = cfg.topology();
-    let nodes = topo.nodes();
     let tiles = forks.len();
-
-    // Contiguous node ranges with sizes differing by at most one.
-    let (base, rem) = (nodes / tiles, nodes % tiles);
-    let mut starts: Vec<u16> = Vec::with_capacity(tiles + 1);
-    let mut acc = 0usize;
-    starts.push(0);
-    for i in 0..tiles {
-        acc += base + usize::from(i < rem);
-        starts.push(acc as u16);
-    }
+    let starts = tile_starts(cfg, tiles);
 
     let banks_all = build_banks(cfg, preload);
     let pes_all = build_pes(cfg, kernels);
@@ -417,6 +407,57 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
         StopCause::Deadlock { at } => Err(RunError::Deadlock { at, detail: deadlock_detail(&pes) }),
     };
     (result, trace)
+}
+
+/// Per-cycle cost weight of a node hosting a PE or an MPMMU bank,
+/// relative to [`ROUTER_WEIGHT`] for a node that is only a router. Ticking
+/// an active component dominates an idle router (drained shards tick in
+/// constant time), so busy nodes weigh heavily and the router term mostly
+/// breaks ties across fully idle stretches.
+const ACTIVE_NODE_WEIGHT: u64 = 16;
+/// Baseline weight of every node (its deflection router).
+const ROUTER_WEIGHT: u64 = 1;
+
+/// Load-aware tile boundaries: tile `i` owns nodes
+/// `starts[i]..starts[i+1]`.
+///
+/// Boundaries land on the quantiles of the cumulative per-node simulation
+/// weight rather than the node count, so a sparsely populated torus (say
+/// 10 PEs in the corner of an 8×8) spreads its *busy* nodes over the
+/// workers instead of handing them all to tile 0. Clamps keep every tile
+/// at least one node wide. The split is a host-side scheduling choice
+/// only: results are bit-identical for every boundary placement (pinned
+/// by `tests/parallel_equivalence.rs`).
+fn tile_starts(cfg: &SystemConfig, tiles: usize) -> Vec<u16> {
+    let nodes = cfg.topology().nodes();
+    debug_assert!(2 <= tiles && tiles <= nodes);
+    let plan = cfg.node_plan();
+    let weight = |node: usize| -> u64 {
+        let id = NodeId::new(node as u16);
+        if plan.is_bank_node(id) || plan.rank_of_node(id).is_some() {
+            ROUTER_WEIGHT + ACTIVE_NODE_WEIGHT
+        } else {
+            ROUTER_WEIGHT
+        }
+    };
+    let mut prefix: Vec<u64> = Vec::with_capacity(nodes + 1);
+    prefix.push(0);
+    for n in 0..nodes {
+        prefix.push(prefix[n] + weight(n));
+    }
+    let total = prefix[nodes];
+    let mut starts: Vec<u16> = Vec::with_capacity(tiles + 1);
+    starts.push(0);
+    for i in 1..tiles {
+        let target = total * i as u64 / tiles as u64;
+        let boundary = prefix.partition_point(|&p| p < target);
+        // At least one node per tile, and enough nodes left for the rest.
+        let lo = starts[i - 1] as usize + 1;
+        let hi = nodes - (tiles - i);
+        starts.push(boundary.clamp(lo, hi) as u16);
+    }
+    starts.push(nodes as u16);
+    starts
 }
 
 /// Merge per-tile trace buffers into one deterministic stream: cycles
@@ -634,7 +675,7 @@ fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
     // engine; the census gate is tile-local, which is a pure optimization
     // — a drained shard has nothing to eject).
     if tile.shard.in_flight() > 0 {
-        for pe in &mut tile.pes {
+        for (i, pe) in tile.pes.iter_mut().enumerate() {
             let node = pe.node();
             while let Some(mut flit) = tile.shard.eject(node) {
                 if I::ACTIVE && !flit.kind().is_shared_memory() {
@@ -650,6 +691,11 @@ fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
                 }
                 if LS::ACTIVE {
                     sink.record(now, delivered_event(node, &flit, now));
+                }
+                // A directory probe must wake even a parked or retired PE:
+                // the home bank blocks until it is answered.
+                if flit.kind() == PacketKind::Coherence && flit.sub() == SubKind::Request {
+                    tile.wake[i] = now;
                 }
                 pe.deliver_traced(flit, now, sink);
             }
@@ -793,6 +839,71 @@ fn tile_banks_inject<LS: WorkerSink>(
                 }
                 Err(back) => bank.unit.return_outgoing(back),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_noc::coord::Topology;
+
+    fn active_nodes(cfg: &SystemConfig, lo: u16, hi: u16) -> usize {
+        let plan = cfg.node_plan();
+        (lo..hi)
+            .filter(|&n| {
+                let id = NodeId::new(n);
+                plan.is_bank_node(id) || plan.rank_of_node(id).is_some()
+            })
+            .count()
+    }
+
+    #[test]
+    fn tile_starts_balance_load_not_node_count() {
+        // 11 busy nodes (bank 0 + 10 ranks) in the low corner of an 8×8:
+        // the old equal-node split (32|32) hands every busy node to tile
+        // 0; the weighted split moves the boundary into the busy region.
+        let topo = Topology::new(8, 8).unwrap();
+        let cfg = SystemConfig::builder().topology(topo).compute_pes(10).build().unwrap();
+        let starts = tile_starts(&cfg, 2);
+        assert_eq!(starts, [0, starts[1], 64]);
+        let t0 = active_nodes(&cfg, starts[0], starts[1]);
+        let t1 = active_nodes(&cfg, starts[1], starts[2]);
+        assert!(t0 < 11, "tile 0 must not own every busy node (got all {t0})");
+        assert!(t1 >= 3, "tile 1 got only {t1} busy nodes");
+    }
+
+    #[test]
+    fn tile_starts_reduce_to_even_split_when_fully_populated() {
+        // All nodes busy → uniform weights → the node-count split.
+        let topo = Topology::new(4, 4).unwrap();
+        let cfg = SystemConfig::builder().topology(topo).compute_pes(15).build().unwrap();
+        assert_eq!(tile_starts(&cfg, 4), [0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn tile_starts_are_valid_partitions() {
+        for (w, h, pes, banks, tiles) in [
+            (4u8, 4u8, 15usize, 1usize, 2usize),
+            (4, 4, 1, 1, 4),
+            (8, 8, 10, 4, 7),
+            (4, 4, 2, 2, 16),
+        ] {
+            let topo = Topology::new(w, h).unwrap();
+            let cfg = SystemConfig::builder()
+                .topology(topo)
+                .compute_pes(pes)
+                .memory_banks(banks)
+                .build()
+                .unwrap();
+            let starts = tile_starts(&cfg, tiles);
+            assert_eq!(starts.len(), tiles + 1);
+            assert_eq!(starts[0], 0);
+            assert_eq!(*starts.last().unwrap() as usize, topo.nodes());
+            assert!(
+                starts.windows(2).all(|p| p[0] < p[1]),
+                "{w}x{h}/{tiles} tiles: empty tile in {starts:?}"
+            );
         }
     }
 }

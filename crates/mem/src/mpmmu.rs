@@ -34,17 +34,18 @@ use crate::backing::BackingStore;
 use crate::ddr::DdrModel;
 use crate::lock::LockTable;
 use medea_cache::{
-    line_of, Addr, CacheConfig, CachePolicy, SetAssocCache, StoreOutcome, WORDS_PER_LINE,
+    line_of, Addr, CacheConfig, CachePolicy, CoherenceMode, CoherenceStats, SetAssocCache,
+    StoreOutcome, WORDS_PER_LINE,
 };
 use medea_fault::{FaultInjector, NullInjector};
 use medea_noc::coord::Topology;
-use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
+use medea_noc::flit::{burst_code, CohOp, Flit, PacketKind, SubKind};
 use medea_sim::fifo::Fifo;
 use medea_sim::ids::NodeId;
 use medea_sim::stats::Counter;
 use medea_sim::Cycle;
 use medea_trace::{NullSink, TraceEvent, TraceSink};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// MPMMU configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +68,12 @@ pub struct MpmmuConfig {
     pub mem_bytes: usize,
     /// DDR timing.
     pub ddr: DdrModel,
+    /// Coherence protocol the system runs. Under [`CoherenceMode::Dii`]
+    /// (the paper-faithful default) no `Coherence` flits ever exist and
+    /// the directory machinery below is dead weight with zero timing
+    /// effect; under [`CoherenceMode::MesiDirectory`] this bank is the
+    /// directory home for every line the `BankMap` assigns it.
+    pub coherence: CoherenceMode,
 }
 
 impl MpmmuConfig {
@@ -83,6 +90,7 @@ impl MpmmuConfig {
                 .expect("16 kB WB is a valid geometry"),
             mem_bytes,
             ddr: DdrModel::default(),
+            coherence: CoherenceMode::Dii,
         }
     }
 }
@@ -146,6 +154,51 @@ enum State {
         words: Vec<Option<u32>>,
         expect: usize,
     },
+    /// Directory transaction in flight: probes sent, collecting
+    /// invalidation acks and/or the owner's data (MESI mode only).
+    CohCollect(CohCollect),
+    /// Fill sent; blocked until the requester's `Unblock` confirms the
+    /// line is installed. Serializing here is what makes the protocol
+    /// race-free on the unordered deflection fabric: no probe for this
+    /// line can be generated before its fill is architecturally visible.
+    CohAwaitUnblock,
+}
+
+/// In-flight directory transaction: what the home is still waiting for
+/// before it can fill the requester.
+#[derive(Debug, Clone)]
+struct CohCollect {
+    /// Line-aligned address of the transaction.
+    line: Addr,
+    /// Requesting node (fill destination).
+    req: u8,
+    /// `true` for `GetM` (grant M), `false` for `GetS` (grant S).
+    want_m: bool,
+    /// The previous owner, kept as a sharer after a `GetS` downgrade.
+    prev_owner: Option<u8>,
+    /// `Inv` probes still unacknowledged.
+    pending_acks: usize,
+    /// Still waiting for the owner's data or `CleanAck`.
+    need_owner: bool,
+    /// Dirty data streamed back by the owner (all-`Some` = complete).
+    data: [Option<u32>; WORDS_PER_LINE],
+}
+
+impl CohCollect {
+    fn done(&self) -> bool {
+        self.pending_acks == 0 && !self.need_owner
+    }
+}
+
+/// Per-line directory entry of a MESI home bank. Invalid (uncached) is
+/// represented by absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirEntry {
+    /// Clean copies at these nodes (insertion-ordered, so probe order is
+    /// deterministic).
+    Shared(Vec<u16>),
+    /// Sole copy at this node, possibly dirty (L1 state E or M).
+    Owned(u16),
 }
 
 #[derive(Debug, Clone)]
@@ -154,6 +207,10 @@ enum Completion {
     Respond(Vec<Flit>),
     /// Emit a grant for a write and start collecting data.
     Grant { src: u8, kind: PacketKind, addr: Addr, expect: usize },
+    /// Emit a coherence fill (4 data flits + grant), then await Unblock.
+    CohFill(Vec<Flit>),
+    /// Emit directory probes, then collect their acks/data.
+    CohProbes { probes: Vec<Flit>, collect: CohCollect },
 }
 
 /// The MPMMU node model.
@@ -171,6 +228,10 @@ pub struct Mpmmu {
     locks: LockTable,
     state: State,
     stats: MpmmuStats,
+    /// MESI directory for the lines this bank is home to. Empty (and
+    /// never touched) under [`CoherenceMode::Dii`].
+    dir: HashMap<Addr, DirEntry>,
+    coh_stats: CoherenceStats,
 }
 
 impl Mpmmu {
@@ -189,6 +250,8 @@ impl Mpmmu {
             state: State::Idle,
             cfg,
             stats: MpmmuStats::default(),
+            dir: HashMap::new(),
+            coh_stats: CoherenceStats::default(),
         }
     }
 
@@ -205,6 +268,12 @@ impl Mpmmu {
     /// MPMMU-local cache statistics.
     pub fn cache_stats(&self) -> &medea_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Directory-side coherence counters (all zero under
+    /// [`CoherenceMode::Dii`]).
+    pub const fn coherence_stats(&self) -> &CoherenceStats {
+        &self.coh_stats
     }
 
     /// Direct (zero-time) access to the architectural memory content.
@@ -231,6 +300,9 @@ impl Mpmmu {
     /// Returns the flit back if its target FIFO is full; the caller should
     /// retry next cycle (the node interface holds it).
     pub fn handle_incoming(&mut self, flit: Flit) -> Result<(), Flit> {
+        if flit.kind() == PacketKind::Coherence {
+            return self.handle_coherence(flit);
+        }
         if !flit.kind().is_shared_memory() {
             // Message traffic addressed at the MPMMU is a software bug;
             // drop it loudly in stats.
@@ -241,6 +313,71 @@ impl Mpmmu {
             SubKind::Request => self.req_fifo.push(flit).map_err(|e| e.0),
             SubKind::Data => self.data_fifo.push(flit).map_err(|e| e.0),
             SubKind::Ack | SubKind::Nack => {
+                self.stats.protocol_drops.inc();
+                Ok(())
+            }
+        }
+    }
+
+    /// Route a coherence flit: transaction-starting ops queue behind the
+    /// ordinary request FIFO (one serialization point per bank — the
+    /// directory's race-freedom argument); everything else is a reply to
+    /// the in-flight transaction and is absorbed immediately.
+    fn handle_coherence(&mut self, flit: Flit) -> Result<(), Flit> {
+        match flit.sub() {
+            SubKind::Request => match flit.coh_op() {
+                Some(CohOp::GetS | CohOp::GetM | CohOp::PutM) => {
+                    self.req_fifo.push(flit).map_err(|e| e.0)
+                }
+                Some(CohOp::Unblock) => {
+                    if matches!(self.state, State::CohAwaitUnblock) {
+                        self.state = State::Idle;
+                    } else {
+                        self.stats.protocol_drops.inc();
+                    }
+                    Ok(())
+                }
+                _ => {
+                    self.stats.protocol_drops.inc();
+                    Ok(())
+                }
+            },
+            SubKind::Data => match &mut self.state {
+                // PutM writeback stream: rides the ordinary write path.
+                State::AwaitData { kind: PacketKind::Coherence, .. } => {
+                    self.data_fifo.push(flit).map_err(|e| e.0)
+                }
+                // Dirty line flushed by a probed owner.
+                State::CohCollect(c) => {
+                    let seq = flit.seq() as usize;
+                    if seq < WORDS_PER_LINE {
+                        c.data[seq] = Some(flit.payload());
+                        if c.data.iter().all(Option::is_some) {
+                            c.need_owner = false;
+                        }
+                    } else {
+                        self.stats.protocol_drops.inc();
+                    }
+                    Ok(())
+                }
+                _ => {
+                    self.stats.protocol_drops.inc();
+                    Ok(())
+                }
+            },
+            SubKind::Ack => {
+                match (&mut self.state, flit.coh_op()) {
+                    (State::CohCollect(c), Some(CohOp::InvAck)) => {
+                        c.pending_acks = c.pending_acks.saturating_sub(1);
+                    }
+                    (State::CohCollect(c), Some(CohOp::CleanAck)) => {
+                        c.need_owner = false;
+                    }
+                    _ => self.stats.protocol_drops.inc(),
+                }
+                Ok(())
+            }
+            SubKind::Nack => {
                 self.stats.protocol_drops.inc();
                 Ok(())
             }
@@ -359,14 +496,50 @@ impl Mpmmu {
                     }
                 }
                 if words.iter().take(expect).all(Option::is_some) {
-                    let latency = self.commit_write(kind, addr, &words, expect);
-                    let ack = self.response(src, kind, SubKind::Ack, 1, addr);
+                    let latency = self.commit_write(src, kind, addr, &words, expect);
+                    let seq = if kind == PacketKind::Coherence { CohOp::PutMAck.code() } else { 1 };
+                    let ack = self.response(src, kind, SubKind::Ack, seq, addr);
                     self.state =
                         State::Busy { until: now + latency, then: Completion::Respond(vec![ack]) };
                 } else {
                     self.state = State::AwaitData { src, kind, addr, words, expect };
                 }
             }
+            State::CohCollect(c) => {
+                if c.done() {
+                    // All-`Some` data means the owner flushed a dirty
+                    // line; all-`None` means every probe was answered
+                    // clean (memory already current).
+                    let dirty = c.data.iter().all(Option::is_some);
+                    let mut lat = 0;
+                    if dirty {
+                        let mut arr = [0u32; WORDS_PER_LINE];
+                        for (i, w) in c.data.iter().enumerate() {
+                            arr[i] = w.expect("dirty ⇒ all words collected");
+                        }
+                        lat += self.mem_write_line(c.line, arr);
+                    }
+                    let entry = if c.want_m {
+                        DirEntry::Owned(c.req as u16)
+                    } else {
+                        let mut v = Vec::with_capacity(2);
+                        if let Some(o) = c.prev_owner {
+                            v.push(o as u16);
+                        }
+                        v.push(c.req as u16);
+                        DirEntry::Shared(v)
+                    };
+                    let grant = if c.want_m { CohOp::GrantM } else { CohOp::GrantS };
+                    self.dir_insert(c.line, entry);
+                    let (flits, rlat) = self.build_fill(c.req, c.line, grant);
+                    self.state =
+                        State::Busy { until: now + lat + rlat, then: Completion::CohFill(flits) };
+                } else {
+                    self.state = State::CohCollect(c);
+                }
+            }
+            // Released by the requester's Unblock in `handle_coherence`.
+            State::CohAwaitUnblock => self.state = State::CohAwaitUnblock,
         }
     }
 
@@ -400,7 +573,9 @@ impl Mpmmu {
                 }
             }
         }
-        if S::ACTIVE && !matches!(req.kind(), PacketKind::Lock | PacketKind::Unlock) {
+        if S::ACTIVE
+            && !matches!(req.kind(), PacketKind::Lock | PacketKind::Unlock | PacketKind::Coherence)
+        {
             sink.record(
                 now,
                 TraceEvent::MemTxn {
@@ -502,6 +677,172 @@ impl Mpmmu {
                 self.state =
                     State::Busy { until: now + overhead, then: Completion::Respond(vec![resp]) };
             }
+            PacketKind::Coherence => {
+                let op = req.coh_op().expect("request FIFO only admits GetS/GetM/PutM");
+                let line = line_of(addr);
+                let src16 = src as u16;
+                if S::ACTIVE {
+                    sink.record(
+                        now,
+                        TraceEvent::CohHome {
+                            bank: self.node.index() as u16,
+                            src: src as u16,
+                            op: op.code(),
+                            addr: line,
+                        },
+                    );
+                }
+                match op {
+                    CohOp::GetS => {
+                        self.coh_stats.gets += 1;
+                        match self.dir.get(&line).cloned() {
+                            Some(DirEntry::Owned(owner)) if owner != src16 => {
+                                // Someone may hold it dirty: downgrade
+                                // them to S and collect their data.
+                                self.coh_stats.fetches_sent += 1;
+                                if S::ACTIVE {
+                                    sink.record(
+                                        now,
+                                        TraceEvent::CohProbe {
+                                            node: owner,
+                                            op: CohOp::Fetch.code(),
+                                            addr: line,
+                                        },
+                                    );
+                                }
+                                let probe = self.probe(owner, CohOp::Fetch, line);
+                                let collect = CohCollect {
+                                    line,
+                                    req: src,
+                                    want_m: false,
+                                    prev_owner: Some(owner as u8),
+                                    pending_acks: 0,
+                                    need_owner: true,
+                                    data: [None; WORDS_PER_LINE],
+                                };
+                                self.state = State::Busy {
+                                    until: now + overhead,
+                                    then: Completion::CohProbes { probes: vec![probe], collect },
+                                };
+                            }
+                            dir => {
+                                // Uncached, already shared, or the old
+                                // owner re-fetching after a silent clean
+                                // eviction: fill straight from memory.
+                                let entry = match dir {
+                                    Some(DirEntry::Shared(mut v)) => {
+                                        if !v.contains(&src16) {
+                                            v.push(src16);
+                                        }
+                                        DirEntry::Shared(v)
+                                    }
+                                    _ => DirEntry::Owned(src16),
+                                };
+                                let grant = if matches!(entry, DirEntry::Owned(_)) {
+                                    CohOp::GrantE
+                                } else {
+                                    CohOp::GrantS
+                                };
+                                self.dir_insert(line, entry);
+                                let (flits, lat) = self.build_fill(src, line, grant);
+                                self.state = State::Busy {
+                                    until: now + overhead + lat,
+                                    then: Completion::CohFill(flits),
+                                };
+                            }
+                        }
+                    }
+                    CohOp::GetM => {
+                        self.coh_stats.getm += 1;
+                        match self.dir.get(&line).cloned() {
+                            Some(DirEntry::Owned(owner)) if owner != src16 => {
+                                self.coh_stats.fetches_sent += 1;
+                                if S::ACTIVE {
+                                    sink.record(
+                                        now,
+                                        TraceEvent::CohProbe {
+                                            node: owner,
+                                            op: CohOp::FetchInv.code(),
+                                            addr: line,
+                                        },
+                                    );
+                                }
+                                let probe = self.probe(owner, CohOp::FetchInv, line);
+                                let collect = CohCollect {
+                                    line,
+                                    req: src,
+                                    want_m: true,
+                                    prev_owner: None,
+                                    pending_acks: 0,
+                                    need_owner: true,
+                                    data: [None; WORDS_PER_LINE],
+                                };
+                                self.state = State::Busy {
+                                    until: now + overhead,
+                                    then: Completion::CohProbes { probes: vec![probe], collect },
+                                };
+                            }
+                            Some(DirEntry::Shared(v)) if v.iter().any(|&s| s != src16) => {
+                                let others: Vec<u16> =
+                                    v.iter().copied().filter(|&s| s != src16).collect();
+                                self.coh_stats.invalidations_sent += others.len() as u64;
+                                let probes: Vec<Flit> = others
+                                    .iter()
+                                    .map(|&s| {
+                                        if S::ACTIVE {
+                                            sink.record(
+                                                now,
+                                                TraceEvent::CohProbe {
+                                                    node: s,
+                                                    op: CohOp::Inv.code(),
+                                                    addr: line,
+                                                },
+                                            );
+                                        }
+                                        self.probe(s, CohOp::Inv, line)
+                                    })
+                                    .collect();
+                                let collect = CohCollect {
+                                    line,
+                                    req: src,
+                                    want_m: true,
+                                    prev_owner: None,
+                                    pending_acks: others.len(),
+                                    need_owner: false,
+                                    data: [None; WORDS_PER_LINE],
+                                };
+                                self.state = State::Busy {
+                                    until: now + overhead,
+                                    then: Completion::CohProbes { probes, collect },
+                                };
+                            }
+                            _ => {
+                                // Uncached, sole sharer upgrading, or the
+                                // owner re-requesting: grant M directly.
+                                self.dir_insert(line, DirEntry::Owned(src16));
+                                let (flits, lat) = self.build_fill(src, line, CohOp::GrantM);
+                                self.state = State::Busy {
+                                    until: now + overhead + lat,
+                                    then: Completion::CohFill(flits),
+                                };
+                            }
+                        }
+                    }
+                    CohOp::PutM => {
+                        self.coh_stats.putm += 1;
+                        self.state = State::Busy {
+                            until: now + overhead,
+                            then: Completion::Grant {
+                                src,
+                                kind: PacketKind::Coherence,
+                                addr: line,
+                                expect: WORDS_PER_LINE,
+                            },
+                        };
+                    }
+                    _ => unreachable!("request FIFO only admits GetS/GetM/PutM"),
+                }
+            }
             PacketKind::Message => unreachable!("filtered in handle_incoming"),
         }
     }
@@ -513,16 +854,26 @@ impl Mpmmu {
                 self.state = State::Idle;
             }
             Completion::Grant { src, kind, addr, expect } => {
-                let grant = self.response(src, kind, SubKind::Ack, 0, addr);
+                let seq = if kind == PacketKind::Coherence { CohOp::PutMGrant.code() } else { 0 };
+                let grant = self.response(src, kind, SubKind::Ack, seq, addr);
                 self.staging.push_back(grant);
                 self.state =
                     State::AwaitData { src, kind, addr, words: vec![None; WORDS_PER_LINE], expect };
+            }
+            Completion::CohFill(flits) => {
+                self.staging.extend(flits);
+                self.state = State::CohAwaitUnblock;
+            }
+            Completion::CohProbes { probes, collect } => {
+                self.staging.extend(probes);
+                self.state = State::CohCollect(collect);
             }
         }
     }
 
     fn commit_write(
         &mut self,
+        src: u8,
         kind: PacketKind,
         addr: Addr,
         words: &[Option<u32>],
@@ -543,6 +894,24 @@ impl Mpmmu {
                 }
                 self.mem_write_line(line, data)
             }
+            PacketKind::Coherence => {
+                // PutM writeback. Commit only if the directory still says
+                // `src` owns the line: a racing GetM serialized first
+                // already harvested this data via FetchInv, making this
+                // stream stale — discard it (the PutMAck still flows, so
+                // the evicting bridge completes normally).
+                let line = line_of(addr);
+                if self.dir.get(&line) == Some(&DirEntry::Owned(src as u16)) {
+                    self.dir.remove(&line);
+                    let mut data = [0u32; WORDS_PER_LINE];
+                    for (i, slot) in words.iter().take(expect).enumerate() {
+                        data[i] = slot.expect("collected");
+                    }
+                    self.mem_write_line(line, data)
+                } else {
+                    0
+                }
+            }
             _ => unreachable!("only writes reach commit_write"),
         }
     }
@@ -550,6 +919,52 @@ impl Mpmmu {
     fn response(&self, src: u8, kind: PacketKind, sub: SubKind, seq: u8, data: u32) -> Flit {
         let dest = self.topo.coord_of(NodeId::new(src as u16));
         Flit::new(dest, kind, sub, seq, 0, self.node.index() as u8, data)
+    }
+
+    // ---- MESI directory helpers ----
+
+    fn dir_insert(&mut self, line: Addr, entry: DirEntry) {
+        self.dir.insert(line, entry);
+        let occ = self.dir.len() as u64;
+        if occ > self.coh_stats.directory_lines_peak {
+            self.coh_stats.directory_lines_peak = occ;
+        }
+    }
+
+    /// Build a probe flit addressed at the L1 of `dest`.
+    fn probe(&self, dest: u16, op: CohOp, line: Addr) -> Flit {
+        Flit::coherence(
+            self.topo.coord_of(NodeId::new(dest)),
+            SubKind::Request,
+            op,
+            self.node.index() as u8,
+            line,
+        )
+    }
+
+    /// Read the line and build the fill packet: 4 sequenced data flits
+    /// plus the grant ack carrying the MESI state to install.
+    fn build_fill(&mut self, src: u8, line: Addr, grant: CohOp) -> (Vec<Flit>, Cycle) {
+        let (data, lat) = self.mem_read_line(line);
+        let dest = self.topo.coord_of(NodeId::new(src as u16));
+        let me = self.node.index() as u8;
+        let mut flits: Vec<Flit> = data
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                Flit::new(
+                    dest,
+                    PacketKind::Coherence,
+                    SubKind::Data,
+                    i as u8,
+                    burst_code(WORDS_PER_LINE),
+                    me,
+                    *w,
+                )
+            })
+            .collect();
+        flits.push(Flit::coherence(dest, SubKind::Ack, grant, me, line));
+        (flits, lat)
     }
 
     // ---- memory hierarchy (MPMMU cache in front of DDR) ----
@@ -870,6 +1285,185 @@ mod tests {
             }
         }
         assert!(granted, "lock traffic must survive a drop-everything bank");
+    }
+
+    // ---- MESI directory flows ----
+
+    fn coh_req(op: CohOp, src: u8, addr: u32) -> Flit {
+        Flit::coherence(medea_noc::coord::Coord::new(0, 0), SubKind::Request, op, src, addr)
+    }
+
+    fn coh_data(src: u8, seq: u8, value: u32) -> Flit {
+        Flit::new(
+            medea_noc::coord::Coord::new(0, 0),
+            PacketKind::Coherence,
+            SubKind::Data,
+            seq,
+            burst_code(4),
+            src,
+            value,
+        )
+    }
+
+    fn coh_ack(op: CohOp, src: u8, addr: u32) -> Flit {
+        Flit::coherence(medea_noc::coord::Coord::new(0, 0), SubKind::Ack, op, src, addr)
+    }
+
+    fn collect_flits(m: &mut Mpmmu, start: Cycle, limit: Cycle, n: usize) -> (Vec<Flit>, Cycle) {
+        let mut v = Vec::new();
+        for now in start..start + limit {
+            m.tick(now);
+            while let Some(f) = m.pop_outgoing() {
+                v.push(f);
+            }
+            if v.len() >= n {
+                return (v, now);
+            }
+        }
+        panic!("only {} of {n} flits within {limit} cycles", v.len());
+    }
+
+    #[test]
+    fn coh_gets_cold_fill_grants_exclusive_then_unblock_releases() {
+        let mut m = mk(8);
+        m.debug_store().write_line(0x40, [1, 2, 3, 4]);
+        m.handle_incoming(coh_req(CohOp::GetS, 5, 0x40)).unwrap();
+        let (flits, when) = collect_flits(&mut m, 0, 200, 5);
+        assert_eq!(flits.len(), 5, "4 data + grant");
+        for (i, f) in flits[..4].iter().enumerate() {
+            assert_eq!(f.kind(), PacketKind::Coherence);
+            assert_eq!(f.sub(), SubKind::Data);
+            assert_eq!(f.seq() as usize, i);
+            assert_eq!(f.payload(), (i + 1) as u32);
+        }
+        assert_eq!(flits[4].coh_op(), Some(CohOp::GrantE), "sole copy is granted E");
+        // Home is blocked until the requester unblocks it.
+        m.tick(when + 1);
+        assert!(!m.is_idle(), "home must await Unblock");
+        m.handle_incoming(coh_req(CohOp::Unblock, 5, 0x40)).unwrap();
+        m.tick(when + 2);
+        assert!(m.is_idle());
+        assert_eq!(m.coherence_stats().gets, 1);
+        assert_eq!(m.coherence_stats().directory_lines_peak, 1);
+    }
+
+    #[test]
+    fn coh_second_reader_downgrades_owner_and_grants_shared() {
+        let mut m = mk(8);
+        m.debug_store().write_line(0x40, [9, 9, 9, 9]);
+        m.handle_incoming(coh_req(CohOp::GetS, 5, 0x40)).unwrap();
+        let (_, t0) = collect_flits(&mut m, 0, 200, 5);
+        m.handle_incoming(coh_req(CohOp::Unblock, 5, 0x40)).unwrap();
+        // Second reader: home must Fetch-probe the owner (node 5).
+        m.handle_incoming(coh_req(CohOp::GetS, 3, 0x40)).unwrap();
+        let (probes, t1) = collect_flits(&mut m, t0 + 1, 200, 1);
+        assert_eq!(probes[0].coh_op(), Some(CohOp::Fetch));
+        assert_eq!(probes[0].dest(), m.topo.coord_of(NodeId::new(5)));
+        assert_eq!(m.coherence_stats().fetches_sent, 1);
+        // Owner answers clean: line was only E, memory is current.
+        m.handle_incoming(coh_ack(CohOp::CleanAck, 5, 0x40)).unwrap();
+        let (fill, _) = collect_flits(&mut m, t1 + 1, 200, 5);
+        assert_eq!(fill[4].coh_op(), Some(CohOp::GrantS), "downgraded line is granted S");
+        assert_eq!(fill[0].payload(), 9);
+        m.handle_incoming(coh_req(CohOp::Unblock, 3, 0x40)).unwrap();
+        m.tick(10_000);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn coh_getm_invalidates_all_other_sharers() {
+        let mut m = mk(8);
+        // Build Shared{5, 3}: GetS by 5, downgrade via GetS by 3.
+        m.handle_incoming(coh_req(CohOp::GetS, 5, 0x40)).unwrap();
+        let (_, t0) = collect_flits(&mut m, 0, 200, 5);
+        m.handle_incoming(coh_req(CohOp::Unblock, 5, 0x40)).unwrap();
+        m.handle_incoming(coh_req(CohOp::GetS, 3, 0x40)).unwrap();
+        let (_, t1) = collect_flits(&mut m, t0 + 1, 200, 1);
+        m.handle_incoming(coh_ack(CohOp::CleanAck, 5, 0x40)).unwrap();
+        let (_, t2) = collect_flits(&mut m, t1 + 1, 200, 5);
+        m.handle_incoming(coh_req(CohOp::Unblock, 3, 0x40)).unwrap();
+        // Writer 6 arrives: both sharers must be invalidated.
+        m.handle_incoming(coh_req(CohOp::GetM, 6, 0x40)).unwrap();
+        let (invs, t3) = collect_flits(&mut m, t2 + 1, 200, 2);
+        assert!(invs.iter().all(|f| f.coh_op() == Some(CohOp::Inv)));
+        let dests: Vec<_> = invs.iter().map(Flit::dest).collect();
+        assert_eq!(
+            dests,
+            vec![m.topo.coord_of(NodeId::new(5)), m.topo.coord_of(NodeId::new(3))],
+            "probe order follows sharer insertion order"
+        );
+        assert_eq!(m.coherence_stats().invalidations_sent, 2);
+        // Fill is withheld until every ack lands.
+        m.handle_incoming(coh_ack(CohOp::InvAck, 5, 0x40)).unwrap();
+        for now in t3 + 1..t3 + 20 {
+            m.tick(now);
+            assert!(m.pop_outgoing().is_none(), "fill escaped before all InvAcks");
+        }
+        m.handle_incoming(coh_ack(CohOp::InvAck, 3, 0x40)).unwrap();
+        let (fill, _) = collect_flits(&mut m, t3 + 20, 200, 5);
+        assert_eq!(fill[4].coh_op(), Some(CohOp::GrantM));
+        m.handle_incoming(coh_req(CohOp::Unblock, 6, 0x40)).unwrap();
+        m.tick(20_000);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn coh_putm_commits_writeback_and_frees_directory() {
+        let mut m = mk(8);
+        m.handle_incoming(coh_req(CohOp::GetM, 5, 0x80)).unwrap();
+        let (fill, t0) = collect_flits(&mut m, 0, 200, 5);
+        assert_eq!(fill[4].coh_op(), Some(CohOp::GrantM));
+        m.handle_incoming(coh_req(CohOp::Unblock, 5, 0x80)).unwrap();
+        // Owner evicts: PutM handshake (grant → data → ack).
+        m.handle_incoming(coh_req(CohOp::PutM, 5, 0x80)).unwrap();
+        let (grant, t1) = collect_flits(&mut m, t0 + 1, 200, 1);
+        assert_eq!(grant[0].coh_op(), Some(CohOp::PutMGrant));
+        for seq in [1u8, 3, 0, 2] {
+            m.handle_incoming(coh_data(5, seq, 0xD0 + seq as u32)).unwrap();
+        }
+        let (ack, _) = collect_flits(&mut m, t1 + 1, 300, 1);
+        assert_eq!(ack[0].coh_op(), Some(CohOp::PutMAck));
+        assert_eq!(m.debug_read_word(0x80), 0xD0);
+        assert_eq!(m.debug_read_word(0x8C), 0xD3);
+        assert_eq!(m.coherence_stats().putm, 1);
+        // Directory entry is gone: the next reader gets E again.
+        m.handle_incoming(coh_req(CohOp::GetS, 3, 0x80)).unwrap();
+        let (refill, _) = collect_flits(&mut m, 10_000, 200, 5);
+        assert_eq!(refill[4].coh_op(), Some(CohOp::GrantE));
+        assert_eq!(refill[0].payload(), 0xD0);
+    }
+
+    #[test]
+    fn coh_stale_putm_after_fetchinv_is_discarded() {
+        let mut m = mk(8);
+        m.handle_incoming(coh_req(CohOp::GetM, 5, 0x80)).unwrap();
+        let (_, t0) = collect_flits(&mut m, 0, 200, 5);
+        m.handle_incoming(coh_req(CohOp::Unblock, 5, 0x80)).unwrap();
+        // A racing writer is serialized before the owner's PutM: the
+        // home FetchInv-probes node 5, whose responder answers from its
+        // in-flight writeback data.
+        m.handle_incoming(coh_req(CohOp::GetM, 6, 0x80)).unwrap();
+        let (probe, t1) = collect_flits(&mut m, t0 + 1, 200, 1);
+        assert_eq!(probe[0].coh_op(), Some(CohOp::FetchInv));
+        for seq in 0..4u8 {
+            m.handle_incoming(coh_data(5, seq, 0xAA0 + seq as u32)).unwrap();
+        }
+        let (fill, t2) = collect_flits(&mut m, t1 + 1, 300, 5);
+        assert_eq!(fill[4].coh_op(), Some(CohOp::GrantM));
+        assert_eq!(fill[0].payload(), 0xAA0, "fill carries the harvested dirty data");
+        m.handle_incoming(coh_req(CohOp::Unblock, 6, 0x80)).unwrap();
+        // Node 5's original PutM finally arrives: granted and acked, but
+        // its stale data must not clobber node 6's ownership.
+        m.handle_incoming(coh_req(CohOp::PutM, 5, 0x80)).unwrap();
+        let (grant, t3) = collect_flits(&mut m, t2 + 1, 200, 1);
+        assert_eq!(grant[0].coh_op(), Some(CohOp::PutMGrant));
+        for seq in 0..4u8 {
+            m.handle_incoming(coh_data(5, seq, 0xDEAD)).unwrap();
+        }
+        let (ack, _) = collect_flits(&mut m, t3 + 1, 300, 1);
+        assert_eq!(ack[0].coh_op(), Some(CohOp::PutMAck), "evictor still completes");
+        assert_eq!(m.debug_read_word(0x80), 0xAA0, "stale PutM data discarded");
+        assert_eq!(m.dir.get(&0x80), Some(&DirEntry::Owned(6)), "node 6 still owns the line");
     }
 
     #[test]

@@ -28,8 +28,6 @@ use std::fmt;
 pub enum DecodeError {
     /// The validity bit was clear.
     InvalidBit,
-    /// The `TYPE` field held the reserved eighth encoding.
-    ReservedType,
     /// A coordinate exceeded the torus dimensions.
     CoordOutOfRange {
         /// Decoded X value.
@@ -53,7 +51,6 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::InvalidBit => write!(f, "validity bit clear"),
-            DecodeError::ReservedType => write!(f, "reserved TYPE encoding"),
             DecodeError::CoordOutOfRange { x, y } => {
                 write!(f, "coordinate ({x},{y}) outside torus")
             }
@@ -132,9 +129,9 @@ impl FlitCodec {
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] if the validity bit is clear, the `TYPE`
-    /// field uses the reserved encoding, the coordinate is outside the
-    /// torus, or stray bits are set above the format width.
+    /// Returns a [`DecodeError`] if the validity bit is clear, the
+    /// coordinate is outside the torus, the checksum mismatches, or stray
+    /// bits are set above the format width.
     pub fn decode(&self, word: u64) -> Result<Flit, DecodeError> {
         if self.width() < 64 && (word >> self.width()) != 0 {
             return Err(DecodeError::TrailingBits);
@@ -154,7 +151,7 @@ impl FlitCodec {
             SubKind::from_code((cursor & mask(SUB_BITS)) as u8).expect("2-bit subtype is total");
         cursor >>= SUB_BITS;
         let kind = PacketKind::from_code((cursor & mask(TYPE_BITS)) as u8)
-            .ok_or(DecodeError::ReservedType)?;
+            .expect("3-bit TYPE is total since code 7 became Coherence");
         cursor >>= TYPE_BITS;
         let y = (cursor & mask(self.topo.y_bits())) as u8;
         cursor >>= self.topo.y_bits();
@@ -185,6 +182,7 @@ const fn mask(bits: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flit::CohOp;
 
     fn codec() -> FlitCodec {
         FlitCodec::new(Topology::paper_4x4())
@@ -251,12 +249,15 @@ mod tests {
     }
 
     #[test]
-    fn reserved_type_rejected() {
+    fn type_code_seven_decodes_as_coherence() {
+        // Code 7 was the reserved TYPE encoding; it now carries the
+        // directory-coherence protocol and must roundtrip like any other.
         let c = codec();
-        let f = Flit::message(Coord::new(1, 1), 2, 3, 1, 77);
+        let f = Flit::coherence(Coord::new(1, 1), SubKind::Request, CohOp::GetS, 2, 0x40);
+        let word = c.encode(&f);
         // TYPE sits just above SUB+SEQ+BURST+SRC+CKSUM+DATA = 48 bits.
-        let word = c.encode(&f) | (0b111 << 48);
-        assert_eq!(c.decode(word), Err(DecodeError::ReservedType));
+        assert_eq!((word >> 48) & 0b111, 7);
+        assert_eq!(c.decode(word).unwrap(), f);
     }
 
     #[test]

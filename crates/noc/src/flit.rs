@@ -19,8 +19,11 @@ use crate::coord::Coord;
 use medea_sim::Cycle;
 use std::fmt;
 
-/// The seven packet types of the 3-bit `TYPE` field (§II-D): six for
-/// shared-memory transactions plus one for generic message passing.
+/// The packet types of the 3-bit `TYPE` field (§II-D): six for
+/// shared-memory transactions plus one for generic message passing. The
+/// eighth (previously reserved) encoding carries hardware cache-coherence
+/// traffic — a beyond-the-paper extension used only when the system is
+/// configured for directory MESI instead of the paper's software DII.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// Single-word shared-memory read.
@@ -37,11 +40,14 @@ pub enum PacketKind {
     Unlock,
     /// Generic message-passing flit (TIE interface traffic).
     Message,
+    /// Directory-coherence protocol flit (beyond the paper; the `SEQ`
+    /// field of request/ack flits carries a [`CohOp`] opcode).
+    Coherence,
 }
 
 impl PacketKind {
     /// All kinds in `TYPE`-field encoding order.
-    pub const ALL: [PacketKind; 7] = [
+    pub const ALL: [PacketKind; 8] = [
         PacketKind::SingleRead,
         PacketKind::SingleWrite,
         PacketKind::BlockRead,
@@ -49,6 +55,7 @@ impl PacketKind {
         PacketKind::Lock,
         PacketKind::Unlock,
         PacketKind::Message,
+        PacketKind::Coherence,
     ];
 
     /// 3-bit wire encoding.
@@ -61,6 +68,7 @@ impl PacketKind {
             PacketKind::Lock => 4,
             PacketKind::Unlock => 5,
             PacketKind::Message => 6,
+            PacketKind::Coherence => 7,
         }
     }
 
@@ -74,6 +82,7 @@ impl PacketKind {
             4 => Some(PacketKind::Lock),
             5 => Some(PacketKind::Unlock),
             6 => Some(PacketKind::Message),
+            7 => Some(PacketKind::Coherence),
             _ => None,
         }
     }
@@ -96,8 +105,124 @@ impl fmt::Display for PacketKind {
             PacketKind::Lock => "lock",
             PacketKind::Unlock => "unlock",
             PacketKind::Message => "message",
+            PacketKind::Coherence => "coherence",
         };
         f.write_str(s)
+    }
+}
+
+/// Opcode of a [`PacketKind::Coherence`] request or ack flit, carried in
+/// the 4-bit `SEQ` field (data flits keep `SEQ` as the word index, exactly
+/// like block-read/-write streams).
+///
+/// The protocol is a directory MESI over the NoC: requesters send
+/// `GetS`/`GetM`/`PutM` to the home bank; the home issues `Inv`/`Fetch`/
+/// `FetchInv` probes to L1s; L1 responders answer with `InvAck`/`CleanAck`
+/// or a 4-flit data stream; the home fills the requester with 4 data flits
+/// plus a `GrantS`/`GrantE`/`GrantM` ack, then blocks until the requester's
+/// `Unblock` confirms the line is installed (this handshake is what makes
+/// the protocol race-free on an unordered deflection fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CohOp {
+    /// Requester → home: read miss, wants the line in S (or E if sole).
+    GetS,
+    /// Requester → home: write miss/upgrade, wants the line in M.
+    GetM,
+    /// Owner → home: dirty-line writeback (eviction), followed by a
+    /// grant/data-stream/ack exchange like a block write.
+    PutM,
+    /// Requester → home: fill installed, release the directory entry.
+    Unblock,
+    /// Home → sharer: invalidate the line, answer with `InvAck`.
+    Inv,
+    /// Home → owner: downgrade to S, answer with data (dirty) or
+    /// `CleanAck`.
+    Fetch,
+    /// Home → owner: surrender the line, answer with data (dirty) or
+    /// `CleanAck`, then invalidate.
+    FetchInv,
+    /// Sharer → home: invalidation done.
+    InvAck,
+    /// Owner → home: line was clean (or already gone); memory is current.
+    CleanAck,
+    /// Home → requester: fill grant, line state Shared.
+    GrantS,
+    /// Home → requester: fill grant, line state Exclusive.
+    GrantE,
+    /// Home → requester: fill grant, line state Modified.
+    GrantM,
+    /// Home → owner: start streaming the `PutM` data.
+    PutMGrant,
+    /// Home → owner: `PutM` committed (or discarded as stale).
+    PutMAck,
+}
+
+impl CohOp {
+    /// 4-bit `SEQ`-field encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            CohOp::GetS => 0,
+            CohOp::GetM => 1,
+            CohOp::PutM => 2,
+            CohOp::Unblock => 3,
+            CohOp::Inv => 4,
+            CohOp::Fetch => 5,
+            CohOp::FetchInv => 6,
+            CohOp::InvAck => 7,
+            CohOp::CleanAck => 8,
+            CohOp::GrantS => 9,
+            CohOp::GrantE => 10,
+            CohOp::GrantM => 11,
+            CohOp::PutMGrant => 12,
+            CohOp::PutMAck => 13,
+        }
+    }
+
+    /// Decode a `SEQ`-field opcode.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(CohOp::GetS),
+            1 => Some(CohOp::GetM),
+            2 => Some(CohOp::PutM),
+            3 => Some(CohOp::Unblock),
+            4 => Some(CohOp::Inv),
+            5 => Some(CohOp::Fetch),
+            6 => Some(CohOp::FetchInv),
+            7 => Some(CohOp::InvAck),
+            8 => Some(CohOp::CleanAck),
+            9 => Some(CohOp::GrantS),
+            10 => Some(CohOp::GrantE),
+            11 => Some(CohOp::GrantM),
+            12 => Some(CohOp::PutMGrant),
+            13 => Some(CohOp::PutMAck),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name for traces and diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CohOp::GetS => "gets",
+            CohOp::GetM => "getm",
+            CohOp::PutM => "putm",
+            CohOp::Unblock => "unblock",
+            CohOp::Inv => "inv",
+            CohOp::Fetch => "fetch",
+            CohOp::FetchInv => "fetch-inv",
+            CohOp::InvAck => "inv-ack",
+            CohOp::CleanAck => "clean-ack",
+            CohOp::GrantS => "grant-s",
+            CohOp::GrantE => "grant-e",
+            CohOp::GrantM => "grant-m",
+            CohOp::PutMGrant => "putm-grant",
+            CohOp::PutMAck => "putm-ack",
+        }
+    }
+}
+
+impl fmt::Display for CohOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -287,6 +412,24 @@ impl Flit {
         Flit::new(dest, kind, SubKind::Request, 0, 0, src_id, addr)
     }
 
+    /// Convenience constructor for a coherence request/ack flit: the `SEQ`
+    /// field carries the opcode and `data` the line address (or 0 for pure
+    /// acks).
+    pub fn coherence(dest: Coord, sub: SubKind, op: CohOp, src_id: u8, addr: u32) -> Self {
+        Flit::new(dest, PacketKind::Coherence, sub, op.code(), 0, src_id, addr)
+    }
+
+    /// Opcode of a coherence request/ack flit ([`CohOp`] in the `SEQ`
+    /// field); `None` for non-coherence flits and coherence *data* flits,
+    /// whose `SEQ` is a word index.
+    pub fn coh_op(&self) -> Option<CohOp> {
+        if self.kind == PacketKind::Coherence && self.sub != SubKind::Data {
+            CohOp::from_code(self.seq)
+        } else {
+            None
+        }
+    }
+
     /// Transport-level destination.
     pub const fn dest(&self) -> Coord {
         self.dest
@@ -372,7 +515,28 @@ mod tests {
         for kind in PacketKind::ALL {
             assert_eq!(PacketKind::from_code(kind.code()), Some(kind));
         }
-        assert_eq!(PacketKind::from_code(7), None);
+        // The 3-bit TYPE field is now fully assigned (code 7 = Coherence).
+        assert_eq!(PacketKind::from_code(7), Some(PacketKind::Coherence));
+        assert_eq!(PacketKind::from_code(8), None);
+    }
+
+    #[test]
+    fn coh_op_codes_roundtrip() {
+        for code in 0..16u8 {
+            if let Some(op) = CohOp::from_code(code) {
+                assert_eq!(op.code(), code);
+            } else {
+                assert!(code >= 14, "low opcode {code} unassigned");
+            }
+        }
+        let f = Flit::coherence(Coord::new(1, 1), SubKind::Request, CohOp::GetM, 3, 0x40);
+        assert_eq!(f.coh_op(), Some(CohOp::GetM));
+        assert!(f.kind().is_shared_memory());
+        // Coherence data flits keep SEQ as a word index, never an opcode.
+        let d = Flit::new(Coord::new(1, 1), PacketKind::Coherence, SubKind::Data, 2, 2, 3, 7);
+        assert_eq!(d.coh_op(), None);
+        // Non-coherence flits never report an opcode.
+        assert_eq!(Flit::request(Coord::new(0, 0), PacketKind::BlockRead, 0, 0).coh_op(), None);
     }
 
     #[test]

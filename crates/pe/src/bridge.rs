@@ -26,7 +26,7 @@
 use medea_cache::{Addr, WORDS_PER_LINE};
 use medea_mem::BankMap;
 use medea_noc::coord::Coord;
-use medea_noc::flit::{burst_code, Flit, PacketKind, SubKind};
+use medea_noc::flit::{burst_code, CohOp, Flit, PacketKind, SubKind};
 use medea_sim::stats::Counter;
 use medea_sim::Cycle;
 use std::collections::VecDeque;
@@ -68,6 +68,25 @@ pub enum BridgeOp {
         /// Word address.
         addr: Addr,
     },
+    /// MESI: fetch one line for reading (`GetS` to the home directory).
+    CohGetS {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// MESI: fetch one line for writing (`GetM` — the home invalidates
+    /// every other copy before the fill arrives).
+    CohGetM {
+        /// Line-aligned address.
+        line: Addr,
+    },
+    /// MESI: write a dirty evicted line back to its home (`PutM`; the
+    /// same grant → stream → ack handshake as a block write).
+    CohPutM {
+        /// Line-aligned address.
+        line: Addr,
+        /// Line data.
+        data: [u32; WORDS_PER_LINE],
+    },
 }
 
 /// Completion value of a bridge transaction.
@@ -85,6 +104,14 @@ pub enum BridgeResult {
     UnlockDone,
     /// Unlock refused by the MPMMU (ownership violation — a software bug).
     UnlockRejected,
+    /// MESI fill: line data plus the state the directory granted
+    /// (`GrantS`/`GrantE`/`GrantM`).
+    CohLine {
+        /// Line data, in address order.
+        data: [u32; WORDS_PER_LINE],
+        /// The granted-state opcode.
+        grant: CohOp,
+    },
 }
 
 /// Bridge configuration.
@@ -130,13 +157,34 @@ pub struct BridgeStats {
 enum State {
     Idle,
     AwaitSingleData,
-    AwaitBlockData { reorder: [Option<u32>; WORDS_PER_LINE], got: usize, next_expected: u8 },
-    AwaitGrant { kind: PacketKind, data: VecDeque<Flit> },
-    Streaming { data: VecDeque<Flit> },
+    AwaitBlockData {
+        reorder: [Option<u32>; WORDS_PER_LINE],
+        got: usize,
+        next_expected: u8,
+    },
+    AwaitGrant {
+        kind: PacketKind,
+        data: VecDeque<Flit>,
+    },
+    Streaming {
+        data: VecDeque<Flit>,
+    },
     AwaitFinalAck,
-    AwaitLockAck { addr: Addr },
-    LockBackoff { until: Cycle, addr: Addr },
+    AwaitLockAck {
+        addr: Addr,
+    },
+    LockBackoff {
+        until: Cycle,
+        addr: Addr,
+    },
     AwaitUnlockAck,
+    /// MESI fill in flight: 4 data words plus the grant ack, in any
+    /// arrival order (the deflection fabric reorders freely).
+    AwaitCohFill {
+        reorder: [Option<u32>; WORDS_PER_LINE],
+        got: usize,
+        grant: Option<CohOp>,
+    },
 }
 
 /// The pif2NoC bridge of one processing element.
@@ -231,7 +279,11 @@ impl Pif2NocBridge {
             | BridgeOp::SingleWrite { addr, .. }
             | BridgeOp::Lock { addr }
             | BridgeOp::Unlock { addr } => addr,
-            BridgeOp::BlockRead { line } | BridgeOp::BlockWrite { line, .. } => line,
+            BridgeOp::BlockRead { line }
+            | BridgeOp::BlockWrite { line, .. }
+            | BridgeOp::CohGetS { line }
+            | BridgeOp::CohGetM { line }
+            | BridgeOp::CohPutM { line, .. } => line,
         };
         self.home = self.banks.home_coord(target);
         self.home_src = self.banks.home_src_id(target);
@@ -274,7 +326,39 @@ impl Pif2NocBridge {
                 self.out_slot = Some(req(PacketKind::Unlock, addr));
                 self.state = State::AwaitUnlockAck;
             }
+            BridgeOp::CohGetS { line } | BridgeOp::CohGetM { line } => {
+                let op =
+                    if matches!(op, BridgeOp::CohGetS { .. }) { CohOp::GetS } else { CohOp::GetM };
+                self.out_slot =
+                    Some(Flit::coherence(self.home, SubKind::Request, op, self.src_id, line));
+                self.state =
+                    State::AwaitCohFill { reorder: [None; WORDS_PER_LINE], got: 0, grant: None };
+            }
+            BridgeOp::CohPutM { line, data } => {
+                self.out_slot = Some(Flit::coherence(
+                    self.home,
+                    SubKind::Request,
+                    CohOp::PutM,
+                    self.src_id,
+                    line,
+                ));
+                let flits = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        self.data_flit(PacketKind::Coherence, i as u8, WORDS_PER_LINE, *w)
+                    })
+                    .collect();
+                self.state = State::AwaitGrant { kind: PacketKind::Coherence, data: flits };
+            }
         }
+    }
+
+    /// NoC coordinate of the bank owning `addr` — for fire-and-forget
+    /// coherence traffic (the `Unblock`) built outside a bridge
+    /// transaction.
+    pub fn home_coord(&self, addr: Addr) -> Coord {
+        self.banks.home_coord(addr)
     }
 
     fn data_flit(&self, kind: PacketKind, seq: u8, total: usize, value: u32) -> Flit {
@@ -442,6 +526,41 @@ impl Pif2NocBridge {
                 SubKind::Nack => self.finish(BridgeResult::UnlockRejected),
                 other => panic!("unlock response with subtype {other}"),
             },
+            State::AwaitCohFill { mut reorder, mut got, mut grant } => {
+                debug_assert_eq!(flit.kind(), PacketKind::Coherence);
+                match flit.sub() {
+                    SubKind::Data => {
+                        let seq = flit.seq() as usize;
+                        assert!(seq < WORDS_PER_LINE, "coherence fill seq {seq} beyond line");
+                        assert!(reorder[seq].is_none(), "duplicate coherence fill word {seq}");
+                        if got != seq {
+                            self.stats.out_of_order_flits.inc();
+                        }
+                        reorder[seq] = Some(flit.payload());
+                        got += 1;
+                    }
+                    SubKind::Ack => {
+                        let op = flit.coh_op().expect("coherence ack carries an opcode");
+                        debug_assert!(
+                            matches!(op, CohOp::GrantS | CohOp::GrantE | CohOp::GrantM),
+                            "fill grant expected, got {op}"
+                        );
+                        debug_assert!(grant.is_none(), "duplicate fill grant");
+                        grant = Some(op);
+                    }
+                    other => panic!("coherence fill with subtype {other}"),
+                }
+                match grant {
+                    Some(g) if got == WORDS_PER_LINE => {
+                        let mut line = [0u32; WORDS_PER_LINE];
+                        for (i, w) in reorder.iter().enumerate() {
+                            line[i] = w.expect("all words collected");
+                        }
+                        self.finish(BridgeResult::CohLine { data: line, grant: g });
+                    }
+                    _ => self.state = State::AwaitCohFill { reorder, got, grant },
+                }
+            }
             state @ (State::Idle | State::Streaming { .. } | State::LockBackoff { .. }) => {
                 // Only a trailing read response of a retried attempt is
                 // forgivable; anything else is a protocol violation even

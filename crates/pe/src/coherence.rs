@@ -1,0 +1,272 @@
+//! The L1 side of the directory-MESI option: a probe responder.
+//!
+//! Under [`medea_cache::CoherenceMode::MesiDirectory`] the home banks send
+//! `Inv` / `Fetch` / `FetchInv` probes to L1s over the NoC (the same
+//! deflection fabric every other packet rides). The PE cannot answer them
+//! through the pif2NoC bridge — the bridge is busy with the PE's *own*
+//! transaction, and a probe can arrive precisely while that transaction is
+//! what the home is waiting on. [`ProbeResponder`] is therefore a separate
+//! tiny engine next to the bridge: probes queue in arrival order, one is
+//! served per cycle, and replies drain through the arbiter's bridge port at
+//! one flit per cycle (after the bridge's own output, which keeps the
+//! fault-free DII schedule untouched — under DII both queues are provably
+//! empty forever).
+//!
+//! # The in-flight writeback window
+//!
+//! The one true race of the protocol: the PE evicts a dirty line (`PutM`
+//! in flight) while the home — which still believes this PE owns the line —
+//! serializes another node's `GetM` first and sends us `FetchInv`. The line
+//! is already gone from the cache, but its data sits in the responder's
+//! writeback buffer ([`ProbeResponder::begin_writeback`]) until the PutM
+//! handshake completes; the responder answers the probe from that buffer,
+//! and the home later discards the stale PutM stream. Served-from-buffer
+//! probes count as [`CoherenceStats::probe_writebacks`] like any other
+//! dirty-data answer.
+
+use medea_cache::{Addr, CoherenceStats, FlushOutcome, MesiState, SetAssocCache, WORDS_PER_LINE};
+use medea_noc::coord::Topology;
+use medea_noc::flit::{burst_code, CohOp, Flit, PacketKind, SubKind};
+use medea_sim::ids::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// The per-PE coherence probe responder (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeResponder {
+    /// Probes awaiting service, in arrival order.
+    inbox: VecDeque<Flit>,
+    /// Replies (and fire-and-forget `Unblock`s) awaiting injection.
+    outbox: VecDeque<Flit>,
+    /// Dirty line whose PutM handshake is in flight: `(line, data)`.
+    wb: Option<(Addr, [u32; WORDS_PER_LINE])>,
+    stats: CoherenceStats,
+}
+
+impl ProbeResponder {
+    /// A fresh responder with empty queues.
+    pub fn new() -> Self {
+        ProbeResponder::default()
+    }
+
+    /// L1-side coherence counters (invalidations received, downgrades,
+    /// probe writebacks).
+    pub const fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// Queue a probe delivered by the NoC.
+    pub fn push_probe(&mut self, flit: Flit) {
+        debug_assert_eq!(flit.kind(), PacketKind::Coherence);
+        debug_assert_eq!(flit.sub(), SubKind::Request);
+        self.inbox.push_back(flit);
+    }
+
+    /// Queue an outbound coherence flit built elsewhere (the `Unblock`
+    /// the PE fires after installing a fill).
+    pub fn push_out(&mut self, flit: Flit) {
+        self.outbox.push_back(flit);
+    }
+
+    /// Next reply to inject, if any.
+    pub fn pop_out(&mut self) -> Option<Flit> {
+        self.outbox.pop_front()
+    }
+
+    /// Whether a reply waits for injection.
+    pub fn has_out(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// Whether the responder holds no pending work (fast-forward and
+    /// deadlock-detection predicate; always true under DII).
+    pub fn is_idle(&self) -> bool {
+        self.inbox.is_empty() && self.outbox.is_empty()
+    }
+
+    /// Arm the writeback buffer for a dirty eviction whose PutM is now in
+    /// flight.
+    pub fn begin_writeback(&mut self, line: Addr, data: [u32; WORDS_PER_LINE]) {
+        debug_assert!(self.wb.is_none(), "one eviction in flight at a time");
+        self.wb = Some((line, data));
+    }
+
+    /// The PutM handshake completed; the home owns the data now.
+    pub fn end_writeback(&mut self) {
+        self.wb = None;
+    }
+
+    /// Serve at most one queued probe against `cache` + `mesi`, queueing
+    /// the reply. Returns whether a probe was served.
+    pub fn service(
+        &mut self,
+        topo: &Topology,
+        src_id: u8,
+        cache: &mut SetAssocCache,
+        mesi: &mut HashMap<Addr, MesiState>,
+    ) -> bool {
+        let Some(probe) = self.inbox.pop_front() else {
+            return false;
+        };
+        let op = probe.coh_op().expect("probes carry an opcode");
+        let line = probe.payload();
+        let home = topo.coord_of(NodeId::new(probe.src_id() as u16));
+        match op {
+            CohOp::Inv => {
+                // Ack even when the line is absent (silently evicted):
+                // the home's sharer list is conservative by design.
+                self.stats.invalidations_received += 1;
+                cache.invalidate_line(line);
+                mesi.remove(&line);
+                self.outbox.push_back(Flit::coherence(
+                    home,
+                    SubKind::Ack,
+                    CohOp::InvAck,
+                    src_id,
+                    line,
+                ));
+            }
+            CohOp::Fetch | CohOp::FetchInv => {
+                self.stats.downgrades += 1;
+                // Dirty data lives either in the in-flight writeback
+                // buffer (eviction racing this probe) or in the cache.
+                let flushed = match self.wb {
+                    Some((l, data)) if l == line => Some(data),
+                    _ => match cache.flush_line(line) {
+                        FlushOutcome::Writeback(v) => Some(v.data),
+                        FlushOutcome::Clean => None,
+                    },
+                };
+                if op == CohOp::FetchInv {
+                    cache.invalidate_line(line);
+                    mesi.remove(&line);
+                } else if cache.probe(line) {
+                    // Fetch = downgrade: the line survives, but only
+                    // shared — a silent S→M upgrade would be invisible
+                    // to the directory.
+                    mesi.insert(line, MesiState::Shared);
+                }
+                match flushed {
+                    Some(data) => {
+                        self.stats.probe_writebacks += 1;
+                        for (i, w) in data.iter().enumerate() {
+                            self.outbox.push_back(Flit::new(
+                                home,
+                                PacketKind::Coherence,
+                                SubKind::Data,
+                                i as u8,
+                                burst_code(WORDS_PER_LINE),
+                                src_id,
+                                *w,
+                            ));
+                        }
+                    }
+                    None => self.outbox.push_back(Flit::coherence(
+                        home,
+                        SubKind::Ack,
+                        CohOp::CleanAck,
+                        src_id,
+                        line,
+                    )),
+                }
+            }
+            other => panic!("unexpected coherence probe {other} at a PE"),
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cache::{CacheConfig, CachePolicy};
+
+    fn setup() -> (ProbeResponder, SetAssocCache, HashMap<Addr, MesiState>, Topology) {
+        let cache = SetAssocCache::new(CacheConfig::new(2048, CachePolicy::WriteBack).unwrap());
+        (ProbeResponder::new(), cache, HashMap::new(), Topology::paper_4x4())
+    }
+
+    fn probe(op: CohOp, line: Addr) -> Flit {
+        // Probe from home bank at node 0 to this PE.
+        Flit::coherence(medea_noc::coord::Coord::new(1, 1), SubKind::Request, op, 0, line)
+    }
+
+    #[test]
+    fn inv_drops_line_and_acks() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        cache.fill_line(0x40, [1; 4]);
+        mesi.insert(0x40, MesiState::Shared);
+        r.push_probe(probe(CohOp::Inv, 0x40));
+        assert!(r.service(&topo, 5, &mut cache, &mut mesi));
+        assert!(!cache.probe(0x40));
+        assert!(mesi.is_empty());
+        let ack = r.pop_out().unwrap();
+        assert_eq!(ack.coh_op(), Some(CohOp::InvAck));
+        assert_eq!(ack.dest(), topo.coord_of(NodeId::new(0)));
+        assert_eq!(r.stats().invalidations_received, 1);
+    }
+
+    #[test]
+    fn inv_of_absent_line_still_acks() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        r.push_probe(probe(CohOp::Inv, 0x40));
+        r.service(&topo, 5, &mut cache, &mut mesi);
+        assert_eq!(r.pop_out().unwrap().coh_op(), Some(CohOp::InvAck));
+    }
+
+    #[test]
+    fn fetch_flushes_dirty_line_and_downgrades_to_shared() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        cache.fill_line(0x40, [1, 2, 3, 4]);
+        cache.store_word(0x44, 99);
+        mesi.insert(0x40, MesiState::Modified);
+        r.push_probe(probe(CohOp::Fetch, 0x40));
+        r.service(&topo, 5, &mut cache, &mut mesi);
+        let flits: Vec<Flit> = std::iter::from_fn(|| r.pop_out()).collect();
+        assert_eq!(flits.len(), 4, "dirty line streams back");
+        assert_eq!(flits[1].payload(), 99);
+        assert!(cache.probe(0x40), "Fetch keeps the line resident");
+        assert_eq!(mesi.get(&0x40), Some(&MesiState::Shared));
+        assert_eq!(r.stats().probe_writebacks, 1);
+        assert_eq!(r.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn fetchinv_of_clean_line_clean_acks_and_invalidates() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        cache.fill_line(0x40, [7; 4]);
+        mesi.insert(0x40, MesiState::Exclusive);
+        r.push_probe(probe(CohOp::FetchInv, 0x40));
+        r.service(&topo, 5, &mut cache, &mut mesi);
+        assert_eq!(r.pop_out().unwrap().coh_op(), Some(CohOp::CleanAck));
+        assert!(!cache.probe(0x40));
+        assert!(mesi.is_empty());
+    }
+
+    #[test]
+    fn fetchinv_during_eviction_answers_from_writeback_buffer() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        // Line already evicted locally; PutM in flight with its data.
+        r.begin_writeback(0x40, [0xA, 0xB, 0xC, 0xD]);
+        r.push_probe(probe(CohOp::FetchInv, 0x40));
+        r.service(&topo, 5, &mut cache, &mut mesi);
+        let flits: Vec<Flit> = std::iter::from_fn(|| r.pop_out()).collect();
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[3].payload(), 0xD);
+        assert_eq!(r.stats().probe_writebacks, 1);
+        r.end_writeback();
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn one_probe_served_per_call() {
+        let (mut r, mut cache, mut mesi, topo) = setup();
+        r.push_probe(probe(CohOp::Inv, 0x40));
+        r.push_probe(probe(CohOp::Inv, 0x80));
+        assert!(r.service(&topo, 5, &mut cache, &mut mesi));
+        assert_eq!(r.pop_out().unwrap().payload(), 0x40);
+        assert!(r.pop_out().is_none(), "second probe still queued");
+        assert!(r.service(&topo, 5, &mut cache, &mut mesi));
+        assert_eq!(r.pop_out().unwrap().payload(), 0x80);
+        assert!(!r.service(&topo, 5, &mut cache, &mut mesi));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`arbiter`] — the NoC-access arbiter between the two interfaces, in
 //!   the paper's three build options (plain mux, single FIFO, dual
 //!   priority);
+//! * [`coherence`] — the L1-side probe responder of the beyond-the-paper
+//!   directory-MESI option (answers `Inv`/`Fetch`/`FetchInv` probes;
+//!   completely inert under the paper-faithful DII default);
 //! * [`pe`] — the PE proper: an L1 cache plus an execution engine that
 //!   serves the application kernel's architectural operations
 //!   ([`kernel_if::PeRequest`]) cycle by cycle.
@@ -26,6 +29,7 @@
 
 pub mod arbiter;
 pub mod bridge;
+pub mod coherence;
 pub mod fpu;
 pub mod kernel_if;
 pub mod pe;

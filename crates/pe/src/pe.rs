@@ -19,19 +19,23 @@
 
 use crate::arbiter::{ArbiterConfig, NocArbiter};
 use crate::bridge::{BridgeConfig, BridgeOp, BridgeResult, Pif2NocBridge};
+use crate::coherence::ProbeResponder;
 use crate::fpu::FpModel;
 use crate::kernel_if::{f64_to_words, words_to_f64, PeRequest, PeResponse};
 use crate::tie::{packetize, TieReceiver};
-use medea_cache::{line_of, Addr, CacheConfig, SetAssocCache, StoreOutcome, WORDS_PER_LINE};
+use medea_cache::{
+    line_of, Addr, CacheConfig, CoherenceMode, CoherenceStats, MesiState, SetAssocCache,
+    StoreOutcome, WORDS_PER_LINE,
+};
 use medea_mem::BankMap;
 use medea_noc::coord::Topology;
-use medea_noc::flit::Flit;
+use medea_noc::flit::{CohOp, Flit, PacketKind, SubKind};
 use medea_sim::coroutine::{Fetched, KernelHost, KernelPort};
 use medea_sim::ids::NodeId;
 use medea_sim::stats::Counter;
 use medea_sim::Cycle;
 use medea_trace::{CacheEventKind, KernelOp, NullSink, TraceEvent, TraceSink};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// The port type kernels receive: issue [`PeRequest`]s, get
 /// [`PeResponse`]s.
@@ -50,6 +54,9 @@ pub struct PeConfig {
     pub arbiter: ArbiterConfig,
     /// pif2NoC bridge parameters.
     pub bridge: BridgeConfig,
+    /// Coherence option: the paper's software DII (default) or the
+    /// beyond-the-paper hardware directory MESI (§II-E extension).
+    pub coherence: CoherenceMode,
 }
 
 /// Per-PE execution statistics.
@@ -152,6 +159,12 @@ pub struct ProcessingElement {
     bridge: Pif2NocBridge,
     rx: TieReceiver,
     arbiter: NocArbiter,
+    /// Directory-MESI state of resident lines (hardware coherence only;
+    /// stays empty under DII). Entries for silently evicted clean lines
+    /// go stale, so every read is gated on `cache.probe`.
+    mesi: HashMap<Addr, MesiState>,
+    /// L1-side probe responder (inert under DII).
+    coh: ProbeResponder,
     exec: Exec,
     stats: PeStats,
 }
@@ -175,8 +188,25 @@ impl ProcessingElement {
             bridge: Pif2NocBridge::new(banks, src_id, cfg.bridge),
             rx: TieReceiver::new(),
             arbiter: NocArbiter::new(cfg.arbiter),
+            mesi: HashMap::new(),
+            coh: ProbeResponder::new(),
             exec: Exec::Fetch,
             stats: PeStats::default(),
+        }
+    }
+
+    /// Whether the hardware directory-MESI option is enabled.
+    fn coherent(&self) -> bool {
+        self.cfg.coherence.is_hardware()
+    }
+
+    /// MESI state of `line`, residency-gated: a stale map entry left by a
+    /// silent clean eviction must never be read.
+    fn line_state(&self, line: Addr) -> Option<MesiState> {
+        if self.cache.probe(line) {
+            self.mesi.get(&line).copied()
+        } else {
+            None
         }
     }
 
@@ -205,6 +235,11 @@ impl ProcessingElement {
         self.bridge.stats()
     }
 
+    /// L1-side coherence statistics (all-zero under DII).
+    pub const fn coherence_stats(&self) -> &CoherenceStats {
+        self.coh.stats()
+    }
+
     /// Whether the kernel has finished.
     pub fn is_done(&self) -> bool {
         matches!(self.exec, Exec::Done)
@@ -221,6 +256,7 @@ impl ProcessingElement {
                     && !self.rx.has_partials()
                     && self.arbiter.occupancy() == 0
                     && !self.bridge.has_output()
+                    && self.coh.is_idle()
             }
             _ => false,
         }
@@ -238,7 +274,7 @@ impl ProcessingElement {
     /// buffer into the TIE receiver and never shorten a time stall, so a
     /// computed wake time stays valid until the next tick.
     pub fn sleep_until(&self) -> Option<Cycle> {
-        let drained = self.arbiter.occupancy() == 0 && !self.bridge.is_busy();
+        let drained = self.arbiter.occupancy() == 0 && !self.bridge.is_busy() && self.coh.is_idle();
         match &self.exec {
             Exec::Stall { until, .. } if drained => Some(*until),
             Exec::Done if drained => Some(Cycle::MAX),
@@ -248,6 +284,11 @@ impl ProcessingElement {
 
     /// Fast-forward hint (see [`Wakeup`]).
     pub fn wakeup(&self) -> Wakeup {
+        // Pending probe work overrides every exec-state hint: a "done" or
+        // stalled PE must still answer the directory.
+        if !self.coh.is_idle() {
+            return Wakeup::External;
+        }
         match &self.exec {
             Exec::Done => Wakeup::Done,
             Exec::Stall { until, .. } => Wakeup::At(*until),
@@ -273,6 +314,12 @@ impl ProcessingElement {
     /// [`deliver`](ProcessingElement::deliver) with reorder-buffer slips
     /// (block-read data arriving out of address order) reported to `sink`.
     pub fn deliver_traced<S: TraceSink>(&mut self, flit: Flit, now: Cycle, sink: &mut S) {
+        // Coherence *requests* at a PE are directory probes for the
+        // responder; coherence data/acks are fill traffic for the bridge.
+        if flit.kind() == PacketKind::Coherence && flit.sub() == SubKind::Request {
+            self.coh.push_probe(flit);
+            return;
+        }
         if flit.kind().is_shared_memory() {
             if S::ACTIVE {
                 let before = self.bridge.stats().out_of_order_flits.get();
@@ -309,10 +356,18 @@ impl ProcessingElement {
     /// monomorphizes to exactly the untraced engine.
     pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
         self.bridge.tick(now);
-        // Move at most one bridge flit into the arbiter per cycle (the
-        // bridge's output latch drains at link rate).
+        // One queued directory probe served per cycle, even while the
+        // execution engine is stalled or done (provably a no-op under DII:
+        // the responder's queues stay empty forever).
+        self.coh.service(&self.topo, self.src_id, &mut self.cache, &mut self.mesi);
+        // Move at most one shared-memory flit into the arbiter per cycle
+        // (the bridge's output latch drains at link rate); the bridge's
+        // own transaction outranks probe replies.
         if self.bridge.has_output() && self.arbiter.can_accept_bridge() {
             let flit = self.bridge.take_output().expect("has_output");
+            self.arbiter.accept_bridge(flit);
+        } else if self.coh.has_out() && self.arbiter.can_accept_bridge() {
+            let flit = self.coh.pop_out().expect("has_out");
             self.arbiter.accept_bridge(flit);
         }
         self.step(now, sink);
@@ -528,12 +583,22 @@ impl ProcessingElement {
                         let kind = CacheEventKind::FlushWriteback;
                         sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
                     }
+                    // Under MESI a dirty line means we own it; a plain
+                    // block write refreshes memory without touching the
+                    // directory, so the resident copy downgrades M→E.
+                    if self.coherent() {
+                        self.mesi.insert(v.line, MesiState::Exclusive);
+                    }
                     self.bridge.start(BridgeOp::BlockWrite { line: v.line, data: v.data });
                     Exec::BridgeWait { shape: DirectShape::FlushWriteback }
                 }
             },
             PeRequest::InvalidateLine { addr } => {
                 self.cache.invalidate_line(addr);
+                // A deliberate discard: the directory may keep treating us
+                // as owner/sharer, which the conservative probe-ack rules
+                // make harmless.
+                self.mesi.remove(&line_of(addr));
                 if S::ACTIVE {
                     let kind = CacheEventKind::Invalidate;
                     sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
@@ -625,22 +690,43 @@ impl ProcessingElement {
                             self.start_allocate(&mut m, word.addr);
                         }
                     },
-                    Some(value) => match self.cache.store_word(word.addr, value) {
-                        StoreOutcome::Absorbed => {
-                            cache_event(sink, CacheEventKind::StoreHit, word.addr);
-                            m.idx += 1;
-                            return self.word_done(m, now);
-                        }
-                        StoreOutcome::WriteThrough => {
-                            cache_event(sink, CacheEventKind::StoreThrough, word.addr);
-                            self.bridge.start(BridgeOp::SingleWrite { addr: word.addr, value });
-                            m.phase = MemPhase::WriteThrough;
-                        }
-                        StoreOutcome::NeedsAllocate => {
+                    Some(value) => {
+                        // MESI: a store may only be absorbed with write
+                        // permission (M or E). A hit on a Shared line must
+                        // first drop the local copy and refetch through
+                        // `GetM` so the home invalidates the other sharers.
+                        if self.coherent()
+                            && self.line_state(line_of(word.addr)) == Some(MesiState::Shared)
+                        {
                             cache_event(sink, CacheEventKind::StoreMiss, word.addr);
+                            self.cache.invalidate_line(word.addr);
+                            self.mesi.remove(&line_of(word.addr));
                             self.start_allocate(&mut m, word.addr);
+                            self.exec = Exec::Mem(m);
+                            return false;
                         }
-                    },
+                        match self.cache.store_word(word.addr, value) {
+                            StoreOutcome::Absorbed => {
+                                cache_event(sink, CacheEventKind::StoreHit, word.addr);
+                                if self.coherent() {
+                                    // Silent E→M upgrade (or M staying M): the
+                                    // directory already records us as owner.
+                                    self.mesi.insert(line_of(word.addr), MesiState::Modified);
+                                }
+                                m.idx += 1;
+                                return self.word_done(m, now);
+                            }
+                            StoreOutcome::WriteThrough => {
+                                cache_event(sink, CacheEventKind::StoreThrough, word.addr);
+                                self.bridge.start(BridgeOp::SingleWrite { addr: word.addr, value });
+                                m.phase = MemPhase::WriteThrough;
+                            }
+                            StoreOutcome::NeedsAllocate => {
+                                cache_event(sink, CacheEventKind::StoreMiss, word.addr);
+                                self.start_allocate(&mut m, word.addr);
+                            }
+                        }
+                    }
                 }
                 self.exec = Exec::Mem(m);
                 false
@@ -648,8 +734,15 @@ impl ProcessingElement {
             MemPhase::VictimWriteback { line } => {
                 if let Some(result) = self.bridge.take_result() {
                     debug_assert_eq!(result, BridgeResult::WriteDone);
-                    self.bridge.start(BridgeOp::BlockRead { line });
-                    m.phase = MemPhase::LineFetch { line };
+                    if self.coherent() {
+                        // PutM handshake done: the home owns the victim's
+                        // data now, so the race window closes.
+                        self.coh.end_writeback();
+                        self.start_coh_fetch(&mut m, line);
+                    } else {
+                        self.bridge.start(BridgeOp::BlockRead { line });
+                        m.phase = MemPhase::LineFetch { line };
+                    }
                 }
                 self.exec = Exec::Mem(m);
                 false
@@ -658,6 +751,25 @@ impl ProcessingElement {
                 if let Some(result) = self.bridge.take_result() {
                     let data = match result {
                         BridgeResult::Line(d) => d,
+                        BridgeResult::CohLine { data, grant } => {
+                            let state = match grant {
+                                CohOp::GrantM => MesiState::Modified,
+                                CohOp::GrantE => MesiState::Exclusive,
+                                _ => MesiState::Shared,
+                            };
+                            self.mesi.insert(line, state);
+                            // Release the home: it stays blocked on this
+                            // line until our Unblock crosses the NoC, so no
+                            // probe can race the fill-install-retry window.
+                            self.coh.push_out(Flit::coherence(
+                                self.bridge.home_coord(line),
+                                SubKind::Request,
+                                CohOp::Unblock,
+                                self.src_id,
+                                line,
+                            ));
+                            data
+                        }
                         other => panic!("line fetch returned {other:?}"),
                     };
                     self.cache.fill_line(line, data);
@@ -681,15 +793,37 @@ impl ProcessingElement {
     fn start_allocate(&mut self, m: &mut MemExec, addr: Addr) {
         let line = line_of(addr);
         match self.cache.evict_for(line) {
+            Some(victim) if self.coherent() => {
+                // Dirty eviction under MESI: give ownership back with PutM,
+                // and keep the data answerable in the responder's buffer in
+                // case a FetchInv races the handshake.
+                self.mesi.remove(&victim.line);
+                self.coh.begin_writeback(victim.line, victim.data);
+                self.bridge.start(BridgeOp::CohPutM { line: victim.line, data: victim.data });
+                m.phase = MemPhase::VictimWriteback { line };
+            }
             Some(victim) => {
                 self.bridge.start(BridgeOp::BlockWrite { line: victim.line, data: victim.data });
                 m.phase = MemPhase::VictimWriteback { line };
             }
+            None if self.coherent() => self.start_coh_fetch(m, line),
             None => {
                 self.bridge.start(BridgeOp::BlockRead { line });
                 m.phase = MemPhase::LineFetch { line };
             }
         }
+    }
+
+    /// Begin the coherent fetch of `line`: `GetM` when the pending word is
+    /// a store (write permission), `GetS` otherwise.
+    fn start_coh_fetch(&mut self, m: &mut MemExec, line: Addr) {
+        let op = if m.words[m.idx].store.is_some() {
+            BridgeOp::CohGetM { line }
+        } else {
+            BridgeOp::CohGetS { line }
+        };
+        self.bridge.start(op);
+        m.phase = MemPhase::LineFetch { line };
     }
 
     /// A word finished; either continue with the next word or reply.
@@ -725,6 +859,7 @@ mod tests {
             fp: FpModel::new(MulOption::MulHigh),
             arbiter: ArbiterConfig::default(),
             bridge: BridgeConfig::default(),
+            coherence: CoherenceMode::Dii,
         }
     }
 

@@ -101,6 +101,8 @@ impl TraceAnalysis {
                 TraceEvent::LockReleased { .. }
                 | TraceEvent::CacheAccess { .. }
                 | TraceEvent::ReorderSlip { .. }
+                | TraceEvent::CohProbe { .. }
+                | TraceEvent::CohHome { .. }
                 | TraceEvent::MemTxn { .. } => {}
             }
         }

@@ -30,7 +30,7 @@
 
 #[cfg(doc)]
 use crate::event::KernelOp;
-use crate::event::{packet_kind_name, TimedEvent, TraceEvent};
+use crate::event::{coh_op_name, packet_kind_name, TimedEvent, TraceEvent};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -134,6 +134,20 @@ where
                 scratch.clear();
                 scratch.push_str("mem:");
                 scratch.push_str(packet_kind_name(kind));
+                push_common(&mut out, &scratch, 'i', at, bank);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"src\":{src},\"addr\":{addr}}}}}");
+            }
+            TraceEvent::CohProbe { node, op, addr } => {
+                scratch.clear();
+                scratch.push_str("coh:");
+                scratch.push_str(coh_op_name(op));
+                push_common(&mut out, &scratch, 'i', at, node);
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"addr\":{addr}}}}}");
+            }
+            TraceEvent::CohHome { bank, src, op, addr } => {
+                scratch.clear();
+                scratch.push_str("coh:");
+                scratch.push_str(coh_op_name(op));
                 push_common(&mut out, &scratch, 'i', at, bank);
                 let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"src\":{src},\"addr\":{addr}}}}}");
             }

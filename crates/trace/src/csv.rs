@@ -8,14 +8,27 @@
 //! Inapplicable cells are left empty, so the file loads directly into
 //! any dataframe tool.
 
-use crate::event::{packet_kind_name, TimedEvent, TraceEvent};
+use crate::event::{coh_op_name, packet_kind_name, TimedEvent, TraceEvent};
 use std::fmt::Write as _;
+
+/// The fixed CSV header row (shared with the streaming
+/// [`FileSink`](crate::sink::FileSink), which writes the same format).
+pub const HEADER: &str = "cycle,class,event,node,kind,src,addr,value\n";
 
 /// Render `events` as a CSV document with a header row.
 pub fn to_csv(events: &[TimedEvent]) -> String {
     let mut out = String::with_capacity(32 + events.len() * 40);
-    out.push_str("cycle,class,event,node,kind,src,addr,value\n");
-    for &TimedEvent { at, event } in events {
+    out.push_str(HEADER);
+    for timed in events {
+        push_row(&mut out, timed);
+    }
+    out
+}
+
+/// Append one CSV data row (with trailing newline) for `timed` to `out`.
+pub fn push_row(out: &mut String, timed: &TimedEvent) {
+    let &TimedEvent { at, event } = timed;
+    {
         let class = event.class().label();
         let node = event.node();
         let (name, kind, src, addr, value) = match event {
@@ -35,6 +48,12 @@ pub fn to_csv(events: &[TimedEvent]) -> String {
             TraceEvent::ReorderSlip { .. } => ("reorder-slip", "", None, None, None),
             TraceEvent::MemTxn { src, kind, addr, .. } => {
                 ("mem-txn", packet_kind_name(kind), Some(src), Some(addr), None)
+            }
+            TraceEvent::CohProbe { op, addr, .. } => {
+                ("coh-probe", coh_op_name(op), None, Some(addr), None)
+            }
+            TraceEvent::CohHome { src, op, addr, .. } => {
+                ("coh-home", coh_op_name(op), Some(src), Some(addr), None)
             }
             TraceEvent::LockAcquired { src, addr, .. } => {
                 ("lock-acquire", "", Some(src), Some(addr), None)
@@ -75,7 +94,6 @@ pub fn to_csv(events: &[TimedEvent]) -> String {
         }
         out.push('\n');
     }
-    out
 }
 
 #[cfg(test)]

@@ -79,7 +79,7 @@ impl std::ops::BitOr for EventClass {
     }
 }
 
-/// The seven `TYPE`-field wire codes, named for exporters (kept in sync
+/// The eight `TYPE`-field wire codes, named for exporters (kept in sync
 /// with `medea_noc::flit::PacketKind::code`).
 pub const fn packet_kind_name(code: u8) -> &'static str {
     match code {
@@ -90,6 +90,30 @@ pub const fn packet_kind_name(code: u8) -> &'static str {
         4 => "lock",
         5 => "unlock",
         6 => "message",
+        7 => "coherence",
+        _ => "unknown",
+    }
+}
+
+/// Coherence opcode names for exporters (kept in sync with
+/// `medea_noc::flit::CohOp::code`; this crate sits below `medea-noc` so
+/// the code crosses as a raw `u8`).
+pub const fn coh_op_name(code: u8) -> &'static str {
+    match code {
+        0 => "gets",
+        1 => "getm",
+        2 => "putm",
+        3 => "unblock",
+        4 => "inv",
+        5 => "fetch",
+        6 => "fetch-inv",
+        7 => "inv-ack",
+        8 => "clean-ack",
+        9 => "grant-s",
+        10 => "grant-e",
+        11 => "grant-m",
+        12 => "putm-grant",
+        13 => "putm-ack",
         _ => "unknown",
     }
 }
@@ -242,6 +266,17 @@ pub enum TraceEvent {
         /// The PE's node.
         node: u16,
     },
+    /// `node`'s L1 responder handled a directory probe (directory-MESI
+    /// mode only): an `Inv`, `Fetch` or `FetchInv` received from a home
+    /// bank, or the `Unblock` it sends after installing a fill.
+    CohProbe {
+        /// The PE's node.
+        node: u16,
+        /// Coherence opcode wire code (see [`coh_op_name`]).
+        op: u8,
+        /// Line address.
+        addr: u32,
+    },
     /// An MPMMU bank dispatched a shared-memory transaction.
     MemTxn {
         /// The bank's node.
@@ -251,6 +286,19 @@ pub enum TraceEvent {
         /// `TYPE`-field wire code of the transaction.
         kind: u8,
         /// Target address.
+        addr: u32,
+    },
+    /// A directory home (MPMMU bank) acted on a coherence transaction
+    /// (directory-MESI mode only): a `GetS`/`GetM`/`PutM` it dispatched,
+    /// or an `Inv`/`Fetch`/`FetchInv` probe it sent towards `src`.
+    CohHome {
+        /// The home bank's node.
+        bank: u16,
+        /// Requesting (or probed) node.
+        src: u16,
+        /// Coherence opcode wire code (see [`coh_op_name`]).
+        op: u8,
+        /// Line address.
         addr: u32,
     },
     /// A lock request was granted.
@@ -339,8 +387,11 @@ impl TraceEvent {
             | TraceEvent::FlitDelivered { .. }
             | TraceEvent::FlitDeflected { .. }
             | TraceEvent::LinkLoad { .. } => EventClass::NOC,
-            TraceEvent::CacheAccess { .. } | TraceEvent::ReorderSlip { .. } => EventClass::CACHE,
+            TraceEvent::CacheAccess { .. }
+            | TraceEvent::ReorderSlip { .. }
+            | TraceEvent::CohProbe { .. } => EventClass::CACHE,
             TraceEvent::MemTxn { .. }
+            | TraceEvent::CohHome { .. }
             | TraceEvent::LockAcquired { .. }
             | TraceEvent::LockContended { .. }
             | TraceEvent::LockReleased { .. } => EventClass::MEM,
@@ -362,12 +413,14 @@ impl TraceEvent {
             | TraceEvent::LinkLoad { node, .. }
             | TraceEvent::CacheAccess { node, .. }
             | TraceEvent::ReorderSlip { node }
+            | TraceEvent::CohProbe { node, .. }
             | TraceEvent::SpanBegin { node, .. }
             | TraceEvent::SpanEnd { node, .. }
             | TraceEvent::FaultFlitCorrupted { node, .. }
             | TraceEvent::FaultLinkKilled { node, .. }
             | TraceEvent::FaultPeStall { node, .. } => node,
             TraceEvent::MemTxn { bank, .. }
+            | TraceEvent::CohHome { bank, .. }
             | TraceEvent::LockAcquired { bank, .. }
             | TraceEvent::LockContended { bank, .. }
             | TraceEvent::LockReleased { bank, .. }
@@ -412,7 +465,9 @@ mod tests {
             TraceEvent::LinkLoad { node: 1, links: 2 },
             TraceEvent::CacheAccess { node: 1, kind: CacheEventKind::LoadHit, addr: 0x40 },
             TraceEvent::ReorderSlip { node: 1 },
+            TraceEvent::CohProbe { node: 1, op: 4, addr: 0x40 },
             TraceEvent::MemTxn { bank: 0, src: 1, kind: 0, addr: 0x40 },
+            TraceEvent::CohHome { bank: 0, src: 1, op: 1, addr: 0x40 },
             TraceEvent::LockAcquired { bank: 0, src: 1, addr: 0x200 },
             TraceEvent::LockContended { bank: 0, src: 1, addr: 0x200 },
             TraceEvent::LockReleased { bank: 0, src: 1, addr: 0x200 },
@@ -442,9 +497,18 @@ mod tests {
 
     #[test]
     fn packet_kind_names_cover_wire_codes() {
-        for code in 0..7u8 {
+        for code in 0..8u8 {
             assert_ne!(packet_kind_name(code), "unknown");
         }
-        assert_eq!(packet_kind_name(7), "unknown");
+        assert_eq!(packet_kind_name(7), "coherence");
+        assert_eq!(packet_kind_name(8), "unknown");
+    }
+
+    #[test]
+    fn coh_op_names_cover_assigned_codes() {
+        for code in 0..14u8 {
+            assert_ne!(coh_op_name(code), "unknown");
+        }
+        assert_eq!(coh_op_name(14), "unknown");
     }
 }

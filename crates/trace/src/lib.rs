@@ -16,7 +16,11 @@
 //!   untraced one (pinned by the golden suite);
 //! * with [`RingSink`] (`System::run_traced`), events land in a
 //!   preallocated ring buffer — steady-state capture allocates nothing
-//!   and the newest `capacity` events survive.
+//!   and the newest `capacity` events survive;
+//! * with [`FileSink`], events stream to disk through a buffered writer
+//!   in the CSV vocabulary — for multi-hundred-M-cycle runs where any
+//!   ring would truncate (drop-counter semantics documented in
+//!   [`file`]).
 //!
 //! # Event classes
 //!
@@ -66,9 +70,13 @@ pub mod analysis;
 pub mod chrome;
 pub mod csv;
 pub mod event;
+pub mod file;
 pub mod json;
 pub mod sink;
 
 pub use analysis::TraceAnalysis;
-pub use event::{packet_kind_name, CacheEventKind, EventClass, KernelOp, TimedEvent, TraceEvent};
+pub use event::{
+    coh_op_name, packet_kind_name, CacheEventKind, EventClass, KernelOp, TimedEvent, TraceEvent,
+};
+pub use file::FileSink;
 pub use sink::{NullSink, RingSink, TraceConfig, TraceSink};
