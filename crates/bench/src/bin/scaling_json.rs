@@ -36,6 +36,15 @@
 //! (DII protocol-silent, MESI demand-driven invalidations/fetches), and
 //! every run validates its shared counters in-kernel.
 //!
+//! And the **utilization profile**: the most-populated Jacobi point of
+//! every tier re-run with the `medea-metrics` profiler enabled
+//! (`SystemConfigBuilder::metrics`) at a tier-scaled sampling window.
+//! Rows report the aggregate per-PE cycle attribution (compute /
+//! recv-wait / mem / … fractions, summing to 1.0 by construction), the
+//! peak single-link utilization of any sample window and the
+//! hottest-router/bank tables. Metered runs are kept out of the timing
+//! ladder so sampling cost never pollutes the cycles/sec columns.
+//!
 //! And the **resilience sweep**: seeded fault injection (Message-flit
 //! corruption, a mid-run dead torus link, MPMMU response drops/delays)
 //! against the standard recovery configuration. Every scenario must
@@ -71,13 +80,15 @@
 use medea_apps::hotspot::{self, HotspotConfig};
 use medea_apps::jacobi::{self, JacobiConfig, JacobiVariant, JacobiWorkload};
 use medea_apps::sharing::{self, SharingConfig};
-use medea_bench::sweep_threads;
+use medea_bench::{sweep_threads, utilization_rows_json, UtilizationRow};
 use medea_core::api::PeApi;
 use medea_core::explore::{run_sweep, PreparedWorkload, SweepOutcome, SweepPoint, Workload};
+use medea_core::report::format_breakdown_table;
 use medea_core::system::{Kernel, RunResult, System};
 use medea_core::{
-    CachePolicy, Coherence, CollectiveAlgo, DeadLink, Empi, FaultConfig, NullSink,
-    ResilienceConfig, ScheduledInjector, SystemConfig, SystemConfigBuilder, Topology,
+    CachePolicy, Coherence, CollectiveAlgo, CycleBreakdown, DeadLink, Empi, FaultConfig,
+    MetricsConfig, NullSink, PeActivity, ResilienceConfig, ScheduledInjector, SystemConfig,
+    SystemConfigBuilder, Topology,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -562,6 +573,45 @@ fn run_coherence(tiers: &[Tier], rounds: usize) -> Vec<CoherenceRow> {
     rows
 }
 
+// ---- utilization profile ----
+
+/// Metered re-run of the most-populated Jacobi point of every tier: the
+/// cycle-attribution profiler and periodic samplers enabled at a
+/// tier-scaled window, feeding the `utilization` section. The sampling
+/// interval grows with the tier so the deepest 16×16 run still fits the
+/// default 256-window ring without evicting its early windows.
+fn run_utilization(tiers: &[Tier], smoke: bool) -> Vec<UtilizationRow> {
+    let mut rows = Vec::new();
+    for tier in tiers {
+        let topology = Topology::new(tier.side, tier.side).expect("valid square torus");
+        let pes = *tier.pe_counts.last().expect("tier has PE counts");
+        let interval: u64 = match (tier.side, smoke) {
+            (16, false) => 65_536,
+            (8, false) => 4_096,
+            (_, false) => 2_048,
+            (16, true) => 2_048,
+            (8, true) => 1_024,
+            (_, true) => 512,
+        };
+        let sys = base_builder()
+            .topology(topology)
+            .compute_pes(pes)
+            .cache_bytes(CACHE_BYTES)
+            .metrics(MetricsConfig::every(interval))
+            .build()
+            .expect("utilization configuration");
+        let outcome = jacobi::run(&sys, &jacobi_config(tier.grid_n)).expect("utilization run");
+        let report = outcome.run.metrics.expect("metered run attaches a metrics report");
+        rows.push(UtilizationRow {
+            topology: format!("{}x{}", tier.side, tier.side),
+            label: sys.label(),
+            pes,
+            report,
+        });
+    }
+    rows
+}
+
 // ---- resilience microbench ----
 
 /// The fault-injection sweep behind the `resilience` section: every
@@ -756,6 +806,7 @@ fn main() {
     let bank_rows = run_memory_banks(tiers, hotspot_ops);
     let coherence_rounds = if smoke { 4 } else { 8 };
     let coherence_rows = run_coherence(tiers, coherence_rounds);
+    let utilization = run_utilization(tiers, smoke);
     let resilience_rows = run_resilience(smoke);
     // Smoke mode skips the ~half-minute 255-PE validation pass; the
     // 63-rank validated run in the apps test suite covers CI.
@@ -927,6 +978,16 @@ fn main() {
         ));
     }
     json.push_str("  ]},\n");
+    // The profiler's view of the same tiers: cycle attribution and NoC /
+    // bank pressure from metered re-runs (sampling kept out of the timed
+    // ladder above).
+    json.push_str(
+        "  \"utilization\": {\"workload\": \"jacobi hybrid-full-mp, most-populated point per \
+         tier, metered re-run\", \"note\": \"breakdown fractions sum to 1.0 per row; link \
+         busy is a [0,1] per-window utilization\", \"rows\": [\n",
+    );
+    json.push_str(&utilization_rows_json(&utilization));
+    json.push_str("  ]},\n");
     // The fault-injection sweep: seeded faults against the standard
     // resilience configuration, Jacobi scenarios validated bit-exactly
     // after recovery.
@@ -988,6 +1049,22 @@ fn main() {
             "{:<6} {:>22} {:>2} bank(s)  {:>9} hotspot cycles  vs 1 bank {:>6.2}x",
             r.topology, r.label, r.banks, r.hotspot_cycles, r.speedup_vs_single_bank
         );
+    }
+    println!("cycle attribution (aggregate over all PEs of each metered point):");
+    let breakdown_rows: Vec<(String, CycleBreakdown)> =
+        utilization.iter().map(|r| (r.label.clone(), r.report.aggregate())).collect();
+    print!("{}", format_breakdown_table(&breakdown_rows));
+    for r in &utilization {
+        if let Some((node, dir, u)) = r.report.peak_link_utilization() {
+            println!(
+                "{}: peak link utilization {:.0}% at node {node} dir {dir} \
+                 ({} windows of {} cycles)",
+                r.label,
+                u * 100.0,
+                r.report.windows.len(),
+                r.report.interval
+            );
+        }
     }
     println!("resilience sweep (standard recovery config):");
     print!("{}", medea_core::report::format_resilience_table(&resilience_rows));
@@ -1070,6 +1147,28 @@ fn main() {
         println!(
             "parallel-engine speedup gate skipped: host has {cores} core(s), \
              gate needs {gate_threads}"
+        );
+    }
+    // The utilization acceptance gate: every metered point must have
+    // really profiled — a committed sample series and an exhaustive cycle
+    // attribution (fractions sum to 1.0, every ticked cycle charged).
+    for r in &utilization {
+        let agg = r.report.aggregate();
+        let sum: f64 = PeActivity::ALL.iter().map(|&a| agg.fraction(a)).sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{}: breakdown fractions must sum to 1.0, got {sum}",
+            r.label
+        );
+        assert!(
+            r.report.windows.len() >= 2,
+            "{}: the sampler must commit at least two windows",
+            r.label
+        );
+        assert!(
+            r.report.peak_link_utilization().is_some(),
+            "{}: a jacobi run must light up at least one link",
+            r.label
         );
     }
     // The resilience acceptance gate: every fault scenario must complete

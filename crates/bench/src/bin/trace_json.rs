@@ -24,7 +24,10 @@
 use medea_apps::jacobi::{JacobiConfig, JacobiVariant, JacobiWorkload};
 use medea_apps::workloads::{pingpong_kernels, trace_mix_kernels};
 use medea_core::explore::Workload as _;
-use medea_core::report::{format_latency_table, format_table, LatencyRow};
+use medea_core::report::{
+    format_deflection_table, format_latency_table, format_lock_contention_table, format_table,
+    LatencyRow,
+};
 use medea_core::system::{Kernel, RunResult, System};
 use medea_core::{EventClass, RingSink, SystemConfig, Topology, TraceConfig};
 use medea_trace::{chrome, csv, json, TimedEvent, TraceAnalysis};
@@ -176,11 +179,20 @@ fn main() {
     if let Some((node, links)) = analysis.peak_link_load() {
         println!("peak link load: {links}/4 at node {node}");
     }
+    let top_deflectors = analysis.top_deflecting_routers(8);
+    if !top_deflectors.is_empty() {
+        println!("hottest deflecting routers:");
+        print!("{}", format_deflection_table(&top_deflectors));
+    }
     if analysis.lock_acquires > 0 {
         println!(
             "locks: {} acquired, {} contended, {} contention cycles",
             analysis.lock_acquires, analysis.contended_acquires, analysis.lock_contention_cycles
         );
+    }
+    if !analysis.lock_contention_by_bank.is_empty() {
+        println!("lock contention by bank:");
+        print!("{}", format_lock_contention_table(&analysis.lock_contention_by_bank));
     }
     for (op, count, cycles) in &analysis.spans {
         println!("span {op}: {count} completed, {cycles} cycles total");

@@ -6,6 +6,7 @@ use crate::layout::MemoryMap;
 use crate::FabricKind;
 use medea_cache::{CacheConfig, CachePolicy, CoherenceMode};
 use medea_mem::{BankMap, DdrModel, MpmmuConfig, MAX_BANKS};
+use medea_metrics::MetricsConfig;
 use medea_noc::coord::{Coord, Topology};
 use medea_pe::arbiter::ArbiterConfig;
 use medea_pe::bridge::BridgeConfig;
@@ -127,6 +128,7 @@ pub struct SystemConfig {
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
+    metrics: MetricsConfig,
     resilience: ResilienceConfig,
     coherence: CoherenceMode,
     host_threads: usize,
@@ -203,6 +205,13 @@ impl SystemConfig {
     /// source originating on kernel threads).
     pub const fn trace_kernel_spans(&self) -> bool {
         self.trace.captures(EventClass::KERNEL)
+    }
+
+    /// The metrics-sampling configuration (default off). Like tracing,
+    /// metrics never change a run's architectural results; see
+    /// [`SystemConfigBuilder::metrics`].
+    pub const fn metrics(&self) -> MetricsConfig {
+        self.metrics
     }
 
     /// The resilient-delivery knobs (default: everything off — see
@@ -451,6 +460,7 @@ pub struct SystemConfigBuilder {
     cycle_limit: Cycle,
     collective_algo: CollectiveAlgo,
     trace: TraceConfig,
+    metrics: MetricsConfig,
     resilience: ResilienceConfig,
     coherence: CoherenceMode,
     host_threads: usize,
@@ -476,6 +486,7 @@ impl Default for SystemConfigBuilder {
             cycle_limit: 2_000_000_000,
             collective_algo: CollectiveAlgo::Linear,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             resilience: ResilienceConfig::off(),
             coherence: CoherenceMode::Dii,
             host_threads: 1,
@@ -604,6 +615,24 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// The metrics-sampling knob (default: [`MetricsConfig::off`]).
+    ///
+    /// When enabled (`MetricsConfig::every(k)`), the cycle engine records
+    /// per-PE cycle attribution plus a sample window every `k` cycles
+    /// (per-link utilization, PE states, bank FIFO/lock/coherence
+    /// pressure) and attaches the [`medea_metrics::MetricsReport`] to
+    /// `RunResult::metrics`. Metrics observe and never steer: a
+    /// metrics-on run is bit-identical to the same run with metrics off,
+    /// and like `host_threads` the knob never enters the label. The one
+    /// interaction: enabling metrics makes kernels issue their zero-cycle
+    /// span markers (the profiler needs them to classify collective
+    /// waits), so an *active trace sink* on a metrics-on run will also
+    /// see KERNEL-class events.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Resilient-delivery knobs (default: [`ResilienceConfig::off`]).
     ///
     /// Turning anything on changes timing even without injected faults
@@ -729,6 +758,7 @@ impl SystemConfigBuilder {
             cycle_limit: self.cycle_limit,
             collective_algo: self.collective_algo,
             trace: self.trace,
+            metrics: self.metrics,
             resilience: self.resilience,
             coherence: self.coherence,
             host_threads: self.host_threads,
@@ -774,6 +804,17 @@ mod tests {
         let noc_only =
             SystemConfig::builder().trace(TraceConfig::classes(EventClass::NOC)).build().unwrap();
         assert!(!noc_only.trace_kernel_spans(), "kernel markers follow the KERNEL class only");
+    }
+
+    #[test]
+    fn metrics_defaults_off_and_never_labels() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert!(!cfg.metrics().enabled());
+        let on = SystemConfig::builder().metrics(MetricsConfig::every(5_000)).build().unwrap();
+        assert!(on.metrics().enabled());
+        assert_eq!(on.metrics().sample_interval(), 5_000);
+        // Observability knob: the architectural label must not change.
+        assert_eq!(on.label(), cfg.label());
     }
 
     #[test]

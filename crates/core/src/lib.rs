@@ -76,6 +76,7 @@ pub use medea_fault::{
     DeadLink, FaultConfig, FaultInjector, FaultStats, NullInjector, ScheduledInjector,
 };
 pub use medea_mem::BankMap;
+pub use medea_metrics::{CycleBreakdown, MetricsConfig, MetricsReport, PeActivity, SampleWindow};
 pub use medea_noc::coord::Topology;
 pub use medea_pe::arbiter::{ArbiterConfig, PriorityAssignment};
 pub use medea_pe::fpu::MulOption;

@@ -1,5 +1,7 @@
 //! Plain-text table and series formatting for the figure harness.
 
+use medea_metrics::{CycleBreakdown, PeActivity};
+
 /// Render a fixed-width table. `headers.len()` must match every row.
 ///
 /// # Panics
@@ -112,6 +114,61 @@ pub fn format_resilience_table(rows: &[ResilienceRow]) -> String {
     )
 }
 
+/// Render cycle-attribution breakdowns (one labeled [`CycleBreakdown`]
+/// per row — typically one per PE plus an aggregate) as an aligned
+/// table: total attributed cycles, then the percentage of each activity
+/// category. Percentages are computed over the row's own total, so every
+/// row sums to ~100 regardless of when its PE finished.
+pub fn format_breakdown_table(rows: &[(String, CycleBreakdown)]) -> String {
+    let mut headers: Vec<&str> = vec!["pe", "cycles"];
+    headers.extend(PeActivity::ALL.iter().map(|a| a.name()));
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, b)| {
+            let mut row = vec![label.clone(), b.total().to_string()];
+            row.extend(PeActivity::ALL.iter().map(|a| format!("{:.1}%", b.fraction(*a) * 100.0)));
+            row
+        })
+        .collect();
+    format_table(&headers, &table_rows)
+}
+
+/// Render the profiler's hottest-router table (`(node, total busy
+/// link-cycles)` rows from `MetricsReport::hottest_routers`).
+pub fn format_hot_routers_table(rows: &[(u16, u64)]) -> String {
+    let table_rows: Vec<Vec<String>> =
+        rows.iter().map(|(node, busy)| vec![node.to_string(), busy.to_string()]).collect();
+    format_table(&["router", "busy_link_cycles"], &table_rows)
+}
+
+/// Render the profiler's hottest-bank table (`(bank, pressure)` rows
+/// from `MetricsReport::hottest_banks`).
+pub fn format_hot_banks_table(rows: &[(usize, u64)]) -> String {
+    let table_rows: Vec<Vec<String>> =
+        rows.iter().map(|(bank, p)| vec![bank.to_string(), p.to_string()]).collect();
+    format_table(&["bank", "pressure"], &table_rows)
+}
+
+/// Render a per-router deflection top-N (`(node, deflections)` rows from
+/// `TraceAnalysis::top_deflecting_routers`) — where hot-potato pressure
+/// concentrates on the torus.
+pub fn format_deflection_table(rows: &[(u16, u64)]) -> String {
+    let table_rows: Vec<Vec<String>> =
+        rows.iter().map(|(node, d)| vec![node.to_string(), d.to_string()]).collect();
+    format_table(&["router", "deflections"], &table_rows)
+}
+
+/// Render the per-bank lock-contention table (`(bank, contended
+/// acquires, contention cycles)` rows from
+/// `TraceAnalysis::lock_contention_by_bank`).
+pub fn format_lock_contention_table(rows: &[(u16, u64, u64)]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(bank, n, cycles)| vec![bank.to_string(), n.to_string(), cycles.to_string()])
+        .collect();
+    format_table(&["bank", "contended_acquires", "contention_cycles"], &table_rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +233,37 @@ mod tests {
         let s = format_labeled_series("fig7", &[("2P_8k$".into(), 1.5, 2.0)]);
         assert!(s.contains("# 2P_8k$"));
         assert!(s.contains("1.500 2.000"));
+    }
+
+    #[test]
+    fn breakdown_table_percentages_per_row() {
+        let mut b = CycleBreakdown::default();
+        b.record(PeActivity::Compute, 62);
+        b.record(PeActivity::RecvWait, 38);
+        let t = format_breakdown_table(&[("rank 0".into(), b)]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("compute") && lines[0].contains("recv-wait"), "{t}");
+        assert!(
+            lines[2].contains("100") && lines[2].contains("62.0%") && lines[2].contains("38.0%"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn hot_spot_tables_render() {
+        let routers = format_hot_routers_table(&[(5, 120), (1, 80)]);
+        assert!(routers.lines().nth(2).unwrap().contains("120"), "{routers}");
+        let banks = format_hot_banks_table(&[(0, 44)]);
+        assert!(banks.contains("pressure") && banks.contains("44"), "{banks}");
+    }
+
+    #[test]
+    fn deflection_and_lock_tables_render() {
+        let d = format_deflection_table(&[(5, 3), (1, 1)]);
+        let lines: Vec<&str> = d.lines().collect();
+        assert!(lines[0].contains("deflections"));
+        assert!(lines[2].trim_start().starts_with('5'), "descending order preserved: {d}");
+        let l = format_lock_contention_table(&[(0, 1, 22)]);
+        assert!(l.contains("contention_cycles") && l.contains("22"), "{l}");
     }
 }

@@ -70,6 +70,7 @@ use crate::FabricKind;
 use medea_cache::{Addr, CacheStats, CoherenceStats};
 use medea_fault::{FaultInjector, FaultStats, NullInjector};
 use medea_mem::{Mpmmu, MpmmuStats};
+use medea_metrics::{Meter, MetricsReport, NullMeter, Recorder};
 use medea_noc::coord::Dir;
 use medea_noc::flit::{Flit, PacketKind, SubKind};
 use medea_noc::ideal::IdealNetwork;
@@ -211,6 +212,18 @@ pub struct RunResult {
     /// and every L1 probe responder (all zero under the DII default; see
     /// [`CoherenceStats`] for which side feeds which counter).
     pub coherence: CoherenceStats,
+    /// The telemetry report recorded by the `medea-metrics` subsystem:
+    /// per-PE cycle-attribution breakdowns and the periodic sample-window
+    /// series. `Some` exactly when
+    /// [`crate::config::SystemConfigBuilder::metrics`] enabled sampling;
+    /// `None` runs take the [`NullMeter`] path where every
+    /// instrumentation site compiles away.
+    pub metrics: Option<MetricsReport>,
+    /// Trace events the sink *lost to I/O errors* during this run
+    /// (see [`TraceSink::io_drops`]) — nonzero means a file-backed
+    /// capture is incomplete and should be distrusted. Always zero for
+    /// in-memory sinks.
+    pub trace_drops: u64,
     /// Host wall-clock time of the run.
     pub wall: Duration,
 }
@@ -358,14 +371,55 @@ impl System {
         injector: &mut I,
     ) -> Result<RunResult, RunError> {
         check_kernel_count(cfg, &kernels)?;
+        // Metrics dispatch mirrors the sink/injector pattern one level
+        // up: the engine below is generic over `M: Meter`, and the
+        // metrics-off configuration instantiates it with [`NullMeter`],
+        // whose `M::ACTIVE = false` guards monomorphize every
+        // instrumentation site away — the paper-golden fingerprints stay
+        // bit-identical with the subsystem compiled in (pinned by
+        // `tests/metrics_equivalence.rs`).
+        let mcfg = cfg.metrics();
+        let mut out = if mcfg.enabled() {
+            let topo = cfg.topology();
+            let mut meter = Recorder::new(
+                mcfg,
+                topo.width(),
+                topo.height(),
+                cfg.compute_pes(),
+                cfg.memory_banks(),
+            );
+            Self::run_metered(cfg, preload, kernels, sink, injector, &mut meter).map(|mut r| {
+                r.metrics = Some(meter.into_report());
+                r
+            })
+        } else {
+            Self::run_metered(cfg, preload, kernels, sink, injector, &mut NullMeter)
+        };
+        if let Ok(r) = &mut out {
+            r.trace_drops = sink.io_drops();
+        }
+        out
+    }
+
+    /// The engine body behind [`System::run_faulted`], generic over the
+    /// meter. Kernel count is already checked by the caller.
+    fn run_metered<S: TraceSink, I: FaultInjector, M: Meter>(
+        cfg: &SystemConfig,
+        preload: &[(Addr, u32)],
+        kernels: Vec<Kernel>,
+        sink: &mut S,
+        injector: &mut I,
+        meter: &mut M,
+    ) -> Result<RunResult, RunError> {
         // The tiled parallel engine takes over whole runs when the
         // configuration asks for it (and the injector can be forked);
         // otherwise the kernels come back and the sequential path below
         // runs unchanged.
-        let kernels = match crate::tiled::try_run_tiled(cfg, preload, kernels, sink, injector) {
-            Ok(outcome) => return outcome,
-            Err(kernels) => kernels,
-        };
+        let kernels =
+            match crate::tiled::try_run_tiled(cfg, preload, kernels, sink, injector, meter) {
+                Ok(outcome) => return outcome,
+                Err(kernels) => kernels,
+            };
         let topo = cfg.topology();
         let mut fabric: AnyFabric = match cfg.fabric() {
             FabricKind::Deflection => Network::new(topo).into(),
@@ -392,7 +446,19 @@ impl System {
         let mut last_progress_at: Cycle = 0;
         let mut fault_log: VecDeque<(Cycle, TraceEvent)> = VecDeque::new();
         loop {
-            // 0. Apply scheduled permanent faults before any traffic
+            // 0a. Sampling catch-up: commit every window whose boundary
+            // has passed. The loop form makes the idle fast-forward jump
+            // below emit one window per crossed boundary with frozen
+            // state — exactly what cycle-by-cycle execution would have
+            // observed.
+            if M::ACTIVE {
+                while meter.next_sample() <= now {
+                    sample_pes_banks(meter, &pes, 0, &banks, 0);
+                    meter.commit_window();
+                }
+            }
+
+            // 0b. Apply scheduled permanent faults before any traffic
             // moves this cycle.
             if I::ACTIVE {
                 while let Some(kill) = injector.take_link_kill(now) {
@@ -463,6 +529,13 @@ impl System {
                 ticked[i] = true;
                 let was_done = pe.is_done();
                 pe.tick_traced(now, sink);
+                if M::ACTIVE {
+                    // Interval attribution: the recorder charges the span
+                    // since this PE's previous tick to its previous
+                    // activity, so skipped (parked) cycles are charged to
+                    // the state the PE parked in.
+                    meter.pe_state(i, now, pe.activity());
+                }
                 if !was_done && pe.is_done() {
                     live -= 1;
                 }
@@ -497,10 +570,16 @@ impl System {
 
             // 4. Fabric (activity-scheduled internally; a drained fabric
             // ticks in constant time).
-            fabric.tick_traced(now, sink);
+            fabric.tick_metered(now, sink, meter);
 
             // 5. Termination, limits, fast-forward.
             if live == 0 {
+                if M::ACTIVE {
+                    // Final snapshot + flush: close the open attribution
+                    // spans at `now` and commit the partial last window.
+                    sample_pes_banks(meter, &pes, 0, &banks, 0);
+                    meter.finish(now);
+                }
                 break;
             }
             if now >= cfg.cycle_limit() {
@@ -783,7 +862,11 @@ pub(crate) fn build_pes(cfg: &SystemConfig, kernels: Vec<Kernel>) -> Vec<Process
     let plan = cfg.node_plan();
     let bank_map = cfg.bank_map();
     let algo = cfg.collective_algo();
-    let trace_spans = cfg.trace_kernel_spans();
+    // Kernel-side span markers feed both the trace sink and the metrics
+    // profiler's collective-wait attribution; either consumer turns them
+    // on. Markers cost zero simulated cycles, so this never changes a
+    // run's architectural results (pinned by the golden suite).
+    let trace_spans = cfg.trace_kernel_spans() || cfg.metrics().enabled();
     let resilience = cfg.resilience();
     kernels
         .into_iter()
@@ -998,7 +1081,38 @@ pub(crate) fn finish_result(
         banks: per_bank,
         fault,
         coherence,
+        // Attached by the `run_faulted` dispatcher after the engine
+        // returns; the reference engine never records either.
+        metrics: None,
+        trace_drops: 0,
         wall: wall_start.elapsed(),
+    }
+}
+
+/// Snapshot every PE and bank into `meter` at a sample-window boundary —
+/// the one sampling pass shared by the sequential engine (bases 0) and
+/// each tile of the tiled engine (bases = the tile's global slot
+/// offsets, so full-size per-tile forks merge by element-wise sum).
+pub(crate) fn sample_pes_banks<M: Meter>(
+    meter: &mut M,
+    pes: &[ProcessingElement],
+    pe_base: usize,
+    banks: &[Bank],
+    bank_base: usize,
+) {
+    for (i, pe) in pes.iter().enumerate() {
+        meter.sample_pe(pe_base + i, pe.activity(), pe.arbiter_occupancy(), pe.rx_backlog());
+    }
+    for (i, bank) in banks.iter().enumerate() {
+        let (req, data, out) = bank.unit.fifo_occupancy();
+        meter.sample_bank(
+            bank_base + i,
+            req,
+            data,
+            out,
+            bank.unit.stats().lock_nacks.get(),
+            bank.unit.coherence_stats().protocol_messages(),
+        );
     }
 }
 

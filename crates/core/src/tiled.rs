@@ -44,12 +44,13 @@
 use crate::config::SystemConfig;
 use crate::system::{
     banks_quiet, banks_tick, build_banks, build_pes, classify_fold, deadlock_detail,
-    delivered_event, finish_result, progress_fingerprint, quiet_fold, stall_detail, Bank, Kernel,
-    QuietState, RunError, RunResult, FAULT_LOG_CAP,
+    delivered_event, finish_result, progress_fingerprint, quiet_fold, sample_pes_banks,
+    stall_detail, Bank, Kernel, QuietState, RunError, RunResult, FAULT_LOG_CAP,
 };
 use crate::FabricKind;
 use medea_cache::Addr;
 use medea_fault::FaultInjector;
+use medea_metrics::Meter;
 use medea_noc::coord::Dir;
 use medea_noc::flit::{Flit, PacketKind, SubKind};
 use medea_noc::network::NetworkShard;
@@ -74,12 +75,13 @@ use std::time::Instant;
 ///   contention-free ablation model with no shard decomposition);
 /// * the fault injector can be forked per tile
 ///   ([`FaultInjector::fork_for_tile`]).
-pub(crate) fn try_run_tiled<S: TraceSink, I: FaultInjector>(
+pub(crate) fn try_run_tiled<S: TraceSink, I: FaultInjector, M: Meter>(
     cfg: &SystemConfig,
     preload: &[(Addr, u32)],
     kernels: Vec<Kernel>,
     sink: &mut S,
     injector: &mut I,
+    meter: &mut M,
 ) -> Result<Result<RunResult, RunError>, Vec<Kernel>> {
     let tiles = cfg.host_threads().min(cfg.topology().nodes());
     if tiles < 2 || cfg.fabric() != FabricKind::Deflection {
@@ -97,9 +99,9 @@ pub(crate) fn try_run_tiled<S: TraceSink, I: FaultInjector>(
     // the join, merged in (cycle, tile) order. The dispatch keeps the
     // untraced instantiation free of buffering entirely.
     let (result, trace) = if S::ACTIVE {
-        run_tiled::<BufSink, I>(cfg, preload, kernels, injector, forks)
+        run_tiled::<BufSink, I, M>(cfg, preload, kernels, injector, forks, meter)
     } else {
-        run_tiled::<NullSink, I>(cfg, preload, kernels, injector, forks)
+        run_tiled::<NullSink, I, M>(cfg, preload, kernels, injector, forks, meter)
     };
     for (at, event) in trace {
         sink.record(at, event);
@@ -147,12 +149,21 @@ impl WorkerSink for BufSink {
 /// PEs/banks whose nodes fall inside it (rank→node and bank→node maps are
 /// monotone, so each tile's lists are contiguous runs of the global
 /// rank/bank order).
-struct Tile<I> {
+struct Tile<I, M> {
     index: usize,
     shard: NetworkShard,
     pes: Vec<ProcessingElement>,
     banks: Vec<Bank>,
     injector: I,
+    /// This tile's full-size meter fork: it writes only the slots of the
+    /// components the tile owns, so absorbing the forks in tile-index
+    /// order element-wise-sums to the sequential recording.
+    meter: M,
+    /// Global slot offsets of this tile's first PE / bank — the tiles
+    /// partition the monotone rank and bank orders, so tile-local index
+    /// `i` is global slot `base + i`.
+    pe_base: usize,
+    bank_base: usize,
     wake: Vec<Cycle>,
     ticked: Vec<bool>,
     live: usize,
@@ -202,8 +213,10 @@ enum Decision {
     /// Simulate cycle `now`; apply `kills` (original `(node, dir)` pairs
     /// drained from the injector schedule) before any traffic moves.
     Go { now: Cycle, kills: Vec<(u16, u8)> },
-    /// The run is over; workers exit without running another cycle.
-    Stop,
+    /// The run is over as of cycle `at`; workers flush their meters
+    /// (final snapshot + [`Meter::finish`]) and exit without running
+    /// another cycle.
+    Stop { at: Cycle },
 }
 
 /// Why the leader stopped the run (details are assembled post-join, when
@@ -256,12 +269,13 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn run_tiled<LS: WorkerSink, I: FaultInjector>(
+fn run_tiled<LS: WorkerSink, I: FaultInjector, M: Meter>(
     cfg: &SystemConfig,
     preload: &[(Addr, u32)],
     kernels: Vec<Kernel>,
     injector: &mut I,
     forks: Vec<I>,
+    meter: &mut M,
 ) -> (Result<RunResult, RunError>, Vec<(Cycle, TraceEvent)>) {
     let topo = cfg.topology();
     let tiles = forks.len();
@@ -271,7 +285,7 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
     let pes_all = build_pes(cfg, kernels);
     let wall_start = Instant::now();
 
-    let mut tile_vec: Vec<Tile<I>> = forks
+    let mut tile_vec: Vec<Tile<I, M>> = forks
         .into_iter()
         .enumerate()
         .map(|(i, fork)| Tile {
@@ -280,6 +294,9 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
             pes: Vec::new(),
             banks: Vec::new(),
             injector: fork,
+            meter: meter.fork(),
+            pe_base: 0,
+            bank_base: 0,
             wake: Vec::new(),
             ticked: Vec::new(),
             live: 0,
@@ -296,7 +313,12 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
         let t = tile_of(bank.node.index());
         tile_vec[t].banks.push(bank);
     }
+    let (mut pe_base, mut bank_base) = (0usize, 0usize);
     for tile in &mut tile_vec {
+        tile.pe_base = pe_base;
+        pe_base += tile.pes.len();
+        tile.bank_base = bank_base;
+        bank_base += tile.banks.len();
         tile.wake = vec![0; tile.pes.len()];
         tile.ticked = vec![false; tile.pes.len()];
         tile.live = tile.pes.len();
@@ -322,10 +344,10 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
 
     let mut tile_iter = tile_vec.into_iter();
     let mut leader_tile = tile_iter.next().expect("tiles >= 2");
-    let followers: Vec<Tile<I>> = tile_iter.collect();
+    let followers: Vec<Tile<I, M>> = tile_iter.collect();
 
     let mut cause: Option<StopCause> = None;
-    let mut joined: Vec<Tile<I>> = Vec::with_capacity(tiles - 1);
+    let mut joined: Vec<Tile<I, M>> = Vec::with_capacity(tiles - 1);
     std::thread::scope(|scope| {
         let shared = &shared;
         let handles: Vec<_> = followers
@@ -333,7 +355,7 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
             .map(|mut tile| {
                 scope.spawn(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        follower_loop::<LS, I>(&mut tile, shared, cfg);
+                        follower_loop::<LS, I, M>(&mut tile, shared, cfg);
                     }));
                     if let Err(payload) = outcome {
                         shared.store_panic(payload);
@@ -344,7 +366,7 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
             .collect();
 
         let leader_outcome = catch_unwind(AssertUnwindSafe(|| {
-            leader_loop::<LS, I>(&mut leader_tile, shared, cfg, injector)
+            leader_loop::<LS, I, M>(&mut leader_tile, shared, cfg, injector)
         }));
         match leader_outcome {
             Ok(stop) => cause = stop,
@@ -375,6 +397,7 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
     let mut fault = injector.stats();
     let mut log_entries: Vec<(Cycle, u8, usize, usize, TraceEvent)> = Vec::new();
     let mut traces: Vec<Vec<(Cycle, TraceEvent)>> = Vec::new();
+    let mut meter_parts: Vec<M> = Vec::with_capacity(tiles);
     for (ti, tile) in all_tiles.into_iter().enumerate() {
         fstats.merge(tile.shard.stats());
         fault.merge(&tile.injector.stats());
@@ -384,7 +407,14 @@ fn run_tiled<LS: WorkerSink, I: FaultInjector>(
         pes.extend(tile.pes);
         banks.extend(tile.banks);
         traces.push(tile.trace);
+        meter_parts.push(tile.meter);
     }
+    // Merge the per-tile meter forks back in tile-index order: every
+    // series slot has exactly one writer, so the element-wise sum is
+    // bit-identical to sequential recording. The forks already flushed
+    // (sampled + finished) at the stop decision; the caller must NOT
+    // finish again.
+    meter.absorb(meter_parts);
     log_entries.sort_by_key(|&(cycle, phase, ti, seq, _)| (cycle, phase, ti, seq));
     let fault_log: VecDeque<(Cycle, TraceEvent)> = log_entries
         .iter()
@@ -489,8 +519,8 @@ fn merge_traces(per_tile: Vec<Vec<(Cycle, TraceEvent)>>) -> Vec<(Cycle, TraceEve
     out
 }
 
-fn follower_loop<LS: WorkerSink, I: FaultInjector>(
-    tile: &mut Tile<I>,
+fn follower_loop<LS: WorkerSink, I: FaultInjector, M: Meter>(
+    tile: &mut Tile<I, M>,
     shared: &Shared,
     cfg: &SystemConfig,
 ) {
@@ -498,7 +528,13 @@ fn follower_loop<LS: WorkerSink, I: FaultInjector>(
     let mut gen = shared.phaser.generation();
     loop {
         let decision = lock(&shared.decision).clone();
-        let Decision::Go { now, kills } = decision else { break };
+        let (now, kills) = match decision {
+            Decision::Go { now, kills } => (now, kills),
+            Decision::Stop { at } => {
+                finish_tile_meter(tile, at);
+                break;
+            }
+        };
         execute_cycle(tile, shared, cfg, now, &kills, gen, &mut sink);
         if !shared.phaser.arrive_and_wait(gen) {
             break;
@@ -508,8 +544,19 @@ fn follower_loop<LS: WorkerSink, I: FaultInjector>(
     tile.trace = sink.into_events();
 }
 
-fn leader_loop<LS: WorkerSink, I: FaultInjector>(
-    tile: &mut Tile<I>,
+/// Flush one tile's meter at the stop decision: final snapshot of the
+/// tile's own components, then close the attribution spans and the
+/// partial last window at `at` — the same end cycle every tile uses, so
+/// the forks stay in window lockstep for the absorb.
+fn finish_tile_meter<I, M: Meter>(tile: &mut Tile<I, M>, at: Cycle) {
+    if M::ACTIVE {
+        sample_pes_banks(&mut tile.meter, &tile.pes, tile.pe_base, &tile.banks, tile.bank_base);
+        tile.meter.finish(at);
+    }
+}
+
+fn leader_loop<LS: WorkerSink, I: FaultInjector, M: Meter>(
+    tile: &mut Tile<I, M>,
     shared: &Shared,
     cfg: &SystemConfig,
     injector: &mut I,
@@ -524,7 +571,13 @@ fn leader_loop<LS: WorkerSink, I: FaultInjector>(
     let mut cause: Option<StopCause> = None;
     loop {
         let decision = lock(&shared.decision).clone();
-        let Decision::Go { now, kills } = decision else { break };
+        let (now, kills) = match decision {
+            Decision::Go { now, kills } => (now, kills),
+            Decision::Stop { at } => {
+                finish_tile_meter(tile, at);
+                break;
+            }
+        };
         execute_cycle(tile, shared, cfg, now, &kills, gen, &mut sink);
         if !shared.phaser.wait_followers() {
             break;
@@ -557,10 +610,10 @@ fn leader_loop<LS: WorkerSink, I: FaultInjector>(
 
         let next = if live == 0 {
             cause = Some(StopCause::Done { at: now });
-            Decision::Stop
+            Decision::Stop { at: now }
         } else if now >= limit {
             cause = Some(StopCause::CycleLimit { in_flight });
-            Decision::Stop
+            Decision::Stop { at: now }
         } else {
             let mut stalled = false;
             if watchdog > 0 {
@@ -577,7 +630,7 @@ fn leader_loop<LS: WorkerSink, I: FaultInjector>(
                 }
             }
             if stalled {
-                Decision::Stop
+                Decision::Stop { at: now }
             } else {
                 let mut next_now = now + 1;
                 let mut deadlocked = false;
@@ -598,7 +651,7 @@ fn leader_loop<LS: WorkerSink, I: FaultInjector>(
                     }
                 }
                 if deadlocked {
-                    Decision::Stop
+                    Decision::Stop { at: now }
                 } else {
                     let mut kills = Vec::new();
                     if I::ACTIVE {
@@ -621,8 +674,8 @@ fn leader_loop<LS: WorkerSink, I: FaultInjector>(
 /// One tile's share of one simulated cycle — the same phases, in the same
 /// order, as one iteration of the sequential engine's loop, restricted to
 /// the tile's components.
-fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
-    tile: &mut Tile<I>,
+fn execute_cycle<LS: WorkerSink, I: FaultInjector, M: Meter>(
+    tile: &mut Tile<I, M>,
     shared: &Shared,
     cfg: &SystemConfig,
     now: Cycle,
@@ -634,6 +687,18 @@ fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
     let topo = cfg.topology();
     let cur = (round & 1) as usize;
     let prev = cur ^ 1;
+
+    // Sampling catch-up, as at the top of the sequential loop. Every tile
+    // sees the same `now` sequence, so the forks commit windows in
+    // lockstep; sampling before the boundary import is equivalent to
+    // after it (imports only touch router input latches, which no sampled
+    // quantity reads).
+    if M::ACTIVE {
+        while tile.meter.next_sample() <= now {
+            sample_pes_banks(&mut tile.meter, &tile.pes, tile.pe_base, &tile.banks, tile.bank_base);
+            tile.meter.commit_window();
+        }
+    }
 
     // 0a. Import boundary flits the neighbors' phase 2 latched last
     // cycle. Input latches are untouched until the route phase at the end
@@ -724,6 +789,9 @@ fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
         tile.ticked[i] = true;
         let was_done = pe.is_done();
         pe.tick_traced(now, sink);
+        if M::ACTIVE {
+            tile.meter.pe_state(tile.pe_base + i, now, pe.activity());
+        }
         if !was_done && pe.is_done() {
             tile.live -= 1;
         }
@@ -758,7 +826,7 @@ fn execute_cycle<LS: WorkerSink, I: FaultInjector>(
 
     // 4. Fabric: route + deliver local latches; boundary latches become
     // exports.
-    tile.shard.tick_traced(now, sink);
+    tile.shard.tick_metered(now, sink, &mut tile.meter);
 
     // 5. Publish boundary flits into this round's mailboxes and report.
     let exports = tile.shard.take_exports();

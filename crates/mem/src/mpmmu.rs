@@ -276,6 +276,13 @@ impl Mpmmu {
         &self.coh_stats
     }
 
+    /// Current `(request, data, out)` FIFO occupancies — the metrics
+    /// sampler's bank-pressure snapshot. Data counts the staging queue
+    /// too: flits parked there are still buffered in the bank.
+    pub fn fifo_occupancy(&self) -> (usize, usize, usize) {
+        (self.req_fifo.len(), self.data_fifo.len() + self.staging.len(), self.out_fifo.len())
+    }
+
     /// Direct (zero-time) access to the architectural memory content.
     /// Used for program loading before reset and for result checking after
     /// the run — never during simulation.

@@ -1,0 +1,303 @@
+//! Self-contained HTML/SVG NoC heatmap report.
+//!
+//! [`render_heatmap_html`] turns a [`MetricsReport`] into a single HTML
+//! file with no external assets: an inline SVG of the torus grid where
+//! every router is a cell and each of its four output links is a small
+//! pad colored by per-window utilization (blue → yellow → red ramp).
+//! With two or more sample windows the pads carry SMIL `<animate>`
+//! elements cycling through the windows, so link saturation is visible
+//! *over time*, not just in aggregate. Below the grid the report renders
+//! the top-N hottest routers/banks tables and the aggregate
+//! [`CycleBreakdown`](crate::CycleBreakdown).
+//!
+//! [`check_svg_well_formed`] is a minimal, dependency-free XML
+//! tag-balance checker used by the renderer-validity tests (and the CI
+//! gate) to assert the emitted SVG parses: every open tag closed in
+//! order, quotes balanced, one `<rect>` cell per directed link.
+
+use crate::report::MetricsReport;
+use crate::PeActivity;
+use std::fmt::Write as _;
+
+/// Pixel geometry of one router cell (link pads are laid out inside it).
+const CELL: usize = 56;
+/// Link pad size.
+const PAD: usize = 16;
+/// Seconds each sample window is displayed by the SMIL animation.
+const SECS_PER_WINDOW: f64 = 0.5;
+
+/// Map a utilization in `[0, 1]` to a `#rrggbb` color on the cold→hot
+/// ramp (dark blue → yellow → red).
+fn ramp(u: f64) -> String {
+    let u = u.clamp(0.0, 1.0);
+    let (r, g, b) = if u < 0.5 {
+        // dark blue (24,32,96) → yellow (232,208,48)
+        let t = u * 2.0;
+        (24.0 + t * 208.0, 32.0 + t * 176.0, 96.0 - t * 48.0)
+    } else {
+        // yellow → red (208,32,32)
+        let t = (u - 0.5) * 2.0;
+        (232.0 - t * 24.0, 208.0 - t * 176.0, 48.0 - t * 16.0)
+    };
+    format!("#{:02x}{:02x}{:02x}", r as u8, g as u8, b as u8)
+}
+
+/// Offsets of the four link pads within a router cell, indexed by
+/// direction (`medea-noc` `Dir` order: 0..4). Pads sit on the cell edges
+/// so a link's pad points at the neighbor it feeds.
+fn pad_offset(dir: usize) -> (usize, usize) {
+    let mid = (CELL - PAD) / 2;
+    match dir {
+        0 => (CELL - PAD - 1, mid), // +x edge
+        1 => (1, mid),              // -x edge
+        2 => (mid, CELL - PAD - 1), // +y edge
+        _ => (mid, 1),              // -y edge
+    }
+}
+
+/// Render the full self-contained HTML heatmap report for `report`,
+/// titled with `label`.
+pub fn render_heatmap_html(report: &MetricsReport, label: &str) -> String {
+    let nodes = report.nodes();
+    let w = report.width as usize;
+    let h = report.height as usize;
+    let svg_w = w * CELL + 1;
+    let svg_h = h * CELL + 1;
+    let windows = report.windows.len();
+    let dur = (windows.max(1) as f64 * SECS_PER_WINDOW).max(0.1);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{svg_w}\" height=\"{svg_h}\" \
+         viewBox=\"0 0 {svg_w} {svg_h}\">"
+    );
+    svg.push_str("<rect x=\"0\" y=\"0\" width=\"100%\" height=\"100%\" fill=\"#14141c\"/>");
+    for node in 0..nodes {
+        let (x, y) = (node % w, node / w);
+        let (cx, cy) = (x * CELL, y * CELL);
+        let _ = write!(
+            svg,
+            "<rect x=\"{cx}\" y=\"{cy}\" width=\"{CELL}\" height=\"{CELL}\" fill=\"none\" \
+             stroke=\"#3a3a4a\"/>"
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"9\" fill=\"#8888a0\" \
+             text-anchor=\"middle\">{node}</text>",
+            cx + CELL / 2,
+            cy + CELL / 2 + 3
+        );
+        for dir in 0..4 {
+            let (ox, oy) = pad_offset(dir);
+            let colors: Vec<String> = report
+                .windows
+                .iter()
+                .map(|win| ramp(win.link_utilization(node as u16, dir)))
+                .collect();
+            let first = colors.first().cloned().unwrap_or_else(|| ramp(0.0));
+            let _ = write!(
+                svg,
+                "<rect class=\"link\" x=\"{}\" y=\"{}\" width=\"{PAD}\" height=\"{PAD}\" \
+                 fill=\"{first}\">",
+                cx + ox,
+                cy + oy
+            );
+            if windows > 1 {
+                let _ = write!(
+                    svg,
+                    "<animate attributeName=\"fill\" dur=\"{dur}s\" \
+                     repeatCount=\"indefinite\" calcMode=\"discrete\" values=\"{}\"/>",
+                    colors.join(";")
+                );
+            }
+            let _ = write!(svg, "<title>node {node} dir {dir}</title>");
+            svg.push_str("</rect>");
+        }
+    }
+    svg.push_str("</svg>");
+
+    let mut tables = String::new();
+    let agg = report.aggregate();
+    let _ = write!(tables, "<p class=\"breakdown\">cycle attribution: {agg}</p>");
+    tables.push_str("<table><caption>hottest routers (busy link-cycles)</caption>");
+    tables.push_str("<tr><th>node</th><th>busy</th></tr>");
+    for (node, busy) in report.hottest_routers(8) {
+        let _ = write!(tables, "<tr><td>{node}</td><td>{busy}</td></tr>");
+    }
+    tables.push_str("</table>");
+    tables.push_str("<table><caption>hottest banks (queue + contention pressure)</caption>");
+    tables.push_str("<tr><th>bank</th><th>pressure</th></tr>");
+    for (bank, pressure) in report.hottest_banks(8) {
+        let _ = write!(tables, "<tr><td>{bank}</td><td>{pressure}</td></tr>");
+    }
+    tables.push_str("</table>");
+    tables.push_str("<table><caption>attribution categories</caption>");
+    tables.push_str("<tr><th>category</th><th>cycles</th><th>fraction</th></tr>");
+    for act in PeActivity::ALL {
+        let _ = write!(
+            tables,
+            "<tr><td>{}</td><td>{}</td><td>{:.4}</td></tr>",
+            act.name(),
+            agg.cycles[act.index()],
+            agg.fraction(act)
+        );
+    }
+    tables.push_str("</table>");
+
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\
+         <title>MEDEA NoC heatmap — {label}</title>\
+         <style>body{{background:#1b1b24;color:#d0d0dc;font:13px monospace;padding:16px}}\
+         table{{border-collapse:collapse;margin:12px 0;display:inline-table;\
+         vertical-align:top;margin-right:24px}}\
+         caption{{text-align:left;color:#9a9ab0;padding:2px 0}}\
+         td,th{{border:1px solid #3a3a4a;padding:2px 8px;text-align:right}}\
+         .breakdown{{color:#e0c060}}</style></head><body>\
+         <h1>MEDEA NoC heatmap — {label}</h1>\
+         <p>{w}x{h} torus · {windows} windows of {interval} cycles · run end {end} \
+         · {dropped} windows dropped</p>\n{svg}\n{tables}\n</body></html>\n",
+        interval = report.interval,
+        end = report.end,
+        dropped = report.windows_dropped,
+    )
+}
+
+/// Check that the `<svg>…</svg>` portion of `html` is well-formed XML:
+/// balanced, properly nested tags with balanced attribute quotes.
+/// Returns the number of `<rect class="link">` cells on success (the
+/// validity tests assert one per directed link).
+pub fn check_svg_well_formed(html: &str) -> Result<usize, String> {
+    let start = html.find("<svg").ok_or("no <svg> element")?;
+    let end = html.find("</svg>").ok_or("no </svg> close")? + "</svg>".len();
+    if end <= start {
+        return Err("</svg> precedes <svg>".into());
+    }
+    let svg = &html[start..end];
+    let mut stack: Vec<String> = Vec::new();
+    let mut link_cells = 0usize;
+    let mut rest = svg;
+    while let Some(lt) = rest.find('<') {
+        rest = &rest[lt..];
+        // Find the matching '>' outside quotes.
+        let mut in_quote = false;
+        let mut gt = None;
+        for (i, c) in rest.char_indices().skip(1) {
+            match c {
+                '"' => in_quote = !in_quote,
+                '<' if !in_quote => return Err(format!("nested '<' near …{}", &rest[..i.min(40)])),
+                '>' if !in_quote => {
+                    gt = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(gt) = gt else {
+            return Err("unterminated tag (unbalanced quotes or missing '>')".into());
+        };
+        let tag = &rest[1..gt];
+        rest = &rest[gt + 1..];
+        if let Some(name) = tag.strip_prefix('/') {
+            match stack.pop() {
+                Some(open) if open == name.trim() => {}
+                Some(open) => return Err(format!("</{}> closes <{open}>", name.trim())),
+                None => return Err(format!("</{}> with nothing open", name.trim())),
+            }
+            continue;
+        }
+        let self_closing = tag.ends_with('/');
+        let body = tag.trim_end_matches('/');
+        let name: String = body.split_whitespace().next().unwrap_or("").to_string();
+        if name.is_empty() {
+            return Err("empty tag name".into());
+        }
+        if name == "rect" && body.contains("class=\"link\"") {
+            link_cells += 1;
+        }
+        if !self_closing {
+            stack.push(name);
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("<{open}> never closed"));
+    }
+    Ok(link_cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CycleBreakdown, SampleWindow};
+
+    fn tiny_report(windows: usize) -> MetricsReport {
+        let mut breakdown = vec![CycleBreakdown::default(); 2];
+        breakdown[0].record(PeActivity::Compute, 70);
+        breakdown[0].record(PeActivity::RecvWait, 30);
+        breakdown[1].record(PeActivity::CollectiveWait, 100);
+        MetricsReport {
+            interval: 10,
+            end: windows as u64 * 10,
+            width: 2,
+            height: 2,
+            pes: 2,
+            banks: 1,
+            breakdown,
+            windows: (0..windows as u64)
+                .map(|i| {
+                    let mut w = SampleWindow {
+                        start: i * 10,
+                        end: (i + 1) * 10,
+                        link_busy: vec![0; 16],
+                        pe_activity: vec![0; 2],
+                        pe_arb: vec![0; 2],
+                        pe_rx: vec![0; 2],
+                        bank_req: vec![1; 1],
+                        bank_data: vec![0; 1],
+                        bank_out: vec![0; 1],
+                        bank_lock_nacks: vec![0; 1],
+                        bank_coh_msgs: vec![0; 1],
+                    };
+                    w.link_busy[(i as usize * 3) % 16] = 10;
+                    w
+                })
+                .collect(),
+            windows_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn ramp_endpoints_and_clamp() {
+        assert_eq!(ramp(0.0), "#182060");
+        assert_eq!(ramp(1.0), "#d02020");
+        assert_eq!(ramp(-3.0), ramp(0.0));
+        assert_eq!(ramp(7.0), ramp(1.0));
+    }
+
+    #[test]
+    fn heatmap_is_well_formed_with_one_cell_per_link() {
+        let html = render_heatmap_html(&tiny_report(3), "unit");
+        let cells = check_svg_well_formed(&html).expect("well-formed SVG");
+        assert_eq!(cells, 2 * 2 * 4, "one rect per directed link");
+        assert!(html.contains("<animate"), "multi-window reports animate");
+        assert!(html.contains("hottest routers"));
+        assert!(html.contains("collective-wait"));
+    }
+
+    #[test]
+    fn single_window_report_is_static() {
+        let html = render_heatmap_html(&tiny_report(1), "unit");
+        check_svg_well_formed(&html).expect("well-formed SVG");
+        assert!(!html.contains("<animate"), "nothing to animate");
+    }
+
+    #[test]
+    fn checker_rejects_malformed() {
+        assert!(check_svg_well_formed("<html></html>").is_err(), "no svg");
+        assert!(check_svg_well_formed("<svg><rect></svg>").is_err(), "unclosed rect");
+        assert!(check_svg_well_formed("<svg><a><b></a></b></svg>").is_err(), "bad nesting");
+        assert!(check_svg_well_formed("<svg><rect x=\"1>\"/></svg>").is_ok(), "'>' in quotes");
+        assert!(check_svg_well_formed("<svg><rect x=\"1/></svg>").is_err(), "unbalanced quote");
+        assert_eq!(check_svg_well_formed("<svg></svg>"), Ok(0));
+    }
+}

@@ -1,0 +1,313 @@
+//! Run-level metrics artifacts: per-PE [`CycleBreakdown`], the committed
+//! [`SampleWindow`] series, and the [`MetricsReport`] attached to
+//! `RunResult.metrics`.
+
+use crate::PeActivity;
+use medea_sim::Cycle;
+use std::fmt;
+
+/// Cycles attributed to each [`PeActivity`] category for one PE (or, via
+/// [`CycleBreakdown::add`], an aggregate over many).
+///
+/// The recorder's interval accounting attributes *every* simulated cycle
+/// of a ticked PE to exactly one category, so [`CycleBreakdown::total`]
+/// of a finished per-PE breakdown equals the run's cycle count and the
+/// [`CycleBreakdown::fraction`]s sum to 1.0 by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Attributed cycles, indexed by [`PeActivity::index`].
+    pub cycles: [u64; PeActivity::COUNT],
+}
+
+impl CycleBreakdown {
+    /// Attribute `n` cycles to `act`.
+    pub fn record(&mut self, act: PeActivity, n: u64) {
+        self.cycles[act.index()] += n;
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Fraction of the total attributed to `act` (0.0 if empty).
+    pub fn fraction(&self, act: PeActivity) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles[act.index()] as f64 / total as f64
+        }
+    }
+
+    /// Category with the most cycles, if any were attributed.
+    pub fn dominant(&self) -> Option<(PeActivity, u64)> {
+        PeActivity::ALL
+            .iter()
+            .map(|&a| (a, self.cycles[a.index()]))
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Element-wise accumulate another breakdown.
+    pub fn add(&mut self, other: &CycleBreakdown) {
+        for (mine, theirs) in self.cycles.iter_mut().zip(&other.cycles) {
+            *mine += *theirs;
+        }
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    /// The paper-style one-liner: `62% compute / 21% recv-wait / ...`,
+    /// non-zero categories only, descending share.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        if total == 0 {
+            return write!(f, "no cycles attributed");
+        }
+        let mut parts: Vec<(PeActivity, u64)> = PeActivity::ALL
+            .iter()
+            .map(|&a| (a, self.cycles[a.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        parts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        for (i, (act, n)) in parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " / ")?;
+            }
+            write!(f, "{:.0}% {}", *n as f64 * 100.0 / total as f64, act.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// One committed sampling window `[start, end)`.
+///
+/// Per-slot layouts: `link_busy[node * 4 + dir]` counts the cycles the
+/// router at `node` latched a flit onto output `dir`; `pe_*` vectors are
+/// indexed by PE slot (rank order), `bank_*` by bank index. Snapshots
+/// (`pe_activity`, occupancies) are the state observed *at* the window
+/// boundary; `bank_lock_nacks` / `bank_coh_msgs` are deltas over the
+/// window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleWindow {
+    /// First cycle covered.
+    pub start: Cycle,
+    /// One past the last cycle covered (the final window may be partial).
+    pub end: Cycle,
+    /// Busy-cycle count per directed link (`node * 4 + dir`).
+    pub link_busy: Vec<u32>,
+    /// [`PeActivity`] code per PE at the boundary.
+    pub pe_activity: Vec<u8>,
+    /// NoC arbiter backlog per PE at the boundary.
+    pub pe_arb: Vec<u16>,
+    /// TIE receive backlog per PE at the boundary (completed + partial
+    /// packets — the engine-visible face of the eMPI credit window).
+    pub pe_rx: Vec<u16>,
+    /// Request-FIFO occupancy per bank at the boundary.
+    pub bank_req: Vec<u16>,
+    /// Data-FIFO occupancy per bank at the boundary.
+    pub bank_data: Vec<u16>,
+    /// Out-FIFO occupancy per bank at the boundary.
+    pub bank_out: Vec<u16>,
+    /// Lock Nacks issued by each bank during the window.
+    pub bank_lock_nacks: Vec<u32>,
+    /// Coherence protocol messages handled by each bank during the window.
+    pub bank_coh_msgs: Vec<u32>,
+}
+
+impl SampleWindow {
+    /// Window length in cycles.
+    pub fn span(&self) -> Cycle {
+        self.end - self.start
+    }
+
+    /// Utilization of the directed link `(node, dir)` in `[0, 1]`.
+    ///
+    /// The final (partial) window may include the break cycle's link
+    /// activity beyond `end`, so the ratio is clamped to 1.
+    pub fn link_utilization(&self, node: u16, dir: usize) -> f64 {
+        let span = self.span();
+        if span == 0 {
+            return 0.0;
+        }
+        (self.link_busy[node as usize * 4 + dir] as f64 / span as f64).min(1.0)
+    }
+}
+
+/// Everything the metrics subsystem recorded for one run; attached to
+/// `RunResult.metrics` when `SystemConfigBuilder::metrics` enabled it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Configured window length in cycles.
+    pub interval: Cycle,
+    /// Final cycle of the run (equals `RunResult.cycles`).
+    pub end: Cycle,
+    /// Torus width.
+    pub width: u8,
+    /// Torus height.
+    pub height: u8,
+    /// Compute-PE count (slot dimension of `breakdown` and `pe_*`).
+    pub pes: usize,
+    /// MPMMU bank count (slot dimension of `bank_*`).
+    pub banks: usize,
+    /// Per-PE cycle attribution, indexed by rank.
+    pub breakdown: Vec<CycleBreakdown>,
+    /// Committed sample windows, oldest first (ring-truncated to the
+    /// configured capacity).
+    pub windows: Vec<SampleWindow>,
+    /// Windows evicted from the ring.
+    pub windows_dropped: u64,
+}
+
+impl MetricsReport {
+    /// Torus node count.
+    pub fn nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Aggregate breakdown over every PE.
+    pub fn aggregate(&self) -> CycleBreakdown {
+        let mut agg = CycleBreakdown::default();
+        for b in &self.breakdown {
+            agg.add(b);
+        }
+        agg
+    }
+
+    /// Total busy cycles per router (all four output links, all windows),
+    /// descending, top `n` — the "hottest routers" table.
+    pub fn hottest_routers(&self, n: usize) -> Vec<(u16, u64)> {
+        let mut per_node = vec![0u64; self.nodes()];
+        for w in &self.windows {
+            for (link, &busy) in w.link_busy.iter().enumerate() {
+                per_node[link / 4] += u64::from(busy);
+            }
+        }
+        let mut rows: Vec<(u16, u64)> =
+            per_node.into_iter().enumerate().map(|(i, b)| (i as u16, b)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows.retain(|&(_, b)| b > 0);
+        rows
+    }
+
+    /// Bank pressure (summed FIFO occupancies + lock Nacks + coherence
+    /// messages over all windows), descending, top `n` — the "hottest
+    /// banks" table.
+    pub fn hottest_banks(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut per_bank = vec![0u64; self.banks];
+        for w in &self.windows {
+            for (slot, pressure) in per_bank.iter_mut().enumerate() {
+                *pressure += u64::from(w.bank_req[slot])
+                    + u64::from(w.bank_data[slot])
+                    + u64::from(w.bank_out[slot])
+                    + u64::from(w.bank_lock_nacks[slot])
+                    + u64::from(w.bank_coh_msgs[slot]);
+            }
+        }
+        let mut rows: Vec<(usize, u64)> = per_bank.into_iter().enumerate().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows.retain(|&(_, p)| p > 0);
+        rows
+    }
+
+    /// Peak single-link utilization across all windows, with its
+    /// `(node, dir)` — the saturation headline for the bench tables.
+    pub fn peak_link_utilization(&self) -> Option<(u16, usize, f64)> {
+        let mut best: Option<(u16, usize, f64)> = None;
+        for w in &self.windows {
+            for node in 0..self.nodes() as u16 {
+                for dir in 0..4 {
+                    let u = w.link_utilization(node, dir);
+                    if best.is_none_or(|(_, _, b)| u > b) {
+                        best = Some((node, dir, u));
+                    }
+                }
+            }
+        }
+        best.filter(|&(_, _, u)| u > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(windows: Vec<SampleWindow>) -> MetricsReport {
+        MetricsReport {
+            interval: 10,
+            end: 20,
+            width: 2,
+            height: 2,
+            pes: 2,
+            banks: 1,
+            breakdown: vec![CycleBreakdown::default(); 2],
+            windows,
+            windows_dropped: 0,
+        }
+    }
+
+    fn window(start: Cycle, end: Cycle) -> SampleWindow {
+        SampleWindow {
+            start,
+            end,
+            link_busy: vec![0; 16],
+            pe_activity: vec![0; 2],
+            pe_arb: vec![0; 2],
+            pe_rx: vec![0; 2],
+            bank_req: vec![0; 1],
+            bank_data: vec![0; 1],
+            bank_out: vec![0; 1],
+            bank_lock_nacks: vec![0; 1],
+            bank_coh_msgs: vec![0; 1],
+        }
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = CycleBreakdown::default();
+        b.record(PeActivity::Compute, 62);
+        b.record(PeActivity::RecvWait, 21);
+        b.record(PeActivity::Mem, 9);
+        b.record(PeActivity::CollectiveWait, 8);
+        assert_eq!(b.total(), 100);
+        let sum: f64 = PeActivity::ALL.iter().map(|&a| b.fraction(a)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(b.dominant(), Some((PeActivity::Compute, 62)));
+        let line = b.to_string();
+        assert!(line.starts_with("62% compute"), "{line}");
+        assert!(line.contains("21% recv-wait"), "{line}");
+        assert_eq!(CycleBreakdown::default().to_string(), "no cycles attributed");
+        assert_eq!(CycleBreakdown::default().dominant(), None);
+    }
+
+    #[test]
+    fn link_utilization_clamps_partial_window() {
+        let mut w = window(10, 15);
+        w.link_busy[6] = 6; // node 1, dir 2 (slot 4*1+2): 6 busy in a 5-cycle window
+        assert_eq!(w.span(), 5);
+        assert!((w.link_utilization(1, 2) - 1.0).abs() < 1e-12, "clamped");
+        assert_eq!(w.link_utilization(0, 0), 0.0);
+    }
+
+    #[test]
+    fn hottest_tables_rank_and_truncate() {
+        let mut w0 = window(0, 10);
+        w0.link_busy[0] = 3; // node 0 dir 0
+        w0.link_busy[7] = 9; // node 1 dir 3
+        w0.bank_lock_nacks[0] = 4;
+        let mut w1 = window(10, 20);
+        w1.link_busy[0] = 2;
+        let r = report_with(vec![w0, w1]);
+        assert_eq!(r.hottest_routers(8), vec![(1, 9), (0, 5)]);
+        assert_eq!(r.hottest_routers(1), vec![(1, 9)]);
+        assert_eq!(r.hottest_banks(4), vec![(0, 4)]);
+        let (node, dir, peak) = r.peak_link_utilization().unwrap();
+        assert_eq!((node, dir), (1, 3));
+        assert!((peak - 0.9).abs() < 1e-12);
+        assert_eq!(report_with(vec![]).peak_link_utilization(), None);
+        assert!(report_with(vec![]).hottest_routers(4).is_empty());
+    }
+}

@@ -173,6 +173,22 @@ impl AnyFabric {
             AnyFabric::Ideal(net) => net.tick(now),
         }
     }
+
+    /// [`AnyFabric::tick_traced`] with per-link occupancy masks reported
+    /// to `meter` ([`medea_metrics::Meter::link_busy`]). The ideal fabric
+    /// has no contended links, so its utilization series is identically
+    /// zero and it ticks unmetered.
+    pub fn tick_metered<S: medea_trace::TraceSink, M: medea_metrics::Meter>(
+        &mut self,
+        now: Cycle,
+        sink: &mut S,
+        meter: &mut M,
+    ) {
+        match self {
+            AnyFabric::Deflection(net) => net.tick_metered(now, sink, meter),
+            AnyFabric::Ideal(net) => net.tick(now),
+        }
+    }
 }
 
 impl From<network::Network> for AnyFabric {

@@ -22,6 +22,7 @@ use crate::coord::{Dir, Topology};
 use crate::flit::Flit;
 use crate::router::DeflectionRouter;
 use crate::{Fabric, FabricStats};
+use medea_metrics::{Meter, NullMeter};
 use medea_sim::{ids::NodeId, Cycle};
 use medea_trace::{NullSink, TraceEvent, TraceSink};
 
@@ -120,6 +121,22 @@ impl Network {
     /// series behind per-link heatmaps. With an inactive sink this
     /// monomorphizes to exactly the untraced tick.
     pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        self.tick_metered(now, sink, &mut NullMeter);
+    }
+
+    /// [`Network::tick_traced`] with per-link occupancy additionally
+    /// reported to `meter`: each active router contributes the 4-bit mask
+    /// of its latched output directions ([`Meter::link_busy`]) — the
+    /// directed-link resolution behind the heatmap report, where the
+    /// trace event ([`medea_trace::TraceEvent::LinkLoad`]) only carries
+    /// the per-router count. Both guards are associated constants, so
+    /// either instrument monomorphizes away independently.
+    pub fn tick_metered<S: TraceSink, M: Meter>(
+        &mut self,
+        now: Cycle,
+        sink: &mut S,
+        meter: &mut M,
+    ) {
         // This cycle's working set, moved out so the `active` field can
         // start accumulating the next cycle's set into the spare buffer
         // (both buffers are retained — steady state allocates nothing).
@@ -140,14 +157,23 @@ impl Network {
         // the next working set.
         for &i in &work {
             let i = i as usize;
-            if S::ACTIVE {
+            if S::ACTIVE || M::ACTIVE {
                 // Every *active* router reports its occupancy — zeros
                 // included, so a draining router's counter series returns
                 // to zero instead of freezing at its last busy value.
                 // Idle routers are not in the working set and emit
                 // nothing.
-                let links = self.latches[i].iter().flatten().count() as u8;
-                sink.record(now, TraceEvent::LinkLoad { node: i as u16, links });
+                let mut mask = 0u8;
+                for (d, latch) in self.latches[i].iter().enumerate() {
+                    mask |= u8::from(latch.is_some()) << d;
+                }
+                if S::ACTIVE {
+                    let links = mask.count_ones() as u8;
+                    sink.record(now, TraceEvent::LinkLoad { node: i as u16, links });
+                }
+                if M::ACTIVE {
+                    meter.link_busy(i as u16, mask);
+                }
             }
             let from = self.topo.coord_of(NodeId::new(i as u16));
             for dir in Dir::ALL {
@@ -389,6 +415,20 @@ impl NetworkShard {
     /// cross-tile deliveries land in the export list instead of the
     /// destination latch.
     pub fn tick_traced<S: TraceSink>(&mut self, now: Cycle, sink: &mut S) {
+        self.tick_metered(now, sink, &mut NullMeter);
+    }
+
+    /// [`Network::tick_metered`] restricted to this shard's routers: link
+    /// masks are reported with *global* node ids, so a full-size per-tile
+    /// meter accumulates into the same slots the sequential fabric would
+    /// — shard meters merge by element-wise sum (each router has exactly
+    /// one owning shard).
+    pub fn tick_metered<S: TraceSink, M: Meter>(
+        &mut self,
+        now: Cycle,
+        sink: &mut S,
+        meter: &mut M,
+    ) {
         let mut work = std::mem::replace(&mut self.active, std::mem::take(&mut self.retired));
         for &i in &work {
             self.is_active[i as usize] = false;
@@ -401,9 +441,18 @@ impl NetworkShard {
 
         for &i in &work {
             let i = i as usize;
-            if S::ACTIVE {
-                let links = self.latches[i].iter().flatten().count() as u8;
-                sink.record(now, TraceEvent::LinkLoad { node: (self.lo + i) as u16, links });
+            if S::ACTIVE || M::ACTIVE {
+                let mut mask = 0u8;
+                for (d, latch) in self.latches[i].iter().enumerate() {
+                    mask |= u8::from(latch.is_some()) << d;
+                }
+                if S::ACTIVE {
+                    let links = mask.count_ones() as u8;
+                    sink.record(now, TraceEvent::LinkLoad { node: (self.lo + i) as u16, links });
+                }
+                if M::ACTIVE {
+                    meter.link_busy((self.lo + i) as u16, mask);
+                }
             }
             let from = self.topo.coord_of(NodeId::new((self.lo + i) as u16));
             for dir in Dir::ALL {

@@ -28,6 +28,7 @@ use medea_cache::{
     StoreOutcome, WORDS_PER_LINE,
 };
 use medea_mem::BankMap;
+use medea_metrics::PeActivity;
 use medea_noc::coord::Topology;
 use medea_noc::flit::{CohOp, Flit, PacketKind, SubKind};
 use medea_sim::coroutine::{Fetched, KernelHost, KernelPort};
@@ -138,11 +139,24 @@ enum DirectShape {
 #[derive(Debug, Clone)]
 enum Exec {
     Fetch,
-    Stall { until: Cycle, resp: PeResponse },
+    /// `act` tags what the stalled cycles *are* for the metrics profiler
+    /// (compute burst, memory latency, receive copy); it never affects
+    /// execution.
+    Stall {
+        until: Cycle,
+        resp: PeResponse,
+        act: PeActivity,
+    },
     Mem(MemExec),
-    BridgeWait { shape: DirectShape },
-    Send { flits: VecDeque<Flit> },
-    Recv { from: Option<u8> },
+    BridgeWait {
+        shape: DirectShape,
+    },
+    Send {
+        flits: VecDeque<Flit>,
+    },
+    Recv {
+        from: Option<u8>,
+    },
     Done,
 }
 
@@ -166,6 +180,11 @@ pub struct ProcessingElement {
     /// L1-side probe responder (inert under DII).
     coh: ProbeResponder,
     exec: Exec,
+    /// Nesting depth of eMPI collectives, maintained from the zero-cycle
+    /// `TraceSpan` markers. Purely observational: it reclassifies blocked
+    /// send/recv cycles as collective wait for the metrics profiler.
+    /// Stays 0 when markers do not flow (spans and metrics both off).
+    collective_depth: u32,
     stats: PeStats,
 }
 
@@ -191,6 +210,7 @@ impl ProcessingElement {
             mesi: HashMap::new(),
             coh: ProbeResponder::new(),
             exec: Exec::Fetch,
+            collective_depth: 0,
             stats: PeStats::default(),
         }
     }
@@ -243,6 +263,61 @@ impl ProcessingElement {
     /// Whether the kernel has finished.
     pub fn is_done(&self) -> bool {
         matches!(self.exec, Exec::Done)
+    }
+
+    /// What this PE is spending the current cycle on, for the metrics
+    /// profiler. Blocked send/recv inside an eMPI collective (tracked via
+    /// the zero-cycle span markers) reports as
+    /// [`PeActivity::CollectiveWait`]; a PE between requests (`Fetch`)
+    /// reports compute, since fetch chains consume no simulated cycles.
+    pub fn activity(&self) -> PeActivity {
+        let in_collective = self.collective_depth > 0;
+        match &self.exec {
+            Exec::Done => PeActivity::Done,
+            Exec::Fetch => PeActivity::Compute,
+            Exec::Stall { act, .. } => {
+                if *act == PeActivity::RecvWait && in_collective {
+                    PeActivity::CollectiveWait
+                } else {
+                    *act
+                }
+            }
+            Exec::Mem(_) => PeActivity::Mem,
+            Exec::BridgeWait { shape } => {
+                if *shape == DirectShape::Lock {
+                    PeActivity::LockWait
+                } else {
+                    PeActivity::Mem
+                }
+            }
+            Exec::Send { .. } => {
+                if in_collective {
+                    PeActivity::CollectiveWait
+                } else {
+                    PeActivity::Send
+                }
+            }
+            Exec::Recv { .. } => {
+                if in_collective {
+                    PeActivity::CollectiveWait
+                } else {
+                    PeActivity::RecvWait
+                }
+            }
+        }
+    }
+
+    /// Flits queued in the NoC-access arbiter (metrics sampling hook).
+    pub fn arbiter_occupancy(&self) -> usize {
+        self.arbiter.occupancy()
+    }
+
+    /// Packets buffered in the TIE receiver — completed plus still
+    /// assembling. This backlog is the engine-visible face of the eMPI
+    /// credit window: the protocol sizes its credits so this never grows
+    /// beyond the receiver's buffer budget.
+    pub fn rx_backlog(&self) -> usize {
+        self.rx.pending_packets() + self.rx.partial_packets()
     }
 
     /// Whether the PE is blocked waiting for an incoming message with
@@ -399,7 +474,16 @@ impl ProcessingElement {
                     Fetched::Request(PeRequest::TraceSpan { op, begin }) => {
                         // Markers consume zero simulated cycles and update
                         // no statistic (not even `requests`): the run must
-                        // be bit-identical whether they flow or not.
+                        // be bit-identical whether they flow or not. The
+                        // collective-depth tracker is equally invisible —
+                        // it only relabels wait cycles for the profiler.
+                        if op.is_collective() {
+                            if begin {
+                                self.collective_depth += 1;
+                            } else {
+                                self.collective_depth = self.collective_depth.saturating_sub(1);
+                            }
+                        }
                         if S::ACTIVE {
                             let node = self.src_id as u16;
                             sink.record(
@@ -429,13 +513,13 @@ impl ProcessingElement {
                         false
                     }
                 },
-                Exec::Stall { until, resp } => {
+                Exec::Stall { until, resp, act } => {
                     if now >= until {
                         self.host.reply(resp);
                         self.exec = Exec::Fetch;
                         true
                     } else {
-                        self.exec = Exec::Stall { until, resp };
+                        self.exec = Exec::Stall { until, resp, act };
                         false
                     }
                 }
@@ -489,8 +573,11 @@ impl ProcessingElement {
                         // One cycle per word for the seq-indexed copy into
                         // local memory (Fig. 2-b).
                         let cost = packet.data.len() as Cycle;
-                        self.exec =
-                            Exec::Stall { until: now + cost, resp: PeResponse::Packet(packet) };
+                        self.exec = Exec::Stall {
+                            until: now + cost,
+                            resp: PeResponse::Packet(packet),
+                            act: PeActivity::RecvWait,
+                        };
                         false
                     }
                     None => {
@@ -509,28 +596,29 @@ impl ProcessingElement {
     fn begin<S: TraceSink>(&mut self, req: PeRequest, now: Cycle, sink: &mut S) {
         let fp = self.cfg.fp;
         let node = self.src_id as u16;
-        let stall = |until: Cycle, resp: PeResponse| Exec::Stall { until, resp };
+        let stall =
+            |until: Cycle, resp: PeResponse, act: PeActivity| Exec::Stall { until, resp, act };
         self.exec = match req {
             PeRequest::Compute { cycles } => {
                 let c = cycles.max(1);
                 self.stats.compute_cycles.add(c);
-                stall(now + c, PeResponse::Unit)
+                stall(now + c, PeResponse::Unit, PeActivity::Compute)
             }
             PeRequest::FpAdd { a, b } => {
                 self.stats.compute_cycles.add(fp.add_cycles());
-                stall(now + fp.add_cycles(), PeResponse::F64(a + b))
+                stall(now + fp.add_cycles(), PeResponse::F64(a + b), PeActivity::Compute)
             }
             PeRequest::FpSub { a, b } => {
                 self.stats.compute_cycles.add(fp.add_cycles());
-                stall(now + fp.add_cycles(), PeResponse::F64(a - b))
+                stall(now + fp.add_cycles(), PeResponse::F64(a - b), PeActivity::Compute)
             }
             PeRequest::FpMul { a, b } => {
                 self.stats.compute_cycles.add(fp.mul_cycles());
-                stall(now + fp.mul_cycles(), PeResponse::F64(a * b))
+                stall(now + fp.mul_cycles(), PeResponse::F64(a * b), PeActivity::Compute)
             }
             PeRequest::FpDiv { a, b } => {
                 self.stats.compute_cycles.add(fp.div_cycles());
-                stall(now + fp.div_cycles(), PeResponse::F64(a / b))
+                stall(now + fp.div_cycles(), PeResponse::F64(a / b), PeActivity::Compute)
             }
             PeRequest::LoadWord { addr } => Exec::Mem(MemExec {
                 shape: MemShape::LoadWord,
@@ -576,7 +664,7 @@ impl ProcessingElement {
                         let kind = CacheEventKind::Flush;
                         sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
                     }
-                    stall(now + 1, PeResponse::Unit)
+                    stall(now + 1, PeResponse::Unit, PeActivity::Mem)
                 }
                 medea_cache::FlushOutcome::Writeback(v) => {
                     if S::ACTIVE {
@@ -603,7 +691,7 @@ impl ProcessingElement {
                     let kind = CacheEventKind::Invalidate;
                     sink.record(now, TraceEvent::CacheAccess { node, kind, addr });
                 }
-                stall(now + 1, PeResponse::Unit)
+                stall(now + 1, PeResponse::Unit, PeActivity::Mem)
             }
             PeRequest::UncachedLoad { addr } => {
                 self.bridge.start(BridgeOp::SingleRead { addr });
@@ -640,9 +728,9 @@ impl ProcessingElement {
                 if packet.is_some() {
                     self.stats.packets_received.inc();
                 }
-                stall(now + cost, PeResponse::MaybePacket(packet))
+                stall(now + cost, PeResponse::MaybePacket(packet), PeActivity::RecvWait)
             }
-            PeRequest::Now => stall(now + 1, PeResponse::Time(now)),
+            PeRequest::Now => stall(now + 1, PeResponse::Time(now), PeActivity::Compute),
             PeRequest::TraceSpan { .. } | PeRequest::FaultNote { .. } => {
                 unreachable!("zero-cycle notes are consumed in the fetch loop")
             }

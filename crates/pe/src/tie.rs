@@ -206,6 +206,11 @@ impl TieReceiver {
     pub fn has_partials(&self) -> bool {
         self.partials.iter().any(|q| !q.is_empty())
     }
+
+    /// Number of partial packets still assembling (across all sources).
+    pub fn partial_packets(&self) -> usize {
+        self.partials.iter().map(VecDeque::len).sum()
+    }
 }
 
 impl Default for TieReceiver {

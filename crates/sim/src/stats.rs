@@ -185,6 +185,13 @@ impl Log2Histogram {
         Some(max)
     }
 
+    /// The p99.9 latency — the paper's "sporadic cases of single flits
+    /// delivered with high latency" as a single number. Shorthand for
+    /// [`Log2Histogram::percentile`]`(0.999)`; `None` if empty.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
+    }
+
     /// Merge another histogram into this one, bucket by bucket.
     ///
     /// Used by the tiled cycle engine to fold per-tile latency histograms
@@ -311,6 +318,34 @@ mod tests {
         clamped.record(100);
         assert_eq!(clamped.percentile(0.5), Some(100));
         assert_eq!(clamped.percentile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_p999() {
+        // Empty: no samples, no quantile.
+        assert_eq!(Log2Histogram::new(6).p999(), None);
+        // Single bucket occupied: p999 is that bucket's clamped bound —
+        // here the exact (and only) sample.
+        let mut one = Log2Histogram::new(6);
+        one.record(5);
+        assert_eq!(one.p999(), Some(5));
+        // 999 small + 1 huge: the 999th of 1000 samples still lands in the
+        // small bucket, so p999 reports the small bound; p100 sees the
+        // outlier.
+        let mut h = Log2Histogram::new(10);
+        for _ in 0..999 {
+            h.record(2);
+        }
+        h.record(5000);
+        assert_eq!(h.p999(), Some(3), "bucket [2,4) upper bound");
+        assert_eq!(h.percentile(1.0), Some(5000));
+        // Saturating bucket: everything beyond 2^(levels-1) collapses into
+        // the open-ended final bucket, whose only bound is the observed max.
+        let mut sat = Log2Histogram::new(4);
+        for v in [100u64, 200, 5000] {
+            sat.record(v);
+        }
+        assert_eq!(sat.p999(), Some(5000));
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct TraceAnalysis {
     pub delivered: u64,
     /// Deflection events.
     pub deflected: u64,
+    /// Deflection events per router `(node, count)`, ascending by node;
+    /// routers that never deflected are absent. See
+    /// [`TraceAnalysis::top_deflecting_routers`] for the hot-spot view.
+    pub deflections_by_router: Vec<(u16, u64)>,
     /// Per-router maximum output-link occupancy `(node, max links busy)`,
     /// ascending by node; routers that were never active are absent (an
     /// active router that only ejected locally reports 0).
@@ -39,6 +43,11 @@ pub struct TraceAnalysis {
     /// Total cycles spent between a requester's first Nack on a lock word
     /// and its eventual grant, summed over all contended acquisitions.
     pub lock_contention_cycles: u64,
+    /// Lock contention per MPMMU bank `(bank, contended acquires,
+    /// contention cycles)`, ascending by bank; banks that never saw a
+    /// contended acquire are absent. Attribution follows the granting
+    /// bank (each lock word has exactly one home).
+    pub lock_contention_by_bank: Vec<(u16, u64, u64)>,
     /// Completed spans and their total cycles, per operation:
     /// `(op, count, cycles)`, in first-seen order.
     pub spans: Vec<(KernelOp, u64, u64)>,
@@ -52,6 +61,9 @@ impl TraceAnalysis {
     pub fn from_events(events: &[TimedEvent]) -> Self {
         let mut a = TraceAnalysis { events: events.len(), ..TraceAnalysis::default() };
         let mut link_load: BTreeMap<u16, u8> = BTreeMap::new();
+        let mut deflections: BTreeMap<u16, u64> = BTreeMap::new();
+        // bank → (contended acquires, contention cycles).
+        let mut bank_contention: BTreeMap<u16, (u64, u64)> = BTreeMap::new();
         // (src, addr) → cycle of the first Nack since the last grant.
         let mut first_contend: BTreeMap<(u16, u32), Cycle> = BTreeMap::new();
         // (node, op) → begin cycle of the innermost open span.
@@ -62,7 +74,10 @@ impl TraceAnalysis {
             match event {
                 TraceEvent::FlitInjected { .. } => a.injected += 1,
                 TraceEvent::FlitDelivered { .. } => a.delivered += 1,
-                TraceEvent::FlitDeflected { .. } => a.deflected += 1,
+                TraceEvent::FlitDeflected { node } => {
+                    a.deflected += 1;
+                    *deflections.entry(node).or_insert(0) += 1;
+                }
                 TraceEvent::LinkLoad { node, links } => {
                     let max = link_load.entry(node).or_insert(0);
                     *max = (*max).max(links);
@@ -70,11 +85,15 @@ impl TraceAnalysis {
                 TraceEvent::LockContended { src, addr, .. } => {
                     first_contend.entry((src, addr)).or_insert(at);
                 }
-                TraceEvent::LockAcquired { src, addr, .. } => {
+                TraceEvent::LockAcquired { bank, src, addr } => {
                     a.lock_acquires += 1;
                     if let Some(t0) = first_contend.remove(&(src, addr)) {
                         a.contended_acquires += 1;
-                        a.lock_contention_cycles += at.saturating_sub(t0);
+                        let cycles = at.saturating_sub(t0);
+                        a.lock_contention_cycles += cycles;
+                        let row = bank_contention.entry(bank).or_insert((0, 0));
+                        row.0 += 1;
+                        row.1 += cycles;
                     }
                 }
                 TraceEvent::SpanBegin { node, op } => {
@@ -107,6 +126,9 @@ impl TraceAnalysis {
             }
         }
         a.max_link_load = link_load.into_iter().collect();
+        a.deflections_by_router = deflections.into_iter().collect();
+        a.lock_contention_by_bank =
+            bank_contention.into_iter().map(|(bank, (n, cyc))| (bank, n, cyc)).collect();
         a.spans = spans;
         a
     }
@@ -114,6 +136,16 @@ impl TraceAnalysis {
     /// The busiest router's peak link occupancy, if any traffic flowed.
     pub fn peak_link_load(&self) -> Option<(u16, u8)> {
         self.max_link_load.iter().copied().max_by_key(|(_, links)| *links)
+    }
+
+    /// The `n` routers that deflected the most flits, descending (ties
+    /// break toward the lower node id) — where hot-potato pressure
+    /// concentrates on the torus.
+    pub fn top_deflecting_routers(&self, n: usize) -> Vec<(u16, u64)> {
+        let mut rows = self.deflections_by_router.clone();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
     }
 }
 
@@ -142,6 +174,21 @@ mod tests {
         assert_eq!((a.injected, a.delivered, a.deflected), (1, 1, 1));
         assert_eq!(a.max_link_load, vec![(1, 4), (2, 1)]);
         assert_eq!(a.peak_link_load(), Some((1, 4)));
+        assert_eq!(a.deflections_by_router, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn deflection_table_ranks_routers() {
+        let mut events = Vec::new();
+        for _ in 0..3 {
+            events.push(t(0, TraceEvent::FlitDeflected { node: 5 }));
+        }
+        events.push(t(1, TraceEvent::FlitDeflected { node: 1 }));
+        events.push(t(1, TraceEvent::FlitDeflected { node: 9 }));
+        let a = TraceAnalysis::from_events(&events);
+        assert_eq!(a.deflections_by_router, vec![(1, 1), (5, 3), (9, 1)]);
+        assert_eq!(a.top_deflecting_routers(2), vec![(5, 3), (1, 1)], "ties break low");
+        assert_eq!(a.top_deflecting_routers(0), vec![]);
     }
 
     #[test]
@@ -157,6 +204,7 @@ mod tests {
         assert_eq!(a.lock_acquires, 2);
         assert_eq!(a.contended_acquires, 1);
         assert_eq!(a.lock_contention_cycles, 34 - 12);
+        assert_eq!(a.lock_contention_by_bank, vec![(0, 1, 22)]);
     }
 
     #[test]

@@ -204,6 +204,21 @@ impl KernelOp {
             KernelOp::Scatter => "scatter",
         }
     }
+
+    /// Whether this op is a multi-party collective: cycles a PE spends
+    /// blocked inside one are synchronization wait, not point-to-point
+    /// communication, and the metrics profiler attributes them separately.
+    pub const fn is_collective(self) -> bool {
+        matches!(
+            self,
+            KernelOp::Barrier
+                | KernelOp::Bcast
+                | KernelOp::Reduce
+                | KernelOp::Allreduce
+                | KernelOp::Gather
+                | KernelOp::Scatter
+        )
+    }
 }
 
 impl fmt::Display for KernelOp {

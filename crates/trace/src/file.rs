@@ -97,6 +97,10 @@ impl TraceSink for FileSink {
             Err(_) => self.dropped += 1,
         }
     }
+
+    fn io_drops(&self) -> u64 {
+        self.dropped
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,14 @@ pub trait TraceSink {
 
     /// Record `event` as having occurred on cycle `at`.
     fn record(&mut self, at: Cycle, event: TraceEvent);
+
+    /// Events this sink *lost* to I/O errors (not class filtering or ring
+    /// eviction — those are deliberate). Non-zero only for sinks that
+    /// write externally, e.g. [`crate::FileSink`]; the engine surfaces it
+    /// in `RunResult` so a silently truncated trace file is diagnosable.
+    fn io_drops(&self) -> u64 {
+        0
+    }
 }
 
 /// The no-op sink: tracing off. All emission sites compile away.

@@ -13,6 +13,8 @@
 //! * [`fault`] — deterministic seeded cross-layer fault injection;
 //! * [`cache`] — write-back / write-through L1 cache models;
 //! * [`mem`] — MPMMU, lock table and DDR model;
+//! * [`metrics`] — zero-cost cycle attribution, time-series sampling and
+//!   the NoC heatmap report;
 //! * [`pe`] — processing element: TIE interface, pif2NoC bridge, arbiter;
 //! * [`core`] — system assembly, eMPI programming model, area model and
 //!   design-space exploration;
@@ -47,6 +49,7 @@ pub use medea_cache as cache;
 pub use medea_core as core;
 pub use medea_fault as fault;
 pub use medea_mem as mem;
+pub use medea_metrics as metrics;
 pub use medea_noc as noc;
 pub use medea_pe as pe;
 pub use medea_sim as sim;
